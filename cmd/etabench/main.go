@@ -1,0 +1,74 @@
+// Command etabench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	etabench -list
+//	etabench -exp fig15a
+//	etabench -exp all [-full] [-seed 42] [-o results.txt]
+//
+// Each experiment prints an aligned text table plus notes comparing the
+// measured values with the paper's reported numbers. -full runs the
+// training-backed experiments (fig6, fig8, table2) at larger scale.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"etalstm"
+)
+
+func main() {
+	var (
+		list = flag.Bool("list", false, "list experiment ids and exit")
+		exp  = flag.String("exp", "all", "experiment id to run, or 'all'")
+		full = flag.Bool("full", false, "run training-backed experiments at full scale")
+		seed = flag.Uint64("seed", 42, "seed for training-backed experiments")
+		out  = flag.String("o", "", "also write the output to this file")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, id := range etalstm.ExperimentIDs() {
+			fmt.Println(id)
+		}
+		return
+	}
+
+	var w io.Writer = os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		w = io.MultiWriter(os.Stdout, f)
+	}
+
+	opts := etalstm.ExperimentOptions{Quick: !*full, Seed: *seed}
+	if *exp == "all" {
+		reps, err := etalstm.RunAllExperiments(opts)
+		if err != nil {
+			fatal(err)
+		}
+		for _, rep := range reps {
+			fmt.Fprintln(w, rep)
+		}
+		return
+	}
+	for _, id := range strings.Split(*exp, ",") {
+		rep, err := etalstm.RunExperiment(strings.TrimSpace(id), opts)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintln(w, rep)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "etabench:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,83 @@
+// Command etasim runs the accelerator/GPU cost models over the design
+// scenarios for a benchmark or a custom model geometry, printing
+// per-step latency, energy and the Fig. 15-style normalizations.
+//
+// Usage:
+//
+//	etasim -bench BABI
+//	etasim -hidden 2048 -layers 4 -seq 100 -loss per-ts
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"etalstm"
+)
+
+func main() {
+	var (
+		benchName = flag.String("bench", "", "Table I benchmark name (overrides the geometry flags)")
+		hidden    = flag.Int("hidden", 1024, "hidden size")
+		layers    = flag.Int("layers", 3, "layer number")
+		seq       = flag.Int("seq", 100, "layer length")
+		batch     = flag.Int("batch", 128, "batch size")
+		lossKind  = flag.String("loss", "per-ts", "single | per-ts | regression")
+	)
+	flag.Parse()
+
+	var cfg etalstm.Config
+	label := "custom"
+	if *benchName != "" {
+		bench, err := etalstm.BenchmarkByName(*benchName)
+		if err != nil {
+			fatal(err)
+		}
+		cfg = bench.Cfg
+		label = bench.Name
+	} else {
+		loss := etalstm.PerTimestampLoss
+		switch *lossKind {
+		case "single":
+			loss = etalstm.SingleLoss
+		case "per-ts":
+		case "regression":
+			loss = etalstm.RegressionLoss
+		default:
+			fatal(fmt.Errorf("unknown loss kind %q", *lossKind))
+		}
+		cfg = etalstm.Config{
+			InputSize: 512, Hidden: *hidden, Layers: *layers, SeqLen: *seq,
+			Batch: *batch, OutSize: 1000, Loss: loss,
+		}
+		if loss == etalstm.RegressionLoss {
+			cfg.InputSize, cfg.OutSize = 8, 4
+		}
+	}
+	if err := cfg.Validate(); err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("model %s: H=%d LN=%d LL=%d B=%d (%v)\n",
+		label, cfg.Hidden, cfg.Layers, cfg.SeqLen, cfg.Batch, cfg.Loss)
+	hw := etalstm.PaperAccelerator()
+	fmt.Printf("accelerator: %d boards x %d channels x %d PEs @ %.0f MHz, %.0f GB/s HBM\n\n",
+		hw.Boards, hw.ChannelsPerBoard, hw.PEsPerChannel, hw.ClockHz/1e6, hw.HBMBytesPerSec/1e9)
+
+	fmt.Printf("%-12s %12s %10s %10s %9s %9s\n",
+		"scenario", "step (ms)", "energy (J)", "power (W)", "speedup", "energy x")
+	for _, c := range etalstm.CompareScenarios(cfg) {
+		if c.OOM {
+			fmt.Printf("%-12s %12s\n", c.Scenario, "OOM")
+			continue
+		}
+		fmt.Printf("%-12s %12.2f %10.2f %10.1f %8.2fx %9.2f\n",
+			c.Scenario, 1000*c.StepSeconds, c.EnergyJ, c.PowerW, c.Speedup, c.NormalizedEnergy)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "etasim:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,156 @@
+// Command etatrain trains one of the Table I benchmarks (at a chosen
+// scale) under a selected optimization mode and reports per-epoch loss,
+// skip statistics, pruning statistics and the modeled footprint.
+//
+// Usage:
+//
+//	etatrain -bench IMDB -mode combined -epochs 12
+//	etatrain -bench WMT -mode ms1 -hidden-div 32 -seq 24 -batch 16
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"strings"
+
+	"etalstm"
+)
+
+func main() {
+	var (
+		benchName = flag.String("bench", "IMDB", "benchmark: TREC-10, PTB, IMDB, WAYMO, WMT, BABI")
+		modeName  = flag.String("mode", "combined", "baseline | ms1 | ms2 | combined")
+		epochs    = flag.Int("epochs", 10, "training epochs")
+		batches   = flag.Int("batches", 4, "minibatches per epoch")
+		hiddenDiv = flag.Int("hidden-div", 64, "divide the paper's hidden size by this")
+		seqCap    = flag.Int("seq", 16, "cap the layer length")
+		batchCap  = flag.Int("batch", 8, "cap the batch size")
+		seed      = flag.Uint64("seed", 42, "seed")
+		corpusPth = flag.String("corpus", "", "train a byte-level LM on this text file instead of a benchmark")
+		hidden    = flag.Int("hidden", 64, "hidden size for -corpus mode")
+		loadPath  = flag.String("load", "", "resume from a checkpoint file")
+		savePath  = flag.String("save", "", "write a checkpoint file after training")
+	)
+	flag.Parse()
+
+	mode, err := parseMode(*modeName)
+	if err != nil {
+		fatal(err)
+	}
+	if *corpusPth != "" {
+		trainCorpus(*corpusPth, mode, *hidden, *seqCap, *batchCap, *epochs, *batches, *seed)
+		return
+	}
+	bench, err := etalstm.BenchmarkByName(*benchName)
+	if err != nil {
+		fatal(err)
+	}
+	full := bench
+	bench = bench.Scaled(*hiddenDiv, *seqCap, *batchCap)
+	fmt.Printf("benchmark %s (%v): paper geometry H=%d LN=%d LL=%d; training at H=%d LL=%d B=%d\n",
+		full.Name, full.Cfg.Loss, full.Cfg.Hidden, full.Cfg.Layers, full.Cfg.SeqLen,
+		bench.Cfg.Hidden, bench.Cfg.SeqLen, bench.Cfg.Batch)
+
+	var net *etalstm.Network
+	if *loadPath != "" {
+		var err error
+		net, err = etalstm.LoadNetwork(*loadPath)
+		if err != nil {
+			fatal(err)
+		}
+		if net.Cfg != bench.Cfg {
+			fatal(fmt.Errorf("checkpoint geometry %+v does not match the requested scale %+v", net.Cfg, bench.Cfg))
+		}
+		fmt.Printf("resumed from %s\n", *loadPath)
+	} else {
+		var err error
+		net, err = etalstm.NewNetwork(bench.Cfg, *seed)
+		if err != nil {
+			fatal(err)
+		}
+	}
+	tr := etalstm.NewTrainer(net, mode, etalstm.TrainerOptions{})
+	prov := bench.Provider(*batches, *seed)
+
+	for e := 0; e < *epochs; e++ {
+		st, err := tr.RunEpoch(prov, e)
+		if err != nil {
+			fatal(err)
+		}
+		line := fmt.Sprintf("epoch %2d  loss %.4f", e, st.MeanLoss)
+		if st.SkipFrac > 0 {
+			line += fmt.Sprintf("  skipped %.0f%% of BP cells", 100*st.SkipFrac)
+		}
+		if st.PruneStats.Elements > 0 {
+			line += fmt.Sprintf("  pruned %.0f%% of P1", 100*st.PruneStats.Frac())
+		}
+		fmt.Println(line)
+	}
+
+	loss, acc, err := etalstm.Evaluate(net, bench.Provider(2, *seed+100))
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("eval: loss %.4f accuracy %.1f%%\n", loss, 100*acc)
+
+	if *savePath != "" {
+		if err := etalstm.SaveNetwork(*savePath, net); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("checkpoint written to %s\n", *savePath)
+	}
+
+	fp := tr.Footprint(full.Cfg)
+	base := etalstm.FootprintFor(full.Cfg, etalstm.Baseline)
+	fmt.Printf("modeled footprint at paper geometry: %.2f GB (baseline %.2f GB, -%.1f%%)\n",
+		float64(fp.Total())/1e9, float64(base.Total())/1e9,
+		100*(1-float64(fp.Total())/float64(base.Total())))
+}
+
+func parseMode(s string) (etalstm.Mode, error) {
+	switch strings.ToLower(s) {
+	case "baseline":
+		return etalstm.Baseline, nil
+	case "ms1":
+		return etalstm.MS1, nil
+	case "ms2":
+		return etalstm.MS2, nil
+	case "combined", "combine-ms":
+		return etalstm.Combined, nil
+	}
+	return 0, fmt.Errorf("unknown mode %q", s)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "etatrain:", err)
+	os.Exit(1)
+}
+
+// trainCorpus runs byte-level language modeling over a user text file.
+func trainCorpus(path string, mode etalstm.Mode, hidden, seqLen, batch, epochs, batches int, seed uint64) {
+	c, err := etalstm.LoadCorpusFile(path, 32, seed)
+	if err != nil {
+		fatal(err)
+	}
+	cfg := c.Config(hidden, 2, seqLen, batch)
+	fmt.Printf("corpus %s: %d bytes; byte-level LM H=%d LN=%d LL=%d B=%d\n",
+		path, c.Len(), cfg.Hidden, cfg.Layers, cfg.SeqLen, cfg.Batch)
+	prov, err := c.Provider(cfg, batches, seed)
+	if err != nil {
+		fatal(err)
+	}
+	net, err := etalstm.NewNetwork(cfg, seed)
+	if err != nil {
+		fatal(err)
+	}
+	tr := etalstm.NewTrainer(net, mode, etalstm.TrainerOptions{})
+	for e := 0; e < epochs; e++ {
+		st, err := tr.RunEpoch(prov, e)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("epoch %2d  loss %.4f  perplexity %.1f\n", e, st.MeanLoss, math.Exp(st.MeanLoss))
+	}
+}

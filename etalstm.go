@@ -1,0 +1,321 @@
+// Package etalstm is the public API of the η-LSTM reproduction: a pure
+// Go library for training large LSTM models with the paper's
+// memory-saving optimizations (MS1 execution reordering + compression,
+// MS2 BP-cell skipping), plus the accelerator and GPU cost models that
+// regenerate every table and figure of the paper's evaluation.
+//
+// Quickstart:
+//
+//	bench, _ := etalstm.BenchmarkByName("IMDB")
+//	small := bench.Scaled(64, 16, 8)
+//	net, _ := etalstm.NewNetwork(small.Cfg, 42)
+//	tr := etalstm.NewTrainer(net, etalstm.Combined, etalstm.TrainerOptions{})
+//	stats, _ := tr.Run(small.Provider(4, 1), 10)
+//
+// The experiment harnesses are exposed through RunExperiment; the
+// architecture comparison through CompareScenarios. See README.md for
+// the full tour and DESIGN.md for the system inventory.
+package etalstm
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"etalstm/internal/core"
+	"etalstm/internal/corpus"
+	"etalstm/internal/memplan"
+	"etalstm/internal/model"
+	"etalstm/internal/persist"
+	"etalstm/internal/rng"
+	"etalstm/internal/tensor"
+	"etalstm/internal/trace"
+	"etalstm/internal/train"
+	"etalstm/internal/workload"
+)
+
+// Config describes a stacked LSTM model (hidden size, layer number,
+// layer length, batch, loss topology).
+type Config = model.Config
+
+// LossKind selects the loss topology (single, per-timestamp,
+// regression) — the property that determines which BP cells MS2 may
+// skip.
+type LossKind = model.LossKind
+
+// The three loss topologies.
+const (
+	SingleLoss       = model.SingleLoss
+	PerTimestampLoss = model.PerTimestampLoss
+	RegressionLoss   = model.RegressionLoss
+)
+
+// Network is a stacked LSTM with a linear output projection.
+type Network = model.Network
+
+// Targets carries minibatch supervision.
+type Targets = model.Targets
+
+// Batch is one minibatch of inputs and supervision.
+type Batch = train.Batch
+
+// Provider supplies the minibatches of an epoch.
+type Provider = train.Provider
+
+// Optimizer applies gradients; SGD and Adam are provided.
+type Optimizer = train.Optimizer
+
+// SGD is stochastic gradient descent with optional momentum.
+type SGD = train.SGD
+
+// Adam is the Adam optimizer.
+type Adam = train.Adam
+
+// Benchmark couples a paper Table I geometry with a synthetic task
+// generator.
+type Benchmark = workload.Benchmark
+
+// NewNetwork builds a stacked LSTM with seeded initialization.
+func NewNetwork(cfg Config, seed uint64) (*Network, error) {
+	return model.NewNetwork(cfg, rng.New(seed))
+}
+
+// Benchmarks returns the six Table I benchmarks with the paper's exact
+// geometry.
+func Benchmarks() []Benchmark { return workload.Suite() }
+
+// BenchmarkByName looks a benchmark up by its paper name (TREC-10,
+// PTB, IMDB, WAYMO, WMT, BABI).
+func BenchmarkByName(name string) (Benchmark, error) { return workload.ByName(name) }
+
+// Mode selects which of η-LSTM's software optimizations a Trainer
+// applies.
+type Mode int
+
+// Training modes, mirroring the paper's comparison cases.
+const (
+	// Baseline stores raw intermediates and executes every BP cell.
+	Baseline Mode = iota
+	// MS1 reorders execution: BP-EW-P1 is computed during FW and
+	// near-zero pruned (Sec. IV-A).
+	MS1
+	// MS2 predicts and skips insignificant BP cells (Sec. IV-B).
+	MS2
+	// Combined applies both (the paper's Combine-MS).
+	Combined
+)
+
+// String implements fmt.Stringer.
+func (m Mode) String() string {
+	switch m {
+	case Baseline:
+		return "Baseline"
+	case MS1:
+		return "MS1"
+	case MS2:
+		return "MS2"
+	case Combined:
+		return "Combine-MS"
+	}
+	return fmt.Sprintf("Mode(%d)", int(m))
+}
+
+// TrainerOptions tunes a Trainer; zero values select the paper's
+// operating points.
+type TrainerOptions struct {
+	// Optimizer defaults to Adam(lr=0.01).
+	Optimizer Optimizer
+	// Clip is the max gradient L2 norm (0 = 5).
+	Clip float64
+	// PruneThreshold is MS1's near-zero cutoff (0 = 0.1).
+	PruneThreshold float32
+	// SkipThreshold is MS2's significance cutoff (0 = 0.08).
+	SkipThreshold float64
+	// MaxSkipFrac caps MS2's skipped share per layer (0 = 0.5).
+	MaxSkipFrac float64
+	// WarmupEpochs run unskipped before Eq. 5 has history (0 = 3).
+	WarmupEpochs int
+}
+
+// Trainer trains a Network under the selected optimization mode.
+type Trainer struct {
+	inner *core.Trainer
+	mode  Mode
+}
+
+// EpochStats reports one epoch's loss and optimization behaviour.
+type EpochStats = core.Stats
+
+// NewTrainer builds a trainer for net in the given mode.
+func NewTrainer(net *Network, mode Mode, opts TrainerOptions) *Trainer {
+	opt := opts.Optimizer
+	if opt == nil {
+		opt = &train.Adam{LR: 0.01}
+	}
+	clip := opts.Clip
+	if clip == 0 {
+		clip = 5
+	}
+	cfg := core.Config{
+		EnableMS1:      mode == MS1 || mode == Combined,
+		EnableMS2:      mode == MS2 || mode == Combined,
+		PruneThreshold: opts.PruneThreshold,
+		SkipThreshold:  opts.SkipThreshold,
+		MaxSkipFrac:    opts.MaxSkipFrac,
+		WarmupEpochs:   opts.WarmupEpochs,
+	}
+	return &Trainer{inner: core.New(net, opt, clip, cfg), mode: mode}
+}
+
+// Mode returns the trainer's optimization mode.
+func (t *Trainer) Mode() Mode { return t.mode }
+
+// Run trains for epochs epochs over p.
+func (t *Trainer) Run(p Provider, epochs int) ([]EpochStats, error) {
+	return t.inner.Run(p, epochs)
+}
+
+// RunEpoch trains a single epoch.
+func (t *Trainer) RunEpoch(p Provider, epoch int) (EpochStats, error) {
+	return t.inner.RunEpoch(p, epoch)
+}
+
+// Losses returns the recorded per-epoch mean losses.
+func (t *Trainer) Losses() []float64 { return t.inner.Losses() }
+
+// Footprint returns the modeled training memory footprint of cfg at
+// this trainer's measured operating point, split into the paper's
+// parameter / activation / intermediate categories.
+func (t *Trainer) Footprint(cfg Config) Footprint {
+	b := memplan.Footprint(cfg, t.inner.FootprintMode(), t.inner.FootprintParams())
+	return Footprint{
+		Parameter:    b.Parameter,
+		Activations:  b.Activations,
+		Intermediate: b.Intermediate,
+	}
+}
+
+// Footprint is a memory footprint split by the paper's categories
+// (bytes).
+type Footprint struct {
+	Parameter    int64
+	Activations  int64
+	Intermediate int64
+}
+
+// Total returns the summed footprint.
+func (f Footprint) Total() int64 { return f.Parameter + f.Activations + f.Intermediate }
+
+// Evaluate runs forward-only over p and returns mean loss and
+// classification accuracy (0 for regression models).
+func Evaluate(net *Network, p Provider) (meanLoss, accuracy float64, err error) {
+	return train.Evaluate(net, p)
+}
+
+// EvaluateMAE returns the mean absolute error of a regression model.
+func EvaluateMAE(net *Network, p Provider) (float64, error) {
+	return train.EvaluateMAE(net, p)
+}
+
+// DataMovement returns the modeled per-step DRAM traffic of cfg under
+// the given mode at the paper's operating points (65 % P1 sparsity,
+// geometry-derived skip fraction).
+func DataMovement(cfg Config, mode Mode) Movement {
+	p := defaultOptParams(cfg)
+	var m trace.Movement
+	switch mode {
+	case Baseline:
+		m = trace.Baseline(cfg)
+	case MS1:
+		m = trace.WithMS1(cfg, p.P1Sparsity)
+	case MS2:
+		m = trace.WithMS2(cfg, p.SkipFrac)
+	case Combined:
+		m = trace.Combined(cfg, p.P1Sparsity, p.SkipFrac)
+	}
+	return Movement{Weights: m.Weights, Activations: m.Activations, Intermediates: m.Intermediates}
+}
+
+// Movement is DRAM traffic in bytes by category.
+type Movement struct {
+	Weights       int64
+	Activations   int64
+	Intermediates int64
+}
+
+// Total returns the summed traffic.
+func (m Movement) Total() int64 { return m.Weights + m.Activations + m.Intermediates }
+
+// FootprintFor returns the modeled footprint of cfg under mode at the
+// paper's operating points (use Trainer.Footprint for a trained run's
+// measured point).
+func FootprintFor(cfg Config, mode Mode) Footprint {
+	p := defaultOptParams(cfg)
+	mp := memplan.Params{P1KeepRatio: memplan.FromSparsity(p.P1Sparsity), SkipFrac: p.SkipFrac}
+	var mm memplan.Mode
+	switch mode {
+	case Baseline:
+		mm = memplan.Baseline
+	case MS1:
+		mm = memplan.MS1
+	case MS2:
+		mm = memplan.MS2
+	case Combined:
+		mm = memplan.Combined
+	}
+	b := memplan.Footprint(cfg, mm, mp)
+	return Footprint{Parameter: b.Parameter, Activations: b.Activations, Intermediate: b.Intermediate}
+}
+
+// SaveNetwork writes a trained network to path in the versioned binary
+// checkpoint format (CRC-protected, atomic rename).
+func SaveNetwork(path string, net *Network) error {
+	return persist.SaveFile(path, net)
+}
+
+// LoadNetwork reads a checkpoint written by SaveNetwork.
+func LoadNetwork(path string) (*Network, error) {
+	return persist.LoadFile(path)
+}
+
+// State carries recurrent state across sequence chunks for truncated
+// BPTT (see Network.ForwardState / Network.ZeroState).
+type State = model.State
+
+// ForwardResult is one forward pass (see Network.Forward).
+type ForwardResult = model.ForwardResult
+
+// Gradients collects a backward pass's weight gradients.
+type Gradients = model.Gradients
+
+// BackwardOpts tunes Network.Backward.
+type BackwardOpts = model.BackwardOpts
+
+// StoragePolicy selects per-cell storage for manual training loops;
+// most users should use Trainer instead.
+type StoragePolicy = model.StoragePolicy
+
+// Matrix is the dense float32 matrix inputs and targets are built from.
+type Matrix = tensor.Matrix
+
+// NewMatrix returns a zeroed rows×cols matrix.
+func NewMatrix(rows, cols int) *Matrix { return tensor.New(rows, cols) }
+
+// Corpus is tokenized user text for byte-level language modeling.
+type Corpus = corpus.Corpus
+
+// LoadCorpus tokenizes text from r for next-byte prediction with the
+// given embedding width.
+func LoadCorpus(r io.Reader, embedDim int, seed uint64) (*Corpus, error) {
+	return corpus.Load(r, embedDim, seed)
+}
+
+// LoadCorpusFile tokenizes a text file.
+func LoadCorpusFile(path string, embedDim int, seed uint64) (*Corpus, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return corpus.Load(f, embedDim, seed)
+}

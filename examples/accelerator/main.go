@@ -1,0 +1,62 @@
+// Accelerator study: evaluates the paper's eight design scenarios on
+// all six Table I benchmarks — the library-level regeneration of
+// Figs. 15 and 16 — and prints the speedup/energy matrix.
+package main
+
+import (
+	"fmt"
+
+	"etalstm"
+)
+
+func main() {
+	hw := etalstm.PaperAccelerator()
+	fmt.Printf("eta-LSTM accelerator: %d boards x %d channels x %d Omni-PEs @ %.0f MHz\n\n",
+		hw.Boards, hw.ChannelsPerBoard, hw.PEsPerChannel, hw.ClockHz/1e6)
+
+	scenarios := []etalstm.Scenario{
+		etalstm.ScenarioBaseline, etalstm.ScenarioMS1, etalstm.ScenarioMS2,
+		etalstm.ScenarioCombineMS, etalstm.ScenarioLSTMInf,
+		etalstm.ScenarioStaticArch, etalstm.ScenarioDynArch, etalstm.ScenarioEtaLSTM,
+	}
+
+	fmt.Printf("speedup over the V100 baseline (paper Fig. 15a):\n%-10s", "")
+	for _, sc := range scenarios {
+		fmt.Printf(" %11s", sc)
+	}
+	fmt.Println()
+	sums := make([]float64, len(scenarios))
+	benches := etalstm.Benchmarks()
+	for _, b := range benches {
+		cs := etalstm.CompareScenarios(b.Cfg)
+		fmt.Printf("%-10s", b.Name)
+		for i, sc := range scenarios {
+			s := cs[sc].Speedup
+			sums[i] += s
+			fmt.Printf(" %10.2fx", s)
+		}
+		fmt.Println()
+	}
+	fmt.Printf("%-10s", "average")
+	for i := range scenarios {
+		fmt.Printf(" %10.2fx", sums[i]/float64(len(benches)))
+	}
+	fmt.Println()
+
+	fmt.Printf("\nnormalized energy (paper Fig. 15b):\n%-10s", "")
+	for _, sc := range scenarios {
+		fmt.Printf(" %11s", sc)
+	}
+	fmt.Println()
+	for _, b := range benches {
+		cs := etalstm.CompareScenarios(b.Cfg)
+		fmt.Printf("%-10s", b.Name)
+		for _, sc := range scenarios {
+			fmt.Printf(" %11.2f", cs[sc].NormalizedEnergy)
+		}
+		fmt.Println()
+	}
+
+	fmt.Println("\npaper headline: eta-LSTM averages 3.99x speedup (up to 5.73x) and")
+	fmt.Println("63.7% energy saving (up to 76.5%) over the V100 baseline.")
+}

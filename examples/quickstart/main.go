@@ -1,0 +1,53 @@
+// Quickstart: train a scaled-down IMDB sentiment model with η-LSTM's
+// combined memory-saving optimizations and watch the optimizations at
+// work (P1 pruning from epoch 0, BP-cell skipping after warmup).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"etalstm"
+)
+
+func main() {
+	bench, err := etalstm.BenchmarkByName("IMDB")
+	if err != nil {
+		log.Fatal(err)
+	}
+	// The paper geometry (H=2048, 3 layers, 100 steps) is too big to
+	// train in an example; shrink it while keeping depth and loss
+	// topology.
+	small := bench.Scaled(64, 16, 8)
+	fmt.Printf("training %s at H=%d LN=%d LL=%d\n",
+		bench.Name, small.Cfg.Hidden, small.Cfg.Layers, small.Cfg.SeqLen)
+
+	net, err := etalstm.NewNetwork(small.Cfg, 42)
+	if err != nil {
+		log.Fatal(err)
+	}
+	trainer := etalstm.NewTrainer(net, etalstm.Combined, etalstm.TrainerOptions{})
+	prov := small.Provider(4, 1)
+
+	for epoch := 0; epoch < 10; epoch++ {
+		st, err := trainer.RunEpoch(prov, epoch)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("epoch %2d: loss %.4f (skipped %.0f%% of BP cells, pruned %.0f%% of P1)\n",
+			epoch, st.MeanLoss, 100*st.SkipFrac, 100*st.PruneStats.Frac())
+	}
+
+	loss, acc, err := etalstm.Evaluate(net, small.Provider(2, 99))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("held-out: loss %.4f, accuracy %.1f%%\n", loss, 100*acc)
+
+	// What would this flow save at the paper's full geometry?
+	base := etalstm.FootprintFor(bench.Cfg, etalstm.Baseline)
+	comb := etalstm.FootprintFor(bench.Cfg, etalstm.Combined)
+	fmt.Printf("footprint at paper geometry: %.2f GB -> %.2f GB (-%.1f%%)\n",
+		float64(base.Total())/1e9, float64(comb.Total())/1e9,
+		100*(1-float64(comb.Total())/float64(base.Total())))
+}

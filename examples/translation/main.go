@@ -1,0 +1,54 @@
+// Machine translation (the paper's WMT workload): a per-timestamp-loss
+// model, where MS2's skip plan targets the *late* timestamps (the
+// opposite end from single-loss models — paper Fig. 8b/Fig. 9). The
+// example prints the plan's shape and the per-step data movement
+// reduction.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"etalstm"
+)
+
+func main() {
+	bench, err := etalstm.BenchmarkByName("WMT")
+	if err != nil {
+		log.Fatal(err)
+	}
+	small := bench.Scaled(64, 20, 8)
+	net, err := etalstm.NewNetwork(small.Cfg, 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	trainer := etalstm.NewTrainer(net, etalstm.Combined, etalstm.TrainerOptions{})
+	prov := small.Provider(4, 3)
+
+	for epoch := 0; epoch < 10; epoch++ {
+		st, err := trainer.RunEpoch(prov, epoch)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("epoch %2d: loss %.4f, skipped %.0f%% of BP cells\n",
+			epoch, st.MeanLoss, 100*st.SkipFrac)
+	}
+
+	loss, acc, err := etalstm.Evaluate(net, small.Provider(2, 77))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("held-out: per-token loss %.4f, token accuracy %.1f%%\n\n", loss, 100*acc)
+
+	// Data-movement picture at the paper's full WMT geometry (Fig. 17).
+	base := etalstm.DataMovement(bench.Cfg, etalstm.Baseline)
+	comb := etalstm.DataMovement(bench.Cfg, etalstm.Combined)
+	pct := func(b, o int64) float64 { return 100 * (1 - float64(o)/float64(b)) }
+	fmt.Println("per-step DRAM movement at paper geometry (GB), baseline -> eta-LSTM:")
+	fmt.Printf("  weights:       %6.1f -> %6.1f  (-%.1f%%)\n",
+		float64(base.Weights)/1e9, float64(comb.Weights)/1e9, pct(base.Weights, comb.Weights))
+	fmt.Printf("  activations:   %6.1f -> %6.1f  (-%.1f%%)\n",
+		float64(base.Activations)/1e9, float64(comb.Activations)/1e9, pct(base.Activations, comb.Activations))
+	fmt.Printf("  intermediates: %6.1f -> %6.1f  (-%.1f%%)\n",
+		float64(base.Intermediates)/1e9, float64(comb.Intermediates)/1e9, pct(base.Intermediates, comb.Intermediates))
+}

@@ -1,0 +1,3 @@
+module etalstm
+
+go 1.22

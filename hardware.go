@@ -1,0 +1,79 @@
+package etalstm
+
+import (
+	"etalstm/internal/arch"
+	"etalstm/internal/experiments"
+	"etalstm/internal/gpu"
+)
+
+// Scenario identifies one of the paper's comparison cases (Fig. 15).
+type Scenario = arch.Scenario
+
+// The eight design scenarios of the paper's evaluation.
+const (
+	ScenarioBaseline   = arch.Baseline
+	ScenarioMS1        = arch.MS1
+	ScenarioMS2        = arch.MS2
+	ScenarioCombineMS  = arch.CombineMS
+	ScenarioLSTMInf    = arch.LSTMInf
+	ScenarioStaticArch = arch.StaticArch
+	ScenarioDynArch    = arch.DynArch
+	ScenarioEtaLSTM    = arch.EtaLSTM
+)
+
+// Comparison is one scenario's modeled training step normalized
+// against the GPU baseline.
+type Comparison = arch.Comparison
+
+// AcceleratorConfig describes the η-LSTM accelerator build.
+type AcceleratorConfig = arch.HWConfig
+
+// PaperAccelerator returns the paper's configuration: 4 VCU128 boards
+// × 40 channels × 32 Omni-PEs at 500 MHz with 224 GB/s HBM per board.
+func PaperAccelerator() AcceleratorConfig { return arch.Paper() }
+
+// defaultOptParams derives the optimization operating point for cfg.
+func defaultOptParams(cfg Config) arch.OptParams {
+	return arch.DefaultOptParams(cfg)
+}
+
+// CompareScenarios evaluates every design scenario on cfg against the
+// V100 GPU baseline — one benchmark's column of the paper's Fig. 15
+// and Fig. 16. The returned slice is indexed by Scenario.
+func CompareScenarios(cfg Config) []Comparison {
+	return arch.Compare(cfg, arch.Paper(), gpu.V100(), arch.DefaultOptParams(cfg))
+}
+
+// Report is one regenerated table or figure.
+type Report = experiments.Report
+
+// ExperimentOptions tunes the training-backed experiments.
+type ExperimentOptions = experiments.Options
+
+// ExperimentIDs lists the reproducible experiments (fig3a..table3).
+func ExperimentIDs() []string { return experiments.IDs() }
+
+// RunExperiment regenerates one of the paper's tables or figures by
+// id (see ExperimentIDs). Pass a zero Options for full fidelity or
+// {Quick: true} for CI-scale training runs.
+func RunExperiment(id string, opts ExperimentOptions) (*Report, error) {
+	runner, ok := experiments.Registry()[id]
+	if !ok {
+		return nil, &UnknownExperimentError{ID: id}
+	}
+	return runner(opts)
+}
+
+// RunAllExperiments regenerates every table and figure in id order.
+func RunAllExperiments(opts ExperimentOptions) ([]*Report, error) {
+	return experiments.RunAll(opts)
+}
+
+// UnknownExperimentError reports a RunExperiment id that is not
+// registered.
+type UnknownExperimentError struct{ ID string }
+
+// Error implements error.
+func (e *UnknownExperimentError) Error() string {
+	return "etalstm: unknown experiment " + e.ID + " (see ExperimentIDs)"
+}

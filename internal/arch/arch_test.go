@@ -1,0 +1,323 @@
+package arch
+
+import (
+	"testing"
+
+	"etalstm/internal/gpu"
+	"etalstm/internal/model"
+	"etalstm/internal/stats"
+	"etalstm/internal/workload"
+)
+
+func compareAll(t *testing.T) map[string][]Comparison {
+	t.Helper()
+	hw := Paper()
+	dev := gpu.V100()
+	out := make(map[string][]Comparison)
+	for _, b := range workload.Suite() {
+		out[b.Name] = Compare(b.Cfg, hw, dev, DefaultOptParams(b.Cfg))
+	}
+	return out
+}
+
+func collect(all map[string][]Comparison, sc Scenario, f func(Comparison) float64) []float64 {
+	var out []float64
+	for _, cs := range all {
+		out = append(out, f(cs[sc]))
+	}
+	return out
+}
+
+func TestBaselineIsUnity(t *testing.T) {
+	for name, cs := range compareAll(t) {
+		b := cs[Baseline]
+		if b.Speedup != 1 || b.NormalizedEnergy != 1 {
+			t.Errorf("%s: baseline must normalize to 1: %+v", name, b)
+		}
+	}
+}
+
+// TestFig15aMS1Band: MS1 speedup avg ~1.21×, never above the paper's
+// 1.35× max by a wide margin, never below 1.
+func TestFig15aMS1Band(t *testing.T) {
+	all := compareAll(t)
+	sp := collect(all, MS1, func(c Comparison) float64 { return c.Speedup })
+	avg := stats.Mean(sp)
+	if avg < 1.1 || avg > 1.4 {
+		t.Fatalf("MS1 avg speedup %.3f, paper 1.21", avg)
+	}
+	for name, cs := range all {
+		if s := cs[MS1].Speedup; s < 1.0 || s > 1.5 {
+			t.Errorf("%s: MS1 speedup %.3f out of band", name, s)
+		}
+	}
+}
+
+// TestFig15aMS2Band: MS2 avg ~1.32×, larger on longer layer lengths.
+func TestFig15aMS2Band(t *testing.T) {
+	all := compareAll(t)
+	avg := stats.Mean(collect(all, MS2, func(c Comparison) float64 { return c.Speedup }))
+	if avg < 1.1 || avg > 1.5 {
+		t.Fatalf("MS2 avg speedup %.3f, paper 1.32", avg)
+	}
+	// The paper: "MS2 is more effective for the LSTM training with
+	// larger layer length" — BABI (303) must beat PTB (35).
+	if all["BABI"][MS2].Speedup <= all["PTB"][MS2].Speedup {
+		t.Fatal("MS2 must help long layer lengths more")
+	}
+	// And MS1 is more effective for larger hidden sizes than MS2 there:
+	// TREC-10 (H3072, LL18) gains more from MS1 than MS2.
+	if all["TREC-10"][MS1].Speedup <= all["TREC-10"][MS2].Speedup {
+		t.Fatal("MS1 must dominate on the large-hidden short-length benchmark")
+	}
+}
+
+// TestFig15aCombineBand: Combine-MS avg ~1.56× (≤ ~1.79 in the paper;
+// our band allows up to 2.1 on the longest benchmarks).
+func TestFig15aCombineBand(t *testing.T) {
+	all := compareAll(t)
+	sp := collect(all, CombineMS, func(c Comparison) float64 { return c.Speedup })
+	avg := stats.Mean(sp)
+	if avg < 1.3 || avg > 1.9 {
+		t.Fatalf("Combine-MS avg speedup %.3f, paper 1.56", avg)
+	}
+	for name, cs := range all {
+		comb := cs[CombineMS].Speedup
+		if comb+1e-9 < cs[MS1].Speedup || comb+1e-9 < cs[MS2].Speedup {
+			t.Errorf("%s: combining must not lose to either part", name)
+		}
+	}
+}
+
+// TestFig15aLSTMInfSlower: the inference-accelerator design must trail
+// the GPU baseline (paper: −27.52 % average).
+func TestFig15aLSTMInfSlower(t *testing.T) {
+	all := compareAll(t)
+	for name, cs := range all {
+		if s := cs[LSTMInf].Speedup; s >= 1 {
+			t.Errorf("%s: LSTM-Inf speedup %.3f must be < 1", name, s)
+		}
+		if e := cs[LSTMInf].NormalizedEnergy; e <= 1 {
+			t.Errorf("%s: LSTM-Inf energy %.3f must exceed baseline", name, e)
+		}
+	}
+}
+
+// TestFig15aStaticArchNearBaseline: Omni-PE + static allocation sits
+// near the baseline on average (paper: −3.36 %).
+func TestFig15aStaticArchNearBaseline(t *testing.T) {
+	all := compareAll(t)
+	avg := stats.Mean(collect(all, StaticArch, func(c Comparison) float64 { return c.Speedup }))
+	if avg < 0.75 || avg > 1.25 {
+		t.Fatalf("Static-Arch avg speedup %.3f, paper ~0.97", avg)
+	}
+	// Static-Arch must beat LSTM-Inf everywhere (more PEs, same policy).
+	for name, cs := range all {
+		if cs[StaticArch].Speedup <= cs[LSTMInf].Speedup {
+			t.Errorf("%s: Static-Arch must beat LSTM-Inf", name)
+		}
+	}
+}
+
+// TestFig15aDynArchBand: R2A alone averages ~1.4-1.5× (paper 1.42×,
+// up to 1.85×) and always beats Static-Arch.
+func TestFig15aDynArchBand(t *testing.T) {
+	all := compareAll(t)
+	sp := collect(all, DynArch, func(c Comparison) float64 { return c.Speedup })
+	avg := stats.Mean(sp)
+	if avg < 1.25 || avg > 1.7 {
+		t.Fatalf("Dyn-Arch avg speedup %.3f, paper 1.42", avg)
+	}
+	for name, cs := range all {
+		if name == "TREC-10" {
+			// The static split is calibrated on TREC-10, so there the
+			// two designs tie to within the swing tax.
+			if cs[DynArch].Speedup < cs[StaticArch].Speedup*0.95 {
+				t.Errorf("TREC-10: Dyn-Arch %.3f far behind matched Static-Arch %.3f",
+					cs[DynArch].Speedup, cs[StaticArch].Speedup)
+			}
+			continue
+		}
+		if cs[DynArch].Speedup <= cs[StaticArch].Speedup*0.999 {
+			t.Errorf("%s: Dyn-Arch %.3f must beat Static-Arch %.3f",
+				name, cs[DynArch].Speedup, cs[StaticArch].Speedup)
+		}
+		if cs[DynArch].Utilization <= cs[StaticArch].Utilization {
+			t.Errorf("%s: R2A must raise utilization", name)
+		}
+	}
+}
+
+// TestFig15aEtaLSTMHeadline: the full design averages ~3-4× (paper
+// 3.99×, up to 5.73×), peaks on the longest benchmark, and always wins.
+func TestFig15aEtaLSTMHeadline(t *testing.T) {
+	all := compareAll(t)
+	sp := collect(all, EtaLSTM, func(c Comparison) float64 { return c.Speedup })
+	avg := stats.Mean(sp)
+	if avg < 2.5 || avg > 4.5 {
+		t.Fatalf("η-LSTM avg speedup %.3f, paper 3.99", avg)
+	}
+	best, bestName := 0.0, ""
+	for name, cs := range all {
+		s := cs[EtaLSTM].Speedup
+		if s < 1.5 {
+			t.Errorf("%s: η-LSTM speedup %.3f too low", name, s)
+		}
+		if s > best {
+			best, bestName = s, name
+		}
+		// The full design must dominate every other scenario.
+		for sc := Scenario(0); sc < NumScenarios; sc++ {
+			if sc != EtaLSTM && cs[sc].Speedup > s {
+				t.Errorf("%s: scenario %v beats η-LSTM", name, sc)
+			}
+		}
+	}
+	if best < 3.5 {
+		t.Fatalf("η-LSTM max speedup %.3f, paper up to 5.73", best)
+	}
+	if bestName != "BABI" && bestName != "IMDB" && bestName != "WMT" {
+		t.Fatalf("η-LSTM should peak on a long-sequence benchmark, got %s", bestName)
+	}
+}
+
+// TestFig15bEnergyBands: normalized energy of the software rows and the
+// full design (paper: Combine-MS −35.26 %, η-LSTM −63.70 %).
+func TestFig15bEnergyBands(t *testing.T) {
+	all := compareAll(t)
+	combAvg := stats.Mean(collect(all, CombineMS, func(c Comparison) float64 { return c.NormalizedEnergy }))
+	if combAvg < 0.45 || combAvg > 0.8 {
+		t.Fatalf("Combine-MS avg energy %.3f, paper 0.65", combAvg)
+	}
+	etaAvg := stats.Mean(collect(all, EtaLSTM, func(c Comparison) float64 { return c.NormalizedEnergy }))
+	if etaAvg < 0.2 || etaAvg > 0.6 {
+		t.Fatalf("η-LSTM avg energy %.3f, paper 0.363", etaAvg)
+	}
+	for name, cs := range all {
+		if cs[EtaLSTM].NormalizedEnergy >= cs[CombineMS].NormalizedEnergy {
+			t.Errorf("%s: full design must use less energy than software-only", name)
+		}
+	}
+}
+
+// TestFig16EnergyEfficiency: Dyn-Arch's energy efficiency beats the
+// baseline on every benchmark (paper avg 1.67×, up to 2.69×) while
+// LSTM-Inf's never does; Static-Arch is mixed.
+func TestFig16EnergyEfficiency(t *testing.T) {
+	all := compareAll(t)
+	var staticWins int
+	for name, cs := range all {
+		if g := cs[DynArch].EnergyEffGain; g <= 1 {
+			t.Errorf("%s: Dyn-Arch energy efficiency %.3f must beat baseline", name, g)
+		}
+		if g := cs[LSTMInf].EnergyEffGain; g >= 1 {
+			t.Errorf("%s: LSTM-Inf energy efficiency %.3f must trail baseline", name, g)
+		}
+		if cs[StaticArch].EnergyEffGain > 1 {
+			staticWins++
+		}
+		_ = name
+	}
+	if staticWins == 0 || staticWins == len(all) {
+		t.Errorf("Static-Arch energy efficiency should be mixed across benchmarks, wins=%d", staticWins)
+	}
+	avg := stats.Mean(collect(all, DynArch, func(c Comparison) float64 { return c.EnergyEffGain }))
+	if avg < 1.1 || avg > 2.4 {
+		t.Fatalf("Dyn-Arch avg energy-efficiency gain %.3f, paper 1.67", avg)
+	}
+}
+
+func TestSkipFracFollowsGeometry(t *testing.T) {
+	babi, _ := workload.ByName("BABI")
+	trec, _ := workload.ByName("TREC-10")
+	if SkipFracFor(babi.Cfg) <= SkipFracFor(trec.Cfg) {
+		t.Fatal("longer layers must admit more skipping")
+	}
+	if f := SkipFracFor(babi.Cfg); f > 0.51 {
+		t.Fatalf("skip frac %.3f exceeds the convergence cap", f)
+	}
+}
+
+func TestScenarioStrings(t *testing.T) {
+	want := []string{"Baseline", "MS1", "MS2", "Combine-MS", "LSTM-Inf", "Static-Arch", "Dyn-Arch", "EtaLSTM"}
+	for sc := Scenario(0); sc < NumScenarios; sc++ {
+		if sc.String() != want[sc] {
+			t.Fatalf("scenario %d: %s", sc, sc.String())
+		}
+	}
+}
+
+func TestHWConfigPEs(t *testing.T) {
+	hw := Paper()
+	if hw.PEs() != 4*40*32 {
+		t.Fatalf("PEs: %d", hw.PEs())
+	}
+}
+
+func TestEvaluateUnknownScenarioPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	b, _ := workload.ByName("PTB")
+	Evaluate(NumScenarios, b.Cfg, Paper(), gpu.V100(), OptParams{})
+}
+
+// TestUtilizationBounds: accelerator utilization stays in (0, 1].
+func TestUtilizationBounds(t *testing.T) {
+	b, _ := workload.ByName("WMT")
+	for _, sc := range []Scenario{LSTMInf, StaticArch, DynArch, EtaLSTM} {
+		e := Evaluate(sc, b.Cfg, Paper(), gpu.V100(), DefaultOptParams(b.Cfg))
+		if e.Utilization <= 0 || e.Utilization > 1.001 {
+			t.Errorf("%v: utilization %.3f", sc, e.Utilization)
+		}
+	}
+}
+
+// TestMoreChannelsScaleThroughput: the Sec. V-D scalability claim —
+// doubling channels roughly halves compute-bound step time.
+func TestMoreChannelsScaleThroughput(t *testing.T) {
+	b, _ := workload.ByName("PTB")
+	hw := Paper()
+	small := Evaluate(DynArch, b.Cfg, hw, gpu.V100(), OptParams{})
+	hw2 := hw
+	hw2.ChannelsPerBoard *= 2
+	big := Evaluate(DynArch, b.Cfg, hw2, gpu.V100(), OptParams{})
+	ratio := small.StepSeconds / big.StepSeconds
+	if ratio < 1.6 || ratio > 2.1 {
+		t.Fatalf("doubling channels gave %.2fx", ratio)
+	}
+}
+
+// TestBandwidthBound: starving the accelerator of HBM bandwidth must
+// make the DMA the binding term — step time floors at traffic/bandwidth
+// regardless of PE count (the constraint the Sec. V-D scalability
+// discussion acknowledges).
+func TestBandwidthBound(t *testing.T) {
+	b, _ := workload.ByName("PTB")
+	hw := Paper()
+	hw.HBMBytesPerSec = 1e9 // 1 GB/s: absurdly starved
+	starved := Evaluate(DynArch, b.Cfg, hw, gpu.V100(), OptParams{})
+	hw2 := hw
+	hw2.ChannelsPerBoard *= 4
+	starvedWide := Evaluate(DynArch, b.Cfg, hw2, gpu.V100(), OptParams{})
+	if starvedWide.StepSeconds < starved.StepSeconds*0.99 {
+		t.Fatalf("bandwidth-bound step must not improve with more PEs: %v vs %v",
+			starvedWide.StepSeconds, starved.StepSeconds)
+	}
+	healthy := Evaluate(DynArch, b.Cfg, Paper(), gpu.V100(), OptParams{})
+	if starved.StepSeconds <= healthy.StepSeconds {
+		t.Fatal("starving bandwidth must slow the step")
+	}
+}
+
+func TestOOMPropagates(t *testing.T) {
+	// A model too big for the device must flag OOM in GPU scenarios.
+	cfg := model.Config{InputSize: 512, Hidden: 4096, Layers: 12, SeqLen: 100,
+		Batch: 128, OutSize: 1000, Loss: model.PerTimestampLoss}
+	e := Evaluate(Baseline, cfg, Paper(), gpu.RTX5000(), OptParams{})
+	if !e.OOM {
+		t.Fatal("expected OOM on RTX5000")
+	}
+}

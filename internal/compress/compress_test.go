@@ -1,0 +1,215 @@
+package compress
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"etalstm/internal/rng"
+	"etalstm/internal/tensor"
+)
+
+func TestEncodeDecodeRoundtrip(t *testing.T) {
+	m := tensor.NewFromData(2, 3, []float32{0.5, 0.05, -0.3, 0, 0.09, -0.8})
+	s := Encode(m, 0.1)
+	if s.NNZ() != 3 {
+		t.Fatalf("NNZ: %d", s.NNZ())
+	}
+	d := s.Decode(nil)
+	want := []float32{0.5, 0, -0.3, 0, 0, -0.8}
+	for i, v := range want {
+		if d.Data[i] != v {
+			t.Fatalf("decode[%d]=%v want %v", i, d.Data[i], v)
+		}
+	}
+}
+
+func TestEncodeKeepsThresholdBoundary(t *testing.T) {
+	m := tensor.NewFromData(1, 2, []float32{0.1, -0.1})
+	s := Encode(m, 0.1)
+	if s.NNZ() != 2 {
+		t.Fatal("values exactly at threshold must be kept")
+	}
+}
+
+func TestDecodeIntoDst(t *testing.T) {
+	m := tensor.NewFromData(1, 4, []float32{1, 0, 2, 0})
+	s := Encode(m, 0.5)
+	dst := tensor.New(1, 4)
+	dst.Fill(9)
+	s.Decode(dst)
+	if dst.Data[1] != 0 || dst.Data[0] != 1 {
+		t.Fatalf("Decode into dst: %v", dst.Data)
+	}
+}
+
+func TestDecodeShapePanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Encode(tensor.New(2, 2), 0.1).Decode(tensor.New(3, 3))
+}
+
+func TestSparsity(t *testing.T) {
+	m := tensor.New(10, 10) // all zero
+	s := Encode(m, 0.1)
+	if s.Sparsity() != 1 {
+		t.Fatalf("all-zero sparsity: %v", s.Sparsity())
+	}
+	m.Fill(1)
+	s = Encode(m, 0.1)
+	if s.Sparsity() != 0 {
+		t.Fatalf("dense sparsity: %v", s.Sparsity())
+	}
+}
+
+func TestBytesAccounting(t *testing.T) {
+	m := tensor.New(10, 10)
+	m.Fill(1)
+	s := Encode(m, 0.1)
+	// 100 values ×4 + 100 indices ×2 + 1 tile header ×4
+	if s.Bytes() != 100*4+100*2+4 {
+		t.Fatalf("Bytes: %d", s.Bytes())
+	}
+	if r := s.CompressionRatio(); r <= 1 {
+		t.Fatalf("dense data must not 'compress': ratio %v", r)
+	}
+}
+
+func TestCompressionWinsAtHighSparsity(t *testing.T) {
+	// 65% below threshold (the paper's P1 distribution) must compress.
+	r := rng.New(1)
+	m := tensor.New(100, 100)
+	for i := range m.Data {
+		if r.Float64() < 0.65 {
+			m.Data[i] = r.Uniform(-0.05, 0.05)
+		} else {
+			m.Data[i] = r.Uniform(0.2, 1)
+		}
+	}
+	s := Encode(m, 0.1)
+	if s.Sparsity() < 0.6 {
+		t.Fatalf("expected ~0.65 sparsity, got %v", s.Sparsity())
+	}
+	if s.CompressionRatio() > 0.6 {
+		t.Fatalf("expected <0.6 ratio at 65%% sparsity, got %v", s.CompressionRatio())
+	}
+}
+
+func TestPruneErrorBounded(t *testing.T) {
+	r := rng.New(2)
+	m := tensor.New(50, 50)
+	m.RandInit(r, 1)
+	s := Encode(m, 0.1)
+	maxErr, rmse := PruneError(m, s)
+	if maxErr >= 0.1 {
+		t.Fatalf("prune error %v must stay below threshold", maxErr)
+	}
+	if rmse > maxErr {
+		t.Fatal("rmse cannot exceed max error")
+	}
+}
+
+func TestBitmaskRoundtrip(t *testing.T) {
+	r := rng.New(3)
+	m := tensor.New(9, 13)
+	m.RandInit(r, 1)
+	b := EncodeBitmask(m, 0.1)
+	s := Encode(m, 0.1)
+	db := b.Decode(nil)
+	ds := s.Decode(nil)
+	if !db.Equal(ds, 0) {
+		t.Fatal("bitmask and sparse decodes disagree")
+	}
+}
+
+func TestBitmaskBytesCrossover(t *testing.T) {
+	// At low sparsity bitmask wins; at high sparsity value+index wins.
+	dense := tensor.New(64, 64)
+	dense.Fill(1)
+	bs := EncodeBitmask(dense, 0.1)
+	ss := Encode(dense, 0.1)
+	if bs.Bytes() >= ss.Bytes() {
+		t.Fatalf("bitmask must win on dense data: %d vs %d", bs.Bytes(), ss.Bytes())
+	}
+	sparse := tensor.New(64, 64) // all pruned
+	sparse.Data[0] = 1
+	bs = EncodeBitmask(sparse, 0.1)
+	ss = Encode(sparse, 0.1)
+	if ss.Bytes() >= bs.Bytes() {
+		t.Fatalf("value+index must win on sparse data: %d vs %d", ss.Bytes(), bs.Bytes())
+	}
+}
+
+func TestMeasureStats(t *testing.T) {
+	a := tensor.New(10, 10)
+	a.Fill(1)
+	b := tensor.New(10, 10) // all zero
+	st := Measure([]*tensor.Matrix{a, b}, 0.1)
+	if st.Elements != 200 || st.Pruned != 100 {
+		t.Fatalf("Measure: %+v", st)
+	}
+	if math.Abs(st.PrunedFrac()-0.5) > 1e-9 {
+		t.Fatalf("PrunedFrac: %v", st.PrunedFrac())
+	}
+	if st.Ratio() <= 0 || st.Ratio() > 1.6 {
+		t.Fatalf("Ratio: %v", st.Ratio())
+	}
+}
+
+func TestEmptyStats(t *testing.T) {
+	var st Stats
+	if st.PrunedFrac() != 0 || st.Ratio() != 1 {
+		t.Fatal("empty stats defaults")
+	}
+}
+
+// Property: decode(encode(m)) differs from m only at pruned positions,
+// and every surviving value is exact.
+func TestPropertyRoundtripExactness(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		m := tensor.New(7, 11)
+		m.RandInit(r, 1)
+		s := Encode(m, 0.1)
+		d := s.Decode(nil)
+		for i, v := range m.Data {
+			av := v
+			if av < 0 {
+				av = -av
+			}
+			if av >= 0.1 {
+				if d.Data[i] != v {
+					return false
+				}
+			} else if d.Data[i] != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: indices are strictly increasing (DMA queue ordering).
+func TestPropertyIndicesSorted(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		m := tensor.New(5, 5)
+		m.RandInit(r, 1)
+		s := Encode(m, 0.3)
+		for i := 1; i < len(s.Indices); i++ {
+			if s.Indices[i] <= s.Indices[i-1] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,283 @@
+// Package core integrates η-LSTM's software optimizations into a
+// complete training loop — the cross-stack "η-LSTM" of the paper, on
+// the software side. It composes:
+//
+//   - MS1 (internal/reorder): the FW pass computes and near-zero-prunes
+//     the BP-EW-P1 products instead of storing raw gates;
+//   - MS2 (internal/skip): per-epoch skip plans from the Eq. 4
+//     magnitude predictor gated by the Eq. 5 loss prediction, with
+//     convergence-aware gradient rescaling;
+//   - the bookkeeping (footprint, data movement, skip statistics) the
+//     experiment harnesses report.
+//
+// The hardware side (internal/arch) consumes the same optimization
+// parameters; FootprintParams/FootprintMode bridge the two by exposing
+// this training run's measured operating point to the cost models.
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"etalstm/internal/lstm"
+	"etalstm/internal/memplan"
+	"etalstm/internal/model"
+	"etalstm/internal/reorder"
+	"etalstm/internal/skip"
+	"etalstm/internal/train"
+)
+
+// Config selects which optimizations run and their knobs.
+type Config struct {
+	// EnableMS1 turns on execution reordering + P1 pruning.
+	EnableMS1 bool
+	// EnableMS2 turns on BP-cell skipping.
+	EnableMS2 bool
+
+	// PruneThreshold is MS1's near-zero cutoff (0 = 0.1, the paper's
+	// operating point).
+	PruneThreshold float32
+	// SkipThreshold is MS2's relative significance cutoff used to set
+	// the absolute bar at calibration (0 = skip.DefaultThreshold).
+	SkipThreshold float64
+	// MaxSkipFrac caps the skipped share per layer (0 = skip default).
+	MaxSkipFrac float64
+	// WarmupEpochs run unskipped while Eq. 5 gathers loss history
+	// (the paper's "first three epochs will not perform the
+	// prediction"). 0 means 3.
+	WarmupEpochs int
+}
+
+func (c Config) warmup() int {
+	if c.WarmupEpochs == 0 {
+		return 3
+	}
+	return c.WarmupEpochs
+}
+
+// Stats accumulates what the optimizations did across an epoch.
+type Stats struct {
+	Epoch        int
+	MeanLoss     float64
+	PruneStats   reorder.PruneStats
+	SkippedCells int
+	TotalCells   int
+	SkipFrac     float64
+	ScaleApplied bool
+}
+
+// Trainer is the η-LSTM training driver.
+type Trainer struct {
+	Net  *model.Network
+	Opt  train.Optimizer
+	Clip float64
+	Cfg  Config
+
+	history   skip.LossHistory
+	predictor *skip.Predictor
+	// absBar is the calibrated absolute significance threshold; set
+	// after the first epoch's magnitude calibration.
+	absBar float64
+
+	// EpochStats records per-epoch optimization behaviour.
+	EpochStats []Stats
+}
+
+// New builds an η-LSTM trainer.
+func New(net *model.Network, opt train.Optimizer, clip float64, cfg Config) *Trainer {
+	return &Trainer{
+		Net: net, Opt: opt, Clip: clip, Cfg: cfg,
+		predictor: skip.NewPredictor(net.Cfg.Loss, net.Cfg.Layers, net.Cfg.SeqLen),
+	}
+}
+
+// baseStore is the storage mode for executed cells.
+func (tr *Trainer) baseStore() model.CellStore {
+	if tr.Cfg.EnableMS1 {
+		return model.StoreP1
+	}
+	return model.StoreRaw
+}
+
+// planFor builds the epoch's skip plan (or a no-skip plan during
+// warmup / when MS2 is off).
+func (tr *Trainer) planFor(epoch int) *skip.Plan {
+	cfg := tr.Net.Cfg
+	if !tr.Cfg.EnableMS2 || epoch < tr.Cfg.warmup() || tr.absBar <= 0 {
+		return skip.NoSkip(cfg.Layers, cfg.SeqLen, tr.baseStore())
+	}
+	predLoss, ok := tr.history.Predict()
+	if !ok {
+		predLoss = tr.history.Last()
+	}
+	return skip.Build(tr.predictor, predLoss, skip.Config{
+		Threshold:         tr.Cfg.SkipThreshold,
+		AbsoluteThreshold: tr.absBar,
+		MaxFrac:           tr.Cfg.MaxSkipFrac,
+		Base:              tr.baseStore(),
+	})
+}
+
+// RunEpoch trains one epoch over p. During epoch 0 it calibrates the
+// Eq. 4 predictor's α from observed per-cell gradient magnitudes and
+// fixes the absolute significance bar.
+func (tr *Trainer) RunEpoch(p train.Provider, epoch int) (Stats, error) {
+	if tr.Net == nil || tr.Opt == nil {
+		return Stats{}, fmt.Errorf("core: Trainer requires Net and Opt")
+	}
+	cfg := tr.Net.Cfg
+	plan := tr.planFor(epoch)
+	policy := plan.Policy()
+
+	st := Stats{Epoch: epoch, SkipFrac: plan.SkippedFrac()}
+
+	calibrating := tr.Cfg.EnableMS2 && epoch == 0
+	var observed [][]float64
+	if calibrating {
+		observed = make([][]float64, cfg.Layers)
+		for l := range observed {
+			observed[l] = make([]float64, cfg.SeqLen)
+		}
+	}
+
+	var totalLoss float64
+	batches := 0
+	for b := 0; b < p.NumBatches(); b++ {
+		batch := p.Batch(b)
+		res, err := tr.Net.Forward(batch.Inputs, batch.Targets, policy)
+		if err != nil {
+			return st, fmt.Errorf("core: epoch %d batch %d forward: %w", epoch, b, err)
+		}
+		if math.IsNaN(res.Loss) || math.IsInf(res.Loss, 0) {
+			return st, fmt.Errorf("core: epoch %d batch %d: non-finite loss %v (diverged; lower the learning rate)",
+				epoch, b, res.Loss)
+		}
+
+		if tr.Cfg.EnableMS1 {
+			// MS1's pruning: the approximation the compressed store
+			// introduces, applied where the compression module would.
+			pcfg := reorder.Config{Threshold: tr.Cfg.PruneThreshold}
+			for l := range res.P1 {
+				for t := range res.P1[l] {
+					if p1 := res.P1[l][t]; p1 != nil {
+						st.PruneStats = st.PruneStats.Add(reorder.PruneInPlace(p1, pcfg))
+					}
+				}
+			}
+		}
+
+		grads := tr.Net.NewGradients()
+		opts := model.BackwardOpts{}
+		if calibrating {
+			opts.OnCell = func(l, t int, cell *lstm.Grads) {
+				observed[l][t] += cell.AbsSum()
+			}
+		}
+		if err := tr.Net.Backward(res, policy, grads, opts); err != nil {
+			return st, fmt.Errorf("core: epoch %d batch %d backward: %w", epoch, b, err)
+		}
+
+		if plan.SkippedFrac() > 0 {
+			if err := plan.ApplyScaling(grads); err != nil {
+				return st, err
+			}
+			st.ScaleApplied = true
+		}
+		if tr.Clip > 0 {
+			train.ClipGradients(grads, tr.Clip)
+		}
+		tr.Opt.Step(tr.Net, grads)
+
+		totalLoss += res.Loss
+		batches++
+		st.SkippedCells += grads.SkippedCells
+		st.TotalCells += cfg.Cells()
+	}
+
+	if batches > 0 {
+		st.MeanLoss = totalLoss / float64(batches)
+	}
+	tr.history.Record(st.MeanLoss)
+
+	if calibrating {
+		for l := range observed {
+			for t := range observed[l] {
+				observed[l][t] /= float64(batches)
+			}
+		}
+		tr.predictor.Calibrate(st.MeanLoss, observed)
+		// The absolute bar: SkipThreshold × the largest calibrated
+		// magnitude. Cells predicted below it are insignificant.
+		th := tr.Cfg.SkipThreshold
+		if th == 0 {
+			th = skip.DefaultThreshold
+		}
+		mx := 0.0
+		for l := 0; l < cfg.Layers; l++ {
+			for t := 0; t < cfg.SeqLen; t++ {
+				if m := tr.predictor.Magnitude(st.MeanLoss, l, t); m > mx {
+					mx = m
+				}
+			}
+		}
+		tr.absBar = th * mx
+	}
+
+	tr.EpochStats = append(tr.EpochStats, st)
+	return st, nil
+}
+
+// Run trains for the given number of epochs.
+func (tr *Trainer) Run(p train.Provider, epochs int) ([]Stats, error) {
+	out := make([]Stats, 0, epochs)
+	for e := 0; e < epochs; e++ {
+		st, err := tr.RunEpoch(p, e)
+		if err != nil {
+			return out, err
+		}
+		out = append(out, st)
+	}
+	return out, nil
+}
+
+// Losses returns the recorded per-epoch mean losses.
+func (tr *Trainer) Losses() []float64 {
+	out := make([]float64, 0, len(tr.EpochStats))
+	for _, s := range tr.EpochStats {
+		out = append(out, s.MeanLoss)
+	}
+	return out
+}
+
+// FootprintParams converts the trainer's measured behaviour into the
+// memplan/trace parameters, so the analytic models report this exact
+// training run's operating point.
+func (tr *Trainer) FootprintParams() memplan.Params {
+	p := memplan.Params{}
+	var lastSkip float64
+	var prune reorder.PruneStats
+	for _, s := range tr.EpochStats {
+		prune = prune.Add(s.PruneStats)
+		lastSkip = s.SkipFrac
+	}
+	if tr.Cfg.EnableMS1 {
+		p.P1KeepRatio = memplan.FromSparsity(prune.Frac())
+	}
+	if tr.Cfg.EnableMS2 {
+		p.SkipFrac = lastSkip
+	}
+	return p
+}
+
+// FootprintMode returns the memplan mode matching the configuration.
+func (tr *Trainer) FootprintMode() memplan.Mode {
+	switch {
+	case tr.Cfg.EnableMS1 && tr.Cfg.EnableMS2:
+		return memplan.Combined
+	case tr.Cfg.EnableMS1:
+		return memplan.MS1
+	case tr.Cfg.EnableMS2:
+		return memplan.MS2
+	}
+	return memplan.Baseline
+}

@@ -1,0 +1,159 @@
+package experiments
+
+import (
+	"fmt"
+
+	"etalstm/internal/arch"
+	"etalstm/internal/gpu"
+	"etalstm/internal/hw/accum"
+	"etalstm/internal/stats"
+	"etalstm/internal/workload"
+)
+
+// Fig11 regenerates Fig. 11: the streaming adder-based accumulator's
+// timing on an 8-value stream with a 2-cycle adder, plus the sum
+// correctness check.
+func Fig11(Options) (*Report, error) {
+	rep := &Report{
+		ID: "fig11", Title: "Streaming adder-based accumulator timing (8 values, 2-cycle adder)",
+		Header: []string{"inputs", "adder latency", "total cycles", "ideal cycles", "overhead"},
+	}
+	vals := []float32{1, 2, 4, 8, 16, 32, 64, 128}
+	sum, cycles := accum.Accumulate(vals, 2)
+	if sum != 255 {
+		return nil, fmt.Errorf("fig11: accumulator sum %v != 255", sum)
+	}
+	rep.Add("8 (Fig.11 chart)", 2, cycles, accum.IdealCycles(8, 2), "-")
+	for _, n := range []int{32, 256, 1024, 4096} {
+		_, c := accum.Accumulate(make([]float32, n), 8)
+		ideal := accum.IdealCycles(n, 20)
+		rep.Add(fmt.Sprintf("%d", n), 8, c, ideal,
+			fmt.Sprintf("%.2f%%", 100*float64(c-ideal)/float64(ideal)))
+	}
+	rep.Note("paper Fig. 11: 8 values through a 2-cycle adder complete at cycle 12; measured %d", cycles)
+	rep.Note("paper Sec. VI-B5: <2.87%% latency overhead for >=1024 streaming inputs")
+	return rep, nil
+}
+
+// fig15Comparisons evaluates every scenario on every benchmark.
+func fig15Comparisons() map[string][]arch.Comparison {
+	hw := arch.Paper()
+	dev := gpu.V100()
+	out := make(map[string][]arch.Comparison)
+	for _, b := range workload.Suite() {
+		out[b.Name] = arch.Compare(b.Cfg, hw, dev, arch.DefaultOptParams(b.Cfg))
+	}
+	return out
+}
+
+var fig15Scenarios = []arch.Scenario{
+	arch.Baseline, arch.MS1, arch.MS2, arch.CombineMS,
+	arch.LSTMInf, arch.StaticArch, arch.DynArch, arch.EtaLSTM,
+}
+
+// Fig15a regenerates Fig. 15a: speedup of every design scenario over
+// the GPU baseline on the six benchmarks.
+func Fig15a(Options) (*Report, error) {
+	rep := &Report{ID: "fig15a", Title: "Speedup vs GPU baseline"}
+	rep.Header = append(rep.Header, "benchmark")
+	for _, sc := range fig15Scenarios {
+		rep.Header = append(rep.Header, sc.String())
+	}
+	all := fig15Comparisons()
+	perScenario := make(map[arch.Scenario][]float64)
+	for _, b := range workload.Suite() {
+		row := []any{b.Name}
+		for _, sc := range fig15Scenarios {
+			s := all[b.Name][sc].Speedup
+			perScenario[sc] = append(perScenario[sc], s)
+			row = append(row, fmt.Sprintf("%.2fx", s))
+		}
+		rep.Add(row...)
+	}
+	avg := []any{"Ave"}
+	for _, sc := range fig15Scenarios {
+		avg = append(avg, fmt.Sprintf("%.2fx", stats.Mean(perScenario[sc])))
+	}
+	rep.Add(avg...)
+	rep.Note("paper averages: MS1 1.21x, MS2 1.32x, Combine-MS 1.56x, LSTM-Inf 0.72x, Static-Arch 0.97x, Dyn-Arch 1.42x, eta-LSTM 3.99x (up to 5.73x)")
+	return rep, nil
+}
+
+// Fig15b regenerates Fig. 15b: normalized energy consumption.
+func Fig15b(Options) (*Report, error) {
+	rep := &Report{ID: "fig15b", Title: "Normalized energy consumption vs GPU baseline"}
+	rep.Header = append(rep.Header, "benchmark")
+	for _, sc := range fig15Scenarios {
+		rep.Header = append(rep.Header, sc.String())
+	}
+	all := fig15Comparisons()
+	perScenario := make(map[arch.Scenario][]float64)
+	for _, b := range workload.Suite() {
+		row := []any{b.Name}
+		for _, sc := range fig15Scenarios {
+			e := all[b.Name][sc].NormalizedEnergy
+			perScenario[sc] = append(perScenario[sc], e)
+			row = append(row, fmt.Sprintf("%.2f", e))
+		}
+		rep.Add(row...)
+	}
+	avg := []any{"Ave"}
+	for _, sc := range fig15Scenarios {
+		avg = append(avg, fmt.Sprintf("%.2f", stats.Mean(perScenario[sc])))
+	}
+	rep.Add(avg...)
+	rep.Note("paper averages: Combine-MS saves 35.26%%, eta-LSTM saves 63.70%% (up to 76.48%%)")
+	return rep, nil
+}
+
+// Fig16 regenerates Fig. 16: energy efficiency of the hardware design
+// scenarios normalized to the GPU baseline.
+func Fig16(Options) (*Report, error) {
+	scenarios := []arch.Scenario{arch.Baseline, arch.LSTMInf, arch.StaticArch, arch.DynArch}
+	rep := &Report{ID: "fig16", Title: "Normalized energy efficiency of hardware scenarios"}
+	rep.Header = append(rep.Header, "benchmark")
+	for _, sc := range scenarios {
+		rep.Header = append(rep.Header, sc.String())
+	}
+	all := fig15Comparisons()
+	var dyn []float64
+	for _, b := range workload.Suite() {
+		row := []any{b.Name}
+		for _, sc := range scenarios {
+			g := all[b.Name][sc].EnergyEffGain
+			if sc == arch.DynArch {
+				dyn = append(dyn, g)
+			}
+			row = append(row, fmt.Sprintf("%.2f", g))
+		}
+		rep.Add(row...)
+	}
+	rep.Note("paper: Dyn-Arch achieves on average 1.67x (up to 2.69x) the baseline's energy efficiency; measured average %.2fx (max %.2fx)",
+		stats.Mean(dyn), maxOf(dyn))
+	return rep, nil
+}
+
+// Table3 regenerates Table III: the Xilinx accumulator IP versus the
+// adder-based design on resources, power and latency.
+func Table3(Options) (*Report, error) {
+	ip := accum.XilinxIP()
+	ours := accum.AdderBased()
+	rep := &Report{
+		ID: "table3", Title: "Accumulator designs: Xilinx IP vs adder-based",
+		Header: []string{"design", "LUT", "FF", "clockW", "signalW", "logicW", "totalW", "latency(cyc)"},
+	}
+	add := func(name string, r accum.Resources) {
+		rep.Add(name, r.LUT, r.FF,
+			fmt.Sprintf("%.3f", r.ClockPower), fmt.Sprintf("%.3f", r.SignalPower),
+			fmt.Sprintf("%.3f", r.LogicPower), fmt.Sprintf("%.3f", r.TotalPower()),
+			r.PipelineLatency)
+	}
+	add("Xilinx IP", ip)
+	add("Our Design", ours)
+	s := accum.Compare(ip, ours)
+	rep.Note("savings: LUT %.2f%% (paper 43.61%%), FF %.2f%% (paper 37.25%%), power %.1f%% (paper 17%%)",
+		100*s.LUT, 100*s.FF, 100*s.Power)
+	ov := accum.Overhead(1024, 8, 20)
+	rep.Note("latency overhead at 1024 streaming inputs: %.2f%% (paper <2.87%%)", 100*ov)
+	return rep, nil
+}

@@ -1,0 +1,200 @@
+// Package gpu is the analytic GPU cost model behind the paper's
+// characterization (Fig. 3, 4, 5) and the Fig. 15 "Baseline" — the
+// state-of-the-art GPU LSTM training the accelerator is compared
+// against.
+//
+// The model reproduces the paper's observed *mechanisms* rather than
+// micro-architectural detail:
+//
+//   - MatMul efficiency saturates with hidden size (thread parallelism
+//     fills the SMs; Fig. 3a's rise-then-plateau);
+//   - memory-subsystem congestion grows with the FW→BP reuse distance
+//     of the intermediate variables, which is set by the *per-layer*
+//     intermediate footprint (layer length × batch × hidden). This is
+//     why throughput falls with layer length (Fig. 3c) but "varies
+//     little" with layer number (Fig. 3b) — adding layers does not
+//     stretch the reuse distance;
+//   - DRAM/LDST power grows with both the traffic rate and the spill
+//     factor of the total footprint, which is why energy efficiency
+//     declines past the throughput saturation point (Fig. 3a) and with
+//     layer number (Fig. 3b).
+//
+// Constants are calibrated against the paper's V100/RTX 5000 curves;
+// see DESIGN.md §5.
+package gpu
+
+import (
+	"math"
+
+	"etalstm/internal/lstm"
+	"etalstm/internal/memplan"
+	"etalstm/internal/model"
+	"etalstm/internal/trace"
+)
+
+// Device describes a GPU.
+type Device struct {
+	Name         string
+	PeakFLOPS    float64 // FP32 peak
+	MemBW        float64 // bytes/s
+	MemBytes     int64   // device memory
+	TDP          float64 // board power at full load, watts
+	IdleW        float64 // static power, watts
+	LaunchSec    float64 // per-kernel launch overhead
+	MaxMatMulEff float64 // achievable fraction of peak on large GEMMs
+}
+
+// V100 returns the Nvidia Tesla V100 32 GB (Volta) model.
+func V100() Device {
+	return Device{
+		Name: "V100", PeakFLOPS: 14e12, MemBW: 900e9,
+		MemBytes: 32 << 30, TDP: 300, IdleW: 50,
+		LaunchSec: 6e-6, MaxMatMulEff: 0.82,
+	}
+}
+
+// RTX5000 returns the Nvidia Quadro RTX 5000 16 GB (Turing) model.
+func RTX5000() Device {
+	return Device{
+		Name: "RTX5000", PeakFLOPS: 11.2e12, MemBW: 448e9,
+		MemBytes: 16 << 30, TDP: 265, IdleW: 40,
+		LaunchSec: 6e-6, MaxMatMulEff: 0.78,
+	}
+}
+
+// PyTorchOverheadFactor maps the analytic footprint lower bound of
+// internal/memplan to the observed framework footprint: PyTorch's
+// op-granular autograd storage and caching allocator multiply the
+// conceptual 5-planes-per-cell accounting. Calibrated so the Fig. 3b
+// memory wall lands where the paper observed it (LN7/LN8 at hidden
+// 2048 OOM on the 16 GB RTX 5000, fit on the 32 GB V100).
+const PyTorchOverheadFactor = 5.5
+
+// Model-calibration constants (DESIGN.md §5).
+const (
+	// effHalfHidden is the hidden size at which MatMul efficiency
+	// reaches half its maximum (thread-parallelism saturation).
+	effHalfHidden = 700.0
+	// congestionCoeff scales the reuse-distance congestion term:
+	// 1 + coeff·sqrt(per-layer intermediate GB).
+	congestionCoeff = 1.0
+	// dramPJPerByte is the effective DRAM+LDST energy per byte moved
+	// (includes the load/store pipeline the paper saw saturating).
+	dramPJPerByte = 120.0
+	// spillCoeff grows DRAM energy with the total footprint (cache/TLB
+	// dilution): spill = 1 + coeff·footprintGB.
+	spillCoeff = 0.6
+	// ewKernelsPerCell approximates the element-wise kernel launches of
+	// one unfused LSTM cell in FW+BP.
+	ewKernelsPerCell = 10.0
+)
+
+// Result is one modeled training step.
+type Result struct {
+	StepSeconds float64
+	FLOPs       float64
+	Throughput  float64 // FLOP/s achieved
+	PowerW      float64
+	EnergyJ     float64
+	GFLOPSperW  float64
+	Traffic     trace.Movement
+	OOM         bool // footprint exceeds device memory (Fig. 3b wall)
+}
+
+// StepFLOPs returns the model FLOPs of one training step of cfg
+// (FW + BP over every cell, plus the output projection).
+func StepFLOPs(cfg model.Config) float64 {
+	var total int64
+	for l := 0; l < cfg.Layers; l++ {
+		in := cfg.Hidden
+		if l == 0 {
+			in = cfg.InputSize
+		}
+		fw := lstm.ForwardOps(in, cfg.Hidden, cfg.Batch)
+		bp := lstm.BackwardOps(in, cfg.Hidden, cfg.Batch)
+		total += (fw.FLOPs() + bp.FLOPs()) * int64(cfg.SeqLen)
+	}
+	steps := cfg.SeqLen
+	if cfg.Loss == model.SingleLoss {
+		steps = 1
+	}
+	// Projection forward + backward: 3 GEMMs of batch×hidden×out.
+	total += int64(6*cfg.Batch*cfg.Hidden*cfg.OutSize) * int64(steps)
+	return float64(total)
+}
+
+// matmulEff returns the achieved fraction of peak for the
+// configuration's GEMM sizes.
+func matmulEff(d Device, cfg model.Config) float64 {
+	h := float64(cfg.Hidden)
+	eff := d.MaxMatMulEff * h / (h + effHalfHidden)
+	// Small batches cut occupancy further.
+	b := float64(cfg.Batch)
+	eff *= b / (b + 16)
+	return eff
+}
+
+// perLayerIntermGB returns the per-layer intermediate footprint — the
+// reuse-distance proxy of the congestion term.
+func perLayerIntermGB(cfg model.Config) float64 {
+	return float64(5*cfg.SeqLen*cfg.Batch*cfg.Hidden) * 4 / 1e9
+}
+
+// congestion returns the memory-subsystem slowdown factor.
+func congestion(cfg model.Config) float64 {
+	return 1 + congestionCoeff*math.Sqrt(perLayerIntermGB(cfg))
+}
+
+// footprintGB returns the framework-level footprint in GB.
+func footprintGB(cfg model.Config) float64 {
+	base := memplan.Footprint(cfg, memplan.Baseline, memplan.Params{}).Total()
+	return float64(base) * PyTorchOverheadFactor / 1e9
+}
+
+// Step models one baseline training step of cfg on d.
+func Step(d Device, cfg model.Config) Result {
+	return stepWith(d, cfg, StepFLOPs(cfg), trace.Baseline(cfg), 1)
+}
+
+// StepOptimized models a training step whose software flow was changed
+// by η-LSTM's memory-saving optimizations: flops and traffic reflect
+// the optimized workload; intermScale scales the congestion term's
+// reuse-distance proxy (MS1 compresses the traveling intermediates,
+// MS2 removes the skipped cells' share).
+func StepOptimized(d Device, cfg model.Config, flops float64, traffic trace.Movement, intermScale float64) Result {
+	return stepWith(d, cfg, flops, traffic, intermScale)
+}
+
+func stepWith(d Device, cfg model.Config, flops float64, traffic trace.Movement, intermScale float64) Result {
+	res := Result{FLOPs: flops, Traffic: traffic}
+	if int64(footprintGB(cfg)*1e9) > d.MemBytes {
+		res.OOM = true
+		return res
+	}
+
+	eff := matmulEff(d, cfg)
+	computeSec := flops / (d.PeakFLOPS * eff)
+
+	cong := 1 + congestionCoeff*math.Sqrt(perLayerIntermGB(cfg)*intermScale)
+	memSec := float64(traffic.Total()) / d.MemBW
+	launches := ewKernelsPerCell * float64(2*cfg.Layers*cfg.SeqLen)
+	launchSec := launches * d.LaunchSec
+
+	res.StepSeconds = math.Max(computeSec*cong, memSec) + launchSec
+	res.Throughput = flops / res.StepSeconds
+
+	util := res.Throughput / d.PeakFLOPS
+	spill := 1 + spillCoeff*footprintGB(cfg)
+	trafficRate := float64(traffic.Total()) / res.StepSeconds
+	memPower := trafficRate * dramPJPerByte * 1e-12 * spill
+	res.PowerW = d.IdleW + (d.TDP-d.IdleW)*util + memPower
+	res.EnergyJ = res.PowerW * res.StepSeconds
+	res.GFLOPSperW = res.Throughput / 1e9 / res.PowerW
+	return res
+}
+
+// Congestion exposes the congestion factor for tests and experiments.
+func Congestion(cfg model.Config) float64 { return congestion(cfg) }
+
+// FootprintGB exposes the framework-level footprint estimate.
+func FootprintGB(cfg model.Config) float64 { return footprintGB(cfg) }

@@ -1,0 +1,90 @@
+package accum
+
+// Resources models the FPGA cost of an accumulator design — the
+// LUT/FF/power/latency comparison of paper Table III. The per-primitive
+// costs are calibrated against the paper's post-synthesis numbers on
+// the Xilinx Virtex UltraScale+ VCU128 at 500 MHz; the package exposes
+// both totals and the primitive breakdown so ablations can vary one
+// component.
+type Resources struct {
+	LUT int
+	FF  int
+	// Dynamic power in watts, split as Vivado Power Analysis reports it.
+	ClockPower  float64
+	SignalPower float64
+	LogicPower  float64
+	// PipelineLatency is the design's result latency in cycles for the
+	// reference 32-value stream Table III measures.
+	PipelineLatency int
+}
+
+// TotalPower returns the summed dynamic power.
+func (r Resources) TotalPower() float64 { return r.ClockPower + r.SignalPower + r.LogicPower }
+
+// Primitive cost table (LUT, FF) calibrated to UltraScale+ synthesis:
+// a single-precision fabric adder, the fixed-point datapath the Xilinx
+// IP builds, and the small controller/queue overheads.
+const (
+	fp32AdderLUT = 383 // pipelined single-precision adder
+	fp32AdderFF  = 512
+
+	ctrlLUT = 80 // partial-sum controller + MUXes of our design
+	ctrlFF  = 96
+
+	fixed64PathLUT = 438 // the IP's 32-bit float → 64-bit fixed datapath
+	fixed64PathFF  = 457
+)
+
+// XilinxIP returns the resource model of the Xilinx Accumulator IP
+// v12.0 (Table III row 1): it converts the FP32 stream into 64-bit
+// fixed point to get single-cycle feedback, paying a wider datapath.
+func XilinxIP() Resources {
+	return Resources{
+		LUT:             fp32AdderLUT + fixed64PathLUT, // 821
+		FF:              fp32AdderFF + fixed64PathFF,   // 969
+		ClockPower:      0.026,
+		SignalPower:     0.031,
+		LogicPower:      0.043,
+		PipelineLatency: 20,
+	}
+}
+
+// AdderBased returns the resource model of η-LSTM's streaming
+// adder-based design (Table III row 2): the plain FP32 adder plus the
+// partial-sum controller. The narrower datapath cuts LUT/FF and logic
+// power; the merge tail raises reference-stream latency to 50 cycles.
+func AdderBased() Resources {
+	return Resources{
+		LUT:             fp32AdderLUT + ctrlLUT, // 463
+		FF:              fp32AdderFF + ctrlFF,   // 608
+		ClockPower:      0.014,
+		SignalPower:     0.039,
+		LogicPower:      0.030,
+		PipelineLatency: 50,
+	}
+}
+
+// Savings summarizes design B relative to design A as fractional
+// reductions (positive = B is cheaper).
+type Savings struct {
+	LUT     float64
+	FF      float64
+	Power   float64
+	Latency float64 // negative when B is slower
+}
+
+// Compare returns the savings of b relative to a.
+func Compare(a, b Resources) Savings {
+	frac := func(x, y float64) float64 {
+		if x == 0 {
+			return 0
+		}
+		return 1 - y/x
+	}
+	return Savings{
+		LUT:     frac(float64(a.LUT), float64(b.LUT)),
+		FF:      frac(float64(a.FF), float64(b.FF)),
+		Power:   frac(a.TotalPower(), b.TotalPower()),
+		Latency: frac(float64(a.PipelineLatency), float64(b.PipelineLatency)),
+	}
+}

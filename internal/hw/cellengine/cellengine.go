@@ -1,0 +1,339 @@
+// Package cellengine executes complete LSTM training cells on the
+// modeled η-LSTM hardware: the channels (Omni-PEs) perform the MatMul
+// and element-wise stages, the per-channel activation modules evaluate
+// the LUT sigmoid/tanh, and the customized DMA compresses the BP-EW-P1
+// products on their way to memory. It is the integration layer that
+// ties Figs. 12–14 together and is cross-validated against the software
+// cell in internal/lstm — the hardware computes the same numbers (up to
+// the documented LUT activation error) while accounting cycles.
+package cellengine
+
+import (
+	"fmt"
+
+	"etalstm/internal/compress"
+	"etalstm/internal/hw/channel"
+	"etalstm/internal/hw/dma"
+	"etalstm/internal/hw/omnipe"
+	"etalstm/internal/lstm"
+	"etalstm/internal/tensor"
+)
+
+// Config sizes the engine.
+type Config struct {
+	// Channels is how many 32-PE channels participate.
+	Channels int
+	// PE is the Omni-PE pipeline configuration.
+	PE omnipe.Config
+	// DMA is the I/O configuration (bandwidth, pruning threshold).
+	DMA dma.Config
+}
+
+// Default returns a one-board slice of the paper configuration
+// (40 channels).
+func Default() Config {
+	return Config{Channels: 40, PE: omnipe.Default(), DMA: dma.Default()}
+}
+
+// Engine executes cells on modeled hardware. It is not safe for
+// concurrent use; each goroutine should own an Engine.
+type Engine struct {
+	cfg      Config
+	channels []*channel.Channel
+	dma      *dma.DMA
+
+	// wT/uT cache transposed weights per layer Params (the channels
+	// compute per-sample mat-vec products against H×In row-major
+	// matrices; real hardware stores weights pre-transposed in the
+	// scratchpad).
+	wT map[*lstm.Params][lstm.NumGates]*tensor.Matrix
+	uT map[*lstm.Params][lstm.NumGates]*tensor.Matrix
+
+	totalCycles int64
+}
+
+// New builds an engine.
+func New(cfg Config) *Engine {
+	if cfg.Channels < 1 {
+		panic(fmt.Sprintf("cellengine: need ≥ 1 channel, have %d", cfg.Channels))
+	}
+	e := &Engine{
+		cfg: cfg,
+		dma: dma.New(cfg.DMA),
+		wT:  make(map[*lstm.Params][lstm.NumGates]*tensor.Matrix),
+		uT:  make(map[*lstm.Params][lstm.NumGates]*tensor.Matrix),
+	}
+	for i := 0; i < cfg.Channels; i++ {
+		e.channels = append(e.channels, channel.New(cfg.PE))
+	}
+	return e
+}
+
+// Cycles returns the engine's accumulated compute cycles (max across
+// channels per stage, summed over stages).
+func (e *Engine) Cycles() int64 { return e.totalCycles }
+
+// DMA exposes the engine's DMA module for traffic inspection.
+func (e *Engine) DMA() *dma.DMA { return e.dma }
+
+// transposed returns (and caches) the pre-transposed weights of p.
+func (e *Engine) transposed(p *lstm.Params) (w, u [lstm.NumGates]*tensor.Matrix) {
+	if wt, ok := e.wT[p]; ok {
+		return wt, e.uT[p]
+	}
+	for g := lstm.Gate(0); g < lstm.NumGates; g++ {
+		w[g] = tensor.Transpose(nil, p.W[g])
+		u[g] = tensor.Transpose(nil, p.U[g])
+	}
+	e.wT[p] = w
+	e.uT[p] = u
+	return w, u
+}
+
+// parallel runs fn for every batch sample, assigning sample i to
+// channel i mod Channels, and returns the slowest channel's cycles —
+// the SIMT execution of Fig. 13a.
+func (e *Engine) parallel(batch int, fn func(sample int, ch *channel.Channel) int64) int64 {
+	perChannel := make([]int64, len(e.channels))
+	for i := 0; i < batch; i++ {
+		c := i % len(e.channels)
+		perChannel[c] += fn(i, e.channels[c])
+	}
+	var worst int64
+	for _, v := range perChannel {
+		if v > worst {
+			worst = v
+		}
+	}
+	e.totalCycles += worst
+	return worst
+}
+
+// ForwardResult is one hardware FW cell execution.
+type ForwardResult struct {
+	H, S *tensor.Matrix
+	// P1 are the reordered BP-EW-P1 products (dense, pre-compression).
+	P1 *lstm.P1
+	// Compressed are the six compressed P1 planes the DMA emitted.
+	Compressed [6]*compress.Sparse
+	// ComputeCycles is the channel-side time; DMACycles the I/O time.
+	ComputeCycles int64
+	DMACycles     int64
+}
+
+// ForwardCell executes one reordered FW cell (FW-MatMul, FW-EW with LUT
+// activations, BP-EW-P1, DMA compression) for a whole minibatch.
+func (e *Engine) ForwardCell(p *lstm.Params, x, hPrev, sPrev *tensor.Matrix) (*ForwardResult, error) {
+	batch := x.Rows
+	if x.Cols != p.Input || hPrev.Cols != p.Hidden || sPrev.Cols != p.Hidden {
+		return nil, fmt.Errorf("cellengine: shape mismatch x=%v hPrev=%v sPrev=%v vs params in=%d hid=%d",
+			x, hPrev, sPrev, p.Input, p.Hidden)
+	}
+	wT, uT := e.transposed(p)
+	H := p.Hidden
+
+	res := &ForwardResult{
+		H: tensor.New(batch, H), S: tensor.New(batch, H),
+		P1: &lstm.P1{
+			Pf: tensor.New(batch, H), Pi: tensor.New(batch, H),
+			Pc: tensor.New(batch, H), Po: tensor.New(batch, H),
+			Ps: tensor.New(batch, H), Pfs: tensor.New(batch, H),
+		},
+	}
+
+	gates := make([]*tensor.Matrix, lstm.NumGates)
+	for g := range gates {
+		gates[g] = tensor.New(batch, H)
+	}
+	tanhS := tensor.New(batch, H)
+
+	compute := e.parallel(batch, func(i int, ch *channel.Channel) int64 {
+		var cycles int64
+		raw := make([]float32, H)
+		tmp := make([]float32, H)
+		for g := lstm.Gate(0); g < lstm.NumGates; g++ {
+			// FW-MatMul: raw = Wᵀx_i + Uᵀh_i + b (two mat-vecs + add).
+			cycles += ch.MatVec(raw, wT[g], x.Row(i))
+			cycles += ch.MatVec(tmp, uT[g], hPrev.Row(i))
+			cycles += ch.EWAdd(raw, raw, tmp)
+			cycles += ch.EWAdd(raw, raw, p.B[g])
+			// Activation module: one LUT unit per kind per channel.
+			if g == lstm.GateC {
+				cycles += ch.Activation.ApplyTanh(gates[g].Row(i), raw)
+			} else {
+				cycles += ch.Activation.ApplySigmoid(gates[g].Row(i), raw)
+			}
+		}
+		// FW-EW: s = f⊙s' + i⊙c̃ ; h = o⊙tanh(s).
+		fs := make([]float32, H)
+		ic := make([]float32, H)
+		cycles += ch.EWMul(fs, gates[lstm.GateF].Row(i), sPrev.Row(i))
+		cycles += ch.EWMul(ic, gates[lstm.GateI].Row(i), gates[lstm.GateC].Row(i))
+		cycles += ch.EWAdd(res.S.Row(i), fs, ic)
+		cycles += ch.Activation.ApplyTanh(tanhS.Row(i), res.S.Row(i))
+		cycles += ch.EWMul(res.H.Row(i), gates[lstm.GateO].Row(i), tanhS.Row(i))
+
+		// BP-EW-P1 (the MS1 reorder): six products from gates/states.
+		cycles += e.p1Row(ch, res.P1, i, gates, sPrev.Row(i), tanhS.Row(i))
+		return cycles
+	})
+	res.ComputeCycles = compute
+
+	// DMA: compress the six P1 planes (sparse path of Fig. 14). The
+	// port serializes across cells, so the cell's own cost is the
+	// port-time delta, not the absolute completion cycle.
+	dmaStart := e.dma.BusyCycles()
+	for pi, m := range res.P1.Matrices() {
+		s, _ := e.dma.WriteSparse(dmaStart, m, dma.Intermediates)
+		res.Compressed[pi] = s
+	}
+	res.DMACycles = e.dma.BusyCycles() - dmaStart
+	return res, nil
+}
+
+// p1Row computes the six P1 products for one sample on one channel.
+func (e *Engine) p1Row(ch *channel.Channel, p1 *lstm.P1, i int, gates []*tensor.Matrix, sPrevRow, tanhSRow []float32) int64 {
+	H := len(sPrevRow)
+	one := make([]float32, H)
+	for k := range one {
+		one[k] = 1
+	}
+	tmp := make([]float32, H)
+	neg := make([]float32, H)
+	var cycles int64
+
+	sigDeriv := func(dst, gate []float32) {
+		// gate⊙(1-gate): one negate-add and one multiply on the PEs.
+		for k := range neg {
+			neg[k] = -gate[k]
+		}
+		cycles += ch.EWAdd(tmp, one, neg)
+		cycles += ch.EWMul(dst, gate, tmp)
+	}
+
+	f := gates[lstm.GateF].Row(i)
+	in := gates[lstm.GateI].Row(i)
+	c := gates[lstm.GateC].Row(i)
+	o := gates[lstm.GateO].Row(i)
+
+	// Pf = s' ⊙ f(1-f)
+	sigDeriv(tmp, f)
+	cycles += ch.EWMul(p1.Pf.Row(i), sPrevRow, tmp)
+	// Pi = c̃ ⊙ i(1-i)
+	sigDeriv(tmp, in)
+	cycles += ch.EWMul(p1.Pi.Row(i), c, tmp)
+	// Pc = i ⊙ (1-c̃²)
+	cycles += ch.EWMul(tmp, c, c)
+	for k := range neg {
+		neg[k] = -tmp[k]
+	}
+	cycles += ch.EWAdd(tmp, one, neg)
+	cycles += ch.EWMul(p1.Pc.Row(i), in, tmp)
+	// Po = tanh(s) ⊙ o(1-o)
+	sigDeriv(tmp, o)
+	cycles += ch.EWMul(p1.Po.Row(i), tanhSRow, tmp)
+	// Ps = o ⊙ (1-tanh²(s))
+	cycles += ch.EWMul(tmp, tanhSRow, tanhSRow)
+	for k := range neg {
+		neg[k] = -tmp[k]
+	}
+	cycles += ch.EWAdd(tmp, one, neg)
+	cycles += ch.EWMul(p1.Ps.Row(i), o, tmp)
+	// Pfs = f (a copy through the datapath).
+	copy(p1.Pfs.Row(i), f)
+	return cycles
+}
+
+// BackwardResult is one hardware BP cell execution.
+type BackwardResult struct {
+	Out           lstm.BPOutput
+	ComputeCycles int64
+	DMACycles     int64
+}
+
+// BackwardCell executes one BP cell from compressed P1 records:
+// the DMA decodes the planes (RD data/index queues), the channels run
+// BP-EW-P2 and the BP-MatMul (δX/δH mat-vecs plus δW/δU outer
+// products, accumulated into grads).
+func (e *Engine) BackwardCell(p *lstm.Params, grads *lstm.Grads, x, hPrev *tensor.Matrix, compressed [6]*compress.Sparse, in lstm.BPInput) (*BackwardResult, error) {
+	batch := x.Rows
+	H := p.Hidden
+
+	// DMA: read the compressed planes back (port-time delta, as in
+	// ForwardCell).
+	dmaStart := e.dma.BusyCycles()
+	p1 := &lstm.P1{}
+	dsts := []**tensor.Matrix{&p1.Pf, &p1.Pi, &p1.Pc, &p1.Po, &p1.Ps, &p1.Pfs}
+	for i, s := range compressed {
+		if s == nil {
+			return nil, fmt.Errorf("cellengine: missing compressed plane %d", i)
+		}
+		m, _ := e.dma.ReadSparse(dmaStart, s, dma.Intermediates)
+		*dsts[i] = m
+	}
+	dmaCycles := e.dma.BusyCycles() - dmaStart
+
+	dGate := make([]*tensor.Matrix, lstm.NumGates)
+	for g := range dGate {
+		dGate[g] = tensor.New(batch, H)
+	}
+	dsPrev := tensor.New(batch, H)
+	dx := tensor.New(batch, p.Input)
+	dhPrev := tensor.New(batch, H)
+
+	compute := e.parallel(batch, func(i int, ch *channel.Channel) int64 {
+		var cycles int64
+		dh := make([]float32, H)
+		if in.DY != nil {
+			cycles += ch.EWAdd(dh, dh, in.DY.Row(i))
+		}
+		if in.DH != nil {
+			cycles += ch.EWAdd(dh, dh, in.DH.Row(i))
+		}
+		ds := make([]float32, H)
+		cycles += ch.EWMul(ds, dh, p1.Ps.Row(i))
+		if in.DS != nil {
+			cycles += ch.EWAdd(ds, ds, in.DS.Row(i))
+		}
+		cycles += ch.EWMul(dGate[lstm.GateO].Row(i), dh, p1.Po.Row(i))
+		cycles += ch.EWMul(dGate[lstm.GateF].Row(i), ds, p1.Pf.Row(i))
+		cycles += ch.EWMul(dGate[lstm.GateI].Row(i), ds, p1.Pi.Row(i))
+		cycles += ch.EWMul(dGate[lstm.GateC].Row(i), ds, p1.Pc.Row(i))
+		cycles += ch.EWMul(dsPrev.Row(i), ds, p1.Pfs.Row(i))
+
+		// BP-MatMul: δx_i += W_g·δgate_g ; δh_i += U_g·δgate_g.
+		tmpIn := make([]float32, p.Input)
+		tmpH := make([]float32, H)
+		for g := lstm.Gate(0); g < lstm.NumGates; g++ {
+			cycles += ch.MatVec(tmpIn, p.W[g], dGate[g].Row(i))
+			cycles += ch.EWAdd(dx.Row(i), dx.Row(i), tmpIn)
+			cycles += ch.MatVec(tmpH, p.U[g], dGate[g].Row(i))
+			cycles += ch.EWAdd(dhPrev.Row(i), dhPrev.Row(i), tmpH)
+		}
+		return cycles
+	})
+
+	// Weight-gradient outer products (broadcast queue): δW_g += x ⊗ δg.
+	if grads != nil {
+		for g := lstm.Gate(0); g < lstm.NumGates; g++ {
+			var worst int64
+			for i := 0; i < batch; i++ {
+				ch := e.channels[i%len(e.channels)]
+				c1 := ch.Outer(grads.W[g], x.Row(i), dGate[g].Row(i))
+				c2 := ch.Outer(grads.U[g], hPrev.Row(i), dGate[g].Row(i))
+				if c1+c2 > worst {
+					worst = c1 + c2
+				}
+			}
+			compute += worst
+			e.totalCycles += worst
+			tensor.SumRows(grads.B[g], dGate[g])
+		}
+	}
+
+	return &BackwardResult{
+		Out:           lstm.BPOutput{DX: dx, DHPrev: dhPrev, DSPrev: dsPrev},
+		ComputeCycles: compute,
+		DMACycles:     dmaCycles,
+	}, nil
+}

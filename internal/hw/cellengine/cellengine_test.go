@@ -1,0 +1,314 @@
+package cellengine
+
+import (
+	"math"
+	"testing"
+
+	"etalstm/internal/compress"
+	"etalstm/internal/hw/dma"
+	"etalstm/internal/hw/omnipe"
+	"etalstm/internal/hw/sched"
+	"etalstm/internal/lstm"
+	"etalstm/internal/reorder"
+	"etalstm/internal/rng"
+	"etalstm/internal/tensor"
+)
+
+func testSetup(seed uint64, input, hidden, batch int) (*lstm.Params, *tensor.Matrix, *tensor.Matrix, *tensor.Matrix) {
+	r := rng.New(seed)
+	p := lstm.NewParams(input, hidden)
+	p.Init(r)
+	x := tensor.New(batch, input)
+	h := tensor.New(batch, hidden)
+	s := tensor.New(batch, hidden)
+	x.RandInit(r, 1)
+	h.RandInit(r, 0.5)
+	s.RandInit(r, 0.5)
+	return p, x, h, s
+}
+
+func smallEngine() *Engine {
+	return New(Config{Channels: 4, PE: omnipe.Default(), DMA: dma.Default()})
+}
+
+// TestForwardMatchesSoftware: the hardware FW cell must reproduce the
+// software cell up to the activation LUT error.
+func TestForwardMatchesSoftware(t *testing.T) {
+	p, x, h0, s0 := testSetup(1, 12, 16, 6)
+	e := smallEngine()
+	res, err := e.ForwardCell(p, x, h0, s0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hSW, sSW, p1SW := lstm.ForwardWithP1(p, x, h0, s0)
+
+	const tol = 5e-3 // LUT max error 1e-3, compounded through the EW chain
+	if !res.H.Equal(hSW, tol) {
+		t.Error("hardware H diverges from software")
+	}
+	if !res.S.Equal(sSW, tol) {
+		t.Error("hardware S diverges from software")
+	}
+	hw := res.P1.Matrices()
+	sw := p1SW.Matrices()
+	for i := range hw {
+		if !hw[i].Equal(sw[i], tol) {
+			t.Errorf("P1 plane %d diverges", i)
+		}
+	}
+}
+
+func TestForwardCycleAccounting(t *testing.T) {
+	p, x, h0, s0 := testSetup(2, 8, 16, 4)
+	e := smallEngine()
+	res, err := e.ForwardCell(p, x, h0, s0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ComputeCycles <= 0 || res.DMACycles <= 0 {
+		t.Fatalf("cycles: compute=%d dma=%d", res.ComputeCycles, res.DMACycles)
+	}
+	if e.Cycles() != res.ComputeCycles {
+		t.Fatalf("engine cycle accumulation: %d vs %d", e.Cycles(), res.ComputeCycles)
+	}
+	// The dominant stage is the 2·H·(In+H) MACs per sample per gate;
+	// with 4 samples on 4 channels and 32 PEs each the compute time
+	// must be within a small factor of the analytic bound.
+	macs := int64(4 * (8*16 + 16*16)) // per sample
+	lower := macs / 32
+	if res.ComputeCycles < lower {
+		t.Fatalf("compute %d below the physical bound %d", res.ComputeCycles, lower)
+	}
+}
+
+func TestForwardDMACompression(t *testing.T) {
+	p, x, h0, s0 := testSetup(3, 16, 32, 8)
+	e := smallEngine()
+	res, err := e.ForwardCell(p, x, h0, s0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var compressedBytes int64
+	for _, s := range res.Compressed {
+		if s == nil {
+			t.Fatal("missing compressed plane")
+		}
+		compressedBytes += s.Bytes()
+	}
+	if e.DMA().Traffic(dma.Intermediates) != compressedBytes {
+		t.Fatal("DMA must move exactly the compressed bytes")
+	}
+	// The compressed planes decode to the pruned P1.
+	dec := res.Compressed[0].Decode(nil)
+	pruned := res.P1.Pf.Clone()
+	rec := reorder.Encode(&lstm.P1{
+		Pf: pruned, Pi: pruned, Pc: pruned, Po: pruned, Ps: pruned, Pfs: pruned,
+	}, reorder.Config{})
+	want := rec.Planes[0].Decode(nil)
+	if !dec.Equal(want, 0) {
+		t.Fatal("compressed plane must equal the pruned P1 plane")
+	}
+}
+
+func TestForwardShapeValidation(t *testing.T) {
+	p, _, h0, s0 := testSetup(4, 8, 16, 4)
+	e := smallEngine()
+	bad := tensor.New(4, 9)
+	if _, err := e.ForwardCell(p, bad, h0, s0); err == nil {
+		t.Fatal("expected shape error")
+	}
+}
+
+// TestBackwardMatchesSoftware: the hardware BP cell, fed the DMA's
+// decoded (pruned) P1 planes, must match software BackwardFromP1 on the
+// same pruned inputs.
+func TestBackwardMatchesSoftware(t *testing.T) {
+	p, x, h0, s0 := testSetup(5, 12, 16, 6)
+	e := smallEngine()
+	fw, err := e.ForwardCell(p, x, h0, s0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(50)
+	dy := tensor.New(6, 16)
+	ds := tensor.New(6, 16)
+	dy.RandInit(r, 1)
+	ds.RandInit(r, 1)
+
+	gHW := lstm.NewGrads(p)
+	bp, err := e.BackwardCell(p, gHW, x, h0, fw.Compressed, lstm.BPInput{DY: dy, DS: ds})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Software reference on the identical pruned P1 planes.
+	p1 := &lstm.P1{
+		Pf: fw.Compressed[0].Decode(nil), Pi: fw.Compressed[1].Decode(nil),
+		Pc: fw.Compressed[2].Decode(nil), Po: fw.Compressed[3].Decode(nil),
+		Ps: fw.Compressed[4].Decode(nil), Pfs: fw.Compressed[5].Decode(nil),
+	}
+	gSW := lstm.NewGrads(p)
+	outSW := lstm.BackwardFromP1(p, gSW, x, h0, p1, lstm.BPInput{DY: dy, DS: ds})
+
+	const tol = 1e-4
+	if !bp.Out.DX.Equal(outSW.DX, tol) {
+		t.Error("DX diverges")
+	}
+	if !bp.Out.DHPrev.Equal(outSW.DHPrev, tol) {
+		t.Error("DHPrev diverges")
+	}
+	if !bp.Out.DSPrev.Equal(outSW.DSPrev, tol) {
+		t.Error("DSPrev diverges")
+	}
+	for g := lstm.Gate(0); g < lstm.NumGates; g++ {
+		if !gHW.W[g].Equal(gSW.W[g], tol) {
+			t.Errorf("W[%v] diverges", g)
+		}
+		if !gHW.U[g].Equal(gSW.U[g], tol) {
+			t.Errorf("U[%v] diverges", g)
+		}
+		for j := range gHW.B[g] {
+			if math.Abs(float64(gHW.B[g][j]-gSW.B[g][j])) > tol {
+				t.Errorf("B[%v][%d] diverges", g, j)
+			}
+		}
+	}
+	if bp.ComputeCycles <= 0 {
+		t.Fatal("BP cycles must be positive")
+	}
+}
+
+func TestBackwardMissingPlane(t *testing.T) {
+	p, x, h0, _ := testSetup(6, 8, 16, 4)
+	e := smallEngine()
+	var empty [6]*compress.Sparse
+	if _, err := e.BackwardCell(p, nil, x, h0, empty, lstm.BPInput{}); err == nil {
+		t.Fatal("expected error for missing planes")
+	}
+}
+
+// TestEndToEndTrainingStepOnHardware: one full gradient step computed
+// entirely on the hardware models must reduce the cell's loss —
+// the hardware stack can actually train.
+func TestEndToEndTrainingStepOnHardware(t *testing.T) {
+	const input, hidden, batch = 8, 12, 4
+	p, x, h0, s0 := testSetup(7, input, hidden, batch)
+	r := rng.New(60)
+	target := tensor.New(batch, hidden)
+	target.RandInit(r, 0.5)
+
+	loss := func() float64 {
+		h, _, _ := lstm.Forward(p, x, h0, s0)
+		var l float64
+		for k := range h.Data {
+			d := float64(h.Data[k] - target.Data[k])
+			l += d * d
+		}
+		return l
+	}
+
+	before := loss()
+	for step := 0; step < 25; step++ {
+		e := smallEngine()
+		fw, err := e.ForwardCell(p, x, h0, s0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dy := tensor.New(batch, hidden)
+		for k := range dy.Data {
+			dy.Data[k] = 2 * (fw.H.Data[k] - target.Data[k])
+		}
+		grads := lstm.NewGrads(p)
+		if _, err := e.BackwardCell(p, grads, x, h0, fw.Compressed, lstm.BPInput{DY: dy}); err != nil {
+			t.Fatal(err)
+		}
+		const lr = 0.05
+		for g := lstm.Gate(0); g < lstm.NumGates; g++ {
+			for i := range p.W[g].Data {
+				p.W[g].Data[i] -= lr * grads.W[g].Data[i]
+			}
+			for i := range p.U[g].Data {
+				p.U[g].Data[i] -= lr * grads.U[g].Data[i]
+			}
+			for i := range p.B[g] {
+				p.B[g][i] -= lr * grads.B[g][i]
+			}
+		}
+	}
+	after := loss()
+	if after >= before*0.8 {
+		t.Fatalf("hardware training failed to descend: %v -> %v", before, after)
+	}
+}
+
+// TestCyclesConsistentWithAnalyticModel cross-validates the two
+// modeling layers: the functional cell engine's measured compute
+// cycles must land within a small factor of the analytic scheduler's
+// prediction for the same per-sample workload on one 32-PE channel.
+// (The functional engine pays pipeline fills and stripe tails the
+// analytic model amortizes away, so it runs somewhat slower, never
+// faster.)
+func TestCyclesConsistentWithAnalyticModel(t *testing.T) {
+	const input, hidden, batch = 64, 128, 4
+	p, x, h0, s0 := testSetup(10, input, hidden, batch)
+	e := New(Config{Channels: batch, PE: omnipe.Default(), DMA: dma.Default()})
+	res, err := e.ForwardCell(p, x, h0, s0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Per-sample FW + P1 work on one channel (batch 1).
+	ops := lstm.ForwardOps(input, hidden, 1).Add(lstm.P1Ops(hidden, 1))
+	pred := sched.Dynamic(sched.FromOpCount(ops), 32)
+	lo := pred.Cycles
+	hi := int64(float64(pred.Cycles) * 3)
+	if res.ComputeCycles < lo || res.ComputeCycles > hi {
+		t.Fatalf("functional %d cycles outside [%d, %d] of the analytic model",
+			res.ComputeCycles, lo, hi)
+	}
+}
+
+func TestTransposedWeightsCached(t *testing.T) {
+	p, x, h0, s0 := testSetup(8, 8, 8, 2)
+	e := smallEngine()
+	if _, err := e.ForwardCell(p, x, h0, s0); err != nil {
+		t.Fatal(err)
+	}
+	if len(e.wT) != 1 {
+		t.Fatal("weights must be cached after first use")
+	}
+	if _, err := e.ForwardCell(p, x, h0, s0); err != nil {
+		t.Fatal(err)
+	}
+	if len(e.wT) != 1 {
+		t.Fatal("cache must be reused")
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(Config{Channels: 0})
+}
+
+// TestMoreChannelsFewerCycles: with more channels the same batch
+// spreads wider and the per-cell compute time drops.
+func TestMoreChannelsFewerCycles(t *testing.T) {
+	p, x, h0, s0 := testSetup(9, 16, 32, 8)
+	small := New(Config{Channels: 2, PE: omnipe.Default(), DMA: dma.Default()})
+	big := New(Config{Channels: 8, PE: omnipe.Default(), DMA: dma.Default()})
+	rs, err := small.ForwardCell(p, x, h0, s0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := big.ForwardCell(p, x, h0, s0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rb.ComputeCycles >= rs.ComputeCycles {
+		t.Fatalf("8 channels (%d cycles) must beat 2 channels (%d cycles)",
+			rb.ComputeCycles, rs.ComputeCycles)
+	}
+}

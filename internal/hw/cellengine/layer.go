@@ -1,0 +1,101 @@
+package cellengine
+
+import (
+	"fmt"
+
+	"etalstm/internal/compress"
+	"etalstm/internal/lstm"
+	"etalstm/internal/tensor"
+)
+
+// LayerResult is one unrolled layer executed forward on hardware.
+type LayerResult struct {
+	// H[t] and S[t] are the per-timestamp outputs.
+	H, S []*tensor.Matrix
+	// Store[t] holds the compressed P1 planes of cell t — the DRAM
+	// image the BP pass will decode.
+	Store [][6]*compress.Sparse
+	// ComputeCycles and DMACycles total the per-cell costs. Cells are
+	// sequential (context dependency, paper Sec. II), so compute
+	// cycles sum; DMA overlaps with the next cell's compute, so the
+	// layer's wall-clock is max(compute, dma) at the layer level.
+	ComputeCycles int64
+	DMACycles     int64
+}
+
+// WallCycles returns the layer's modeled wall-clock assuming DMA and
+// compute overlap (the swing-channel + queue design of Sec. V-D).
+func (r *LayerResult) WallCycles() int64 {
+	if r.DMACycles > r.ComputeCycles {
+		return r.DMACycles
+	}
+	return r.ComputeCycles
+}
+
+// ForwardLayer executes all SeqLen cells of one layer on the hardware
+// under the MS1 reordered flow: each cell produces h/s plus compressed
+// P1 planes. xs[t] is the layer input at timestamp t; h0/s0 the initial
+// state (zero matrices for a fresh sequence).
+func (e *Engine) ForwardLayer(p *lstm.Params, xs []*tensor.Matrix, h0, s0 *tensor.Matrix) (*LayerResult, error) {
+	if len(xs) == 0 {
+		return nil, fmt.Errorf("cellengine: empty layer input")
+	}
+	res := &LayerResult{
+		H:     make([]*tensor.Matrix, len(xs)),
+		S:     make([]*tensor.Matrix, len(xs)),
+		Store: make([][6]*compress.Sparse, len(xs)),
+	}
+	h, s := h0, s0
+	for t := range xs {
+		cell, err := e.ForwardCell(p, xs[t], h, s)
+		if err != nil {
+			return nil, fmt.Errorf("cellengine: cell %d: %w", t, err)
+		}
+		res.H[t] = cell.H
+		res.S[t] = cell.S
+		res.Store[t] = cell.Compressed
+		res.ComputeCycles += cell.ComputeCycles
+		res.DMACycles += cell.DMACycles
+		h, s = cell.H, cell.S
+	}
+	return res, nil
+}
+
+// LayerBPResult is one layer's backward pass executed on hardware.
+type LayerBPResult struct {
+	// DX[t] is the gradient passed to the layer below at timestamp t.
+	DX []*tensor.Matrix
+	// DH0 and DS0 propagate into the carried-in state.
+	DH0, DS0      *tensor.Matrix
+	ComputeCycles int64
+	DMACycles     int64
+}
+
+// BackwardLayer runs the BP cells of a layer in reverse timestamp
+// order from the compressed store, accumulating weight gradients into
+// grads. dY[t] may be nil where no output gradient arrives.
+func (e *Engine) BackwardLayer(p *lstm.Params, grads *lstm.Grads, fw *LayerResult, xs []*tensor.Matrix, h0 *tensor.Matrix, dY []*tensor.Matrix) (*LayerBPResult, error) {
+	if len(xs) != len(fw.H) || len(dY) != len(fw.H) {
+		return nil, fmt.Errorf("cellengine: BackwardLayer length mismatch xs=%d fw=%d dY=%d",
+			len(xs), len(fw.H), len(dY))
+	}
+	res := &LayerBPResult{DX: make([]*tensor.Matrix, len(xs))}
+	var dH, dS *tensor.Matrix
+	for t := len(xs) - 1; t >= 0; t-- {
+		hPrev := h0
+		if t > 0 {
+			hPrev = fw.H[t-1]
+		}
+		in := lstm.BPInput{DY: dY[t], DH: dH, DS: dS}
+		bp, err := e.BackwardCell(p, grads, xs[t], hPrev, fw.Store[t], in)
+		if err != nil {
+			return nil, fmt.Errorf("cellengine: BP cell %d: %w", t, err)
+		}
+		res.DX[t] = bp.Out.DX
+		res.ComputeCycles += bp.ComputeCycles
+		res.DMACycles += bp.DMACycles
+		dH, dS = bp.Out.DHPrev, bp.Out.DSPrev
+	}
+	res.DH0, res.DS0 = dH, dS
+	return res, nil
+}

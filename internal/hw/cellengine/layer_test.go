@@ -1,0 +1,196 @@
+package cellengine
+
+import (
+	"testing"
+
+	"etalstm/internal/lstm"
+	"etalstm/internal/reorder"
+	"etalstm/internal/rng"
+	"etalstm/internal/tensor"
+)
+
+func layerSetup(seed uint64, input, hidden, batch, steps int) (*lstm.Params, []*tensor.Matrix, *tensor.Matrix, *tensor.Matrix) {
+	r := rng.New(seed)
+	p := lstm.NewParams(input, hidden)
+	p.Init(r)
+	xs := make([]*tensor.Matrix, steps)
+	for t := range xs {
+		xs[t] = tensor.New(batch, input)
+		xs[t].RandInit(r, 1)
+	}
+	return p, xs, tensor.New(batch, hidden), tensor.New(batch, hidden)
+}
+
+// TestForwardLayerMatchesSoftware: the whole-layer hardware FW pass
+// must track the software unrolled layer within LUT tolerance, which
+// compounds over timestamps through the recurrent state.
+func TestForwardLayerMatchesSoftware(t *testing.T) {
+	const steps = 5
+	p, xs, h0, s0 := layerSetup(1, 8, 12, 4, steps)
+	e := smallEngine()
+	res, err := e.ForwardLayer(p, xs, h0, s0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, s := h0, s0
+	for t0 := 0; t0 < steps; t0++ {
+		var cache *lstm.FWCache
+		h, s, cache = lstm.Forward(p, xs[t0], h, s)
+		_ = cache
+		// Tolerance grows with timestamp as the LUT error feeds back
+		// through h and s.
+		tol := float32(2e-3 * float64(t0+2))
+		if !res.H[t0].Equal(h, tol) {
+			t.Errorf("H[%d] diverges beyond %v", t0, tol)
+		}
+		if !res.S[t0].Equal(s, tol) {
+			t.Errorf("S[%d] diverges beyond %v", t0, tol)
+		}
+	}
+	if res.ComputeCycles <= 0 || res.DMACycles <= 0 {
+		t.Fatal("layer cycles must be positive")
+	}
+	if res.WallCycles() < res.DMACycles || res.WallCycles() < res.ComputeCycles {
+		t.Fatal("wall cycles must cover the slower of compute/DMA")
+	}
+}
+
+// TestDMACyclesArePerCellDeltas: the I/O port serializes across cells,
+// but each cell must report only its own transfer time — later cells'
+// DMACycles must not absorb earlier cells' queueing (regression test
+// for the absolute-vs-delta accounting bug).
+func TestDMACyclesArePerCellDeltas(t *testing.T) {
+	p, xs, h0, s0 := layerSetup(11, 8, 16, 4, 6)
+	e := smallEngine()
+	var perCell []int64
+	h, s := h0, s0
+	for t0 := range xs {
+		cell, err := e.ForwardCell(p, xs[t0], h, s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		perCell = append(perCell, cell.DMACycles)
+		h, s = cell.H, cell.S
+	}
+	// Cells move similar compressed volumes; the last cell's reported
+	// DMA time must stay within a small factor of the first's rather
+	// than growing with the accumulated port history.
+	if perCell[len(perCell)-1] > 3*perCell[0]+4 {
+		t.Fatalf("DMA accounting grows across cells: %v", perCell)
+	}
+}
+
+func TestForwardLayerEmptyInput(t *testing.T) {
+	p, _, h0, s0 := layerSetup(2, 4, 4, 2, 1)
+	e := smallEngine()
+	if _, err := e.ForwardLayer(p, nil, h0, s0); err == nil {
+		t.Fatal("expected error for empty input")
+	}
+}
+
+// TestBackwardLayerMatchesSoftware: full-layer hardware BPTT from the
+// compressed store must match the software BPTT run on the hardware's
+// own (pruned, LUT-quantized) forward state.
+func TestBackwardLayerMatchesSoftware(t *testing.T) {
+	const steps, batch, hidden, input = 4, 3, 10, 6
+	p, xs, h0, s0 := layerSetup(3, input, hidden, batch, steps)
+	e := smallEngine()
+	fw, err := e.ForwardLayer(p, xs, h0, s0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	r := rng.New(30)
+	dY := make([]*tensor.Matrix, steps)
+	for t0 := range dY {
+		dY[t0] = tensor.New(batch, hidden)
+		dY[t0].RandInit(r, 1)
+	}
+
+	gHW := lstm.NewGrads(p)
+	bp, err := e.BackwardLayer(p, gHW, fw, xs, h0, dY)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Software reference: BackwardFromP1 over the decoded planes with
+	// the hardware's own H sequence as activations.
+	gSW := lstm.NewGrads(p)
+	var dH, dS *tensor.Matrix
+	dxWant := make([]*tensor.Matrix, steps)
+	for t0 := steps - 1; t0 >= 0; t0-- {
+		p1 := &lstm.P1{
+			Pf: fw.Store[t0][0].Decode(nil), Pi: fw.Store[t0][1].Decode(nil),
+			Pc: fw.Store[t0][2].Decode(nil), Po: fw.Store[t0][3].Decode(nil),
+			Ps: fw.Store[t0][4].Decode(nil), Pfs: fw.Store[t0][5].Decode(nil),
+		}
+		hPrev := h0
+		if t0 > 0 {
+			hPrev = fw.H[t0-1]
+		}
+		out := lstm.BackwardFromP1(p, gSW, xs[t0], hPrev, p1, lstm.BPInput{DY: dY[t0], DH: dH, DS: dS})
+		dxWant[t0] = out.DX
+		dH, dS = out.DHPrev, out.DSPrev
+	}
+
+	const tol = 5e-4
+	for t0 := range dxWant {
+		if !bp.DX[t0].Equal(dxWant[t0], tol) {
+			t.Errorf("DX[%d] diverges", t0)
+		}
+	}
+	if !bp.DH0.Equal(dH, tol) || !bp.DS0.Equal(dS, tol) {
+		t.Error("carried-in gradients diverge")
+	}
+	for g := lstm.Gate(0); g < lstm.NumGates; g++ {
+		if !gHW.W[g].Equal(gSW.W[g], 1e-3) {
+			t.Errorf("W[%v] diverges", g)
+		}
+	}
+}
+
+func TestBackwardLayerLengthValidation(t *testing.T) {
+	p, xs, h0, s0 := layerSetup(4, 4, 6, 2, 3)
+	e := smallEngine()
+	fw, err := e.ForwardLayer(p, xs, h0, s0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.BackwardLayer(p, nil, fw, xs[:2], h0, make([]*tensor.Matrix, 3)); err == nil {
+		t.Fatal("expected length-mismatch error")
+	}
+}
+
+// TestLayerStoreCompresses: across a trained-ish layer the compressed
+// store must be smaller than the dense P1 planes it encodes.
+func TestLayerStoreCompresses(t *testing.T) {
+	p, xs, h0, s0 := layerSetup(5, 16, 32, 8, 4)
+	e := smallEngine()
+	fw, err := e.ForwardLayer(p, xs, h0, s0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var compressed, dense int64
+	for t0 := range fw.Store {
+		for _, s := range fw.Store[t0] {
+			compressed += s.Bytes()
+			dense += int64(s.Rows) * int64(s.Cols) * 4
+		}
+	}
+	if compressed >= dense {
+		t.Fatalf("store must compress: %d vs %d", compressed, dense)
+	}
+	// Consistency with the reorder package's accounting.
+	rec := reorder.Encode(&lstm.P1{
+		Pf: fw.Store[0][0].Decode(nil), Pi: fw.Store[0][1].Decode(nil),
+		Pc: fw.Store[0][2].Decode(nil), Po: fw.Store[0][3].Decode(nil),
+		Ps: fw.Store[0][4].Decode(nil), Pfs: fw.Store[0][5].Decode(nil),
+	}, reorder.Config{})
+	var cellBytes int64
+	for _, s := range fw.Store[0] {
+		cellBytes += s.Bytes()
+	}
+	if rec.Bytes() != cellBytes {
+		t.Fatalf("store bytes %d disagree with reorder accounting %d", cellBytes, rec.Bytes())
+	}
+}

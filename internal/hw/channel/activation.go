@@ -1,0 +1,118 @@
+// Package channel models η-LSTM's channel architecture (paper Sec. V-D,
+// Fig. 13b): 32 Omni-PEs behind a channel controller with a broadcast
+// queue, plus a shared activation module holding one lookup-table
+// sigmoid unit and one tanh unit.
+package channel
+
+import (
+	"math"
+
+	"etalstm/internal/tensor"
+)
+
+// LUT implements the lookup-table activation units of the activation
+// module (Sec. V-D: "we further adopt a lookup table design to avoid
+// the complex logic design for either the sigmoid or hyperbolic tangent
+// unit"). The table covers [-Range, Range] with linear interpolation
+// between entries; inputs beyond the range clamp to the saturated
+// values, exactly as the hardware would.
+type LUT struct {
+	Range   float32
+	entries []float32
+	f       func(float32) float32 // reference, for saturation values
+}
+
+// NewLUT builds a table of n+1 entries for f over [-rng, rng].
+func NewLUT(f func(float32) float32, rng float32, n int) *LUT {
+	if n < 2 {
+		panic("channel: LUT needs at least 2 intervals")
+	}
+	l := &LUT{Range: rng, entries: make([]float32, n+1), f: f}
+	for i := range l.entries {
+		x := -rng + 2*rng*float32(i)/float32(n)
+		l.entries[i] = f(x)
+	}
+	return l
+}
+
+// At evaluates the LUT with linear interpolation.
+func (l *LUT) At(x float32) float32 {
+	if x <= -l.Range {
+		return l.entries[0]
+	}
+	if x >= l.Range {
+		return l.entries[len(l.entries)-1]
+	}
+	n := len(l.entries) - 1
+	pos := (x + l.Range) / (2 * l.Range) * float32(n)
+	i := int(pos)
+	if i >= n {
+		i = n - 1
+	}
+	frac := pos - float32(i)
+	return l.entries[i] + frac*(l.entries[i+1]-l.entries[i])
+}
+
+// MaxError measures the LUT's worst absolute error against its
+// reference over a dense sweep — the design-validation number for the
+// activation module's table size.
+func (l *LUT) MaxError(samples int) float64 {
+	var worst float64
+	for i := 0; i <= samples; i++ {
+		x := -l.Range + 2*l.Range*float32(i)/float32(samples)
+		e := math.Abs(float64(l.At(x) - l.f(x)))
+		if e > worst {
+			worst = e
+		}
+	}
+	return worst
+}
+
+// ActivationModule is the per-channel activation unit: one sigmoid LUT
+// and one tanh LUT, each processing one value per cycle (Sec. V-D keeps
+// the module small because "the workloads of activation operations are
+// much lower than other operations").
+type ActivationModule struct {
+	Sigmoid *LUT
+	Tanh    *LUT
+
+	busyCycles int64
+}
+
+// DefaultTableBits is the log2 table size of each activation LUT
+// (1024 entries ≈ 4 KiB of on-chip storage per unit, < 1e-3 max error).
+const DefaultTableBits = 10
+
+// NewActivationModule builds the module with the default tables.
+func NewActivationModule() *ActivationModule {
+	n := 1 << DefaultTableBits
+	return &ActivationModule{
+		Sigmoid: NewLUT(tensor.Sigmoid32, 8, n),
+		Tanh:    NewLUT(tensor.Tanh32, 4, n),
+	}
+}
+
+// ApplySigmoid evaluates the sigmoid LUT over xs into dst, returning
+// the cycles consumed (one value per cycle through the single unit).
+func (m *ActivationModule) ApplySigmoid(dst, xs []float32) int64 {
+	for i, x := range xs {
+		dst[i] = m.Sigmoid.At(x)
+	}
+	c := int64(len(xs))
+	m.busyCycles += c
+	return c
+}
+
+// ApplyTanh evaluates the tanh LUT over xs into dst. The tanh unit is
+// independent of the sigmoid unit, so sigmoid and tanh streams overlap.
+func (m *ActivationModule) ApplyTanh(dst, xs []float32) int64 {
+	for i, x := range xs {
+		dst[i] = m.Tanh.At(x)
+	}
+	c := int64(len(xs))
+	m.busyCycles += c
+	return c
+}
+
+// BusyCycles returns the module's cumulative busy time.
+func (m *ActivationModule) BusyCycles() int64 { return m.busyCycles }

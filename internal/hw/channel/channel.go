@@ -1,0 +1,152 @@
+package channel
+
+import (
+	"fmt"
+
+	"etalstm/internal/hw/omnipe"
+	"etalstm/internal/tensor"
+)
+
+// PEsPerChannel is the paper's channel width (Sec. V-D: "one channel is
+// composed of 32 Omni-PEs and a channel controller").
+const PEsPerChannel = 32
+
+// Channel models one SIMT channel: 32 Omni-PEs driven by a channel
+// controller that stripes vector work across them, a broadcast queue
+// for shared operands, and the activation module. Operations return
+// cycle counts assuming all PEs of the channel run in lockstep on
+// equal stripes (the controller pads the last stripe).
+type Channel struct {
+	PEs        []*omnipe.PE
+	Activation *ActivationModule
+
+	broadcasts int64 // broadcast-queue pushes (shared operand reuse)
+}
+
+// New builds a channel with the paper's 32 PEs and the given PE
+// pipeline configuration.
+func New(cfg omnipe.Config) *Channel {
+	c := &Channel{Activation: NewActivationModule()}
+	for i := 0; i < PEsPerChannel; i++ {
+		c.PEs = append(c.PEs, omnipe.New(cfg))
+	}
+	return c
+}
+
+// Broadcasts returns how many operands went through the broadcast
+// queue (outer-product scalars shared by all PEs).
+func (c *Channel) Broadcasts() int64 { return c.broadcasts }
+
+// stripe splits n elements across the PEs: ceil(n / numPEs) per PE.
+func (c *Channel) stripeLen(n int) int {
+	return (n + len(c.PEs) - 1) / len(c.PEs)
+}
+
+// MatVec computes dst = m · v (m: rows×cols, v: len cols, dst: len
+// rows). Rows distribute across PEs; each PE performs a streaming dot
+// product. Returns the channel cycles: the slowest PE's busy time for
+// its assigned rows.
+func (c *Channel) MatVec(dst []float32, m *tensor.Matrix, v []float32) int64 {
+	if len(v) != m.Cols || len(dst) != m.Rows {
+		panic(fmt.Sprintf("channel: MatVec shapes m=%v v=%d dst=%d", m, len(v), len(dst)))
+	}
+	perPE := make([]int64, len(c.PEs))
+	for r := 0; r < m.Rows; r++ {
+		pe := r % len(c.PEs)
+		sum, cycles := c.PEs[pe].DotProduct(m.Row(r), v)
+		dst[r] = sum
+		perPE[pe] += cycles
+	}
+	return maxOf(perPE)
+}
+
+// EWMul computes dst = a ⊙ b striped across the PEs.
+func (c *Channel) EWMul(dst, a, b []float32) int64 {
+	if len(a) != len(b) || len(dst) != len(a) {
+		panic("channel: EWMul length mismatch")
+	}
+	return c.striped(len(a), func(pe *omnipe.PE, lo, hi int) int64 {
+		return pe.EWMul(dst[lo:hi], a[lo:hi], b[lo:hi])
+	})
+}
+
+// EWAdd computes dst = a + b striped across the PEs.
+func (c *Channel) EWAdd(dst, a, b []float32) int64 {
+	if len(a) != len(b) || len(dst) != len(a) {
+		panic("channel: EWAdd length mismatch")
+	}
+	return c.striped(len(a), func(pe *omnipe.PE, lo, hi int) int64 {
+		return pe.EWAdd(dst[lo:hi], a[lo:hi], b[lo:hi])
+	})
+}
+
+// Outer accumulates dst += u ⊗ v (dst: len(u)×len(v)). Each u element
+// broadcasts to the PEs through the broadcast queue; rows stripe across
+// PEs.
+func (c *Channel) Outer(dst *tensor.Matrix, u, v []float32) int64 {
+	if dst.Rows != len(u) || dst.Cols != len(v) {
+		panic(fmt.Sprintf("channel: Outer shapes dst=%v u=%d v=%d", dst, len(u), len(v)))
+	}
+	perPE := make([]int64, len(c.PEs))
+	row := make([]float32, len(v))
+	for r := 0; r < len(u); r++ {
+		pe := r % len(c.PEs)
+		c.broadcasts++
+		cycles := c.PEs[pe].OuterRow(row, u[r], v)
+		drow := dst.Row(r)
+		for j := range drow {
+			drow[j] += row[j]
+		}
+		perPE[pe] += cycles
+	}
+	return maxOf(perPE)
+}
+
+func (c *Channel) striped(n int, f func(pe *omnipe.PE, lo, hi int) int64) int64 {
+	if n == 0 {
+		return 0
+	}
+	stripe := c.stripeLen(n)
+	var worst int64
+	for i, pe := range c.PEs {
+		lo := i * stripe
+		if lo >= n {
+			break
+		}
+		hi := lo + stripe
+		if hi > n {
+			hi = n
+		}
+		if cy := f(pe, lo, hi); cy > worst {
+			worst = cy
+		}
+	}
+	return worst
+}
+
+// Utilization returns mean PE busy cycles divided by the max — 1.0
+// means perfectly balanced work.
+func (c *Channel) Utilization() float64 {
+	var sum, mx int64
+	for _, pe := range c.PEs {
+		b := pe.BusyCycles()
+		sum += b
+		if b > mx {
+			mx = b
+		}
+	}
+	if mx == 0 {
+		return 0
+	}
+	return float64(sum) / float64(int64(len(c.PEs))*mx)
+}
+
+func maxOf(xs []int64) int64 {
+	var mx int64
+	for _, x := range xs {
+		if x > mx {
+			mx = x
+		}
+	}
+	return mx
+}

@@ -1,0 +1,208 @@
+package channel
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"etalstm/internal/hw/omnipe"
+	"etalstm/internal/rng"
+	"etalstm/internal/tensor"
+)
+
+func TestLUTSigmoidAccuracy(t *testing.T) {
+	m := NewActivationModule()
+	if err := m.Sigmoid.MaxError(10000); err > 1e-3 {
+		t.Fatalf("sigmoid LUT max error %v", err)
+	}
+	if err := m.Tanh.MaxError(10000); err > 1e-3 {
+		t.Fatalf("tanh LUT max error %v", err)
+	}
+}
+
+func TestLUTSaturation(t *testing.T) {
+	m := NewActivationModule()
+	if got := m.Sigmoid.At(100); math.Abs(float64(got-1)) > 1e-3 {
+		t.Fatalf("sigmoid(100)=%v", got)
+	}
+	if got := m.Sigmoid.At(-100); math.Abs(float64(got)) > 1e-3 {
+		t.Fatalf("sigmoid(-100)=%v", got)
+	}
+	if got := m.Tanh.At(50); math.Abs(float64(got-1)) > 1e-3 {
+		t.Fatalf("tanh(50)=%v", got)
+	}
+}
+
+func TestLUTValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewLUT(tensor.Sigmoid32, 8, 1)
+}
+
+func TestActivationModuleCycles(t *testing.T) {
+	m := NewActivationModule()
+	xs := make([]float32, 100)
+	dst := make([]float32, 100)
+	c := m.ApplySigmoid(dst, xs)
+	if c != 100 {
+		t.Fatalf("sigmoid unit is 1 value/cycle: %d", c)
+	}
+	c2 := m.ApplyTanh(dst, xs)
+	if c2 != 100 || m.BusyCycles() != 200 {
+		t.Fatalf("tanh cycles %d busy %d", c2, m.BusyCycles())
+	}
+}
+
+func TestChannelHas32PEs(t *testing.T) {
+	c := New(omnipe.Default())
+	if len(c.PEs) != 32 {
+		t.Fatalf("channel PEs: %d", len(c.PEs))
+	}
+}
+
+func TestMatVecCorrect(t *testing.T) {
+	c := New(omnipe.Default())
+	r := rng.New(1)
+	m := tensor.New(64, 48)
+	m.RandInit(r, 1)
+	v := make([]float32, 48)
+	for i := range v {
+		v[i] = r.Uniform(-1, 1)
+	}
+	dst := make([]float32, 64)
+	cycles := c.MatVec(dst, m, v)
+	if cycles <= 0 {
+		t.Fatal("cycles must be positive")
+	}
+	for row := 0; row < 64; row++ {
+		var want float64
+		for j := 0; j < 48; j++ {
+			want += float64(m.At(row, j)) * float64(v[j])
+		}
+		if math.Abs(float64(dst[row])-want) > 1e-3 {
+			t.Fatalf("row %d: %v want %v", row, dst[row], want)
+		}
+	}
+}
+
+func TestMatVecParallelSpeedup(t *testing.T) {
+	// 32 PEs must process a 64-row MatVec in roughly the time one PE
+	// takes for 2 rows.
+	c := New(omnipe.Default())
+	m := tensor.New(64, 256)
+	v := make([]float32, 256)
+	dst := make([]float32, 64)
+	cycles := c.MatVec(dst, m, v)
+	single := omnipe.New(omnipe.Default())
+	_, oneRow := single.DotProduct(m.Row(0), v)
+	if cycles > 2*oneRow+16 {
+		t.Fatalf("channel MatVec %d cycles, one-PE row %d", cycles, oneRow)
+	}
+}
+
+func TestEWOps(t *testing.T) {
+	c := New(omnipe.Default())
+	n := 100
+	a := make([]float32, n)
+	b := make([]float32, n)
+	for i := range a {
+		a[i] = float32(i)
+		b[i] = 2
+	}
+	dst := make([]float32, n)
+	if cy := c.EWMul(dst, a, b); cy <= 0 {
+		t.Fatal("EWMul cycles")
+	}
+	if dst[10] != 20 {
+		t.Fatalf("EWMul: %v", dst[10])
+	}
+	if cy := c.EWAdd(dst, a, b); cy <= 0 {
+		t.Fatal("EWAdd cycles")
+	}
+	if dst[10] != 12 {
+		t.Fatalf("EWAdd: %v", dst[10])
+	}
+}
+
+func TestOuterAccumulates(t *testing.T) {
+	c := New(omnipe.Default())
+	u := []float32{1, 2}
+	v := []float32{3, 4, 5}
+	dst := tensor.New(2, 3)
+	dst.Fill(1)
+	cycles := c.Outer(dst, u, v)
+	if cycles <= 0 {
+		t.Fatal("cycles")
+	}
+	if dst.At(0, 0) != 4 || dst.At(1, 2) != 11 {
+		t.Fatalf("Outer: %v", dst.Data)
+	}
+	if c.Broadcasts() != 2 {
+		t.Fatalf("broadcast queue pushes: %d", c.Broadcasts())
+	}
+}
+
+func TestUtilizationBalanced(t *testing.T) {
+	c := New(omnipe.Default())
+	m := tensor.New(320, 64) // 10 rows per PE, perfectly balanced
+	v := make([]float32, 64)
+	dst := make([]float32, 320)
+	c.MatVec(dst, m, v)
+	if u := c.Utilization(); u < 0.95 {
+		t.Fatalf("balanced MatVec utilization %v", u)
+	}
+}
+
+func TestUtilizationZeroIdle(t *testing.T) {
+	c := New(omnipe.Default())
+	if c.Utilization() != 0 {
+		t.Fatal("idle channel utilization must be 0")
+	}
+}
+
+func TestShapePanics(t *testing.T) {
+	c := New(omnipe.Default())
+	for name, fn := range map[string]func(){
+		"matvec": func() { c.MatVec(make([]float32, 3), tensor.New(2, 2), make([]float32, 2)) },
+		"ewmul":  func() { c.EWMul(make([]float32, 2), make([]float32, 3), make([]float32, 3)) },
+		"outer":  func() { c.Outer(tensor.New(2, 2), make([]float32, 3), make([]float32, 2)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+// Property: channel MatVec agrees with tensor.MatMul on random inputs.
+func TestPropertyMatVecMatchesTensor(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		rows := 1 + int(seed%50)
+		cols := 1 + int((seed>>8)%40)
+		m := tensor.New(rows, cols)
+		m.RandInit(r, 1)
+		v := tensor.New(cols, 1)
+		v.RandInit(r, 1)
+		want := tensor.MatMul(nil, m, v)
+		dst := make([]float32, rows)
+		c := New(omnipe.Default())
+		c.MatVec(dst, m, v.Data)
+		for i := range dst {
+			if math.Abs(float64(dst[i]-want.Data[i])) > 1e-3 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

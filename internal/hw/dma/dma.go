@@ -1,0 +1,155 @@
+// Package dma models η-LSTM's customized DMA module (paper Sec. V-D,
+// Fig. 14): the compression module that near-zero-prunes sparse traffic
+// into value+index (WT data / WT index) queues on the way out, the
+// decoder module that uses the index queue to gather only the needed
+// dense operands on the way in, and the bandwidth-limited I/O interface
+// to scratchpad/HBM.
+//
+// The model is functional (real compression through internal/compress)
+// plus cycle accounting: every transfer books time on the I/O port at
+// the configured bytes-per-cycle and tallies traffic per category, so
+// the architecture layer can overlap DMA with compute and the
+// experiment layer can report Fig. 17-style movement.
+package dma
+
+import (
+	"fmt"
+
+	"etalstm/internal/compress"
+	"etalstm/internal/hw/sim"
+	"etalstm/internal/tensor"
+)
+
+// Category labels traffic for the Fig. 4/17 accounting.
+type Category int
+
+// The paper's three data-movement categories.
+const (
+	Weights Category = iota
+	Activations
+	Intermediates
+	numCategories
+)
+
+// String implements fmt.Stringer.
+func (c Category) String() string {
+	switch c {
+	case Weights:
+		return "weights"
+	case Activations:
+		return "activations"
+	case Intermediates:
+		return "intermediates"
+	}
+	return fmt.Sprintf("Category(%d)", int(c))
+}
+
+// Config sets the DMA's I/O bandwidth and pruning threshold.
+type Config struct {
+	// BytesPerCycle is the I/O interface bandwidth. The paper's setup
+	// is 224 GB/s at 500 MHz = 448 B/cycle per board.
+	BytesPerCycle int64
+	// Threshold is the compression module's near-zero cutoff (0 means
+	// compress.DefaultThreshold).
+	Threshold float32
+}
+
+// Default returns the paper's per-board configuration.
+func Default() Config { return Config{BytesPerCycle: 448} }
+
+func (c Config) threshold() float32 {
+	if c.Threshold == 0 {
+		return compress.DefaultThreshold
+	}
+	return c.Threshold
+}
+
+// DMA is one DMA module instance.
+type DMA struct {
+	cfg  Config
+	port sim.Resource
+
+	traffic [numCategories]int64
+}
+
+// New builds a DMA module.
+func New(cfg Config) *DMA {
+	if cfg.BytesPerCycle <= 0 {
+		panic(fmt.Sprintf("dma: BytesPerCycle %d must be positive", cfg.BytesPerCycle))
+	}
+	return &DMA{cfg: cfg, port: sim.Resource{CyclesPerItem: 1}}
+}
+
+// Traffic returns the cumulative bytes moved in category c.
+func (d *DMA) Traffic(c Category) int64 { return d.traffic[c] }
+
+// TotalTraffic returns all bytes moved.
+func (d *DMA) TotalTraffic() int64 {
+	var t int64
+	for _, v := range d.traffic {
+		t += v
+	}
+	return t
+}
+
+// BusyCycles returns the I/O port's cumulative booked cycles.
+func (d *DMA) BusyCycles() int64 { return d.port.BusyCycles() }
+
+func (d *DMA) book(at, bytes int64, cat Category) int64 {
+	d.traffic[cat] += bytes
+	cycles := (bytes + d.cfg.BytesPerCycle - 1) / d.cfg.BytesPerCycle
+	return d.port.ReserveN(at, cycles)
+}
+
+// WriteDense transfers a dense matrix out through the WT data queue,
+// returning the completion cycle for a request issued at cycle at.
+func (d *DMA) WriteDense(at int64, m *tensor.Matrix, cat Category) int64 {
+	return d.book(at, m.Bytes(), cat)
+}
+
+// WriteSparse runs the compression module on m (identifying it as
+// sparse traffic), emits value+index queues, and returns the sparse
+// record plus the completion cycle. Only the compressed bytes transit
+// the I/O interface — the mechanism behind MS1's movement reduction.
+func (d *DMA) WriteSparse(at int64, m *tensor.Matrix, cat Category) (*compress.Sparse, int64) {
+	s := compress.Encode(m, d.cfg.threshold())
+	done := d.book(at, s.Bytes(), cat)
+	return s, done
+}
+
+// ReadDense transfers bytes of dense data in through the RD data queue.
+func (d *DMA) ReadDense(at, bytes int64, cat Category) int64 {
+	return d.book(at, bytes, cat)
+}
+
+// ReadSparse transfers a sparse record back in (value + index queues)
+// and decodes it for the channels.
+func (d *DMA) ReadSparse(at int64, s *compress.Sparse, cat Category) (*tensor.Matrix, int64) {
+	done := d.book(at, s.Bytes(), cat)
+	return s.Decode(nil), done
+}
+
+// GatherDense models the decoder module's index-driven load (Fig. 14:
+// "using the index information of the sparse operand to locate the
+// corresponding address"): only the dense elements at the sparse
+// record's surviving indices are fetched. Returns the gathered values
+// (aligned with s.Indices) and the completion cycle.
+func (d *DMA) GatherDense(at int64, dense []float32, s *compress.Sparse, cat Category) ([]float32, int64) {
+	if len(dense) != s.Rows*s.Cols {
+		panic(fmt.Sprintf("dma: GatherDense dense len %d vs record %dx%d",
+			len(dense), s.Rows, s.Cols))
+	}
+	out := make([]float32, len(s.Indices))
+	for i, idx := range s.Indices {
+		out[i] = dense[idx]
+	}
+	done := d.book(at, int64(len(out))*4, cat)
+	return out, done
+}
+
+// SavedBytes returns how many bytes GatherDense avoided versus a full
+// dense load of the record's shape.
+func SavedBytes(s *compress.Sparse) int64 {
+	dense := int64(s.Rows) * int64(s.Cols) * 4
+	return dense - int64(s.NNZ())*4
+}

@@ -1,0 +1,131 @@
+package dma
+
+import (
+	"testing"
+
+	"etalstm/internal/compress"
+	"etalstm/internal/rng"
+	"etalstm/internal/tensor"
+)
+
+func TestWriteDenseTrafficAndCycles(t *testing.T) {
+	d := New(Config{BytesPerCycle: 100})
+	m := tensor.New(10, 10) // 400 bytes
+	done := d.WriteDense(0, m, Weights)
+	if done != 4 {
+		t.Fatalf("400B at 100B/cycle: done at %d", done)
+	}
+	if d.Traffic(Weights) != 400 || d.TotalTraffic() != 400 {
+		t.Fatalf("traffic: %d", d.Traffic(Weights))
+	}
+}
+
+func TestPortSerializes(t *testing.T) {
+	d := New(Config{BytesPerCycle: 100})
+	m := tensor.New(10, 10)
+	first := d.WriteDense(0, m, Weights)
+	second := d.WriteDense(0, m, Activations)
+	if second <= first {
+		t.Fatal("I/O port must serialize concurrent transfers")
+	}
+	if d.BusyCycles() != 8 {
+		t.Fatalf("busy cycles: %d", d.BusyCycles())
+	}
+}
+
+func TestWriteSparseCompresses(t *testing.T) {
+	r := rng.New(1)
+	d := New(Default())
+	m := tensor.New(64, 64)
+	for i := range m.Data {
+		if r.Float64() < 0.7 {
+			m.Data[i] = r.Uniform(-0.05, 0.05) // below threshold
+		} else {
+			m.Data[i] = r.Uniform(0.5, 1)
+		}
+	}
+	s, _ := d.WriteSparse(0, m, Intermediates)
+	if s.Sparsity() < 0.6 {
+		t.Fatalf("sparsity: %v", s.Sparsity())
+	}
+	if d.Traffic(Intermediates) != s.Bytes() {
+		t.Fatal("sparse write must move only compressed bytes")
+	}
+	if d.Traffic(Intermediates) >= m.Bytes() {
+		t.Fatal("compressed traffic must be below dense size")
+	}
+}
+
+func TestReadSparseRoundtrip(t *testing.T) {
+	r := rng.New(2)
+	d := New(Default())
+	m := tensor.New(16, 16)
+	m.RandInit(r, 1)
+	s, _ := d.WriteSparse(0, m, Intermediates)
+	dec, done := d.ReadSparse(0, s, Intermediates)
+	if done <= 0 {
+		t.Fatal("read must take time")
+	}
+	// Decoded equals the pruned original.
+	want := s.Decode(nil)
+	if !dec.Equal(want, 0) {
+		t.Fatal("ReadSparse decode mismatch")
+	}
+}
+
+func TestGatherDense(t *testing.T) {
+	d := New(Default())
+	m := tensor.NewFromData(1, 6, []float32{0, 0.5, 0, -0.9, 0.01, 0.3})
+	s := compress.Encode(m, 0.1)
+	dense := []float32{10, 20, 30, 40, 50, 60}
+	got, _ := d.GatherDense(0, dense, s, Activations)
+	// Surviving indices: 1, 3, 5.
+	if len(got) != 3 || got[0] != 20 || got[1] != 40 || got[2] != 60 {
+		t.Fatalf("gather: %v", got)
+	}
+	if d.Traffic(Activations) != 12 {
+		t.Fatalf("gather traffic: %d", d.Traffic(Activations))
+	}
+	if SavedBytes(s) != int64(6*4-3*4) {
+		t.Fatalf("SavedBytes: %d", SavedBytes(s))
+	}
+}
+
+func TestGatherDenseValidates(t *testing.T) {
+	d := New(Default())
+	s := compress.Encode(tensor.New(2, 2), 0.1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	d.GatherDense(0, make([]float32, 3), s, Activations)
+}
+
+func TestCategoryAccountingSeparate(t *testing.T) {
+	d := New(Default())
+	d.ReadDense(0, 100, Weights)
+	d.ReadDense(0, 200, Activations)
+	d.ReadDense(0, 300, Intermediates)
+	if d.Traffic(Weights) != 100 || d.Traffic(Activations) != 200 || d.Traffic(Intermediates) != 300 {
+		t.Fatal("category accounting")
+	}
+	if d.TotalTraffic() != 600 {
+		t.Fatal("total")
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(Config{BytesPerCycle: 0})
+}
+
+func TestCategoryString(t *testing.T) {
+	if Weights.String() != "weights" || Intermediates.String() != "intermediates" {
+		t.Fatal("category strings")
+	}
+}

@@ -1,0 +1,125 @@
+// Package memory models the η-LSTM accelerator's storage hierarchy
+// (paper Fig. 13a): the on-chip scratchpad SRAM and the off-chip HBM,
+// with capacity, bandwidth and per-access energy. The architecture
+// layer books traffic here; the energy model reads the totals.
+//
+// Energy constants follow the Horowitz-style technology numbers listed
+// in DESIGN.md §5; absolute joules are not claimed to match the paper's
+// Vivado reports — energy *ratios* between design points are.
+package memory
+
+import "fmt"
+
+// Energy per byte moved (picojoules). SRAM ≈ 0.16 pJ/B amortized over
+// 64 KiB banks; HBM ≈ 10 pJ/B including PHY.
+const (
+	SRAMEnergyPJPerByte = 0.16
+	HBMEnergyPJPerByte  = 10.0
+)
+
+// Scratchpad is the on-chip SRAM: capacity-checked allocations plus
+// access-energy accounting. Bandwidth is effectively the channel
+// fabric's and is not the bottleneck the paper studies, so reads and
+// writes are counted but not serialized.
+type Scratchpad struct {
+	CapacityBytes int64
+
+	used       int64
+	peakUsed   int64
+	readBytes  int64
+	writeBytes int64
+}
+
+// NewScratchpad builds a scratchpad of the given capacity.
+func NewScratchpad(capacity int64) *Scratchpad {
+	if capacity <= 0 {
+		panic(fmt.Sprintf("memory: scratchpad capacity %d", capacity))
+	}
+	return &Scratchpad{CapacityBytes: capacity}
+}
+
+// Alloc reserves bytes, reporting whether they fit. Peak usage is
+// tracked for occupancy reports.
+func (s *Scratchpad) Alloc(bytes int64) bool {
+	if s.used+bytes > s.CapacityBytes {
+		return false
+	}
+	s.used += bytes
+	if s.used > s.peakUsed {
+		s.peakUsed = s.used
+	}
+	return true
+}
+
+// Free releases bytes (panics on underflow — a model bug).
+func (s *Scratchpad) Free(bytes int64) {
+	if bytes > s.used {
+		panic(fmt.Sprintf("memory: freeing %d with %d used", bytes, s.used))
+	}
+	s.used -= bytes
+}
+
+// Used returns current occupancy; Peak the high-water mark.
+func (s *Scratchpad) Used() int64 { return s.used }
+
+// Peak returns the maximum occupancy observed.
+func (s *Scratchpad) Peak() int64 { return s.peakUsed }
+
+// Read books a read of n bytes.
+func (s *Scratchpad) Read(n int64) { s.readBytes += n }
+
+// Write books a write of n bytes.
+func (s *Scratchpad) Write(n int64) { s.writeBytes += n }
+
+// EnergyPJ returns the scratchpad's access energy so far.
+func (s *Scratchpad) EnergyPJ() float64 {
+	return float64(s.readBytes+s.writeBytes) * SRAMEnergyPJPerByte
+}
+
+// TrafficBytes returns total bytes accessed.
+func (s *Scratchpad) TrafficBytes() int64 { return s.readBytes + s.writeBytes }
+
+// HBM is the off-chip memory: a bandwidth-limited port plus energy
+// accounting. The paper's per-board interface runs at 224 GB/s against
+// a 500 MHz fabric clock = 448 B/cycle.
+type HBM struct {
+	BytesPerCycle int64
+
+	busyUntil int64
+	traffic   int64
+}
+
+// NewHBM builds an HBM port with the given per-cycle bandwidth.
+func NewHBM(bytesPerCycle int64) *HBM {
+	if bytesPerCycle <= 0 {
+		panic(fmt.Sprintf("memory: HBM bandwidth %d", bytesPerCycle))
+	}
+	return &HBM{BytesPerCycle: bytesPerCycle}
+}
+
+// Transfer books n bytes starting no earlier than cycle at; returns the
+// completion cycle.
+func (h *HBM) Transfer(at, n int64) int64 {
+	start := at
+	if h.busyUntil > start {
+		start = h.busyUntil
+	}
+	cycles := (n + h.BytesPerCycle - 1) / h.BytesPerCycle
+	h.busyUntil = start + cycles
+	h.traffic += n
+	return h.busyUntil
+}
+
+// Cycles returns the port time n bytes would take (no booking).
+func (h *HBM) Cycles(n int64) int64 {
+	return (n + h.BytesPerCycle - 1) / h.BytesPerCycle
+}
+
+// Traffic returns total bytes transferred.
+func (h *HBM) Traffic() int64 { return h.traffic }
+
+// BusyUntil returns the cycle the port frees up.
+func (h *HBM) BusyUntil() int64 { return h.busyUntil }
+
+// EnergyPJ returns the HBM access energy so far.
+func (h *HBM) EnergyPJ() float64 { return float64(h.traffic) * HBMEnergyPJPerByte }

@@ -1,0 +1,110 @@
+package memory
+
+import (
+	"math"
+	"testing"
+)
+
+func TestScratchpadAllocFree(t *testing.T) {
+	s := NewScratchpad(1000)
+	if !s.Alloc(600) {
+		t.Fatal("alloc within capacity must succeed")
+	}
+	if s.Alloc(500) {
+		t.Fatal("over-capacity alloc must fail")
+	}
+	if !s.Alloc(400) {
+		t.Fatal("exact fit must succeed")
+	}
+	if s.Used() != 1000 || s.Peak() != 1000 {
+		t.Fatalf("used=%d peak=%d", s.Used(), s.Peak())
+	}
+	s.Free(1000)
+	if s.Used() != 0 || s.Peak() != 1000 {
+		t.Fatal("free must keep peak")
+	}
+}
+
+func TestScratchpadFreeUnderflowPanics(t *testing.T) {
+	s := NewScratchpad(10)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	s.Free(1)
+}
+
+func TestScratchpadEnergy(t *testing.T) {
+	s := NewScratchpad(100)
+	s.Read(50)
+	s.Write(50)
+	if s.TrafficBytes() != 100 {
+		t.Fatal("traffic")
+	}
+	if math.Abs(s.EnergyPJ()-100*SRAMEnergyPJPerByte) > 1e-9 {
+		t.Fatalf("energy: %v", s.EnergyPJ())
+	}
+}
+
+func TestHBMTransferSerializes(t *testing.T) {
+	h := NewHBM(448)
+	done1 := h.Transfer(0, 4480) // 10 cycles
+	if done1 != 10 {
+		t.Fatalf("first transfer: %d", done1)
+	}
+	done2 := h.Transfer(5, 448) // must queue behind
+	if done2 != 11 {
+		t.Fatalf("second transfer: %d", done2)
+	}
+	if h.Traffic() != 4928 {
+		t.Fatalf("traffic: %d", h.Traffic())
+	}
+}
+
+func TestHBMIdleStart(t *testing.T) {
+	h := NewHBM(100)
+	h.Transfer(0, 100)
+	done := h.Transfer(50, 100)
+	if done != 51 {
+		t.Fatalf("idle port must start at arrival: %d", done)
+	}
+}
+
+func TestHBMCyclesRoundsUp(t *testing.T) {
+	h := NewHBM(448)
+	if h.Cycles(1) != 1 || h.Cycles(449) != 2 {
+		t.Fatal("cycle rounding")
+	}
+}
+
+func TestHBMEnergyExceedsSRAM(t *testing.T) {
+	// The root of the paper's energy argument: off-chip bytes cost far
+	// more than on-chip bytes.
+	if HBMEnergyPJPerByte < 20*SRAMEnergyPJPerByte {
+		t.Fatal("HBM energy per byte must dwarf SRAM")
+	}
+	h := NewHBM(448)
+	h.Transfer(0, 1000)
+	s := NewScratchpad(1 << 20)
+	s.Read(1000)
+	if h.EnergyPJ() <= s.EnergyPJ() {
+		t.Fatal("same bytes must cost more off-chip")
+	}
+}
+
+func TestValidation(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"scratchpad": func() { NewScratchpad(0) },
+		"hbm":        func() { NewHBM(-1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}

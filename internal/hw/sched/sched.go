@@ -1,0 +1,151 @@
+// Package sched models the computational-resource allocation policies
+// the paper compares (Sec. V-A and V-C): static distribution of PEs
+// into fixed MatMul and EW hardware modules (the prior-accelerator
+// style of Fig. 10) versus η-LSTM's Runtime Resource Allocation (R2A)
+// with swing PEs and swing channels.
+//
+// The unit of work is the lstm.OpCount-derived Workload: MatMul MACs
+// and element-wise operations, each processed at one per PE-cycle.
+package sched
+
+import (
+	"fmt"
+
+	"etalstm/internal/lstm"
+)
+
+// Workload is the operation mix one phase must execute.
+type Workload struct {
+	MatMulMACs int64
+	EWOps      int64
+}
+
+// FromOpCount converts an lstm.OpCount.
+func FromOpCount(o lstm.OpCount) Workload {
+	return Workload{MatMulMACs: o.MatMulMACs, EWOps: o.EWOps()}
+}
+
+// Add combines workloads.
+func (w Workload) Add(o Workload) Workload {
+	return Workload{MatMulMACs: w.MatMulMACs + o.MatMulMACs, EWOps: w.EWOps + o.EWOps}
+}
+
+// Total returns total operations.
+func (w Workload) Total() int64 { return w.MatMulMACs + w.EWOps }
+
+// Alloc is a static division of PEs between the two module kinds.
+type Alloc struct {
+	MatMulPEs int
+	EWPEs     int
+}
+
+// StaticSplit divides totalPEs proportionally to a reference workload —
+// how prior accelerators provision their MatMul and EW modules at
+// design time (the paper's Static-Arch calibrates on TREC-10). Each
+// side gets at least one PE.
+func StaticSplit(totalPEs int, ref Workload) Alloc {
+	if totalPEs < 2 {
+		panic(fmt.Sprintf("sched: need ≥ 2 PEs, have %d", totalPEs))
+	}
+	t := ref.Total()
+	if t == 0 {
+		return Alloc{MatMulPEs: totalPEs / 2, EWPEs: totalPEs - totalPEs/2}
+	}
+	mm := int(float64(totalPEs) * float64(ref.MatMulMACs) / float64(t))
+	if mm < 1 {
+		mm = 1
+	}
+	if mm > totalPEs-1 {
+		mm = totalPEs - 1
+	}
+	return Alloc{MatMulPEs: mm, EWPEs: totalPEs - mm}
+}
+
+// Result reports a schedule's outcome.
+type Result struct {
+	Cycles      int64
+	Utilization float64 // total ops / (PEs × cycles)
+}
+
+// Static executes w under a fixed allocation: the MatMul module and EW
+// module run concurrently on their own PEs, so the phase finishes when
+// the slower module does; the faster module idles (the Fig. 10
+// pathology).
+func Static(w Workload, a Alloc, totalPEs int) Result {
+	mmCycles := ceilDiv(w.MatMulMACs, int64(a.MatMulPEs))
+	ewCycles := ceilDiv(w.EWOps, int64(a.EWPEs))
+	cycles := mmCycles
+	if ewCycles > cycles {
+		cycles = ewCycles
+	}
+	return finish(w, cycles, totalPEs)
+}
+
+// SwingOverhead is the R2A switch cost: reassigning a PE between
+// MatMul and EW duty flushes its pipeline, a small constant the paper's
+// channel controller amortizes over channel-sized groups. Modeled as a
+// fractional cycle tax on the ideal balanced schedule.
+const SwingOverhead = 0.02
+
+// Dynamic executes w under R2A: the scheduler initially splits PEs by
+// the estimated mix and swings idle PEs to whichever operation has
+// ready inputs, so all PEs stay busy until the work runs out
+// (Sec. V-C: "there exists no pipeline stalls as the swing PEs design
+// can effectively avoid dependency waiting").
+func Dynamic(w Workload, totalPEs int) Result {
+	if totalPEs < 1 {
+		panic("sched: need ≥ 1 PE")
+	}
+	ideal := ceilDiv(w.Total(), int64(totalPEs))
+	cycles := int64(float64(ideal) * (1 + SwingOverhead))
+	if w.Total() > 0 && cycles < 1 {
+		cycles = 1
+	}
+	return finish(w, cycles, totalPEs)
+}
+
+func finish(w Workload, cycles int64, totalPEs int) Result {
+	r := Result{Cycles: cycles}
+	if cycles > 0 && totalPEs > 0 {
+		r.Utilization = float64(w.Total()) / (float64(cycles) * float64(totalPEs))
+	}
+	return r
+}
+
+func ceilDiv(a, b int64) int64 {
+	if b <= 0 {
+		panic("sched: division by non-positive PEs")
+	}
+	return (a + b - 1) / b
+}
+
+// PhaseSchedule runs a sequence of dependent phases (e.g. the FW cells
+// of a layer, then its BP cells) under a policy, summing cycles.
+type Policy int
+
+// The two allocation policies.
+const (
+	PolicyStatic Policy = iota
+	PolicyDynamic
+)
+
+// RunPhases schedules each phase in order and returns total cycles and
+// aggregate utilization. alloc is used only by PolicyStatic.
+func RunPhases(phases []Workload, policy Policy, alloc Alloc, totalPEs int) Result {
+	var total Workload
+	var cycles int64
+	for _, ph := range phases {
+		var r Result
+		switch policy {
+		case PolicyStatic:
+			r = Static(ph, alloc, totalPEs)
+		case PolicyDynamic:
+			r = Dynamic(ph, totalPEs)
+		default:
+			panic(fmt.Sprintf("sched: unknown policy %d", policy))
+		}
+		cycles += r.Cycles
+		total = total.Add(ph)
+	}
+	return finish(total, cycles, totalPEs)
+}

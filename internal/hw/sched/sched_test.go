@@ -1,0 +1,175 @@
+package sched
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"etalstm/internal/lstm"
+)
+
+func TestStaticSplitProportional(t *testing.T) {
+	a := StaticSplit(100, Workload{MatMulMACs: 900, EWOps: 100})
+	if a.MatMulPEs != 90 || a.EWPEs != 10 {
+		t.Fatalf("split: %+v", a)
+	}
+}
+
+func TestStaticSplitMinimumOne(t *testing.T) {
+	a := StaticSplit(10, Workload{MatMulMACs: 1000000, EWOps: 1})
+	if a.EWPEs < 1 || a.MatMulPEs < 1 {
+		t.Fatalf("split must give each side a PE: %+v", a)
+	}
+	b := StaticSplit(10, Workload{})
+	if b.MatMulPEs+b.EWPEs != 10 {
+		t.Fatalf("empty ref split: %+v", b)
+	}
+}
+
+func TestStaticSplitValidates(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	StaticSplit(1, Workload{})
+}
+
+func TestStaticMatchedWorkloadEfficient(t *testing.T) {
+	w := Workload{MatMulMACs: 9000, EWOps: 1000}
+	a := StaticSplit(100, w)
+	r := Static(w, a, 100)
+	if r.Utilization < 0.95 {
+		t.Fatalf("matched workload should be near-fully utilized: %v", r.Utilization)
+	}
+}
+
+// TestStaticMismatchedWorkloadIdles reproduces the Fig. 10 pathology:
+// an allocation tuned for one mix wastes PEs on a different mix.
+func TestStaticMismatchedWorkloadIdles(t *testing.T) {
+	ref := Workload{MatMulMACs: 5000, EWOps: 5000} // design-time mix
+	a := StaticSplit(100, ref)
+	skewed := Workload{MatMulMACs: 9900, EWOps: 100} // runtime mix
+	r := Static(skewed, a, 100)
+	if r.Utilization > 0.6 {
+		t.Fatalf("mismatched static should idle: utilization %v", r.Utilization)
+	}
+	d := Dynamic(skewed, 100)
+	if d.Utilization < 0.9 {
+		t.Fatalf("dynamic must stay busy: %v", d.Utilization)
+	}
+	if d.Cycles >= r.Cycles {
+		t.Fatalf("dynamic %d must beat mismatched static %d", d.Cycles, r.Cycles)
+	}
+}
+
+func TestDynamicNearIdeal(t *testing.T) {
+	w := Workload{MatMulMACs: 100000, EWOps: 50000}
+	r := Dynamic(w, 128)
+	ideal := float64(w.Total()) / 128
+	if float64(r.Cycles) < ideal {
+		t.Fatal("cannot beat the work bound")
+	}
+	if float64(r.Cycles) > ideal*1.05 {
+		t.Fatalf("dynamic overhead too high: %d vs ideal %v", r.Cycles, ideal)
+	}
+}
+
+func TestDynamicEmptyWorkload(t *testing.T) {
+	r := Dynamic(Workload{}, 32)
+	if r.Cycles != 0 || r.Utilization != 0 {
+		t.Fatalf("empty workload: %+v", r)
+	}
+}
+
+func TestFromOpCount(t *testing.T) {
+	o := lstm.OpCount{MatMulMACs: 10, EWMul: 2, EWAdd: 3, Activation: 4}
+	w := FromOpCount(o)
+	if w.MatMulMACs != 10 || w.EWOps != 9 {
+		t.Fatalf("FromOpCount: %+v", w)
+	}
+}
+
+func TestWorkloadAdd(t *testing.T) {
+	w := Workload{MatMulMACs: 1, EWOps: 2}.Add(Workload{MatMulMACs: 3, EWOps: 4})
+	if w.MatMulMACs != 4 || w.EWOps != 6 || w.Total() != 10 {
+		t.Fatalf("Add: %+v", w)
+	}
+}
+
+func TestRunPhasesSumsCycles(t *testing.T) {
+	phases := []Workload{
+		{MatMulMACs: 1000, EWOps: 100},
+		{MatMulMACs: 100, EWOps: 1000},
+	}
+	a := StaticSplit(10, phases[0])
+	st := RunPhases(phases, PolicyStatic, a, 10)
+	dy := RunPhases(phases, PolicyDynamic, Alloc{}, 10)
+	if dy.Cycles >= st.Cycles {
+		t.Fatalf("dynamic %d must beat static %d across mixed phases", dy.Cycles, st.Cycles)
+	}
+	if dy.Utilization <= st.Utilization {
+		t.Fatal("dynamic utilization must exceed static on mixed phases")
+	}
+}
+
+// TestMS1WorkloadShiftHurtsStatic: the paper's motivation for R2A — the
+// memory-saving optimizations make the per-cell mix irregular (MS1
+// moves EW work into FW cells and shrinks BP cells), so a static split
+// tuned on the unoptimized mix loses efficiency.
+func TestMS1WorkloadShiftHurtsStatic(t *testing.T) {
+	const input, hidden, batch = 512, 1024, 16
+	fwBase := FromOpCount(lstm.ForwardOps(input, hidden, batch))
+	bpBase := FromOpCount(lstm.BackwardOps(input, hidden, batch))
+	alloc := StaticSplit(1280, fwBase.Add(bpBase)) // tuned on baseline mix
+
+	// MS1 mix: FW gains P1 work; BP shrinks by 65 % sparsity.
+	fwMS1 := fwBase.Add(FromOpCount(lstm.P1Ops(hidden, batch)))
+	bpMS1 := FromOpCount(lstm.BackwardFromP1Ops(input, hidden, batch, 0.65))
+
+	st := RunPhases([]Workload{fwMS1, bpMS1}, PolicyStatic, alloc, 1280)
+	dy := RunPhases([]Workload{fwMS1, bpMS1}, PolicyDynamic, Alloc{}, 1280)
+	if dy.Cycles >= st.Cycles {
+		t.Fatalf("dynamic %d must beat static %d on the MS1 mix", dy.Cycles, st.Cycles)
+	}
+	if st.Utilization > 0.99 {
+		t.Fatalf("static should show idle time on the shifted mix: %v", st.Utilization)
+	}
+}
+
+// Property: dynamic never loses to static on the same workload, and
+// utilizations stay in (0, 1].
+func TestPropertyDynamicBeatsStatic(t *testing.T) {
+	f := func(mmRaw, ewRaw uint32, refMM, refEW uint16) bool {
+		w := Workload{MatMulMACs: int64(mmRaw%1000000) + 1, EWOps: int64(ewRaw % 1000000)}
+		ref := Workload{MatMulMACs: int64(refMM) + 1, EWOps: int64(refEW) + 1}
+		a := StaticSplit(64, ref)
+		st := Static(w, a, 64)
+		dy := Dynamic(w, 64)
+		if dy.Utilization <= 0 || dy.Utilization > 1.0001 {
+			return false
+		}
+		if st.Utilization <= 0 || st.Utilization > 1.0001 {
+			return false
+		}
+		// Allow the 2% swing tax: dynamic must be within 3% of static
+		// at worst, and usually far better.
+		return float64(dy.Cycles) <= float64(st.Cycles)*1.03+1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUtilizationComputation(t *testing.T) {
+	w := Workload{MatMulMACs: 640, EWOps: 0}
+	r := Dynamic(w, 64)
+	// 640 ops / 64 PEs = 10 ideal cycles; 2% overhead → 10 cycles
+	// (floor), utilization 1.0.
+	if r.Cycles < 10 || r.Cycles > 11 {
+		t.Fatalf("cycles: %d", r.Cycles)
+	}
+	if math.Abs(r.Utilization-float64(w.Total())/(float64(r.Cycles)*64)) > 1e-12 {
+		t.Fatal("utilization formula")
+	}
+}

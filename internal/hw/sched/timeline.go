@@ -1,0 +1,121 @@
+package sched
+
+// This file adds the temporal view behind paper Fig. 10: within a
+// phase, EW work only becomes available as MatMul output streams out
+// (the producer-consumer dependency of the LSTM cell), so a statically
+// provisioned EW module idles whenever its capacity outruns the
+// availability rate — the "Idle Time of EW" the figure shades. R2A's
+// swing PEs take MatMul duty during those gaps instead.
+
+// TimelinePoint is one simulation slice of a phase execution.
+type TimelinePoint struct {
+	Cycle      int64
+	MatMulBusy int // PEs doing MatMul work this slice
+	EWBusy     int // PEs doing EW work this slice
+	Idle       int // provisioned PEs with nothing ready
+}
+
+// Timeline is a phase execution trace plus its summary.
+type Timeline struct {
+	Points []TimelinePoint
+	Cycles int64
+	// IdlePEFrac is idle PE-cycles / total PE-cycles — Fig. 10's shaded
+	// area as a number.
+	IdlePEFrac float64
+}
+
+// simulate advances one phase slice by slice. mmPE/ewPE give each
+// kind's capacity per cycle; under R2A (swing=true) idle capacity on
+// either side converts to the other kind when that kind has ready work.
+func simulate(w Workload, mmPE, ewPE int, swing bool, slice int64) Timeline {
+	if slice < 1 {
+		slice = 1
+	}
+	var tl Timeline
+	mmLeft := float64(w.MatMulMACs)
+	ewLeft := float64(w.EWOps)
+	mmTotal := float64(w.MatMulMACs)
+	// EW availability: proportional to MatMul progress (outputs stream
+	// into the EW stage as they are produced).
+	ewReady := 0.0
+	if mmTotal == 0 {
+		ewReady = ewLeft
+	}
+	var idlePE, totalPE float64
+
+	for mmLeft > 0 || ewLeft > 0 {
+		mmCap := float64(mmPE) * float64(slice)
+		ewCap := float64(ewPE) * float64(slice)
+
+		// Swing: PEs whose own kind has no ready work help the other.
+		if swing {
+			if mmLeft <= 0 {
+				ewCap += mmCap
+				mmCap = 0
+			}
+			if ewReady <= 0 && ewLeft > 0 || ewLeft <= 0 {
+				// EW has nothing ready (or nothing at all): its PEs do
+				// MatMul this slice.
+				mmCap += ewCap
+				ewCap = 0
+			}
+		}
+
+		mmDone := mmCap
+		if mmDone > mmLeft {
+			mmDone = mmLeft
+		}
+		mmLeft -= mmDone
+		if mmTotal > 0 {
+			ewReady += float64(w.EWOps) * mmDone / mmTotal
+		}
+
+		ewDone := ewCap
+		if ewDone > ewReady {
+			ewDone = ewReady
+		}
+		if ewDone > ewLeft {
+			ewDone = ewLeft
+		}
+		ewLeft -= ewDone
+		ewReady -= ewDone
+
+		total := float64(mmPE+ewPE) * float64(slice)
+		busy := mmDone + ewDone
+		idle := total - busy
+		if idle < 0 {
+			idle = 0
+		}
+		idlePE += idle
+		totalPE += total
+
+		tl.Cycles += slice
+		tl.Points = append(tl.Points, TimelinePoint{
+			Cycle:      tl.Cycles,
+			MatMulBusy: int(mmDone / float64(slice)),
+			EWBusy:     int(ewDone / float64(slice)),
+			Idle:       int(idle / float64(slice)),
+		})
+		if len(tl.Points) > 1<<20 {
+			break // runaway guard; the analytic model bounds real runs
+		}
+	}
+	if totalPE > 0 {
+		tl.IdlePEFrac = idlePE / totalPE
+	}
+	return tl
+}
+
+// StaticTimeline traces a phase under fixed module provisioning —
+// Fig. 10's upper band, with the EW module idling while it waits for
+// MatMul outputs.
+func StaticTimeline(w Workload, a Alloc, slice int64) Timeline {
+	return simulate(w, a.MatMulPEs, a.EWPEs, false, slice)
+}
+
+// DynamicTimeline traces a phase under R2A: the same PEs, but idle
+// capacity swings to whichever kind has ready inputs.
+func DynamicTimeline(w Workload, totalPEs int, slice int64) Timeline {
+	a := StaticSplit(totalPEs, w)
+	return simulate(w, a.MatMulPEs, a.EWPEs, true, slice)
+}

@@ -1,0 +1,94 @@
+package sched
+
+import (
+	"testing"
+
+	"etalstm/internal/lstm"
+)
+
+func lstmPhase() Workload {
+	// One FW cell's mix at a realistic geometry: MatMul-dominant with a
+	// dependent EW tail — the Fig. 10 shape.
+	return FromOpCount(lstm.ForwardOps(512, 1024, 32))
+}
+
+func TestStaticTimelineShowsEWIdle(t *testing.T) {
+	w := lstmPhase()
+	// Provision EW generously (a mismatched design-time split).
+	a := Alloc{MatMulPEs: 512, EWPEs: 512}
+	tl := StaticTimeline(w, a, 1024)
+	if tl.Cycles <= 0 || len(tl.Points) == 0 {
+		t.Fatal("empty timeline")
+	}
+	if tl.IdlePEFrac < 0.2 {
+		t.Fatalf("mismatched static allocation should idle substantially: %.3f", tl.IdlePEFrac)
+	}
+	// Early slices: the EW module waits for MatMul outputs.
+	first := tl.Points[0]
+	if first.EWBusy > first.MatMulBusy {
+		t.Fatal("EW cannot outpace MatMul availability at the start")
+	}
+}
+
+func TestDynamicTimelineSwingsIdleAway(t *testing.T) {
+	w := lstmPhase()
+	st := StaticTimeline(w, Alloc{MatMulPEs: 512, EWPEs: 512}, 1024)
+	dy := DynamicTimeline(w, 1024, 1024)
+	if dy.IdlePEFrac >= st.IdlePEFrac {
+		t.Fatalf("R2A must reduce idle PE-cycles: %.3f vs %.3f", dy.IdlePEFrac, st.IdlePEFrac)
+	}
+	if dy.Cycles >= st.Cycles {
+		t.Fatalf("R2A must finish sooner: %d vs %d", dy.Cycles, st.Cycles)
+	}
+	if dy.IdlePEFrac > 0.1 {
+		t.Fatalf("R2A idle fraction %.3f too high", dy.IdlePEFrac)
+	}
+}
+
+func TestTimelineConservesWork(t *testing.T) {
+	// Total executed ops across slices must equal the workload.
+	w := Workload{MatMulMACs: 100000, EWOps: 40000}
+	for _, tl := range []Timeline{
+		StaticTimeline(w, Alloc{MatMulPEs: 100, EWPEs: 100}, 64),
+		DynamicTimeline(w, 200, 64),
+	} {
+		var mm, ew int64
+		for _, p := range tl.Points {
+			mm += int64(p.MatMulBusy) * 64
+			ew += int64(p.EWBusy) * 64
+		}
+		// Slice quantization loses at most one slice per kind.
+		if mm < w.MatMulMACs-64*200 || mm > w.MatMulMACs+64*200 {
+			t.Fatalf("MatMul work mismatch: %d vs %d", mm, w.MatMulMACs)
+		}
+		if ew < w.EWOps-64*200 || ew > w.EWOps+64*200 {
+			t.Fatalf("EW work mismatch: %d vs %d", ew, w.EWOps)
+		}
+	}
+}
+
+func TestTimelineEWOnlyWorkload(t *testing.T) {
+	// With no MatMul, all EW is immediately available.
+	w := Workload{EWOps: 5000}
+	tl := DynamicTimeline(w, 100, 10)
+	if tl.Cycles <= 0 {
+		t.Fatal("EW-only timeline must run")
+	}
+	if tl.IdlePEFrac > 0.2 {
+		t.Fatalf("EW-only under R2A should stay busy: %.3f", tl.IdlePEFrac)
+	}
+}
+
+func TestTimelineEmptyWorkload(t *testing.T) {
+	tl := StaticTimeline(Workload{}, Alloc{MatMulPEs: 4, EWPEs: 4}, 8)
+	if tl.Cycles != 0 || len(tl.Points) != 0 {
+		t.Fatalf("empty workload timeline: %+v", tl)
+	}
+}
+
+func TestTimelineSliceClamp(t *testing.T) {
+	tl := DynamicTimeline(Workload{MatMulMACs: 10}, 4, 0) // slice clamps to 1
+	if tl.Cycles <= 0 {
+		t.Fatal("clamped slice must still progress")
+	}
+}

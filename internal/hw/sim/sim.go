@@ -1,0 +1,139 @@
+// Package sim provides the small discrete-event kernel under the
+// η-LSTM hardware models: a cycle-granular event queue plus helper
+// types for modeling pipelined, bandwidth-limited resources.
+//
+// The accelerator models are hybrid (DESIGN.md §6): micro components
+// (the streaming accumulator, the Omni-PE datapath) step cycle by
+// cycle and are verified against the paper's timing charts; macro
+// components (cell scheduling, DMA transfers) run as events over
+// cycle spans. This package serves the latter.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Event is a callback scheduled at an absolute cycle.
+type Event struct {
+	Cycle int64
+	Fn    func()
+
+	seq int // tie-break: FIFO among same-cycle events
+	idx int
+}
+
+type eventQueue []*Event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].Cycle != q[j].Cycle {
+		return q[i].Cycle < q[j].Cycle
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].idx, q[j].idx = i, j
+}
+func (q *eventQueue) Push(x any) {
+	e := x.(*Event)
+	e.idx = len(*q)
+	*q = append(*q, e)
+}
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return e
+}
+
+// Engine is a discrete-event simulator. The zero value is ready to use.
+type Engine struct {
+	now   int64
+	seq   int
+	queue eventQueue
+}
+
+// Now returns the current simulation cycle.
+func (e *Engine) Now() int64 { return e.now }
+
+// At schedules fn to run at absolute cycle c (panics if c is in the
+// past — hardware cannot act retroactively).
+func (e *Engine) At(c int64, fn func()) {
+	if c < e.now {
+		panic(fmt.Sprintf("sim: scheduling at cycle %d before now %d", c, e.now))
+	}
+	e.seq++
+	heap.Push(&e.queue, &Event{Cycle: c, Fn: fn, seq: e.seq})
+}
+
+// After schedules fn delay cycles from now.
+func (e *Engine) After(delay int64, fn func()) { e.At(e.now+delay, fn) }
+
+// Run processes events until the queue drains, returning the final
+// cycle.
+func (e *Engine) Run() int64 {
+	for e.queue.Len() > 0 {
+		ev := heap.Pop(&e.queue).(*Event)
+		e.now = ev.Cycle
+		ev.Fn()
+	}
+	return e.now
+}
+
+// RunUntil processes events up to and including cycle limit; remaining
+// events stay queued. It reports whether the queue drained.
+func (e *Engine) RunUntil(limit int64) bool {
+	for e.queue.Len() > 0 {
+		if e.queue[0].Cycle > limit {
+			e.now = limit
+			return false
+		}
+		ev := heap.Pop(&e.queue).(*Event)
+		e.now = ev.Cycle
+		ev.Fn()
+	}
+	return true
+}
+
+// Pending returns the number of queued events.
+func (e *Engine) Pending() int { return e.queue.Len() }
+
+// Resource models a unit that serves requests serially at a fixed
+// per-item cycle cost (a bus, a LUT unit, a DMA port). Reserve returns
+// the cycle at which a request arriving at cycle `at` completes, and
+// advances the resource's busy horizon.
+type Resource struct {
+	// CyclesPerItem is the service time of one request.
+	CyclesPerItem int64
+	freeAt        int64
+}
+
+// Reserve books one request arriving at cycle at; returns completion.
+func (r *Resource) Reserve(at int64) int64 {
+	start := at
+	if r.freeAt > start {
+		start = r.freeAt
+	}
+	r.freeAt = start + r.CyclesPerItem
+	return r.freeAt
+}
+
+// ReserveN books n back-to-back requests arriving at cycle at.
+func (r *Resource) ReserveN(at, n int64) int64 {
+	start := at
+	if r.freeAt > start {
+		start = r.freeAt
+	}
+	r.freeAt = start + n*r.CyclesPerItem
+	return r.freeAt
+}
+
+// FreeAt returns the cycle the resource next becomes idle.
+func (r *Resource) FreeAt() int64 { return r.freeAt }
+
+// BusyCycles returns the total cycles the resource has been booked.
+func (r *Resource) BusyCycles() int64 { return r.freeAt }

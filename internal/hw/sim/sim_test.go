@@ -1,0 +1,152 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestEventOrdering(t *testing.T) {
+	var e Engine
+	var order []int
+	e.At(5, func() { order = append(order, 5) })
+	e.At(1, func() { order = append(order, 1) })
+	e.At(3, func() { order = append(order, 3) })
+	final := e.Run()
+	if final != 5 {
+		t.Fatalf("final cycle: %d", final)
+	}
+	if len(order) != 3 || order[0] != 1 || order[1] != 3 || order[2] != 5 {
+		t.Fatalf("order: %v", order)
+	}
+}
+
+func TestSameCycleFIFO(t *testing.T) {
+	var e Engine
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.At(7, func() { order = append(order, i) })
+	}
+	e.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("same-cycle events must run FIFO: %v", order)
+		}
+	}
+}
+
+func TestEventsScheduleEvents(t *testing.T) {
+	var e Engine
+	hits := 0
+	var chain func()
+	chain = func() {
+		hits++
+		if hits < 5 {
+			e.After(2, chain)
+		}
+	}
+	e.At(0, chain)
+	final := e.Run()
+	if hits != 5 || final != 8 {
+		t.Fatalf("hits=%d final=%d", hits, final)
+	}
+}
+
+func TestPastSchedulingPanics(t *testing.T) {
+	var e Engine
+	e.At(10, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("expected panic for past scheduling")
+			}
+		}()
+		e.At(5, func() {})
+	})
+	e.Run()
+}
+
+func TestRunUntil(t *testing.T) {
+	var e Engine
+	ran := 0
+	e.At(3, func() { ran++ })
+	e.At(10, func() { ran++ })
+	drained := e.RunUntil(5)
+	if drained || ran != 1 || e.Now() != 5 || e.Pending() != 1 {
+		t.Fatalf("RunUntil: drained=%v ran=%d now=%d pending=%d", drained, ran, e.Now(), e.Pending())
+	}
+	if !e.RunUntil(20) || ran != 2 {
+		t.Fatal("second RunUntil must drain")
+	}
+}
+
+func TestResourceSerializes(t *testing.T) {
+	r := &Resource{CyclesPerItem: 4}
+	if got := r.Reserve(0); got != 4 {
+		t.Fatalf("first: %d", got)
+	}
+	// Arriving while busy queues behind.
+	if got := r.Reserve(1); got != 8 {
+		t.Fatalf("second: %d", got)
+	}
+	// Arriving after idle starts immediately.
+	if got := r.Reserve(100); got != 104 {
+		t.Fatalf("third: %d", got)
+	}
+}
+
+func TestResourceReserveN(t *testing.T) {
+	r := &Resource{CyclesPerItem: 2}
+	if got := r.ReserveN(0, 10); got != 20 {
+		t.Fatalf("ReserveN: %d", got)
+	}
+	if r.FreeAt() != 20 || r.BusyCycles() != 20 {
+		t.Fatal("FreeAt/BusyCycles")
+	}
+}
+
+// Property: Run returns the max scheduled cycle and executes every
+// event exactly once.
+func TestPropertyAllEventsRun(t *testing.T) {
+	f := func(cyclesRaw []uint16) bool {
+		var e Engine
+		count := 0
+		var maxC int64
+		for _, c := range cyclesRaw {
+			cc := int64(c)
+			if cc > maxC {
+				maxC = cc
+			}
+			e.At(cc, func() { count++ })
+		}
+		final := e.Run()
+		if len(cyclesRaw) == 0 {
+			return final == 0 && count == 0
+		}
+		return count == len(cyclesRaw) && final == maxC
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: a serial resource's completion times are strictly
+// increasing and gaps are at least CyclesPerItem.
+func TestPropertyResourceMonotone(t *testing.T) {
+	f := func(arrivals []uint16) bool {
+		r := &Resource{CyclesPerItem: 3}
+		var prev int64 = -1
+		at := int64(0)
+		for _, a := range arrivals {
+			at += int64(a % 10)
+			done := r.Reserve(at)
+			if prev >= 0 && done-prev < 3 {
+				return false
+			}
+			prev = done
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

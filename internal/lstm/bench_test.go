@@ -1,0 +1,62 @@
+package lstm
+
+import (
+	"testing"
+
+	"etalstm/internal/rng"
+	"etalstm/internal/tensor"
+)
+
+func benchSetup(hidden, batch int) (*Params, *tensor.Matrix, *tensor.Matrix, *tensor.Matrix) {
+	r := rng.New(1)
+	p := NewParams(hidden, hidden)
+	p.Init(r)
+	x := tensor.New(batch, hidden)
+	h := tensor.New(batch, hidden)
+	s := tensor.New(batch, hidden)
+	x.RandInit(r, 1)
+	return p, x, h, s
+}
+
+func BenchmarkForwardH256B32(b *testing.B) {
+	p, x, h, s := benchSetup(256, 32)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Forward(p, x, h, s)
+	}
+}
+
+func BenchmarkComputeP1H256B32(b *testing.B) {
+	p, x, h, s := benchSetup(256, 32)
+	_, _, cache := Forward(p, x, h, s)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ComputeP1(cache)
+	}
+}
+
+func BenchmarkBackwardH256B32(b *testing.B) {
+	p, x, h, s := benchSetup(256, 32)
+	_, _, cache := Forward(p, x, h, s)
+	r := rng.New(2)
+	dy := tensor.New(32, 256)
+	dy.RandInit(r, 1)
+	g := NewGrads(p)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Backward(p, g, cache, BPInput{DY: dy})
+	}
+}
+
+func BenchmarkBackwardFromP1H256B32(b *testing.B) {
+	p, x, h, s := benchSetup(256, 32)
+	_, _, p1 := ForwardWithP1(p, x, h, s)
+	r := rng.New(2)
+	dy := tensor.New(32, 256)
+	dy.RandInit(r, 1)
+	g := NewGrads(p)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		BackwardFromP1(p, g, x, h, p1, BPInput{DY: dy})
+	}
+}

@@ -1,0 +1,179 @@
+package lstm
+
+import (
+	"etalstm/internal/tensor"
+)
+
+// FWCache holds what the baseline training flow stores per FW cell for
+// later reuse by the matching BP cell: the inputs (activations) and the
+// five intermediate variables the paper identifies as the footprint
+// upper-bound (f, i, c̃, o, s — paper Sec. III-B).
+type FWCache struct {
+	// Activations: inputs to the cell. Stored by every training flow.
+	X     *tensor.Matrix // batch×input layer input x_t
+	HPrev *tensor.Matrix // batch×hidden context h_{t-1}
+	SPrev *tensor.Matrix // batch×hidden previous cell state s_{t-1}
+
+	// Intermediate variables produced by FW-EW and consumed by BP-EW.
+	F *tensor.Matrix // forget gate output
+	I *tensor.Matrix // input gate output
+	C *tensor.Matrix // cell (candidate) gate output c̃
+	O *tensor.Matrix // output gate output
+	S *tensor.Matrix // new cell state s_t
+}
+
+// IntermediateBytes returns the bytes of the cell's intermediate
+// variables (f, i, c̃, o, s) — the quantity MS1 attacks.
+func (c *FWCache) IntermediateBytes() int64 {
+	return c.F.Bytes() + c.I.Bytes() + c.C.Bytes() + c.O.Bytes() + c.S.Bytes()
+}
+
+// ActivationBytes returns the bytes of the cell's stored activations
+// (x_t and h_{t-1}; s_{t-1} aliases the previous cell's S).
+func (c *FWCache) ActivationBytes() int64 {
+	return c.X.Bytes() + c.HPrev.Bytes()
+}
+
+// Forward runs one FW cell (paper Fig. 2a): given layer input x
+// (batch×input), context h_{t-1} and cell state s_{t-1} (batch×hidden),
+// it returns the new context h_t, cell state s_t and the cache the BP
+// cell will consume. x, hPrev and sPrev are retained by the cache, not
+// copied; callers must not mutate them afterwards.
+func Forward(p *Params, x, hPrev, sPrev *tensor.Matrix) (h, s *tensor.Matrix, cache *FWCache) {
+	batch := x.Rows
+	var raw [NumGates]*tensor.Matrix
+	for g := Gate(0); g < NumGates; g++ {
+		// FW-MatMul: raw_g = x·W_g + hPrev·U_g + b_g
+		raw[g] = tensor.MatMul(nil, x, p.W[g])
+		uh := tensor.MatMul(nil, hPrev, p.U[g])
+		tensor.AddInPlace(raw[g], uh)
+		tensor.AddRowVector(raw[g], raw[g], p.B[g])
+	}
+
+	// FW-EW: activations and state update.
+	f := tensor.Sigmoid(nil, raw[GateF])
+	i := tensor.Sigmoid(nil, raw[GateI])
+	cg := tensor.Tanh(nil, raw[GateC])
+	o := tensor.Sigmoid(nil, raw[GateO])
+
+	s = tensor.New(batch, p.Hidden)
+	for k := range s.Data {
+		s.Data[k] = f.Data[k]*sPrev.Data[k] + i.Data[k]*cg.Data[k]
+	}
+	h = tensor.New(batch, p.Hidden)
+	for k := range h.Data {
+		h.Data[k] = o.Data[k] * tensor.Tanh32(s.Data[k])
+	}
+
+	cache = &FWCache{X: x, HPrev: hPrev, SPrev: sPrev, F: f, I: i, C: cg, O: o, S: s}
+	return h, s, cache
+}
+
+// InferenceForward runs the FW cell without retaining any cache — the
+// inference flow the paper contrasts against training, and the flow
+// MS2 uses for FW cells whose BP cell is predicted insignificant.
+func InferenceForward(p *Params, x, hPrev, sPrev *tensor.Matrix) (h, s *tensor.Matrix) {
+	h, s, _ = Forward(p, x, hPrev, sPrev)
+	return h, s
+}
+
+// BPInput carries the gradients flowing into a BP cell: δY_t from the
+// layer above (or the loss), δH_t from the next timestamp's BP cell and
+// δS_t, the cell-state gradient from the next timestamp.
+type BPInput struct {
+	DY *tensor.Matrix // batch×hidden, may be nil (no output gradient)
+	DH *tensor.Matrix // batch×hidden, may be nil (last timestamp)
+	DS *tensor.Matrix // batch×hidden, may be nil (last timestamp)
+}
+
+// BPOutput carries the gradients a BP cell produces for its neighbours.
+type BPOutput struct {
+	DX     *tensor.Matrix // batch×input, gradient for the layer below
+	DHPrev *tensor.Matrix // batch×hidden, context gradient for t-1
+	DSPrev *tensor.Matrix // batch×hidden, cell-state gradient for t-1
+}
+
+// Backward runs one baseline BP cell (paper Fig. 2b): BP-EW on the
+// cached FW intermediates followed by BP-MatMul, accumulating weight
+// gradients into grads (Eq. 3) and returning the propagated gradients
+// (Eq. 2).
+func Backward(p *Params, grads *Grads, cache *FWCache, in BPInput) BPOutput {
+	batch := cache.F.Rows
+	hidden := p.Hidden
+
+	// Total gradient on h_t: δY_t (from above) + δH_t (from t+1).
+	dh := tensor.New(batch, hidden)
+	if in.DY != nil {
+		tensor.AddInPlace(dh, in.DY)
+	}
+	if in.DH != nil {
+		tensor.AddInPlace(dh, in.DH)
+	}
+
+	// BP-EW: gate gradients. These expressions interleave the P1 parts
+	// (functions of FW intermediates only) with the P2 parts (products
+	// with gradients); BackwardFromP1 performs the same math with P1
+	// precomputed.
+	dGate := make([]*tensor.Matrix, NumGates)
+	for g := Gate(0); g < NumGates; g++ {
+		dGate[g] = tensor.New(batch, hidden)
+	}
+	dsPrev := tensor.New(batch, hidden)
+	dsTotal := tensor.New(batch, hidden)
+
+	for k := 0; k < batch*hidden; k++ {
+		f := cache.F.Data[k]
+		i := cache.I.Data[k]
+		c := cache.C.Data[k]
+		o := cache.O.Data[k]
+		s := cache.S.Data[k]
+		sp := cache.SPrev.Data[k]
+		ts := tensor.Tanh32(s)
+
+		dhk := dh.Data[k]
+		ds := dhk * o * (1 - ts*ts)
+		if in.DS != nil {
+			ds += in.DS.Data[k]
+		}
+		dsTotal.Data[k] = ds
+
+		dGate[GateO].Data[k] = dhk * ts * o * (1 - o)
+		dGate[GateF].Data[k] = ds * sp * f * (1 - f)
+		dGate[GateI].Data[k] = ds * c * i * (1 - i)
+		dGate[GateC].Data[k] = ds * i * (1 - c*c)
+		dsPrev.Data[k] = ds * f
+	}
+
+	return matmulBackward(p, grads, cache.X, cache.HPrev, dGate, dsPrev)
+}
+
+// matmulBackward performs the BP-MatMul stage shared by the baseline
+// and reordered flows: input/context gradients (Eq. 2) and weight
+// gradient accumulation (Eq. 3).
+func matmulBackward(p *Params, grads *Grads, x, hPrev *tensor.Matrix, dGate []*tensor.Matrix, dsPrev *tensor.Matrix) BPOutput {
+	batch := dsPrev.Rows
+	dx := tensor.New(batch, p.Input)
+	dhPrev := tensor.New(batch, p.Hidden)
+	for g := Gate(0); g < NumGates; g++ {
+		// δX_t += δgate_g · W_gᵀ ; δH_{t-1} += δgate_g · U_gᵀ
+		tensor.AddInPlace(dx, tensor.MatMulTransB(nil, dGate[g], p.W[g]))
+		tensor.AddInPlace(dhPrev, tensor.MatMulTransB(nil, dGate[g], p.U[g]))
+		if grads != nil {
+			// δW_g += x_tᵀ ⊗ δgate_g ; δU_g += h_{t-1}ᵀ ⊗ δgate_g
+			tensor.AddMatMulTransA(grads.W[g], x, dGate[g])
+			tensor.AddMatMulTransA(grads.U[g], hPrev, dGate[g])
+			tensor.SumRows(grads.B[g], dGate[g])
+		}
+	}
+	return BPOutput{DX: dx, DHPrev: dhPrev, DSPrev: dsPrev}
+}
+
+// RecomputeForward re-runs the FW cell math from stored activations to
+// rebuild the intermediates — the "recompute from scratch" extreme the
+// paper dismisses as impractical (Sec. III-C). It exists so the ablation
+// benches can quantify exactly how much BP latency full recomputation
+// adds compared with MS1's reordering.
+func RecomputeForward(p *Params, x, hPrev, sPrev *tensor.Matrix) *FWCache {
+	_, _, cache := Forward(p, x, hPrev, sPrev)
+	return cache
+}

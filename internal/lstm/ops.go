@@ -1,0 +1,115 @@
+package lstm
+
+// OpCount tallies the arithmetic work of a cell phase. The hardware
+// simulator and the GPU cost model consume these counts instead of
+// re-deriving them, so software and hardware experiments agree on what
+// "one cell" costs.
+type OpCount struct {
+	MatMulMACs int64 // multiply-accumulates in the MatMul stage
+	EWMul      int64 // element-wise multiplies
+	EWAdd      int64 // element-wise adds/subtracts
+	Activation int64 // sigmoid/tanh evaluations
+}
+
+// Add returns the element-wise sum of two op counts.
+func (o OpCount) Add(p OpCount) OpCount {
+	return OpCount{
+		MatMulMACs: o.MatMulMACs + p.MatMulMACs,
+		EWMul:      o.EWMul + p.EWMul,
+		EWAdd:      o.EWAdd + p.EWAdd,
+		Activation: o.Activation + p.Activation,
+	}
+}
+
+// Scale returns o with every count multiplied by k.
+func (o OpCount) Scale(k int64) OpCount {
+	return OpCount{
+		MatMulMACs: o.MatMulMACs * k,
+		EWMul:      o.EWMul * k,
+		EWAdd:      o.EWAdd * k,
+		Activation: o.Activation * k,
+	}
+}
+
+// FLOPs returns total floating-point operations (a MAC is 2 FLOPs).
+func (o OpCount) FLOPs() int64 {
+	return 2*o.MatMulMACs + o.EWMul + o.EWAdd + o.Activation
+}
+
+// EWOps returns the element-wise operation total (the quantity the R2A
+// scheduler balances against MatMulMACs).
+func (o OpCount) EWOps() int64 { return o.EWMul + o.EWAdd + o.Activation }
+
+// ForwardOps returns the work of one FW cell: FW-MatMul (4 gates ×
+// (input·H + H·H) MACs per sample) plus FW-EW (state update and
+// activations).
+func ForwardOps(input, hidden, batch int) OpCount {
+	b := int64(batch)
+	h := int64(hidden)
+	in := int64(input)
+	return OpCount{
+		MatMulMACs: b * 4 * (in*h + h*h),
+		// s = f⊙s' + i⊙c̃ (2 mul, 1 add); h = o⊙tanh(s) (1 mul)
+		EWMul: b * 3 * h,
+		EWAdd: b * 1 * h,
+		// 4 gate activations + tanh(s)
+		Activation: b * 5 * h,
+	}
+}
+
+// BackwardOps returns the work of one baseline BP cell: BP-EW (P1 and
+// P2 interleaved) plus BP-MatMul (δX/δH propagation and δW/δU outer
+// products — twice the FW MatMul volume).
+func BackwardOps(input, hidden, batch int) OpCount {
+	p1 := P1Ops(hidden, batch)
+	p2 := P2Ops(hidden, batch, 0)
+	return OpCount{
+		MatMulMACs: int64(batch) * 8 * (int64(input)*int64(hidden) + int64(hidden)*int64(hidden)),
+		EWMul:      p1.EWMul + p2.EWMul,
+		EWAdd:      p1.EWAdd + p2.EWAdd,
+		Activation: p1.Activation,
+	}
+}
+
+// P1Ops returns the work of computing the six BP-EW-P1 products for one
+// cell. Under MS1 this moves into the FW pass.
+func P1Ops(hidden, batch int) OpCount {
+	b := int64(batch)
+	h := int64(hidden)
+	return OpCount{
+		// Pf: 2 mul 1 sub; Pi: 2 mul 1 sub; Pc: 2 mul 1 sub;
+		// Po: 2 mul 1 sub; Ps: 2 mul 1 sub; Pfs: copy. Plus tanh(s).
+		EWMul:      b * 10 * h,
+		EWAdd:      b * 5 * h,
+		Activation: b * h, // tanh(s) reused across Po/Ps
+	}
+}
+
+// P2Ops returns the work of BP-EW-P2 for one cell given the fraction of
+// P1 entries pruned to zero (sparsity in [0,1]); a zero P1 operand lets
+// the PE skip the product (paper Sec. IV-A).
+func P2Ops(hidden, batch int, sparsity float64) OpCount {
+	b := int64(batch)
+	h := int64(hidden)
+	dense := float64(b * h)
+	kept := dense * (1 - sparsity)
+	return OpCount{
+		// δô, δf̂, δî, δĉ, δS': 1 mul each against a P1 operand
+		// (skippable); δs: 1 mul (Ps, skippable) + up to 2 adds.
+		EWMul: int64(kept * 6),
+		EWAdd: b * 2 * h,
+	}
+}
+
+// BackwardFromP1Ops returns the BP-cell work under MS1: BP-EW-P2 with
+// the given P1 sparsity plus BP-MatMul where gate-gradient rows whose
+// P1 factor was pruned contribute zero MACs.
+func BackwardFromP1Ops(input, hidden, batch int, sparsity float64) OpCount {
+	p2 := P2Ops(hidden, batch, sparsity)
+	macs := float64(int64(batch)*8*(int64(input)*int64(hidden)+int64(hidden)*int64(hidden))) * (1 - sparsity)
+	return OpCount{
+		MatMulMACs: int64(macs),
+		EWMul:      p2.EWMul,
+		EWAdd:      p2.EWAdd,
+	}
+}

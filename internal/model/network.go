@@ -1,0 +1,360 @@
+package model
+
+import (
+	"fmt"
+
+	"etalstm/internal/lstm"
+	"etalstm/internal/rng"
+	"etalstm/internal/tensor"
+)
+
+// Network is a stacked LSTM with a linear output projection. Layer 0
+// consumes the external inputs; layer l>0 consumes layer l-1's hidden
+// outputs. All unrolled cells of a layer share one lstm.Params.
+type Network struct {
+	Cfg Config
+
+	Layer []*lstm.Params // len Cfg.Layers
+	Proj  *tensor.Matrix // Hidden×OutSize
+	ProjB []float32      // len OutSize
+}
+
+// NewNetwork builds a network with initialized weights.
+func NewNetwork(cfg Config, r *rng.RNG) (*Network, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	n := &Network{Cfg: cfg, ProjB: make([]float32, cfg.OutSize)}
+	for l := 0; l < cfg.Layers; l++ {
+		in := cfg.Hidden
+		if l == 0 {
+			in = cfg.InputSize
+		}
+		p := lstm.NewParams(in, cfg.Hidden)
+		p.Init(r)
+		n.Layer = append(n.Layer, p)
+	}
+	n.Proj = tensor.New(cfg.Hidden, cfg.OutSize)
+	n.Proj.XavierInit(r, cfg.Hidden, cfg.OutSize)
+	return n, nil
+}
+
+// ParamBytes returns total parameter storage (weight matrices +
+// projection), the "Parameter" bar of paper Fig. 5.
+func (n *Network) ParamBytes() int64 {
+	var b int64
+	for _, p := range n.Layer {
+		b += p.Bytes()
+	}
+	b += n.Proj.Bytes() + int64(len(n.ProjB))*4
+	return b
+}
+
+// Targets carries supervision for one minibatch. Exactly one of the
+// fields is consulted, selected by Config.Loss:
+//   - SingleLoss: Classes[SeqLen-1] (other timesteps ignored);
+//   - PerTimestampLoss: Classes[t] for every t;
+//   - RegressionLoss: Regress[t] for every t.
+//
+// A class of -1 masks that sample/timestep out of the loss.
+type Targets struct {
+	Classes [][]int          // [t][batch]
+	Regress []*tensor.Matrix // [t], each batch×OutSize
+}
+
+// ForwardResult holds everything one FW pass produced: outputs, the
+// per-cell stored state (raw caches, P1 products or nothing, per the
+// policy), the losses, and the output-gradient seeds for BP.
+type ForwardResult struct {
+	// H[l][t] is layer l's hidden output at timestamp t. These are the
+	// activations (plus the external inputs) that every flow stores.
+	H [][]*tensor.Matrix
+	// Inputs are the external x_t fed to layer 0.
+	Inputs []*tensor.Matrix
+	// Cache[l][t] is non-nil iff the policy said StoreRaw.
+	Cache [][]*lstm.FWCache
+	// P1[l][t] is non-nil iff the policy said StoreP1.
+	P1 [][]*lstm.P1
+
+	// Loss is the scalar training loss of the minibatch.
+	Loss float64
+	// PerStepLoss[t] is the loss contribution of timestamp t (single
+	// loss: all mass at SeqLen-1). MS2's Eq. 4 predictor consumes this.
+	PerStepLoss []float64
+	// Logits[t] is the projected output at t (nil where the loss kind
+	// does not evaluate that timestamp).
+	Logits []*tensor.Matrix
+
+	dLogits []*tensor.Matrix
+	// initState is the carried-in state (nil for zero start); Backward
+	// needs it as h_{t-1} for the first timestamp's P1 cells.
+	initState *State
+}
+
+// State carries the recurrent state (h, s per layer) across sequence
+// chunks — truncated BPTT, the standard training flow for language
+// modeling where documents are longer than the unroll window.
+type State struct {
+	H, S []*tensor.Matrix // per layer, batch×hidden
+}
+
+// ZeroState returns a fresh all-zero state for n.
+func (n *Network) ZeroState() *State {
+	st := &State{}
+	for l := 0; l < n.Cfg.Layers; l++ {
+		st.H = append(st.H, tensor.New(n.Cfg.Batch, n.Cfg.Hidden))
+		st.S = append(st.S, tensor.New(n.Cfg.Batch, n.Cfg.Hidden))
+	}
+	return st
+}
+
+// Forward runs the full FW phase over a minibatch from a zero initial
+// state. xs has SeqLen entries of shape batch×InputSize. policy selects
+// per-cell storage; targets may be nil to run inference only (no loss,
+// no BP seeds).
+func (n *Network) Forward(xs []*tensor.Matrix, targets *Targets, policy StoragePolicy) (*ForwardResult, error) {
+	res, _, err := n.ForwardState(xs, targets, policy, nil)
+	return res, err
+}
+
+// ForwardState runs the FW phase starting from state (nil = zero) and
+// returns the carried-out state for the next chunk. Gradients do not
+// flow across the chunk boundary (truncated BPTT).
+func (n *Network) ForwardState(xs []*tensor.Matrix, targets *Targets, policy StoragePolicy, state *State) (*ForwardResult, *State, error) {
+	cfg := n.Cfg
+	if len(xs) != cfg.SeqLen {
+		return nil, nil, fmt.Errorf("model: got %d input steps, want %d", len(xs), cfg.SeqLen)
+	}
+	for t, x := range xs {
+		if x.Rows != cfg.Batch || x.Cols != cfg.InputSize {
+			return nil, nil, fmt.Errorf("model: input %d is %dx%d, want %dx%d",
+				t, x.Rows, x.Cols, cfg.Batch, cfg.InputSize)
+		}
+	}
+	if state != nil && (len(state.H) != cfg.Layers || len(state.S) != cfg.Layers) {
+		return nil, nil, fmt.Errorf("model: state has %d/%d layers, want %d",
+			len(state.H), len(state.S), cfg.Layers)
+	}
+	if policy == nil {
+		policy = BaselinePolicy()
+	}
+
+	res := &ForwardResult{
+		Inputs:      xs,
+		H:           make([][]*tensor.Matrix, cfg.Layers),
+		Cache:       make([][]*lstm.FWCache, cfg.Layers),
+		P1:          make([][]*lstm.P1, cfg.Layers),
+		PerStepLoss: make([]float64, cfg.SeqLen),
+		Logits:      make([]*tensor.Matrix, cfg.SeqLen),
+		dLogits:     make([]*tensor.Matrix, cfg.SeqLen),
+		initState:   state,
+	}
+	for l := 0; l < cfg.Layers; l++ {
+		res.H[l] = make([]*tensor.Matrix, cfg.SeqLen)
+		res.Cache[l] = make([]*lstm.FWCache, cfg.SeqLen)
+		res.P1[l] = make([]*lstm.P1, cfg.SeqLen)
+	}
+
+	out := &State{H: make([]*tensor.Matrix, cfg.Layers), S: make([]*tensor.Matrix, cfg.Layers)}
+	for l := 0; l < cfg.Layers; l++ {
+		h := tensor.New(cfg.Batch, cfg.Hidden)
+		s := tensor.New(cfg.Batch, cfg.Hidden)
+		if state != nil {
+			// Truncated BPTT: copy so BP cannot reach into the previous
+			// chunk and the caller's state stays immutable.
+			h.CopyFrom(state.H[l])
+			s.CopyFrom(state.S[l])
+		}
+		for t := 0; t < cfg.SeqLen; t++ {
+			x := xs[t]
+			if l > 0 {
+				x = res.H[l-1][t]
+			}
+			switch policy.Store(l, t) {
+			case StoreRaw:
+				var cache *lstm.FWCache
+				h, s, cache = lstm.Forward(n.Layer[l], x, h, s)
+				res.Cache[l][t] = cache
+			case StoreP1:
+				var p1 *lstm.P1
+				h, s, p1 = lstm.ForwardWithP1(n.Layer[l], x, h, s)
+				res.P1[l][t] = p1
+			case StoreNone:
+				h, s = lstm.InferenceForward(n.Layer[l], x, h, s)
+			}
+			res.H[l][t] = h
+		}
+		out.H[l] = h.Clone()
+		out.S[l] = s.Clone()
+	}
+
+	if targets != nil {
+		if err := n.computeLoss(res, targets); err != nil {
+			return nil, nil, err
+		}
+	}
+	return res, out, nil
+}
+
+func (n *Network) computeLoss(res *ForwardResult, targets *Targets) error {
+	cfg := n.Cfg
+	top := res.H[cfg.Layers-1]
+	evalStep := func(t int) {
+		logits := tensor.MatMul(nil, top[t], n.Proj)
+		tensor.AddRowVector(logits, logits, n.ProjB)
+		res.Logits[t] = logits
+	}
+	switch cfg.Loss {
+	case SingleLoss:
+		if len(targets.Classes) == 0 {
+			return fmt.Errorf("model: single loss requires class targets")
+		}
+		t := cfg.SeqLen - 1
+		evalStep(t)
+		loss, dl := SoftmaxCrossEntropy(res.Logits[t], targets.Classes[len(targets.Classes)-1])
+		res.Loss = loss
+		res.PerStepLoss[t] = loss
+		res.dLogits[t] = dl
+	case PerTimestampLoss:
+		if len(targets.Classes) != cfg.SeqLen {
+			return fmt.Errorf("model: per-timestamp loss requires %d class target steps, got %d",
+				cfg.SeqLen, len(targets.Classes))
+		}
+		inv := float32(1) / float32(cfg.SeqLen)
+		for t := 0; t < cfg.SeqLen; t++ {
+			evalStep(t)
+			loss, dl := SoftmaxCrossEntropy(res.Logits[t], targets.Classes[t])
+			res.Loss += loss / float64(cfg.SeqLen)
+			res.PerStepLoss[t] = loss / float64(cfg.SeqLen)
+			res.dLogits[t] = tensor.Scale(dl, dl, inv)
+		}
+	case RegressionLoss:
+		if len(targets.Regress) != cfg.SeqLen {
+			return fmt.Errorf("model: regression loss requires %d target steps, got %d",
+				cfg.SeqLen, len(targets.Regress))
+		}
+		inv := float32(1) / float32(cfg.SeqLen)
+		for t := 0; t < cfg.SeqLen; t++ {
+			evalStep(t)
+			loss, dl := SquaredError(res.Logits[t], targets.Regress[t])
+			res.Loss += loss / float64(cfg.SeqLen)
+			res.PerStepLoss[t] = loss / float64(cfg.SeqLen)
+			res.dLogits[t] = tensor.Scale(dl, dl, inv)
+		}
+	default:
+		return fmt.Errorf("model: unknown loss kind %v", cfg.Loss)
+	}
+	return nil
+}
+
+// Gradients collects the result of one BP pass.
+type Gradients struct {
+	Layer []*lstm.Grads  // per layer, accumulated over timestamps
+	Proj  *tensor.Matrix // Hidden×OutSize
+	ProjB []float32
+	// SkippedCells counts BP cells the policy skipped (MS2).
+	SkippedCells int
+	// ExecutedCells counts BP cells actually run.
+	ExecutedCells int
+}
+
+// NewGradients allocates zeroed gradients for n.
+func (n *Network) NewGradients() *Gradients {
+	g := &Gradients{
+		Proj:  tensor.New(n.Cfg.Hidden, n.Cfg.OutSize),
+		ProjB: make([]float32, n.Cfg.OutSize),
+	}
+	for _, p := range n.Layer {
+		g.Layer = append(g.Layer, lstm.NewGrads(p))
+	}
+	return g
+}
+
+// BackwardOpts tunes the BP pass.
+type BackwardOpts struct {
+	// OnCell, when non-nil, receives each executed BP cell's own weight
+	// gradients before they are merged into the layer total. Used to
+	// collect the per-timestamp magnitudes of paper Fig. 8. Costs one
+	// extra Grads allocation per cell.
+	OnCell func(layer, t int, cell *lstm.Grads)
+}
+
+// Backward runs BP through time over a ForwardResult. The same policy
+// used for Forward must be passed so the driver knows whether to use
+// raw caches, P1 products, or to skip (StoreNone) each cell. Skipping a
+// cell breaks the δH/δS chain at that point and propagates no δX to the
+// layer below (the paper's "as if performing inference" semantics); the
+// convergence-aware scaling that compensates lives in internal/skip.
+func (n *Network) Backward(res *ForwardResult, policy StoragePolicy, grads *Gradients, opts BackwardOpts) error {
+	cfg := n.Cfg
+	if policy == nil {
+		policy = BaselinePolicy()
+	}
+
+	// Seed: δY for the top layer comes from the loss through the
+	// projection; the projection gradient accumulates alongside.
+	dY := make([]*tensor.Matrix, cfg.SeqLen)
+	top := res.H[cfg.Layers-1]
+	for t := 0; t < cfg.SeqLen; t++ {
+		dl := res.dLogits[t]
+		if dl == nil {
+			continue
+		}
+		tensor.AddMatMulTransA(grads.Proj, top[t], dl)
+		tensor.SumRows(grads.ProjB, dl)
+		dY[t] = tensor.MatMulTransB(nil, dl, n.Proj)
+	}
+
+	for l := cfg.Layers - 1; l >= 0; l-- {
+		var dH, dS *tensor.Matrix
+		dXBelow := make([]*tensor.Matrix, cfg.SeqLen)
+		for t := cfg.SeqLen - 1; t >= 0; t-- {
+			if policy.Store(l, t) == StoreNone {
+				grads.SkippedCells++
+				dH, dS = nil, nil
+				continue
+			}
+			grads.ExecutedCells++
+			in := lstm.BPInput{DY: dY[t], DH: dH, DS: dS}
+
+			target := grads.Layer[l]
+			var cellGrads *lstm.Grads
+			if opts.OnCell != nil {
+				cellGrads = lstm.NewGrads(n.Layer[l])
+				target = cellGrads
+			}
+
+			var out lstm.BPOutput
+			switch {
+			case res.Cache[l][t] != nil:
+				out = lstm.Backward(n.Layer[l], target, res.Cache[l][t], in)
+			case res.P1[l][t] != nil:
+				x := res.Inputs[t]
+				if l > 0 {
+					x = res.H[l-1][t]
+				}
+				var hPrev *tensor.Matrix
+				switch {
+				case t > 0:
+					hPrev = res.H[l][t-1]
+				case res.initState != nil:
+					hPrev = res.initState.H[l]
+				default:
+					hPrev = tensor.New(cfg.Batch, cfg.Hidden)
+				}
+				out = lstm.BackwardFromP1(n.Layer[l], target, x, hPrev, res.P1[l][t], in)
+			default:
+				return fmt.Errorf("model: cell (%d,%d) has no stored state but policy says execute", l, t)
+			}
+
+			if opts.OnCell != nil {
+				opts.OnCell(l, t, cellGrads)
+				grads.Layer[l].Add(cellGrads)
+			}
+			dH, dS = out.DHPrev, out.DSPrev
+			dXBelow[t] = out.DX
+		}
+		dY = dXBelow
+	}
+	return nil
+}

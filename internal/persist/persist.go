@@ -1,0 +1,186 @@
+// Package persist serializes trained networks to a compact, versioned
+// binary format (little-endian, stdlib only). Checkpointing matters for
+// the large-model training the paper targets: multi-day runs need
+// restartable state, and the footprint experiments need identical
+// weights across baseline and optimized flows.
+//
+// Format (version 1):
+//
+//	magic "ηLSTMv1\n" (9 bytes UTF-8) |
+//	config (7 × int64: input, hidden, layers, seqLen, batch, out, loss) |
+//	per layer: 4 gates × (W floats, U floats, B floats) |
+//	projection floats | projection bias floats |
+//	trailing CRC-32 (IEEE) of everything before it.
+package persist
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"os"
+
+	"etalstm/internal/lstm"
+	"etalstm/internal/model"
+	"etalstm/internal/rng"
+)
+
+var magic = []byte("\xce\xb7LSTMv1\n") // "ηLSTMv1\n"
+
+// Save writes net to w.
+func Save(w io.Writer, net *model.Network) error {
+	crc := crc32.NewIEEE()
+	bw := bufio.NewWriter(io.MultiWriter(w, crc))
+
+	if _, err := bw.Write(magic); err != nil {
+		return err
+	}
+	cfg := net.Cfg
+	header := []int64{
+		int64(cfg.InputSize), int64(cfg.Hidden), int64(cfg.Layers),
+		int64(cfg.SeqLen), int64(cfg.Batch), int64(cfg.OutSize), int64(cfg.Loss),
+	}
+	for _, v := range header {
+		if err := binary.Write(bw, binary.LittleEndian, v); err != nil {
+			return err
+		}
+	}
+	for _, p := range net.Layer {
+		for g := lstm.Gate(0); g < lstm.NumGates; g++ {
+			if err := writeFloats(bw, p.W[g].Data); err != nil {
+				return err
+			}
+			if err := writeFloats(bw, p.U[g].Data); err != nil {
+				return err
+			}
+			if err := writeFloats(bw, p.B[g]); err != nil {
+				return err
+			}
+		}
+	}
+	if err := writeFloats(bw, net.Proj.Data); err != nil {
+		return err
+	}
+	if err := writeFloats(bw, net.ProjB); err != nil {
+		return err
+	}
+	if err := bw.Flush(); err != nil {
+		return err
+	}
+	// Trailing CRC of the payload, written directly (not hashed).
+	return binary.Write(w, binary.LittleEndian, crc.Sum32())
+}
+
+// Load reads a network from r, verifying the trailing checksum.
+func Load(r io.Reader) (*model.Network, error) {
+	raw, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("persist: reading checkpoint: %w", err)
+	}
+	if len(raw) < len(magic)+4 {
+		return nil, fmt.Errorf("persist: checkpoint truncated (%d bytes)", len(raw))
+	}
+	payload, trailer := raw[:len(raw)-4], raw[len(raw)-4:]
+	if crc32.ChecksumIEEE(payload) != binary.LittleEndian.Uint32(trailer) {
+		return nil, fmt.Errorf("persist: checksum mismatch (corrupt checkpoint)")
+	}
+	if !bytes.HasPrefix(payload, magic) {
+		return nil, fmt.Errorf("persist: bad magic (not an η-LSTM checkpoint or wrong version)")
+	}
+	br := bytes.NewReader(payload[len(magic):])
+
+	header := make([]int64, 7)
+	for i := range header {
+		if err := binary.Read(br, binary.LittleEndian, &header[i]); err != nil {
+			return nil, fmt.Errorf("persist: reading header: %w", err)
+		}
+	}
+	cfg := model.Config{
+		InputSize: int(header[0]), Hidden: int(header[1]), Layers: int(header[2]),
+		SeqLen: int(header[3]), Batch: int(header[4]), OutSize: int(header[5]),
+		Loss: model.LossKind(header[6]),
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, fmt.Errorf("persist: invalid checkpoint config: %w", err)
+	}
+
+	net, err := model.NewNetwork(cfg, rng.New(0))
+	if err != nil {
+		return nil, err
+	}
+	for _, p := range net.Layer {
+		for g := lstm.Gate(0); g < lstm.NumGates; g++ {
+			if err := readFloats(br, p.W[g].Data); err != nil {
+				return nil, err
+			}
+			if err := readFloats(br, p.U[g].Data); err != nil {
+				return nil, err
+			}
+			if err := readFloats(br, p.B[g]); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if err := readFloats(br, net.Proj.Data); err != nil {
+		return nil, err
+	}
+	if err := readFloats(br, net.ProjB); err != nil {
+		return nil, err
+	}
+	if br.Len() != 0 {
+		return nil, fmt.Errorf("persist: %d trailing bytes after weights", br.Len())
+	}
+	return net, nil
+}
+
+func writeFloats(w io.Writer, fs []float32) error {
+	buf := make([]byte, 4*len(fs))
+	for i, f := range fs {
+		binary.LittleEndian.PutUint32(buf[4*i:], math.Float32bits(f))
+	}
+	_, err := w.Write(buf)
+	return err
+}
+
+func readFloats(r io.Reader, fs []float32) error {
+	buf := make([]byte, 4*len(fs))
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return fmt.Errorf("persist: reading weights: %w", err)
+	}
+	for i := range fs {
+		fs[i] = math.Float32frombits(binary.LittleEndian.Uint32(buf[4*i:]))
+	}
+	return nil
+}
+
+// SaveFile writes net to path atomically (temp file + rename).
+func SaveFile(path string, net *model.Network) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := Save(f, net); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// LoadFile reads a network from path.
+func LoadFile(path string) (*model.Network, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Load(f)
+}

@@ -1,0 +1,185 @@
+package persist
+
+import (
+	"bytes"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"etalstm/internal/lstm"
+	"etalstm/internal/model"
+	"etalstm/internal/rng"
+	"etalstm/internal/tensor"
+)
+
+func testNet(t *testing.T) *model.Network {
+	t.Helper()
+	cfg := model.Config{InputSize: 5, Hidden: 7, Layers: 2, SeqLen: 4,
+		Batch: 3, OutSize: 6, Loss: model.PerTimestampLoss}
+	net, err := model.NewNetwork(cfg, rng.New(99))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return net
+}
+
+func TestRoundtrip(t *testing.T) {
+	net := testNet(t)
+	var buf bytes.Buffer
+	if err := Save(&buf, net); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Cfg != net.Cfg {
+		t.Fatalf("config: %+v vs %+v", got.Cfg, net.Cfg)
+	}
+	for l := range net.Layer {
+		for g := lstm.Gate(0); g < lstm.NumGates; g++ {
+			if !got.Layer[l].W[g].Equal(net.Layer[l].W[g], 0) {
+				t.Fatalf("W[%d][%v] not exact", l, g)
+			}
+			if !got.Layer[l].U[g].Equal(net.Layer[l].U[g], 0) {
+				t.Fatalf("U[%d][%v] not exact", l, g)
+			}
+			for j := range net.Layer[l].B[g] {
+				if got.Layer[l].B[g][j] != net.Layer[l].B[g][j] {
+					t.Fatalf("B[%d][%v][%d] not exact", l, g, j)
+				}
+			}
+		}
+	}
+	if !got.Proj.Equal(net.Proj, 0) {
+		t.Fatal("projection not exact")
+	}
+}
+
+func TestRoundtripPreservesForward(t *testing.T) {
+	net := testNet(t)
+	var buf bytes.Buffer
+	if err := Save(&buf, net); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(1)
+	xs := make([]*tensor.Matrix, net.Cfg.SeqLen)
+	for i := range xs {
+		xs[i] = tensor.New(net.Cfg.Batch, net.Cfg.InputSize)
+		xs[i].RandInit(r, 1)
+	}
+	a, err := net.Forward(xs, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := got.Forward(xs, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := net.Cfg.Layers - 1
+	if !a.H[last][net.Cfg.SeqLen-1].Equal(b.H[last][net.Cfg.SeqLen-1], 0) {
+		t.Fatal("loaded network computes differently")
+	}
+}
+
+func TestBadMagic(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Save(&buf, testNet(t)); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	raw[0] ^= 0xff
+	// Fix the CRC so only the magic check fires.
+	fixed := append([]byte{}, raw[:len(raw)-4]...)
+	var out bytes.Buffer
+	out.Write(fixed)
+	crcOf(&out, fixed)
+	_, err := Load(&out)
+	if err == nil || !strings.Contains(err.Error(), "magic") {
+		t.Fatalf("expected magic error, got %v", err)
+	}
+}
+
+// crcOf appends the IEEE CRC of payload to out.
+func crcOf(out *bytes.Buffer, payload []byte) {
+	sum := crc32.ChecksumIEEE(payload)
+	out.Write([]byte{byte(sum), byte(sum >> 8), byte(sum >> 16), byte(sum >> 24)})
+}
+
+func TestCorruptionDetected(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Save(&buf, testNet(t)); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	raw[len(raw)/2] ^= 0x01 // flip one payload bit
+	_, err := Load(bytes.NewReader(raw))
+	if err == nil || !strings.Contains(err.Error(), "checksum") {
+		t.Fatalf("expected checksum error, got %v", err)
+	}
+}
+
+func TestTruncationDetected(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Save(&buf, testNet(t)); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	_, err := Load(bytes.NewReader(raw[:len(raw)/2]))
+	if err == nil {
+		t.Fatal("expected error for truncated checkpoint")
+	}
+	_, err = Load(bytes.NewReader(raw[:4]))
+	if err == nil || !strings.Contains(err.Error(), "truncated") {
+		t.Fatalf("expected truncation error, got %v", err)
+	}
+}
+
+func TestTrailingGarbageDetected(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Save(&buf, testNet(t)); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	payload := append([]byte{}, raw[:len(raw)-4]...)
+	payload = append(payload, 0xde, 0xad)
+	var out bytes.Buffer
+	out.Write(payload)
+	crcOf(&out, payload)
+	_, err := Load(&out)
+	if err == nil || !strings.Contains(err.Error(), "trailing") {
+		t.Fatalf("expected trailing-bytes error, got %v", err)
+	}
+}
+
+func TestSaveLoadFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "ckpt.etalstm")
+	net := testNet(t)
+	if err := SaveFile(path, net); err != nil {
+		t.Fatal(err)
+	}
+	// Atomic write: no temp file left behind.
+	if _, err := os.Stat(path + ".tmp"); !os.IsNotExist(err) {
+		t.Fatal("temp file left behind")
+	}
+	got, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Cfg != net.Cfg {
+		t.Fatal("file roundtrip config mismatch")
+	}
+}
+
+func TestLoadFileMissing(t *testing.T) {
+	if _, err := LoadFile(filepath.Join(t.TempDir(), "missing")); err == nil {
+		t.Fatal("expected error")
+	}
+}

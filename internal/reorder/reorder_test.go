@@ -1,0 +1,201 @@
+package reorder
+
+import (
+	"math"
+	"testing"
+
+	"etalstm/internal/lstm"
+	"etalstm/internal/rng"
+	"etalstm/internal/tensor"
+)
+
+func makeP1(seed uint64, batch, hidden int) *lstm.P1 {
+	r := rng.New(seed)
+	p := lstm.NewParams(hidden, hidden)
+	p.Init(r)
+	x := tensor.New(batch, hidden)
+	h0 := tensor.New(batch, hidden)
+	s0 := tensor.New(batch, hidden)
+	x.RandInit(r, 1)
+	h0.RandInit(r, 0.5)
+	s0.RandInit(r, 0.5)
+	_, _, p1 := lstm.ForwardWithP1(p, x, h0, s0)
+	return p1
+}
+
+func TestPruneInPlaceThreshold(t *testing.T) {
+	p1 := makeP1(1, 4, 16)
+	st := PruneInPlace(p1, Config{Threshold: 0.1})
+	if st.Elements != 6*4*16 {
+		t.Fatalf("Elements: %d", st.Elements)
+	}
+	for _, m := range p1.Matrices() {
+		for _, v := range m.Data {
+			av := math.Abs(float64(v))
+			if av != 0 && av < 0.1 {
+				t.Fatalf("unpruned near-zero value %v", v)
+			}
+		}
+	}
+	if st.Frac() <= 0 {
+		t.Fatal("pruning should remove something on realistic P1 data")
+	}
+}
+
+func TestPruneDefaultThreshold(t *testing.T) {
+	a := makeP1(2, 4, 16)
+	b := makeP1(2, 4, 16)
+	sa := PruneInPlace(a, Config{})
+	sb := PruneInPlace(b, Config{Threshold: 0.1})
+	if sa.Pruned != sb.Pruned {
+		t.Fatal("zero config must default to threshold 0.1")
+	}
+}
+
+func TestEncodeDecodeMatchesPruned(t *testing.T) {
+	orig := makeP1(3, 4, 16)
+	rec := Encode(orig, Config{Threshold: 0.1})
+	dec := Decode(rec)
+
+	pruned := makeP1(3, 4, 16)
+	PruneInPlace(pruned, Config{Threshold: 0.1})
+
+	dm, pm := dec.Matrices(), pruned.Matrices()
+	for i := range dm {
+		if !dm[i].Equal(pm[i], 0) {
+			t.Fatalf("plane %d: codec path differs from in-place pruning", i)
+		}
+	}
+}
+
+func TestCellRecordBytesSaveSpace(t *testing.T) {
+	p1 := makeP1(4, 8, 64)
+	rec := Encode(p1, Config{Threshold: 0.1})
+	if rec.Bytes() >= rec.DenseBytes() {
+		t.Fatalf("compressed %d must be below dense %d at realistic sparsity (%.2f)",
+			rec.Bytes(), rec.DenseBytes(), rec.Sparsity())
+	}
+	if rec.Sparsity() < 0.2 {
+		t.Fatalf("unexpectedly dense P1: sparsity %v", rec.Sparsity())
+	}
+}
+
+func TestStorePutGet(t *testing.T) {
+	s := NewStore(2, 3, Config{Threshold: 0.1})
+	p1 := makeP1(5, 2, 8)
+	s.Put(1, 2, p1)
+	got := s.Get(1, 2)
+	if got == nil {
+		t.Fatal("Get returned nil")
+	}
+	if s.Get(0, 0) != nil {
+		t.Fatal("unset cell must return nil")
+	}
+	if s.Bytes() <= 0 || s.DenseBytes() <= 0 {
+		t.Fatal("store byte accounting")
+	}
+}
+
+func TestStoreCompressesRealisticCells(t *testing.T) {
+	s := NewStore(1, 2, Config{Threshold: 0.1})
+	s.Put(0, 0, makeP1(8, 16, 128))
+	s.Put(0, 1, makeP1(9, 16, 128))
+	if s.Bytes() >= s.DenseBytes() {
+		t.Fatalf("store must compress realistic cells: %d vs %d (sparsity %.2f)",
+			s.Bytes(), s.DenseBytes(), s.MeanSparsity())
+	}
+}
+
+func TestStoreIndexPanics(t *testing.T) {
+	s := NewStore(2, 3, Config{})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	s.Get(2, 0)
+}
+
+func TestStoreMeanSparsity(t *testing.T) {
+	s := NewStore(1, 2, Config{Threshold: 0.1})
+	if s.MeanSparsity() != 0 {
+		t.Fatal("empty store sparsity must be 0")
+	}
+	s.Put(0, 0, makeP1(6, 4, 32))
+	s.Put(0, 1, makeP1(7, 4, 32))
+	ms := s.MeanSparsity()
+	if ms <= 0 || ms >= 1 {
+		t.Fatalf("MeanSparsity: %v", ms)
+	}
+}
+
+// TestPrunedBPStillDescends: the headline MS1 claim in miniature —
+// training with pruned P1 still reduces loss (approximate computing
+// with negligible accuracy impact).
+func TestPrunedBPStillDescends(t *testing.T) {
+	const hidden, batch = 8, 4
+	r := rng.New(10)
+	p := lstm.NewParams(hidden, hidden)
+	p.Init(r)
+	x := tensor.New(batch, hidden)
+	x.RandInit(r, 1)
+	target := tensor.New(batch, hidden)
+	target.RandInit(r, 0.5)
+
+	loss := func() float64 {
+		h0 := tensor.New(batch, hidden)
+		s0 := tensor.New(batch, hidden)
+		h, _, _ := lstm.Forward(p, x, h0, s0)
+		var l float64
+		for k := range h.Data {
+			d := float64(h.Data[k] - target.Data[k])
+			l += d * d
+		}
+		return l
+	}
+
+	before := loss()
+	for step := 0; step < 30; step++ {
+		h0 := tensor.New(batch, hidden)
+		s0 := tensor.New(batch, hidden)
+		h, _, p1 := lstm.ForwardWithP1(p, x, h0, s0)
+		PruneInPlace(p1, Config{Threshold: 0.1})
+		dy := tensor.New(batch, hidden)
+		for k := range dy.Data {
+			dy.Data[k] = 2 * (h.Data[k] - target.Data[k])
+		}
+		grads := lstm.NewGrads(p)
+		lstm.BackwardFromP1(p, grads, x, h0, p1, lstm.BPInput{DY: dy})
+		const lr = 0.02
+		for g := lstm.Gate(0); g < lstm.NumGates; g++ {
+			for i := range p.W[g].Data {
+				p.W[g].Data[i] -= lr * grads.W[g].Data[i]
+			}
+			for i := range p.U[g].Data {
+				p.U[g].Data[i] -= lr * grads.U[g].Data[i]
+			}
+			for i := range p.B[g] {
+				p.B[g][i] -= lr * grads.B[g][i]
+			}
+		}
+	}
+	after := loss()
+	if after >= before*0.9 {
+		t.Fatalf("pruned-P1 training failed to descend: %v -> %v", before, after)
+	}
+}
+
+func TestPruneStatsAdd(t *testing.T) {
+	a := PruneStats{Elements: 10, Pruned: 4}
+	b := PruneStats{Elements: 20, Pruned: 6}
+	c := a.Add(b)
+	if c.Elements != 30 || c.Pruned != 10 {
+		t.Fatalf("Add: %+v", c)
+	}
+	if math.Abs(c.Frac()-1.0/3) > 1e-9 {
+		t.Fatalf("Frac: %v", c.Frac())
+	}
+	if (PruneStats{}).Frac() != 0 {
+		t.Fatal("empty Frac must be 0")
+	}
+}

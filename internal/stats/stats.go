@@ -1,0 +1,208 @@
+// Package stats provides the small statistical toolkit the experiment
+// harnesses use: empirical CDFs over absolute values (paper Fig. 6),
+// fixed-bin histograms, and series summaries (paper Fig. 8).
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// CDF is an empirical cumulative distribution over absolute values.
+type CDF struct {
+	sorted []float64 // ascending |v|
+}
+
+// NewCDF builds a CDF from the absolute values of vs.
+func NewCDF(vs []float32) *CDF {
+	s := make([]float64, len(vs))
+	for i, v := range vs {
+		s[i] = math.Abs(float64(v))
+	}
+	sort.Float64s(s)
+	return &CDF{sorted: s}
+}
+
+// Merge combines another sample set into the CDF.
+func (c *CDF) Merge(vs []float32) {
+	for _, v := range vs {
+		c.sorted = append(c.sorted, math.Abs(float64(v)))
+	}
+	sort.Float64s(c.sorted)
+}
+
+// N returns the sample count.
+func (c *CDF) N() int { return len(c.sorted) }
+
+// At returns P(|v| ≤ x).
+func (c *CDF) At(x float64) float64 {
+	if len(c.sorted) == 0 {
+		return 0
+	}
+	idx := sort.SearchFloat64s(c.sorted, math.Nextafter(x, math.Inf(1)))
+	return float64(idx) / float64(len(c.sorted))
+}
+
+// Quantile returns the q-th quantile (q in [0,1]).
+func (c *CDF) Quantile(q float64) float64 {
+	if len(c.sorted) == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return c.sorted[0]
+	}
+	if q >= 1 {
+		return c.sorted[len(c.sorted)-1]
+	}
+	idx := int(q * float64(len(c.sorted)-1))
+	return c.sorted[idx]
+}
+
+// Curve samples the CDF at n+1 evenly spaced points of [0, hi] — the
+// plot series of Fig. 6.
+func (c *CDF) Curve(hi float64, n int) []Point {
+	pts := make([]Point, 0, n+1)
+	for i := 0; i <= n; i++ {
+		x := hi * float64(i) / float64(n)
+		pts = append(pts, Point{X: x, Y: c.At(x)})
+	}
+	return pts
+}
+
+// Point is one (x, y) sample of a plotted series.
+type Point struct{ X, Y float64 }
+
+// Histogram counts values into equal-width bins over [lo, hi); values
+// outside clamp into the edge bins.
+type Histogram struct {
+	Lo, Hi float64
+	Bins   []int64
+	total  int64
+}
+
+// NewHistogram creates a histogram with n bins over [lo, hi).
+func NewHistogram(lo, hi float64, n int) *Histogram {
+	if n <= 0 || hi <= lo {
+		panic(fmt.Sprintf("stats: bad histogram [%v,%v)x%d", lo, hi, n))
+	}
+	return &Histogram{Lo: lo, Hi: hi, Bins: make([]int64, n)}
+}
+
+// Observe adds a value.
+func (h *Histogram) Observe(v float64) {
+	idx := int((v - h.Lo) / (h.Hi - h.Lo) * float64(len(h.Bins)))
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(h.Bins) {
+		idx = len(h.Bins) - 1
+	}
+	h.Bins[idx]++
+	h.total++
+}
+
+// Total returns the observation count.
+func (h *Histogram) Total() int64 { return h.total }
+
+// Frac returns the fraction of observations in bin i.
+func (h *Histogram) Frac(i int) float64 {
+	if h.total == 0 {
+		return 0
+	}
+	return float64(h.Bins[i]) / float64(h.total)
+}
+
+// Summary holds the moments of a sample.
+type Summary struct {
+	N         int
+	Mean, Std float64
+	Min, Max  float64
+	AbsMean   float64
+}
+
+// Summarize computes a Summary of vs.
+func Summarize(vs []float64) Summary {
+	s := Summary{N: len(vs)}
+	if s.N == 0 {
+		return s
+	}
+	s.Min, s.Max = vs[0], vs[0]
+	var sum, sumAbs float64
+	for _, v := range vs {
+		sum += v
+		sumAbs += math.Abs(v)
+		if v < s.Min {
+			s.Min = v
+		}
+		if v > s.Max {
+			s.Max = v
+		}
+	}
+	s.Mean = sum / float64(s.N)
+	s.AbsMean = sumAbs / float64(s.N)
+	var sq float64
+	for _, v := range vs {
+		d := v - s.Mean
+		sq += d * d
+	}
+	s.Std = math.Sqrt(sq / float64(s.N))
+	return s
+}
+
+// Monotone classifies a series' trend: +1 broadly increasing, −1
+// broadly decreasing, 0 neither (uses the sign of the endpoints' slope
+// with a majority-of-steps confirmation) — how the Fig. 8 harness
+// asserts the gradient-magnitude direction.
+func Monotone(vs []float64) int {
+	if len(vs) < 2 {
+		return 0
+	}
+	up, down := 0, 0
+	for i := 1; i < len(vs); i++ {
+		switch {
+		case vs[i] > vs[i-1]:
+			up++
+		case vs[i] < vs[i-1]:
+			down++
+		}
+	}
+	slope := vs[len(vs)-1] - vs[0]
+	switch {
+	case slope > 0 && up > down:
+		return 1
+	case slope < 0 && down > up:
+		return -1
+	}
+	return 0
+}
+
+// GeoMean returns the geometric mean of positive values (used for the
+// speedup averages of Fig. 15; non-positive entries are skipped).
+func GeoMean(vs []float64) float64 {
+	var logSum float64
+	n := 0
+	for _, v := range vs {
+		if v <= 0 {
+			continue
+		}
+		logSum += math.Log(v)
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return math.Exp(logSum / float64(n))
+}
+
+// Mean returns the arithmetic mean (0 for an empty slice).
+func Mean(vs []float64) float64 {
+	if len(vs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, v := range vs {
+		s += v
+	}
+	return s / float64(len(vs))
+}

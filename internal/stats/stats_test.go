@@ -1,0 +1,192 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestCDFBasics(t *testing.T) {
+	// Values exact in binary so float32→float64 keeps ≤ semantics.
+	c := NewCDF([]float32{-0.5, 0.125, 0.25, 0.875})
+	if c.N() != 4 {
+		t.Fatalf("N: %d", c.N())
+	}
+	if got := c.At(0.25); math.Abs(got-0.5) > 1e-9 {
+		t.Fatalf("At(0.25)=%v want 0.5", got)
+	}
+	if got := c.At(1.0); got != 1 {
+		t.Fatalf("At(1)=%v", got)
+	}
+	if got := c.At(0.05); got != 0 {
+		t.Fatalf("At(0.05)=%v", got)
+	}
+}
+
+func TestCDFAbsolute(t *testing.T) {
+	c := NewCDF([]float32{-0.9})
+	if c.At(0.5) != 0 || c.At(0.9) != 1 {
+		t.Fatal("CDF must use absolute values")
+	}
+}
+
+func TestCDFMerge(t *testing.T) {
+	c := NewCDF([]float32{0.1})
+	c.Merge([]float32{0.9, 0.8})
+	if c.N() != 3 {
+		t.Fatal("Merge count")
+	}
+	if math.Abs(c.At(0.5)-1.0/3) > 1e-9 {
+		t.Fatalf("At after merge: %v", c.At(0.5))
+	}
+}
+
+func TestCDFQuantile(t *testing.T) {
+	c := NewCDF([]float32{0.1, 0.2, 0.3, 0.4, 0.5})
+	if math.Abs(c.Quantile(0)-0.1) > 1e-6 || math.Abs(c.Quantile(1)-0.5) > 1e-6 {
+		t.Fatal("edge quantiles")
+	}
+	mid := c.Quantile(0.5)
+	if mid < 0.2 || mid > 0.4 {
+		t.Fatalf("median: %v", mid)
+	}
+}
+
+func TestCDFCurveMonotone(t *testing.T) {
+	c := NewCDF([]float32{0.05, 0.2, 0.4, 0.6, 0.95})
+	pts := c.Curve(1, 20)
+	if len(pts) != 21 {
+		t.Fatalf("curve length: %d", len(pts))
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i].Y < pts[i-1].Y {
+			t.Fatal("CDF curve must be non-decreasing")
+		}
+	}
+	if pts[20].Y != 1 {
+		t.Fatalf("curve must reach 1: %v", pts[20].Y)
+	}
+}
+
+func TestEmptyCDF(t *testing.T) {
+	c := NewCDF(nil)
+	if c.At(1) != 0 || c.Quantile(0.5) != 0 {
+		t.Fatal("empty CDF defaults")
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(0, 1, 10)
+	for _, v := range []float64{0.05, 0.15, 0.15, 0.95, 1.5, -0.3} {
+		h.Observe(v)
+	}
+	if h.Total() != 6 {
+		t.Fatalf("Total: %d", h.Total())
+	}
+	if h.Bins[0] != 2 { // 0.05 and clamped -0.3
+		t.Fatalf("bin 0: %d", h.Bins[0])
+	}
+	if h.Bins[1] != 2 {
+		t.Fatalf("bin 1: %d", h.Bins[1])
+	}
+	if h.Bins[9] != 2 { // 0.95 and clamped 1.5
+		t.Fatalf("bin 9: %d", h.Bins[9])
+	}
+	if math.Abs(h.Frac(0)-1.0/3) > 1e-9 {
+		t.Fatalf("Frac: %v", h.Frac(0))
+	}
+}
+
+func TestHistogramPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewHistogram(1, 0, 10)
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{-1, 0, 1, 2})
+	if s.N != 4 || s.Mean != 0.5 || s.Min != -1 || s.Max != 2 {
+		t.Fatalf("Summary: %+v", s)
+	}
+	if math.Abs(s.AbsMean-1) > 1e-9 {
+		t.Fatalf("AbsMean: %v", s.AbsMean)
+	}
+	if s.Std <= 0 {
+		t.Fatal("Std must be positive")
+	}
+	if Summarize(nil).N != 0 {
+		t.Fatal("empty summary")
+	}
+}
+
+func TestMonotone(t *testing.T) {
+	if Monotone([]float64{1, 2, 3, 4}) != 1 {
+		t.Fatal("increasing")
+	}
+	if Monotone([]float64{4, 3, 2, 1}) != -1 {
+		t.Fatal("decreasing")
+	}
+	if Monotone([]float64{1, 5, 1, 5}) == 1 && Monotone([]float64{1, 5, 1, 5}) == -1 {
+		t.Fatal("oscillating")
+	}
+	if Monotone([]float64{1}) != 0 {
+		t.Fatal("single point")
+	}
+	// Broadly increasing with one dip must still read as increasing.
+	if Monotone([]float64{1, 2, 1.9, 3, 4}) != 1 {
+		t.Fatal("noisy increasing")
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	if got := GeoMean([]float64{2, 8}); math.Abs(got-4) > 1e-9 {
+		t.Fatalf("GeoMean: %v", got)
+	}
+	if GeoMean([]float64{-1, 0}) != 0 {
+		t.Fatal("non-positive entries")
+	}
+}
+
+func TestMean(t *testing.T) {
+	if Mean([]float64{1, 2, 3}) != 2 || Mean(nil) != 0 {
+		t.Fatal("Mean")
+	}
+}
+
+// Property: CDF.At is monotone non-decreasing in x.
+func TestPropertyCDFMonotone(t *testing.T) {
+	f := func(vs []float32, a, b float64) bool {
+		if len(vs) == 0 {
+			return true
+		}
+		c := NewCDF(vs)
+		if a > b {
+			a, b = b, a
+		}
+		return c.At(a) <= c.At(b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: histogram total equals number of observations.
+func TestPropertyHistogramTotal(t *testing.T) {
+	f := func(vs []float64) bool {
+		h := NewHistogram(0, 1, 8)
+		for _, v := range vs {
+			h.Observe(v)
+		}
+		var sum int64
+		for _, b := range h.Bins {
+			sum += b
+		}
+		return sum == int64(len(vs)) && h.Total() == sum
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

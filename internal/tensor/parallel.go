@@ -1,0 +1,57 @@
+package tensor
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// maxWorkers bounds the goroutines a single kernel may fan out to.
+// Defaults to GOMAXPROCS; SetWorkers overrides (1 forces serial
+// execution, useful for deterministic profiling).
+var maxWorkers int64
+
+func init() { maxWorkers = int64(runtime.GOMAXPROCS(0)) }
+
+// SetWorkers sets the kernel parallelism (clamped to ≥ 1) and returns
+// the previous value.
+func SetWorkers(n int) int {
+	if n < 1 {
+		n = 1
+	}
+	return int(atomic.SwapInt64(&maxWorkers, int64(n)))
+}
+
+// Workers returns the current kernel parallelism.
+func Workers() int { return int(atomic.LoadInt64(&maxWorkers)) }
+
+// parallelThreshold is the minimum multiply-accumulate count before a
+// kernel fans out; below it goroutine overhead dominates.
+const parallelThreshold = 1 << 16
+
+// parallelRows splits [0, rows) across workers and runs fn on each
+// span. flops guides the serial/parallel decision.
+func parallelRows(rows int, flops int64, fn func(lo, hi int)) {
+	workers := Workers()
+	if workers <= 1 || flops < parallelThreshold || rows < 2 {
+		fn(0, rows)
+		return
+	}
+	if workers > rows {
+		workers = rows
+	}
+	var wg sync.WaitGroup
+	chunk := (rows + workers - 1) / workers
+	for lo := 0; lo < rows; lo += chunk {
+		hi := lo + chunk
+		if hi > rows {
+			hi = rows
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,78 @@
+package train
+
+import "math"
+
+// BLEU computes a BLEU-style score between a candidate token sequence
+// and a reference: geometric mean of 1..4-gram precisions with a
+// brevity penalty. This is the metric shape of paper Table II's WMT
+// row; we use it to compare baseline vs optimized translations of the
+// synthetic MT task.
+func BLEU(candidate, reference []int) float64 {
+	if len(candidate) == 0 || len(reference) == 0 {
+		return 0
+	}
+	const maxN = 4
+	logSum := 0.0
+	for n := 1; n <= maxN; n++ {
+		p := ngramPrecision(candidate, reference, n)
+		if p == 0 {
+			// Standard smoothing: substitute a tiny precision so a
+			// single missing n-gram order doesn't zero the score.
+			p = 1.0 / float64(2*len(candidate))
+		}
+		logSum += math.Log(p)
+	}
+	score := math.Exp(logSum / maxN)
+	// Brevity penalty.
+	c, r := float64(len(candidate)), float64(len(reference))
+	if c < r {
+		score *= math.Exp(1 - r/c)
+	}
+	return score
+}
+
+func ngramPrecision(candidate, reference []int, n int) float64 {
+	if len(candidate) < n {
+		return 0
+	}
+	refCounts := make(map[string]int)
+	for i := 0; i+n <= len(reference); i++ {
+		refCounts[ngramKey(reference[i:i+n])]++
+	}
+	matches, total := 0, 0
+	for i := 0; i+n <= len(candidate); i++ {
+		total++
+		k := ngramKey(candidate[i : i+n])
+		if refCounts[k] > 0 {
+			refCounts[k]--
+			matches++
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(matches) / float64(total)
+}
+
+func ngramKey(toks []int) string {
+	// Tokens are small vocab indices; a byte-packed key is cheap and
+	// collision-free for vocab < 2^16.
+	b := make([]byte, 0, 2*len(toks))
+	for _, t := range toks {
+		b = append(b, byte(t), byte(t>>8))
+	}
+	return string(b)
+}
+
+// CorpusBLEU averages sentence BLEU over aligned candidate/reference
+// pairs, scaled by 100 to the conventional range.
+func CorpusBLEU(candidates, references [][]int) float64 {
+	if len(candidates) == 0 || len(candidates) != len(references) {
+		return 0
+	}
+	var s float64
+	for i := range candidates {
+		s += BLEU(candidates[i], references[i])
+	}
+	return 100 * s / float64(len(candidates))
+}

@@ -1,0 +1,299 @@
+package train
+
+import (
+	"math"
+	"testing"
+
+	"etalstm/internal/lstm"
+	"etalstm/internal/model"
+	"etalstm/internal/rng"
+	"etalstm/internal/tensor"
+)
+
+// syntheticProvider is a tiny deterministic classification task: the
+// target class is a fixed linear function of the inputs, so a working
+// trainer must drive the loss down quickly.
+type syntheticProvider struct {
+	batches []Batch
+}
+
+func (p *syntheticProvider) NumBatches() int   { return len(p.batches) }
+func (p *syntheticProvider) Batch(i int) Batch { return p.batches[i] }
+
+func newSyntheticTask(cfg model.Config, nBatches int, seed uint64) *syntheticProvider {
+	r := rng.New(seed)
+	p := &syntheticProvider{}
+	for b := 0; b < nBatches; b++ {
+		xs := make([]*tensor.Matrix, cfg.SeqLen)
+		for t := range xs {
+			xs[t] = tensor.New(cfg.Batch, cfg.InputSize)
+			xs[t].RandInit(r, 1)
+		}
+		tg := &model.Targets{Classes: make([][]int, cfg.SeqLen)}
+		for t := range tg.Classes {
+			tg.Classes[t] = make([]int, cfg.Batch)
+			for i := range tg.Classes[t] {
+				// Deterministic rule: class = sign pattern of the first
+				// two features of the last input step.
+				v := xs[cfg.SeqLen-1].At(i, 0)
+				cls := 0
+				if v > 0 {
+					cls = 1
+				}
+				tg.Classes[t][i] = cls
+			}
+		}
+		p.batches = append(p.batches, Batch{Inputs: xs, Targets: tg})
+	}
+	return p
+}
+
+func smallConfig() model.Config {
+	return model.Config{
+		InputSize: 4, Hidden: 8, Layers: 2, SeqLen: 5,
+		Batch: 8, OutSize: 2, Loss: model.SingleLoss,
+	}
+}
+
+func TestSGDReducesLoss(t *testing.T) {
+	cfg := smallConfig()
+	r := rng.New(42)
+	net, _ := model.NewNetwork(cfg, r)
+	prov := newSyntheticTask(cfg, 4, 7)
+	tr := &Trainer{Net: net, Opt: &SGD{LR: 0.5}, Clip: 5}
+	stats, err := tr.Run(prov, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, last := stats[0].MeanLoss, stats[len(stats)-1].MeanLoss
+	if last >= first*0.8 {
+		t.Fatalf("SGD failed to learn: first %v last %v", first, last)
+	}
+}
+
+func TestMomentumReducesLoss(t *testing.T) {
+	cfg := smallConfig()
+	r := rng.New(43)
+	net, _ := model.NewNetwork(cfg, r)
+	prov := newSyntheticTask(cfg, 4, 8)
+	tr := &Trainer{Net: net, Opt: &SGD{LR: 0.1, Momentum: 0.9}, Clip: 5}
+	stats, err := tr.Run(prov, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats[len(stats)-1].MeanLoss >= stats[0].MeanLoss {
+		t.Fatal("momentum SGD failed to reduce loss")
+	}
+}
+
+func TestAdamReducesLoss(t *testing.T) {
+	cfg := smallConfig()
+	r := rng.New(44)
+	net, _ := model.NewNetwork(cfg, r)
+	prov := newSyntheticTask(cfg, 4, 9)
+	tr := &Trainer{Net: net, Opt: &Adam{LR: 0.01}, Clip: 5}
+	stats, err := tr.Run(prov, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats[len(stats)-1].MeanLoss >= stats[0].MeanLoss*0.8 {
+		t.Fatalf("Adam failed to learn: %v -> %v", stats[0].MeanLoss, stats[len(stats)-1].MeanLoss)
+	}
+}
+
+func TestEpochLossesRecorded(t *testing.T) {
+	cfg := smallConfig()
+	r := rng.New(45)
+	net, _ := model.NewNetwork(cfg, r)
+	prov := newSyntheticTask(cfg, 2, 10)
+	tr := &Trainer{Net: net, Opt: &SGD{LR: 0.1}}
+	if _, err := tr.Run(prov, 3); err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.EpochLosses) != 3 {
+		t.Fatalf("EpochLosses: %d", len(tr.EpochLosses))
+	}
+}
+
+func TestPolicyHookInvoked(t *testing.T) {
+	cfg := smallConfig()
+	r := rng.New(46)
+	net, _ := model.NewNetwork(cfg, r)
+	prov := newSyntheticTask(cfg, 2, 11)
+	epochs := []int{}
+	tr := &Trainer{
+		Net: net, Opt: &SGD{LR: 0.1},
+		PolicyFor: func(e int) model.StoragePolicy {
+			epochs = append(epochs, e)
+			return model.P1Policy()
+		},
+	}
+	if _, err := tr.Run(prov, 2); err != nil {
+		t.Fatal(err)
+	}
+	if len(epochs) != 2 || epochs[0] != 0 || epochs[1] != 1 {
+		t.Fatalf("PolicyFor calls: %v", epochs)
+	}
+}
+
+func TestOnGradientsHook(t *testing.T) {
+	cfg := smallConfig()
+	r := rng.New(47)
+	net, _ := model.NewNetwork(cfg, r)
+	prov := newSyntheticTask(cfg, 2, 12)
+	calls := 0
+	tr := &Trainer{
+		Net: net, Opt: &SGD{LR: 0.1},
+		OnGradients: func(e, b int, g *model.Gradients) { calls++ },
+	}
+	if _, err := tr.RunEpoch(prov, 0); err != nil {
+		t.Fatal(err)
+	}
+	if calls != 2 {
+		t.Fatalf("OnGradients calls: %d", calls)
+	}
+}
+
+func TestP1PolicyTrainsIdentically(t *testing.T) {
+	// MS1 is exact: training under the P1 policy must produce the same
+	// weights as the baseline policy, step for step.
+	cfg := smallConfig()
+	prov := newSyntheticTask(cfg, 3, 13)
+
+	r1 := rng.New(48)
+	netA, _ := model.NewNetwork(cfg, r1)
+	trA := &Trainer{Net: netA, Opt: &SGD{LR: 0.2}}
+	if _, err := trA.Run(prov, 3); err != nil {
+		t.Fatal(err)
+	}
+
+	r2 := rng.New(48)
+	netB, _ := model.NewNetwork(cfg, r2)
+	trB := &Trainer{
+		Net: netB, Opt: &SGD{LR: 0.2},
+		PolicyFor: func(int) model.StoragePolicy { return model.P1Policy() },
+	}
+	if _, err := trB.Run(prov, 3); err != nil {
+		t.Fatal(err)
+	}
+
+	for l := range netA.Layer {
+		for g := lstm.Gate(0); g < lstm.NumGates; g++ {
+			if !netA.Layer[l].W[g].Equal(netB.Layer[l].W[g], 1e-4) {
+				t.Fatalf("layer %d W[%v] diverged between baseline and P1 training", l, g)
+			}
+		}
+	}
+}
+
+func TestClipGradients(t *testing.T) {
+	cfg := smallConfig()
+	r := rng.New(49)
+	net, _ := model.NewNetwork(cfg, r)
+	g := net.NewGradients()
+	g.Proj.Fill(100)
+	norm := ClipGradients(g, 1)
+	if norm <= 1 {
+		t.Fatalf("expected large pre-clip norm, got %v", norm)
+	}
+	var sq float64
+	for _, v := range g.Proj.Data {
+		sq += float64(v) * float64(v)
+	}
+	if math.Sqrt(sq) > 1.0001 {
+		t.Fatalf("post-clip norm %v > 1", math.Sqrt(sq))
+	}
+}
+
+func TestClipNoopBelowThreshold(t *testing.T) {
+	cfg := smallConfig()
+	r := rng.New(50)
+	net, _ := model.NewNetwork(cfg, r)
+	g := net.NewGradients()
+	g.Proj.Set(0, 0, 0.5)
+	ClipGradients(g, 10)
+	if g.Proj.At(0, 0) != 0.5 {
+		t.Fatal("clip must not rescale small gradients")
+	}
+}
+
+func TestEvaluateAccuracy(t *testing.T) {
+	cfg := smallConfig()
+	r := rng.New(51)
+	net, _ := model.NewNetwork(cfg, r)
+	prov := newSyntheticTask(cfg, 4, 14)
+	tr := &Trainer{Net: net, Opt: &Adam{LR: 0.02}, Clip: 5}
+	if _, err := tr.Run(prov, 25); err != nil {
+		t.Fatal(err)
+	}
+	_, acc, err := Evaluate(net, prov)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc < 0.8 {
+		t.Fatalf("trained accuracy too low: %v", acc)
+	}
+}
+
+func TestEvaluateMAERequiresRegression(t *testing.T) {
+	cfg := smallConfig()
+	r := rng.New(52)
+	net, _ := model.NewNetwork(cfg, r)
+	if _, err := EvaluateMAE(net, newSyntheticTask(cfg, 1, 15)); err == nil {
+		t.Fatal("expected error for non-regression model")
+	}
+}
+
+func TestBLEUPerfectMatch(t *testing.T) {
+	seq := []int{1, 2, 3, 4, 5, 6}
+	if got := BLEU(seq, seq); math.Abs(got-1) > 1e-9 {
+		t.Fatalf("BLEU(identical) = %v", got)
+	}
+}
+
+func TestBLEUDisjoint(t *testing.T) {
+	a := []int{1, 2, 3, 4, 5}
+	b := []int{6, 7, 8, 9, 10}
+	if got := BLEU(a, b); got > 0.2 {
+		t.Fatalf("BLEU(disjoint) too high: %v", got)
+	}
+}
+
+func TestBLEUBrevityPenalty(t *testing.T) {
+	ref := []int{1, 2, 3, 4, 5, 6, 7, 8}
+	short := []int{1, 2, 3, 4}
+	full := []int{1, 2, 3, 4, 5, 6, 7, 8}
+	if BLEU(short, ref) >= BLEU(full, ref) {
+		t.Fatal("brevity penalty must penalize short candidates")
+	}
+}
+
+func TestBLEUEmpty(t *testing.T) {
+	if BLEU(nil, []int{1}) != 0 || BLEU([]int{1}, nil) != 0 {
+		t.Fatal("empty sequences must score 0")
+	}
+}
+
+func TestCorpusBLEURange(t *testing.T) {
+	c := [][]int{{1, 2, 3, 4}, {5, 6, 7, 8}}
+	got := CorpusBLEU(c, c)
+	if math.Abs(got-100) > 1e-9 {
+		t.Fatalf("CorpusBLEU(identical) = %v", got)
+	}
+	if CorpusBLEU(nil, nil) != 0 {
+		t.Fatal("empty corpus must score 0")
+	}
+}
+
+func TestTrainerRequiresNetAndOpt(t *testing.T) {
+	tr := &Trainer{}
+	if _, err := tr.RunEpoch(&syntheticProvider{}, 0); err == nil {
+		t.Fatal("expected error for missing Net/Opt")
+	}
+}
+
+func TestOptimizerNames(t *testing.T) {
+	if (&SGD{LR: 0.1}).Name() == "" || (&Adam{LR: 0.1}).Name() == "" {
+		t.Fatal("optimizers must have names")
+	}
+}

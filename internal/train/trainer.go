@@ -1,0 +1,193 @@
+package train
+
+import (
+	"fmt"
+	"math"
+
+	"etalstm/internal/model"
+	"etalstm/internal/tensor"
+)
+
+// Batch is one minibatch of inputs and supervision.
+type Batch struct {
+	Inputs  []*tensor.Matrix // SeqLen entries, each Batch×InputSize
+	Targets *model.Targets
+}
+
+// Provider supplies the minibatches of one epoch. Implementations live
+// in internal/workload.
+type Provider interface {
+	// NumBatches returns how many batches one epoch visits.
+	NumBatches() int
+	// Batch returns batch i (0 ≤ i < NumBatches). Implementations may
+	// reuse buffers between calls; the trainer consumes each batch
+	// fully before requesting the next.
+	Batch(i int) Batch
+}
+
+// Trainer runs epochs of forward/backward/update. The two function
+// hooks are where η-LSTM's software optimizations attach without the
+// trainer knowing about them:
+//
+//   - PolicyFor chooses the per-cell storage policy for an epoch
+//     (baseline, MS1's P1 policy, MS2's skip plan, or the combination);
+//   - OnGradients edits gradients after BP and before clipping — MS2's
+//     convergence-aware scaling applies here.
+type Trainer struct {
+	Net  *model.Network
+	Opt  Optimizer
+	Clip float64 // max gradient L2 norm; 0 disables clipping
+
+	PolicyFor   func(epoch int) model.StoragePolicy
+	OnGradients func(epoch, batch int, grads *model.Gradients)
+
+	// EpochLosses records the mean loss of every completed epoch —
+	// the history MS2's loss predictor (paper Eq. 5) extrapolates.
+	EpochLosses []float64
+}
+
+// EpochStats summarizes one training epoch.
+type EpochStats struct {
+	Epoch         int
+	MeanLoss      float64
+	Batches       int
+	SkippedCells  int
+	ExecutedCells int
+}
+
+// RunEpoch trains over every batch of p once and records the epoch's
+// mean loss.
+func (tr *Trainer) RunEpoch(p Provider, epoch int) (EpochStats, error) {
+	if tr.Net == nil || tr.Opt == nil {
+		return EpochStats{}, fmt.Errorf("train: Trainer requires Net and Opt")
+	}
+	var policy model.StoragePolicy
+	if tr.PolicyFor != nil {
+		policy = tr.PolicyFor(epoch)
+	}
+
+	stats := EpochStats{Epoch: epoch}
+	var totalLoss float64
+	for b := 0; b < p.NumBatches(); b++ {
+		batch := p.Batch(b)
+		res, err := tr.Net.Forward(batch.Inputs, batch.Targets, policy)
+		if err != nil {
+			return stats, fmt.Errorf("train: epoch %d batch %d forward: %w", epoch, b, err)
+		}
+		if math.IsNaN(res.Loss) || math.IsInf(res.Loss, 0) {
+			return stats, fmt.Errorf("train: epoch %d batch %d: non-finite loss %v (diverged; lower the learning rate)",
+				epoch, b, res.Loss)
+		}
+		grads := tr.Net.NewGradients()
+		if err := tr.Net.Backward(res, policy, grads, model.BackwardOpts{}); err != nil {
+			return stats, fmt.Errorf("train: epoch %d batch %d backward: %w", epoch, b, err)
+		}
+		if tr.OnGradients != nil {
+			tr.OnGradients(epoch, b, grads)
+		}
+		if tr.Clip > 0 {
+			ClipGradients(grads, tr.Clip)
+		}
+		tr.Opt.Step(tr.Net, grads)
+
+		totalLoss += res.Loss
+		stats.Batches++
+		stats.SkippedCells += grads.SkippedCells
+		stats.ExecutedCells += grads.ExecutedCells
+	}
+	if stats.Batches > 0 {
+		stats.MeanLoss = totalLoss / float64(stats.Batches)
+	}
+	tr.EpochLosses = append(tr.EpochLosses, stats.MeanLoss)
+	return stats, nil
+}
+
+// Run trains for epochs epochs and returns the per-epoch statistics.
+func (tr *Trainer) Run(p Provider, epochs int) ([]EpochStats, error) {
+	out := make([]EpochStats, 0, epochs)
+	for e := 0; e < epochs; e++ {
+		st, err := tr.RunEpoch(p, e)
+		if err != nil {
+			return out, err
+		}
+		out = append(out, st)
+	}
+	return out, nil
+}
+
+// Evaluate runs forward-only over p and returns the mean loss plus
+// classification accuracy where applicable (loss kinds with class
+// targets; NaN-free: accuracy is 0 for regression).
+func Evaluate(net *model.Network, p Provider) (meanLoss, accuracy float64, err error) {
+	var totalLoss float64
+	correct, seen := 0, 0
+	for b := 0; b < p.NumBatches(); b++ {
+		batch := p.Batch(b)
+		res, ferr := net.Forward(batch.Inputs, batch.Targets, nil)
+		if ferr != nil {
+			return 0, 0, ferr
+		}
+		totalLoss += res.Loss
+		if net.Cfg.Loss == model.RegressionLoss {
+			continue
+		}
+		// Accuracy over the evaluated timesteps.
+		for t, logits := range res.Logits {
+			if logits == nil {
+				continue
+			}
+			var tgt []int
+			if net.Cfg.Loss == model.SingleLoss {
+				tgt = batch.Targets.Classes[len(batch.Targets.Classes)-1]
+			} else {
+				tgt = batch.Targets.Classes[t]
+			}
+			pred := model.Argmax(logits)
+			for i, want := range tgt {
+				if want < 0 {
+					continue
+				}
+				seen++
+				if pred[i] == want {
+					correct++
+				}
+			}
+		}
+	}
+	n := p.NumBatches()
+	if n > 0 {
+		meanLoss = totalLoss / float64(n)
+	}
+	if seen > 0 {
+		accuracy = float64(correct) / float64(seen)
+	}
+	return meanLoss, accuracy, nil
+}
+
+// EvaluateMAE runs forward-only and returns the mean absolute error for
+// regression models (the WAYMO metric of Table II).
+func EvaluateMAE(net *model.Network, p Provider) (float64, error) {
+	if net.Cfg.Loss != model.RegressionLoss {
+		return 0, fmt.Errorf("train: EvaluateMAE requires a regression model")
+	}
+	var total float64
+	var steps int
+	for b := 0; b < p.NumBatches(); b++ {
+		batch := p.Batch(b)
+		res, err := net.Forward(batch.Inputs, batch.Targets, nil)
+		if err != nil {
+			return 0, err
+		}
+		for t, logits := range res.Logits {
+			if logits == nil {
+				continue
+			}
+			total += model.MeanAbsoluteError(logits, batch.Targets.Regress[t])
+			steps++
+		}
+	}
+	if steps == 0 {
+		return 0, nil
+	}
+	return total / float64(steps), nil
+}
