@@ -1,0 +1,23 @@
+GO ?= go
+
+.PHONY: build test race bench vet all
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# Race-detector pass over the packages with real concurrency: the
+# data-parallel engine, the trainer that drives it, and the public API
+# (whose tests exercise multi-worker training end to end).
+race:
+	$(GO) test -race ./internal/parallel ./internal/core ./internal/tensor .
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+vet:
+	$(GO) vet ./...

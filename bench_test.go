@@ -12,6 +12,7 @@ package etalstm
 // custom metric so `-bench` output doubles as a results table.
 
 import (
+	"context"
 	"strconv"
 	"strings"
 	"testing"
@@ -238,6 +239,47 @@ func BenchmarkOmniPEDotProduct(b *testing.B) {
 		pe.DotProduct(a, v)
 	}
 }
+
+// --- Data-parallel epoch benchmarks ---
+
+// benchEpoch measures whole training epochs at the given replica count.
+// Kernel-level parallelism is pinned to 1 for the duration so the two
+// levels don't compound and the serial/parallel comparison isolates the
+// replica engine (see SetWorkers).
+func benchEpoch(b *testing.B, workers int) {
+	b.Helper()
+	prev := SetWorkers(1)
+	defer SetWorkers(prev)
+
+	bench, err := BenchmarkByName("IMDB")
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Large enough that per-batch FW+BP dominates the per-group weight
+	// broadcast; 8 batches = two full groups at Workers == 4.
+	small := bench.Scaled(16, 32, 16)
+	net, err := NewNetwork(small.Cfg, 42)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tr := NewTrainer(net, Baseline, TrainerOptions{Workers: workers})
+	prov := small.Provider(8, 1)
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := tr.RunEpoch(ctx, prov, i); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEpochSerial is the single-replica reference epoch.
+func BenchmarkEpochSerial(b *testing.B) { benchEpoch(b, 1) }
+
+// BenchmarkEpochParallel shards the same epoch across 4 replica
+// workers; on a >= 4-core machine it should run >= 1.5x faster than
+// BenchmarkEpochSerial.
+func BenchmarkEpochParallel(b *testing.B) { benchEpoch(b, 4) }
 
 // --- Ablation benches (DESIGN.md design choices) ---
 

@@ -23,13 +23,18 @@ import (
 
 func main() {
 	var (
-		list = flag.Bool("list", false, "list experiment ids and exit")
-		exp  = flag.String("exp", "all", "experiment id to run, or 'all'")
-		full = flag.Bool("full", false, "run training-backed experiments at full scale")
-		seed = flag.Uint64("seed", 42, "seed for training-backed experiments")
-		out  = flag.String("o", "", "also write the output to this file")
+		list    = flag.Bool("list", false, "list experiment ids and exit")
+		exp     = flag.String("exp", "all", "experiment id to run, or 'all'")
+		full    = flag.Bool("full", false, "run training-backed experiments at full scale")
+		seed    = flag.Uint64("seed", 42, "seed for training-backed experiments")
+		out     = flag.String("o", "", "also write the output to this file")
+		kernelW = flag.Int("kernel-workers", 0, "goroutines per tensor kernel (0 = keep default)")
 	)
 	flag.Parse()
+
+	if *kernelW > 0 {
+		etalstm.SetWorkers(*kernelW)
+	}
 
 	if *list {
 		for _, id := range etalstm.ExperimentIDs() {

@@ -9,10 +9,13 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"math"
 	"os"
+	"os/signal"
 	"strings"
 
 	"etalstm"
@@ -28,6 +31,8 @@ func main() {
 		seqCap    = flag.Int("seq", 16, "cap the layer length")
 		batchCap  = flag.Int("batch", 8, "cap the batch size")
 		seed      = flag.Uint64("seed", 42, "seed")
+		workers   = flag.Int("workers", 1, "data-parallel replica workers (0 = derive from CPU count)")
+		kernelW   = flag.Int("kernel-workers", 0, "goroutines per tensor kernel (0 = keep default)")
 		corpusPth = flag.String("corpus", "", "train a byte-level LM on this text file instead of a benchmark")
 		hidden    = flag.Int("hidden", 64, "hidden size for -corpus mode")
 		loadPath  = flag.String("load", "", "resume from a checkpoint file")
@@ -35,12 +40,21 @@ func main() {
 	)
 	flag.Parse()
 
+	if *kernelW > 0 {
+		etalstm.SetWorkers(*kernelW)
+	}
+	// Ctrl-C cancels training between minibatch groups instead of
+	// killing the process mid-epoch.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
 	mode, err := parseMode(*modeName)
 	if err != nil {
 		fatal(err)
 	}
+	topts := etalstm.TrainerOptions{Workers: *workers}
 	if *corpusPth != "" {
-		trainCorpus(*corpusPth, mode, *hidden, *seqCap, *batchCap, *epochs, *batches, *seed)
+		trainCorpus(ctx, *corpusPth, mode, topts, *hidden, *seqCap, *batchCap, *epochs, *batches, *seed)
 		return
 	}
 	bench, err := etalstm.BenchmarkByName(*benchName)
@@ -71,11 +85,18 @@ func main() {
 			fatal(err)
 		}
 	}
-	tr := etalstm.NewTrainer(net, mode, etalstm.TrainerOptions{})
+	tr := etalstm.NewTrainer(net, mode, topts)
+	if tr.Workers() > 1 {
+		fmt.Printf("data-parallel: %d replica workers\n", tr.Workers())
+	}
 	prov := bench.Provider(*batches, *seed)
 
 	for e := 0; e < *epochs; e++ {
-		st, err := tr.RunEpoch(prov, e)
+		st, err := tr.RunEpoch(ctx, prov, e)
+		if errors.Is(err, context.Canceled) {
+			fmt.Println("interrupted; stopping after", e, "epochs")
+			break
+		}
 		if err != nil {
 			fatal(err)
 		}
@@ -129,7 +150,7 @@ func fatal(err error) {
 }
 
 // trainCorpus runs byte-level language modeling over a user text file.
-func trainCorpus(path string, mode etalstm.Mode, hidden, seqLen, batch, epochs, batches int, seed uint64) {
+func trainCorpus(ctx context.Context, path string, mode etalstm.Mode, topts etalstm.TrainerOptions, hidden, seqLen, batch, epochs, batches int, seed uint64) {
 	c, err := etalstm.LoadCorpusFile(path, 32, seed)
 	if err != nil {
 		fatal(err)
@@ -145,9 +166,13 @@ func trainCorpus(path string, mode etalstm.Mode, hidden, seqLen, batch, epochs, 
 	if err != nil {
 		fatal(err)
 	}
-	tr := etalstm.NewTrainer(net, mode, etalstm.TrainerOptions{})
+	tr := etalstm.NewTrainer(net, mode, topts)
 	for e := 0; e < epochs; e++ {
-		st, err := tr.RunEpoch(prov, e)
+		st, err := tr.RunEpoch(ctx, prov, e)
+		if errors.Is(err, context.Canceled) {
+			fmt.Println("interrupted; stopping after", e, "epochs")
+			return
+		}
 		if err != nil {
 			fatal(err)
 		}

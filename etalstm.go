@@ -10,17 +10,23 @@
 //	small := bench.Scaled(64, 16, 8)
 //	net, _ := etalstm.NewNetwork(small.Cfg, 42)
 //	tr := etalstm.NewTrainer(net, etalstm.Combined, etalstm.TrainerOptions{})
-//	stats, _ := tr.Run(small.Provider(4, 1), 10)
+//	stats, _ := tr.Run(context.Background(), small.Provider(4, 1), 10)
 //
-// The experiment harnesses are exposed through RunExperiment; the
-// architecture comparison through CompareScenarios. See README.md for
-// the full tour and DESIGN.md for the system inventory.
+// Training is data-parallel: TrainerOptions.Workers shards each epoch's
+// minibatches across replica workers with a deterministic gradient
+// all-reduce (see TrainerOptions.Workers and SetWorkers for the two
+// parallelism levels). The experiment harnesses are exposed through
+// RunExperiment; the architecture comparison through CompareScenarios.
+// See README.md for the full tour and DESIGN.md for the system
+// inventory.
 package etalstm
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 
 	"etalstm/internal/core"
 	"etalstm/internal/corpus"
@@ -120,13 +126,43 @@ func (m Mode) String() string {
 	return fmt.Sprintf("Mode(%d)", int(m))
 }
 
+// NoClip disables gradient clipping when assigned to
+// TrainerOptions.Clip (any negative value works; this constant is the
+// readable spelling).
+const NoClip = -1
+
+// Reducer is the pluggable final stage of a training step: it receives
+// the merged gradients of one optimizer step and performs averaging,
+// clipping and the weight update. Supply one through
+// TrainerOptions.Reducer to slot in custom clipping schemes or future
+// multi-backend/sharded reducers; the default is clip-then-step.
+type Reducer = train.Reducer
+
+// ClipStep is the default Reducer: average over replicas, clip the
+// global L2 norm (Clip <= 0 disables), apply Opt.
+type ClipStep = train.ClipStep
+
 // TrainerOptions tunes a Trainer; zero values select the paper's
 // operating points.
 type TrainerOptions struct {
 	// Optimizer defaults to Adam(lr=0.01).
 	Optimizer Optimizer
-	// Clip is the max gradient L2 norm (0 = 5).
+	// Clip is the max gradient L2 norm (0 = 5; negative, e.g. NoClip,
+	// disables clipping entirely).
 	Clip float64
+	// Workers is the data-parallel replica count. 0 derives a count
+	// from runtime.NumCPU() (capped at 8); 1 forces the serial trainer
+	// (one optimizer step per minibatch, bitwise identical to the
+	// classic loop); > 1 shards each epoch's minibatches across that
+	// many replica workers with one optimizer step per group of Workers
+	// batches, merged by a deterministic tree all-reduce — reproducible
+	// run-to-run for any fixed worker count. Replica workers multiply
+	// with the kernel-level parallelism set by SetWorkers; see
+	// SetWorkers for the combined tuning story.
+	Workers int
+	// Reducer overrides the merge-clip-step stage (nil = ClipStep with
+	// the options above).
+	Reducer Reducer
 	// PruneThreshold is MS1's near-zero cutoff (0 = 0.1).
 	PruneThreshold float32
 	// SkipThreshold is MS2's significance cutoff (0 = 0.08).
@@ -146,6 +182,20 @@ type Trainer struct {
 // EpochStats reports one epoch's loss and optimization behaviour.
 type EpochStats = core.Stats
 
+// defaultReplicaWorkers derives the replica count for Workers == 0: one
+// replica per CPU, capped so replica- and kernel-level parallelism do
+// not oversubscribe wildly on very wide machines.
+func defaultReplicaWorkers() int {
+	w := runtime.NumCPU()
+	if w > 8 {
+		w = 8
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
 // NewTrainer builds a trainer for net in the given mode.
 func NewTrainer(net *Network, mode Mode, opts TrainerOptions) *Trainer {
 	opt := opts.Optimizer
@@ -153,8 +203,15 @@ func NewTrainer(net *Network, mode Mode, opts TrainerOptions) *Trainer {
 		opt = &train.Adam{LR: 0.01}
 	}
 	clip := opts.Clip
-	if clip == 0 {
+	switch {
+	case clip == 0:
 		clip = 5
+	case clip < 0:
+		clip = 0 // an explicit "no clipping" request
+	}
+	workers := opts.Workers
+	if workers == 0 {
+		workers = defaultReplicaWorkers()
 	}
 	cfg := core.Config{
 		EnableMS1:      mode == MS1 || mode == Combined,
@@ -164,20 +221,28 @@ func NewTrainer(net *Network, mode Mode, opts TrainerOptions) *Trainer {
 		MaxSkipFrac:    opts.MaxSkipFrac,
 		WarmupEpochs:   opts.WarmupEpochs,
 	}
-	return &Trainer{inner: core.New(net, opt, clip, cfg), mode: mode}
+	inner := core.New(net, opt, clip, cfg)
+	inner.Workers = workers
+	inner.Reducer = opts.Reducer
+	return &Trainer{inner: inner, mode: mode}
 }
 
 // Mode returns the trainer's optimization mode.
 func (t *Trainer) Mode() Mode { return t.mode }
 
-// Run trains for epochs epochs over p.
-func (t *Trainer) Run(p Provider, epochs int) ([]EpochStats, error) {
-	return t.inner.Run(p, epochs)
+// Workers returns the trainer's resolved data-parallel replica count.
+func (t *Trainer) Workers() int { return t.inner.Workers }
+
+// Run trains for epochs epochs over p. ctx cancels training between
+// minibatch groups; the returned error is then ctx.Err() and the stats
+// of fully completed epochs are still returned.
+func (t *Trainer) Run(ctx context.Context, p Provider, epochs int) ([]EpochStats, error) {
+	return t.inner.Run(ctx, p, epochs)
 }
 
-// RunEpoch trains a single epoch.
-func (t *Trainer) RunEpoch(p Provider, epoch int) (EpochStats, error) {
-	return t.inner.RunEpoch(p, epoch)
+// RunEpoch trains a single epoch, honouring ctx as Run does.
+func (t *Trainer) RunEpoch(ctx context.Context, p Provider, epoch int) (EpochStats, error) {
+	return t.inner.RunEpoch(ctx, p, epoch)
 }
 
 // Losses returns the recorded per-epoch mean losses.
@@ -217,25 +282,6 @@ func EvaluateMAE(net *Network, p Provider) (float64, error) {
 	return train.EvaluateMAE(net, p)
 }
 
-// DataMovement returns the modeled per-step DRAM traffic of cfg under
-// the given mode at the paper's operating points (65 % P1 sparsity,
-// geometry-derived skip fraction).
-func DataMovement(cfg Config, mode Mode) Movement {
-	p := defaultOptParams(cfg)
-	var m trace.Movement
-	switch mode {
-	case Baseline:
-		m = trace.Baseline(cfg)
-	case MS1:
-		m = trace.WithMS1(cfg, p.P1Sparsity)
-	case MS2:
-		m = trace.WithMS2(cfg, p.SkipFrac)
-	case Combined:
-		m = trace.Combined(cfg, p.P1Sparsity, p.SkipFrac)
-	}
-	return Movement{Weights: m.Weights, Activations: m.Activations, Intermediates: m.Intermediates}
-}
-
 // Movement is DRAM traffic in bytes by category.
 type Movement struct {
 	Weights       int64
@@ -246,26 +292,83 @@ type Movement struct {
 // Total returns the summed traffic.
 func (m Movement) Total() int64 { return m.Weights + m.Activations + m.Intermediates }
 
+// Analysis couples the two analytic cost models for one configuration
+// under one optimization mode: the per-step DRAM traffic (Movement) and
+// the training memory footprint (Footprint), both at the paper's
+// operating points (65 % P1 sparsity, geometry-derived skip fraction).
+type Analysis struct {
+	Cfg       Config
+	Mode      Mode
+	Movement  Movement
+	Footprint Footprint
+}
+
+// Analyze models cfg under mode and returns both the DRAM traffic and
+// the memory footprint in one call — the single entry point behind the
+// deprecated DataMovement and FootprintFor wrappers. Use
+// Trainer.Footprint for a trained run's measured operating point.
+func Analyze(cfg Config, mode Mode) Analysis {
+	p := defaultOptParams(cfg)
+	// One mode switch covers both models: each Mode maps to a trace
+	// call and a memplan mode with the same operating-point parameters.
+	var m trace.Movement
+	var mm memplan.Mode
+	switch mode {
+	case MS1:
+		m = trace.WithMS1(cfg, p.P1Sparsity)
+		mm = memplan.MS1
+	case MS2:
+		m = trace.WithMS2(cfg, p.SkipFrac)
+		mm = memplan.MS2
+	case Combined:
+		m = trace.Combined(cfg, p.P1Sparsity, p.SkipFrac)
+		mm = memplan.Combined
+	default:
+		m = trace.Baseline(cfg)
+		mm = memplan.Baseline
+	}
+	mp := memplan.Params{P1KeepRatio: memplan.FromSparsity(p.P1Sparsity), SkipFrac: p.SkipFrac}
+	b := memplan.Footprint(cfg, mm, mp)
+	return Analysis{
+		Cfg:       cfg,
+		Mode:      mode,
+		Movement:  Movement{Weights: m.Weights, Activations: m.Activations, Intermediates: m.Intermediates},
+		Footprint: Footprint{Parameter: b.Parameter, Activations: b.Activations, Intermediate: b.Intermediate},
+	}
+}
+
+// DataMovement returns the modeled per-step DRAM traffic of cfg under
+// the given mode at the paper's operating points.
+//
+// Deprecated: use Analyze, which returns the traffic and the footprint
+// from one mode dispatch.
+func DataMovement(cfg Config, mode Mode) Movement { return Analyze(cfg, mode).Movement }
+
 // FootprintFor returns the modeled footprint of cfg under mode at the
 // paper's operating points (use Trainer.Footprint for a trained run's
 // measured point).
-func FootprintFor(cfg Config, mode Mode) Footprint {
-	p := defaultOptParams(cfg)
-	mp := memplan.Params{P1KeepRatio: memplan.FromSparsity(p.P1Sparsity), SkipFrac: p.SkipFrac}
-	var mm memplan.Mode
-	switch mode {
-	case Baseline:
-		mm = memplan.Baseline
-	case MS1:
-		mm = memplan.MS1
-	case MS2:
-		mm = memplan.MS2
-	case Combined:
-		mm = memplan.Combined
-	}
-	b := memplan.Footprint(cfg, mm, mp)
-	return Footprint{Parameter: b.Parameter, Activations: b.Activations, Intermediate: b.Intermediate}
-}
+//
+// Deprecated: use Analyze, which returns the footprint and the traffic
+// from one mode dispatch.
+func FootprintFor(cfg Config, mode Mode) Footprint { return Analyze(cfg, mode).Footprint }
+
+// SetWorkers sets the kernel-level parallelism: how many goroutines a
+// single tensor kernel (MatMul, element-wise ops) may fan out to
+// (clamped to >= 1). It returns the previous value. This is the inner
+// of the two parallelism levels — TrainerOptions.Workers controls the
+// outer, replica level. The two multiply: total concurrency is roughly
+// replicas × kernel workers, so on a machine with C cores the usual
+// tunings are {Workers: C, SetWorkers(1)} for epoch throughput on small
+// models (replica parallelism has less synchronization overhead than
+// per-kernel fan-out) or {Workers: 1, SetWorkers(C)} for the lowest
+// single-batch latency on large models. The default — Workers derived
+// from NumCPU and kernel workers at GOMAXPROCS — oversubscribes mildly,
+// which the Go scheduler absorbs; pin one of the two levels to 1 when
+// profiling.
+func SetWorkers(n int) int { return tensor.SetWorkers(n) }
+
+// Workers returns the current kernel-level parallelism (see SetWorkers).
+func Workers() int { return tensor.Workers() }
 
 // SaveNetwork writes a trained network to path in the versioned binary
 // checkpoint format (CRC-protected, atomic rename).

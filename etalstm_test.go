@@ -1,6 +1,7 @@
 package etalstm
 
 import (
+	"context"
 	"errors"
 	"testing"
 )
@@ -15,8 +16,8 @@ func TestQuickstartFlow(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	tr := NewTrainer(net, Combined, TrainerOptions{})
-	stats, err := tr.Run(small.Provider(3, 1), 8)
+	tr := NewTrainer(net, Combined, TrainerOptions{Workers: 1})
+	stats, err := tr.Run(context.Background(), small.Provider(3, 1), 8)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -41,8 +42,8 @@ func TestAllModesTrain(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		tr := NewTrainer(net, mode, TrainerOptions{})
-		stats, err := tr.Run(small.Provider(3, 3), 6)
+		tr := NewTrainer(net, mode, TrainerOptions{Workers: 1})
+		stats, err := tr.Run(context.Background(), small.Provider(3, 3), 6)
 		if err != nil {
 			t.Fatalf("%v: %v", mode, err)
 		}
@@ -93,7 +94,7 @@ func TestTrainerFootprintUsesMeasuredPoint(t *testing.T) {
 	small := bench.Scaled(64, 10, 8)
 	net, _ := NewNetwork(small.Cfg, 5)
 	tr := NewTrainer(net, Combined, TrainerOptions{})
-	if _, err := tr.Run(small.Provider(2, 9), 5); err != nil {
+	if _, err := tr.Run(context.Background(), small.Provider(2, 9), 5); err != nil {
 		t.Fatal(err)
 	}
 	fp := tr.Footprint(bench.Cfg)
@@ -134,7 +135,7 @@ func TestCheckpointRoundtrip(t *testing.T) {
 	small := bench.Scaled(64, 8, 4)
 	net, _ := NewNetwork(small.Cfg, 11)
 	tr := NewTrainer(net, MS1, TrainerOptions{})
-	if _, err := tr.Run(small.Provider(2, 1), 3); err != nil {
+	if _, err := tr.Run(context.Background(), small.Provider(2, 1), 3); err != nil {
 		t.Fatal(err)
 	}
 	path := t.TempDir() + "/ckpt"

@@ -4,6 +4,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -26,11 +27,14 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	trainer := etalstm.NewTrainer(net, etalstm.Combined, etalstm.TrainerOptions{})
+	// Workers > 1 trains data-parallel over replica workers; Workers: 1
+	// keeps the bitwise-deterministic serial path.
+	trainer := etalstm.NewTrainer(net, etalstm.Combined, etalstm.TrainerOptions{Workers: 1})
 	prov := small.Provider(4, 1)
+	ctx := context.Background()
 
 	for epoch := 0; epoch < 10; epoch++ {
-		st, err := trainer.RunEpoch(prov, epoch)
+		st, err := trainer.RunEpoch(ctx, prov, epoch)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -27,7 +28,7 @@ func main() {
 			log.Fatal(err)
 		}
 		trainer := etalstm.NewTrainer(net, mode, etalstm.TrainerOptions{})
-		if _, err := trainer.Run(small.Provider(4, 1), epochs); err != nil {
+		if _, err := trainer.Run(context.Background(), small.Provider(4, 1), epochs); err != nil {
 			log.Fatal(err)
 		}
 		loss, acc, err := etalstm.Evaluate(net, evalProv)

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -24,9 +25,10 @@ func main() {
 	}
 	trainer := etalstm.NewTrainer(net, etalstm.Combined, etalstm.TrainerOptions{})
 	prov := small.Provider(4, 3)
+	ctx := context.Background()
 
 	for epoch := 0; epoch < 10; epoch++ {
-		st, err := trainer.RunEpoch(prov, epoch)
+		st, err := trainer.RunEpoch(ctx, prov, epoch)
 		if err != nil {
 			log.Fatal(err)
 		}

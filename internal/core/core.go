@@ -16,12 +16,14 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 
 	"etalstm/internal/lstm"
 	"etalstm/internal/memplan"
 	"etalstm/internal/model"
+	"etalstm/internal/parallel"
 	"etalstm/internal/reorder"
 	"etalstm/internal/skip"
 	"etalstm/internal/train"
@@ -70,14 +72,26 @@ type Stats struct {
 type Trainer struct {
 	Net  *model.Network
 	Opt  train.Optimizer
-	Clip float64
+	Clip float64 // max gradient L2 norm; <= 0 disables clipping
 	Cfg  Config
+
+	// Workers is the data-parallel replica count. <= 1 runs the classic
+	// serial loop (one optimizer step per minibatch); > 1 shards each
+	// epoch's minibatches across that many replica workers
+	// (internal/parallel) with one optimizer step per group of Workers
+	// batches, gradients merged by a deterministic tree all-reduce.
+	Workers int
+	// Reducer applies merged gradients (averaging, clipping, optimizer
+	// step). nil selects train.ClipStep{Opt, Clip}.
+	Reducer train.Reducer
 
 	history   skip.LossHistory
 	predictor *skip.Predictor
 	// absBar is the calibrated absolute significance threshold; set
 	// after the first epoch's magnitude calibration.
 	absBar float64
+	// engine is the lazily-built data-parallel engine (Workers > 1).
+	engine *parallel.Engine
 
 	// EpochStats records per-epoch optimization behaviour.
 	EpochStats []Stats
@@ -89,6 +103,14 @@ func New(net *model.Network, opt train.Optimizer, clip float64, cfg Config) *Tra
 		Net: net, Opt: opt, Clip: clip, Cfg: cfg,
 		predictor: skip.NewPredictor(net.Cfg.Loss, net.Cfg.Layers, net.Cfg.SeqLen),
 	}
+}
+
+// reducer returns the configured reducer or the default clip-then-step.
+func (tr *Trainer) reducer() train.Reducer {
+	if tr.Reducer != nil {
+		return tr.Reducer
+	}
+	return train.ClipStep{Opt: tr.Opt, Clip: tr.Clip}
 }
 
 // baseStore is the storage mode for executed cells.
@@ -118,10 +140,70 @@ func (tr *Trainer) planFor(epoch int) *skip.Plan {
 	})
 }
 
+// batchFn builds the per-minibatch FW+BP closure for one epoch: run
+// forward under the epoch's storage policy, apply MS1's near-zero
+// pruning, backpropagate (collecting calibration magnitudes when
+// requested), and apply MS2's convergence-aware scaling. The same
+// closure drives both the serial loop and the data-parallel engine, so
+// the two paths share every floating-point operation.
+func (tr *Trainer) batchFn(epoch int, plan *skip.Plan, policy model.StoragePolicy, calibrating bool) parallel.BatchFn {
+	return func(net *model.Network, batch train.Batch, b int) (parallel.BatchResult, error) {
+		var out parallel.BatchResult
+		res, err := net.Forward(batch.Inputs, batch.Targets, policy)
+		if err != nil {
+			return out, fmt.Errorf("core: epoch %d batch %d forward: %w", epoch, b, err)
+		}
+		if math.IsNaN(res.Loss) || math.IsInf(res.Loss, 0) {
+			return out, fmt.Errorf("core: epoch %d batch %d: non-finite loss %v (diverged; lower the learning rate)",
+				epoch, b, res.Loss)
+		}
+		out.Loss = res.Loss
+
+		if tr.Cfg.EnableMS1 {
+			// MS1's pruning: the approximation the compressed store
+			// introduces, applied where the compression module would.
+			pcfg := reorder.Config{Threshold: tr.Cfg.PruneThreshold}
+			for l := range res.P1 {
+				for t := range res.P1[l] {
+					if p1 := res.P1[l][t]; p1 != nil {
+						out.Prune = out.Prune.Add(reorder.PruneInPlace(p1, pcfg))
+					}
+				}
+			}
+		}
+
+		grads := net.NewGradients()
+		opts := model.BackwardOpts{}
+		if calibrating {
+			cfg := net.Cfg
+			out.Observed = make([][]float64, cfg.Layers)
+			for l := range out.Observed {
+				out.Observed[l] = make([]float64, cfg.SeqLen)
+			}
+			opts.OnCell = func(l, t int, cell *lstm.Grads) {
+				out.Observed[l][t] += cell.AbsSum()
+			}
+		}
+		if err := net.Backward(res, policy, grads, opts); err != nil {
+			return out, fmt.Errorf("core: epoch %d batch %d backward: %w", epoch, b, err)
+		}
+
+		if plan.SkippedFrac() > 0 {
+			if err := plan.ApplyScaling(grads); err != nil {
+				return out, err
+			}
+		}
+		out.Grads = grads
+		return out, nil
+	}
+}
+
 // RunEpoch trains one epoch over p. During epoch 0 it calibrates the
 // Eq. 4 predictor's α from observed per-cell gradient magnitudes and
-// fixes the absolute significance bar.
-func (tr *Trainer) RunEpoch(p train.Provider, epoch int) (Stats, error) {
+// fixes the absolute significance bar. ctx cancels the epoch between
+// minibatch groups; the returned error is then ctx.Err() and no further
+// optimizer steps are applied.
+func (tr *Trainer) RunEpoch(ctx context.Context, p train.Provider, epoch int) (Stats, error) {
 	if tr.Net == nil || tr.Opt == nil {
 		return Stats{}, fmt.Errorf("core: Trainer requires Net and Opt")
 	}
@@ -132,74 +214,36 @@ func (tr *Trainer) RunEpoch(p train.Provider, epoch int) (Stats, error) {
 	st := Stats{Epoch: epoch, SkipFrac: plan.SkippedFrac()}
 
 	calibrating := tr.Cfg.EnableMS2 && epoch == 0
-	var observed [][]float64
-	if calibrating {
-		observed = make([][]float64, cfg.Layers)
-		for l := range observed {
-			observed[l] = make([]float64, cfg.SeqLen)
+	fn := tr.batchFn(epoch, plan, policy, calibrating)
+
+	var epochRes parallel.EpochResult
+	var err error
+	if tr.Workers > 1 {
+		if tr.engine == nil || tr.engine.Workers() != tr.Workers {
+			tr.engine = parallel.New(tr.Net, tr.Workers, tr.reducer())
 		}
+		epochRes, err = tr.engine.RunEpoch(ctx, p, fn)
+	} else {
+		epochRes, err = tr.runSerial(ctx, p, fn)
+	}
+	st.PruneStats = epochRes.Prune
+	st.SkippedCells = epochRes.SkippedCells
+	st.TotalCells = epochRes.Batches * cfg.Cells()
+	if plan.SkippedFrac() > 0 && epochRes.Batches > 0 {
+		st.ScaleApplied = true
+	}
+	if err != nil {
+		return st, err
 	}
 
-	var totalLoss float64
-	batches := 0
-	for b := 0; b < p.NumBatches(); b++ {
-		batch := p.Batch(b)
-		res, err := tr.Net.Forward(batch.Inputs, batch.Targets, policy)
-		if err != nil {
-			return st, fmt.Errorf("core: epoch %d batch %d forward: %w", epoch, b, err)
-		}
-		if math.IsNaN(res.Loss) || math.IsInf(res.Loss, 0) {
-			return st, fmt.Errorf("core: epoch %d batch %d: non-finite loss %v (diverged; lower the learning rate)",
-				epoch, b, res.Loss)
-		}
-
-		if tr.Cfg.EnableMS1 {
-			// MS1's pruning: the approximation the compressed store
-			// introduces, applied where the compression module would.
-			pcfg := reorder.Config{Threshold: tr.Cfg.PruneThreshold}
-			for l := range res.P1 {
-				for t := range res.P1[l] {
-					if p1 := res.P1[l][t]; p1 != nil {
-						st.PruneStats = st.PruneStats.Add(reorder.PruneInPlace(p1, pcfg))
-					}
-				}
-			}
-		}
-
-		grads := tr.Net.NewGradients()
-		opts := model.BackwardOpts{}
-		if calibrating {
-			opts.OnCell = func(l, t int, cell *lstm.Grads) {
-				observed[l][t] += cell.AbsSum()
-			}
-		}
-		if err := tr.Net.Backward(res, policy, grads, opts); err != nil {
-			return st, fmt.Errorf("core: epoch %d batch %d backward: %w", epoch, b, err)
-		}
-
-		if plan.SkippedFrac() > 0 {
-			if err := plan.ApplyScaling(grads); err != nil {
-				return st, err
-			}
-			st.ScaleApplied = true
-		}
-		if tr.Clip > 0 {
-			train.ClipGradients(grads, tr.Clip)
-		}
-		tr.Opt.Step(tr.Net, grads)
-
-		totalLoss += res.Loss
-		batches++
-		st.SkippedCells += grads.SkippedCells
-		st.TotalCells += cfg.Cells()
-	}
-
+	batches := epochRes.Batches
 	if batches > 0 {
-		st.MeanLoss = totalLoss / float64(batches)
+		st.MeanLoss = epochRes.TotalLoss / float64(batches)
 	}
 	tr.history.Record(st.MeanLoss)
 
-	if calibrating {
+	if calibrating && epochRes.Observed != nil {
+		observed := epochRes.Observed
 		for l := range observed {
 			for t := range observed[l] {
 				observed[l][t] /= float64(batches)
@@ -227,11 +271,51 @@ func (tr *Trainer) RunEpoch(p train.Provider, epoch int) (Stats, error) {
 	return st, nil
 }
 
-// Run trains for the given number of epochs.
-func (tr *Trainer) Run(p train.Provider, epochs int) ([]Stats, error) {
+// runSerial is the classic one-step-per-minibatch loop: every batch
+// runs on the master network and applies through the reducer with a
+// replica count of one, preserving the seed trainer's exact float
+// operation order.
+func (tr *Trainer) runSerial(ctx context.Context, p train.Provider, fn parallel.BatchFn) (parallel.EpochResult, error) {
+	var res parallel.EpochResult
+	red := tr.reducer()
+	for b := 0; b < p.NumBatches(); b++ {
+		if err := ctx.Err(); err != nil {
+			return res, err
+		}
+		r, err := fn(tr.Net, p.Batch(b), b)
+		if err != nil {
+			return res, err
+		}
+		red.Apply(tr.Net, r.Grads, 1)
+		res.Batches++
+		res.TotalLoss += r.Loss
+		res.Prune = res.Prune.Add(r.Prune)
+		res.SkippedCells += r.Grads.SkippedCells
+		res.ExecutedCells += r.Grads.ExecutedCells
+		if r.Observed != nil {
+			if res.Observed == nil {
+				res.Observed = r.Observed
+			} else {
+				for l := range r.Observed {
+					for t := range r.Observed[l] {
+						res.Observed[l][t] += r.Observed[l][t]
+					}
+				}
+			}
+		}
+	}
+	return res, nil
+}
+
+// Run trains for the given number of epochs, stopping early (with
+// ctx.Err()) when ctx is cancelled.
+func (tr *Trainer) Run(ctx context.Context, p train.Provider, epochs int) ([]Stats, error) {
 	out := make([]Stats, 0, epochs)
 	for e := 0; e < epochs; e++ {
-		st, err := tr.RunEpoch(p, e)
+		if err := ctx.Err(); err != nil {
+			return out, err
+		}
+		st, err := tr.RunEpoch(ctx, p, e)
 		if err != nil {
 			return out, err
 		}

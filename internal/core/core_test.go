@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -33,7 +34,7 @@ func newTrainer(t *testing.T, bench workload.Benchmark, cfg Config, seed uint64)
 func TestBaselineModeTrains(t *testing.T) {
 	bench, prov := scaledBench(t, "IMDB")
 	tr := newTrainer(t, bench, Config{}, 1)
-	stats, err := tr.Run(prov, 6)
+	stats, err := tr.Run(context.Background(), prov, 6)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -48,7 +49,7 @@ func TestBaselineModeTrains(t *testing.T) {
 func TestMS1ModePrunesAndTrains(t *testing.T) {
 	bench, prov := scaledBench(t, "IMDB")
 	tr := newTrainer(t, bench, Config{EnableMS1: true}, 2)
-	stats, err := tr.Run(prov, 6)
+	stats, err := tr.Run(context.Background(), prov, 6)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -66,7 +67,7 @@ func TestMS1ModePrunesAndTrains(t *testing.T) {
 func TestMS2ModeSkipsAfterWarmup(t *testing.T) {
 	bench, prov := scaledBench(t, "IMDB")
 	tr := newTrainer(t, bench, Config{EnableMS2: true, WarmupEpochs: 3}, 3)
-	stats, err := tr.Run(prov, 8)
+	stats, err := tr.Run(context.Background(), prov, 8)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -95,7 +96,7 @@ func TestMS2ModeSkipsAfterWarmup(t *testing.T) {
 func TestCombinedModeTrains(t *testing.T) {
 	bench, prov := scaledBench(t, "BABI")
 	tr := newTrainer(t, bench, Config{EnableMS1: true, EnableMS2: true}, 4)
-	stats, err := tr.Run(prov, 8)
+	stats, err := tr.Run(context.Background(), prov, 8)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -116,11 +117,11 @@ func TestAccuracyImpactSmall(t *testing.T) {
 	const epochs = 10
 
 	base := newTrainer(t, bench, Config{}, 7)
-	if _, err := base.Run(prov, epochs); err != nil {
+	if _, err := base.Run(context.Background(), prov, epochs); err != nil {
 		t.Fatal(err)
 	}
 	opt := newTrainer(t, bench, Config{EnableMS1: true, EnableMS2: true}, 7)
-	if _, err := opt.Run(prov, epochs); err != nil {
+	if _, err := opt.Run(context.Background(), prov, epochs); err != nil {
 		t.Fatal(err)
 	}
 
@@ -140,11 +141,11 @@ func TestConvergenceSpeedPreserved(t *testing.T) {
 	bench, prov := scaledBench(t, "WMT")
 	const epochs = 8
 	base := newTrainer(t, bench, Config{}, 9)
-	if _, err := base.Run(prov, epochs); err != nil {
+	if _, err := base.Run(context.Background(), prov, epochs); err != nil {
 		t.Fatal(err)
 	}
 	opt := newTrainer(t, bench, Config{EnableMS1: true, EnableMS2: true}, 9)
-	if _, err := opt.Run(prov, epochs); err != nil {
+	if _, err := opt.Run(context.Background(), prov, epochs); err != nil {
 		t.Fatal(err)
 	}
 	for e := 0; e < epochs; e++ {
@@ -158,7 +159,7 @@ func TestConvergenceSpeedPreserved(t *testing.T) {
 func TestFootprintParamsReflectRun(t *testing.T) {
 	bench, prov := scaledBench(t, "BABI")
 	tr := newTrainer(t, bench, Config{EnableMS1: true, EnableMS2: true}, 11)
-	if _, err := tr.Run(prov, 6); err != nil {
+	if _, err := tr.Run(context.Background(), prov, 6); err != nil {
 		t.Fatal(err)
 	}
 	p := tr.FootprintParams()
@@ -197,7 +198,7 @@ func TestRunEpochRequiresNetOpt(t *testing.T) {
 	tr := &Trainer{}
 	bench, prov := scaledBench(t, "PTB")
 	_ = bench
-	if _, err := tr.RunEpoch(prov, 0); err == nil {
+	if _, err := tr.RunEpoch(context.Background(), prov, 0); err == nil {
 		t.Fatal("expected error")
 	}
 }
@@ -205,7 +206,7 @@ func TestRunEpochRequiresNetOpt(t *testing.T) {
 func TestCalibrationSetsAbsBar(t *testing.T) {
 	bench, prov := scaledBench(t, "IMDB")
 	tr := newTrainer(t, bench, Config{EnableMS2: true}, 13)
-	if _, err := tr.RunEpoch(prov, 0); err != nil {
+	if _, err := tr.RunEpoch(context.Background(), prov, 0); err != nil {
 		t.Fatal(err)
 	}
 	if tr.absBar <= 0 {

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -59,7 +60,7 @@ func table2Run(bench workload.Benchmark, cfg core.Config, epochs, batches int, s
 		return 0, err
 	}
 	tr := core.New(net, &train.Adam{LR: 0.01}, 5, cfg)
-	if _, err := tr.Run(prov, epochs); err != nil {
+	if _, err := tr.Run(context.Background(), prov, epochs); err != nil {
 		return 0, err
 	}
 	return table2Evaluate(bench, net, eval)

@@ -39,6 +39,40 @@ func NewNetwork(cfg Config, r *rng.RNG) (*Network, error) {
 	return n, nil
 }
 
+// Clone returns a deep copy of n: same geometry, independent parameter
+// storage. Data-parallel replicas are built from clones so concurrent
+// FW/BP passes never share mutable weight memory with the master.
+func (n *Network) Clone() *Network {
+	c := &Network{Cfg: n.Cfg, ProjB: make([]float32, len(n.ProjB))}
+	for _, p := range n.Layer {
+		c.Layer = append(c.Layer, p.Clone())
+	}
+	c.Proj = n.Proj.Clone()
+	copy(c.ProjB, n.ProjB)
+	return c
+}
+
+// CopyWeightsFrom overwrites n's parameters with src's. Both networks
+// must share the same geometry (typically n is a Clone of src). This is
+// the replica re-synchronization step after each data-parallel
+// optimizer step.
+func (n *Network) CopyWeightsFrom(src *Network) error {
+	if n.Cfg != src.Cfg {
+		return fmt.Errorf("model: CopyWeightsFrom geometry mismatch: %+v vs %+v", n.Cfg, src.Cfg)
+	}
+	for l, p := range n.Layer {
+		sp := src.Layer[l]
+		for g := 0; g < len(p.W); g++ {
+			p.W[g].CopyFrom(sp.W[g])
+			p.U[g].CopyFrom(sp.U[g])
+			copy(p.B[g], sp.B[g])
+		}
+	}
+	n.Proj.CopyFrom(src.Proj)
+	copy(n.ProjB, src.ProjB)
+	return nil
+}
+
 // ParamBytes returns total parameter storage (weight matrices +
 // projection), the "Parameter" bar of paper Fig. 5.
 func (n *Network) ParamBytes() int64 {
@@ -268,6 +302,34 @@ func (n *Network) NewGradients() *Gradients {
 		g.Layer = append(g.Layer, lstm.NewGrads(p))
 	}
 	return g
+}
+
+// Add accumulates o into g (shapes must match). The skip/execute
+// counters sum as well, so a merged gradient set reports the combined
+// BP-cell accounting of its contributors. This is the element step of
+// the data-parallel tree all-reduce.
+func (g *Gradients) Add(o *Gradients) {
+	for l, lg := range g.Layer {
+		lg.Add(o.Layer[l])
+	}
+	tensor.AddInPlace(g.Proj, o.Proj)
+	for i := range g.ProjB {
+		g.ProjB[i] += o.ProjB[i]
+	}
+	g.SkippedCells += o.SkippedCells
+	g.ExecutedCells += o.ExecutedCells
+}
+
+// Scale multiplies every gradient entry by s (replica averaging after
+// an all-reduce; the cell counters are left untouched).
+func (g *Gradients) Scale(s float32) {
+	for _, lg := range g.Layer {
+		lg.Scale(s)
+	}
+	tensor.Scale(g.Proj, g.Proj, s)
+	for i := range g.ProjB {
+		g.ProjB[i] *= s
+	}
 }
 
 // BackwardOpts tunes the BP pass.

@@ -406,3 +406,83 @@ func TestParamBytes(t *testing.T) {
 		t.Fatalf("ParamBytes: %d want %d", n.ParamBytes(), want)
 	}
 }
+
+func TestCloneIndependence(t *testing.T) {
+	cfg := testConfig(SingleLoss)
+	n, err := NewNetwork(cfg, rng.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := n.Clone()
+	if c.Cfg != n.Cfg {
+		t.Fatal("clone geometry differs")
+	}
+	if c.Layer[0].W[0].Data[0] != n.Layer[0].W[0].Data[0] {
+		t.Fatal("clone weights differ")
+	}
+	// Mutating the clone must not reach the original (and vice versa).
+	c.Layer[0].W[0].Data[0] += 1
+	c.Proj.Data[0] += 1
+	c.ProjB[0] += 1
+	if c.Layer[0].W[0].Data[0] == n.Layer[0].W[0].Data[0] ||
+		c.Proj.Data[0] == n.Proj.Data[0] || c.ProjB[0] == n.ProjB[0] {
+		t.Fatal("clone shares parameter storage with the original")
+	}
+}
+
+func TestCopyWeightsFrom(t *testing.T) {
+	cfg := testConfig(SingleLoss)
+	src, _ := NewNetwork(cfg, rng.New(4))
+	dst, _ := NewNetwork(cfg, rng.New(5))
+	if err := dst.CopyWeightsFrom(src); err != nil {
+		t.Fatal(err)
+	}
+	for l := range src.Layer {
+		for g := 0; g < 4; g++ {
+			for i, v := range src.Layer[l].W[g].Data {
+				if dst.Layer[l].W[g].Data[i] != v {
+					t.Fatalf("layer %d W[%d][%d] not copied", l, g, i)
+				}
+			}
+		}
+	}
+	for i, v := range src.Proj.Data {
+		if dst.Proj.Data[i] != v {
+			t.Fatalf("Proj[%d] not copied", i)
+		}
+	}
+	other := testConfig(SingleLoss)
+	other.Hidden = 8
+	big, _ := NewNetwork(other, rng.New(6))
+	if err := dst.CopyWeightsFrom(big); err == nil {
+		t.Fatal("geometry mismatch must error")
+	}
+}
+
+func TestGradientsAddScale(t *testing.T) {
+	cfg := testConfig(SingleLoss)
+	n, _ := NewNetwork(cfg, rng.New(7))
+	a, b := n.NewGradients(), n.NewGradients()
+	a.Layer[0].W[0].Data[0] = 2
+	a.Proj.Data[0] = 3
+	a.ProjB[0] = 4
+	a.SkippedCells, a.ExecutedCells = 1, 2
+	b.Layer[0].W[0].Data[0] = 10
+	b.Proj.Data[0] = 20
+	b.ProjB[0] = 30
+	b.SkippedCells, b.ExecutedCells = 3, 4
+	a.Add(b)
+	if a.Layer[0].W[0].Data[0] != 12 || a.Proj.Data[0] != 23 || a.ProjB[0] != 34 {
+		t.Fatalf("Add: got %v %v %v", a.Layer[0].W[0].Data[0], a.Proj.Data[0], a.ProjB[0])
+	}
+	if a.SkippedCells != 4 || a.ExecutedCells != 6 {
+		t.Fatalf("Add must sum cell counters: %d/%d", a.SkippedCells, a.ExecutedCells)
+	}
+	a.Scale(0.5)
+	if a.Layer[0].W[0].Data[0] != 6 || a.Proj.Data[0] != 11.5 || a.ProjB[0] != 17 {
+		t.Fatalf("Scale: got %v %v %v", a.Layer[0].W[0].Data[0], a.Proj.Data[0], a.ProjB[0])
+	}
+	if a.SkippedCells != 4 || a.ExecutedCells != 6 {
+		t.Fatal("Scale must leave cell counters untouched")
+	}
+}

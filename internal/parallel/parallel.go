@@ -1,0 +1,220 @@
+// Package parallel is the data-parallel training engine: it shards an
+// epoch's minibatches across N replica workers, runs FW+BP concurrently
+// on each replica, and merges the results through a deterministic tree
+// all-reduce before a single optimizer step per group.
+//
+// Execution model. Batches are processed in groups of Workers: within a
+// group, worker i runs the caller-supplied BatchFn on batch g*W+i using
+// its own deep-copied model.Network replica (so no weight memory is
+// shared during concurrent passes), then the W gradient sets are merged
+// pairwise in fixed stride order (TreeReduce) and handed to a
+// train.Reducer for averaging/clipping/the optimizer step. Replicas are
+// re-synchronized from the master network before the next group.
+//
+// Determinism. The batch→worker assignment, the tree reduction order,
+// and the order in which per-batch statistics (losses, prune counters,
+// calibration magnitudes) are folded are all functions of the batch
+// index alone, never of goroutine scheduling. A run with a fixed worker
+// count is therefore reproducible bit-for-bit, and a run with
+// Workers == 1 is exactly the serial trainer: one batch per group, an
+// identity reduce, and the same fold order the serial loop uses.
+//
+// MS1/MS2 compose cleanly: the skip plan and storage policy are
+// per-epoch read-only state shared by all replicas, MS1's prune
+// statistics are Add-merged in batch order, and MS2's calibration
+// magnitudes are summed in batch order — the same bookkeeping the
+// serial η-LSTM trainer keeps, just gathered from replicas.
+package parallel
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"etalstm/internal/model"
+	"etalstm/internal/reorder"
+	"etalstm/internal/train"
+)
+
+// BatchResult is what one replica produced from one minibatch. Grads is
+// consumed by the all-reduce; the remaining fields are epoch statistics
+// folded in batch order.
+type BatchResult struct {
+	// Grads is the batch's accumulated weight gradients (after any
+	// per-replica editing such as MS2's convergence-aware scaling).
+	Grads *model.Gradients
+	// Loss is the batch's scalar training loss.
+	Loss float64
+	// Prune reports what MS1's near-zero pruning removed on this batch.
+	Prune reorder.PruneStats
+	// Observed carries optional per-cell gradient magnitudes
+	// ([layer][t], summed over the batch) during MS2's epoch-0
+	// calibration; nil otherwise.
+	Observed [][]float64
+}
+
+// BatchFn runs FW+BP for one minibatch on the given network (a replica
+// owned exclusively by the calling worker for the duration of the call)
+// and returns the gradients plus statistics. index is the global batch
+// index within the epoch. BatchFn must not mutate net's parameters.
+type BatchFn func(net *model.Network, b train.Batch, index int) (BatchResult, error)
+
+// EpochResult aggregates a full epoch, folded in batch order.
+type EpochResult struct {
+	Batches       int
+	TotalLoss     float64
+	Prune         reorder.PruneStats
+	SkippedCells  int
+	ExecutedCells int
+	// Observed is the element-wise sum of every batch's Observed grid
+	// (nil when no batch reported one).
+	Observed [][]float64
+}
+
+// Engine executes epochs data-parallel over a fixed replica set.
+type Engine struct {
+	master   *model.Network
+	replicas []*model.Network
+	reducer  train.Reducer
+}
+
+// New builds an engine with `workers` replicas of net (clamped to >= 1).
+// net stays the single source of truth for weights: the reducer's
+// optimizer step mutates only net, and replicas are re-synced from it
+// between batch groups.
+func New(net *model.Network, workers int, reducer train.Reducer) *Engine {
+	if workers < 1 {
+		workers = 1
+	}
+	e := &Engine{master: net, reducer: reducer}
+	for i := 0; i < workers; i++ {
+		e.replicas = append(e.replicas, net.Clone())
+	}
+	return e
+}
+
+// Workers returns the engine's replica count.
+func (e *Engine) Workers() int { return len(e.replicas) }
+
+// RunEpoch shards p's batches into groups of Workers, runs fn on each
+// group concurrently, tree-reduces the gradients and applies them
+// through the reducer — one optimizer step per group. ctx is checked
+// between batch groups and before each worker launch; on cancellation
+// the epoch stops without applying the in-flight group and returns
+// ctx.Err() alongside the statistics folded so far.
+func (e *Engine) RunEpoch(ctx context.Context, p train.Provider, fn BatchFn) (EpochResult, error) {
+	var res EpochResult
+	w := len(e.replicas)
+	n := p.NumBatches()
+	for lo := 0; lo < n; lo += w {
+		if err := ctx.Err(); err != nil {
+			return res, err
+		}
+		hi := lo + w
+		if hi > n {
+			hi = n
+		}
+		// Re-sync replica weights from the master. The clone geometry
+		// always matches, so the error path is unreachable in practice.
+		for i := 0; i < hi-lo; i++ {
+			if err := e.replicas[i].CopyWeightsFrom(e.master); err != nil {
+				return res, err
+			}
+		}
+
+		results := make([]BatchResult, hi-lo)
+		errs := make([]error, hi-lo)
+		var wg sync.WaitGroup
+		for b := lo; b < hi; b++ {
+			slot := b - lo
+			// The provider is consulted serially from this goroutine;
+			// only the returned batches are held concurrently.
+			batch := p.Batch(b)
+			if err := ctx.Err(); err != nil {
+				errs[slot] = err
+				break
+			}
+			wg.Add(1)
+			go func(slot, index int, batch train.Batch) {
+				defer wg.Done()
+				results[slot], errs[slot] = fn(e.replicas[slot], batch, index)
+			}(slot, b, batch)
+		}
+		wg.Wait()
+
+		// Fold statistics and surface errors in batch order, so the
+		// reported state is identical to a serial run that stopped at
+		// the first failing batch.
+		grads := make([]*model.Gradients, 0, hi-lo)
+		for slot := range results {
+			if errs[slot] != nil {
+				return res, errs[slot]
+			}
+			r := results[slot]
+			res.Batches++
+			res.TotalLoss += r.Loss
+			res.Prune = res.Prune.Add(r.Prune)
+			if r.Grads != nil {
+				res.SkippedCells += r.Grads.SkippedCells
+				res.ExecutedCells += r.Grads.ExecutedCells
+				grads = append(grads, r.Grads)
+			}
+			if r.Observed != nil {
+				res.Observed = addObserved(res.Observed, r.Observed)
+			}
+		}
+		if len(grads) == 0 {
+			continue
+		}
+		merged := TreeReduce(grads)
+		e.reducer.Apply(e.master, merged, len(grads))
+	}
+	return res, nil
+}
+
+// TreeReduce merges the gradient sets pairwise with stride doubling
+// (g[i] += g[i+s] for i ≡ 0 mod 2s, s = 1, 2, 4, …) and returns
+// grads[0], which afterwards holds the element-wise sum of all inputs.
+// The reduction order depends only on len(grads), giving bit-for-bit
+// reproducible float accumulation for any fixed replica count; a
+// single-element slice is returned untouched (the Workers == 1
+// identity). The inputs are mutated.
+func TreeReduce(grads []*model.Gradients) *model.Gradients {
+	if len(grads) == 0 {
+		return nil
+	}
+	for s := 1; s < len(grads); s *= 2 {
+		for i := 0; i+s < len(grads); i += 2 * s {
+			grads[i].Add(grads[i+s])
+		}
+	}
+	return grads[0]
+}
+
+// addObserved element-wise adds src into dst (allocating dst on first
+// use), preserving the [layer][t] shape.
+func addObserved(dst, src [][]float64) [][]float64 {
+	if dst == nil {
+		dst = make([][]float64, len(src))
+		for l := range src {
+			dst[l] = make([]float64, len(src[l]))
+		}
+	}
+	for l := range src {
+		for t := range src[l] {
+			dst[l][t] += src[l][t]
+		}
+	}
+	return dst
+}
+
+// Validate sanity-checks an engine configuration before an epoch runs.
+func (e *Engine) Validate() error {
+	if e.master == nil {
+		return fmt.Errorf("parallel: engine requires a master network")
+	}
+	if e.reducer == nil {
+		return fmt.Errorf("parallel: engine requires a reducer")
+	}
+	return nil
+}

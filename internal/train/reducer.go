@@ -1,0 +1,38 @@
+package train
+
+import "etalstm/internal/model"
+
+// Reducer is the final stage of a training step: it receives the merged
+// gradients of one optimizer step (the sum over one or more replica
+// contributions) and is responsible for everything between BP and the
+// weight update — averaging, clipping, and the optimizer application.
+// The serial trainer uses it with replicas == 1; the data-parallel
+// engine (internal/parallel) feeds it tree-reduced sums. Implementing
+// this interface is the extension point for future multi-backend or
+// sharded reducers.
+type Reducer interface {
+	// Apply consumes grads (the summed contribution of `replicas`
+	// gradient sets) and updates net. Implementations may mutate grads.
+	Apply(net *model.Network, grads *model.Gradients, replicas int)
+}
+
+// ClipStep is the standard reducer: average the summed gradients over
+// the contributing replicas, clip the global L2 norm to Clip (<= 0
+// disables clipping), and apply Opt. With replicas == 1 the averaging
+// is skipped entirely, so a serial step is bit-for-bit the classic
+// clip-then-step sequence.
+type ClipStep struct {
+	Opt  Optimizer
+	Clip float64
+}
+
+// Apply implements Reducer.
+func (c ClipStep) Apply(net *model.Network, grads *model.Gradients, replicas int) {
+	if replicas > 1 {
+		grads.Scale(1 / float32(replicas))
+	}
+	if c.Clip > 0 {
+		ClipGradients(grads, c.Clip)
+	}
+	c.Opt.Step(net, grads)
+}
