@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race bench vet all
+.PHONY: build test race bench vet fmt check all
 
 all: build test
 
@@ -11,13 +11,21 @@ test:
 	$(GO) test ./...
 
 # Race-detector pass over the packages with real concurrency: the
-# data-parallel engine, the trainer that drives it, and the public API
-# (whose tests exercise multi-worker training end to end).
+# data-parallel engine, the trainer that drives it, the public API
+# (whose tests exercise multi-worker training end to end), and the
+# workspace-threaded FW/BP stack (lstm kernels + model), where replica
+# confinement of the scratch arenas is the thing under test.
 race:
-	$(GO) test -race ./internal/parallel ./internal/core ./internal/tensor .
+	$(GO) test -race ./internal/parallel ./internal/core ./internal/tensor ./internal/lstm ./internal/model .
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
 
 vet:
 	$(GO) vet ./...
+
+fmt:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then echo "gofmt needed:"; echo "$$out"; exit 1; fi
+
+# check is the pre-commit gate: vet + formatting + build + tests.
+check: vet fmt build test

@@ -33,6 +33,7 @@ import (
 // runExperimentBench runs one registered experiment per iteration.
 func runExperimentBench(b *testing.B, id string) *Report {
 	b.Helper()
+	b.ReportAllocs()
 	var rep *Report
 	var err error
 	for i := 0; i < b.N; i++ {
@@ -176,49 +177,64 @@ func benchCell(b *testing.B, hidden, batch int) (*lstm.Params, *tensor.Matrix, *
 
 func BenchmarkForwardCell(b *testing.B) {
 	p, x, h, s := benchCell(b, 128, 16)
+	ws := tensor.NewWorkspace()
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		lstm.Forward(p, x, h, s)
+		hOut, _, cache := lstm.Forward(ws, p, x, h, s)
+		ws.Put(hOut)
+		cache.Release(ws)
 	}
 }
 
 func BenchmarkForwardCellWithP1(b *testing.B) {
 	p, x, h, s := benchCell(b, 128, 16)
+	ws := tensor.NewWorkspace()
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		lstm.ForwardWithP1(p, x, h, s)
+		hOut, sOut, p1 := lstm.ForwardWithP1(ws, p, x, h, s)
+		ws.PutAll(hOut, sOut)
+		p1.Release(ws)
 	}
 }
 
 func BenchmarkBackwardCellBaseline(b *testing.B) {
 	p, x, h, s := benchCell(b, 128, 16)
-	_, _, cache := lstm.Forward(p, x, h, s)
+	ws := tensor.NewWorkspace()
+	_, _, cache := lstm.Forward(ws, p, x, h, s)
 	r := rng.New(2)
 	dy := tensor.New(16, 128)
 	dy.RandInit(r, 1)
 	grads := lstm.NewGrads(p)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		lstm.Backward(p, grads, cache, lstm.BPInput{DY: dy})
+		out := lstm.Backward(ws, p, grads, cache, lstm.BPInput{DY: dy})
+		ws.PutAll(out.DX, out.DHPrev, out.DSPrev)
 	}
 }
 
 func BenchmarkBackwardCellFromP1(b *testing.B) {
 	p, x, h, s := benchCell(b, 128, 16)
-	_, _, p1 := lstm.ForwardWithP1(p, x, h, s)
+	ws := tensor.NewWorkspace()
+	hOut, sOut, p1 := lstm.ForwardWithP1(ws, p, x, h, s)
+	ws.PutAll(hOut, sOut)
 	r := rng.New(2)
 	dy := tensor.New(16, 128)
 	dy.RandInit(r, 1)
 	grads := lstm.NewGrads(p)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		lstm.BackwardFromP1(p, grads, x, h, p1, lstm.BPInput{DY: dy})
+		out := lstm.BackwardFromP1(ws, p, grads, x, h, p1, lstm.BPInput{DY: dy})
+		ws.PutAll(out.DX, out.DHPrev, out.DSPrev)
 	}
 }
 
 func BenchmarkStreamingAccumulator(b *testing.B) {
 	vals := make([]float32, 1024)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		accum.Accumulate(vals, 8)
@@ -234,6 +250,7 @@ func BenchmarkOmniPEDotProduct(b *testing.B) {
 		a[i] = r.Uniform(-1, 1)
 		v[i] = r.Uniform(-1, 1)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		pe.DotProduct(a, v)
@@ -265,6 +282,7 @@ func benchEpoch(b *testing.B, workers int) {
 	tr := NewTrainer(net, Baseline, TrainerOptions{Workers: workers})
 	prov := small.Provider(8, 1)
 	ctx := context.Background()
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := tr.RunEpoch(ctx, prov, i); err != nil {
@@ -386,17 +404,19 @@ func BenchmarkAblationRecompute(b *testing.B) {
 	dy.RandInit(r, 1)
 
 	b.Run("recompute-then-backward", func(b *testing.B) {
+		b.ReportAllocs()
 		grads := lstm.NewGrads(p)
 		for i := 0; i < b.N; i++ {
-			cache := lstm.RecomputeForward(p, x, h, s)
-			lstm.Backward(p, grads, cache, lstm.BPInput{DY: dy})
+			cache := lstm.RecomputeForward(nil, p, x, h, s)
+			lstm.Backward(nil, p, grads, cache, lstm.BPInput{DY: dy})
 		}
 	})
 	b.Run("backward-from-p1", func(b *testing.B) {
-		_, _, p1 := lstm.ForwardWithP1(p, x, h, s)
+		b.ReportAllocs()
+		_, _, p1 := lstm.ForwardWithP1(nil, p, x, h, s)
 		grads := lstm.NewGrads(p)
 		for i := 0; i < b.N; i++ {
-			lstm.BackwardFromP1(p, grads, x, h, p1, lstm.BPInput{DY: dy})
+			lstm.BackwardFromP1(nil, p, grads, x, h, p1, lstm.BPInput{DY: dy})
 		}
 	})
 }

@@ -16,6 +16,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"etalstm"
@@ -29,12 +31,15 @@ func main() {
 		seed    = flag.Uint64("seed", 42, "seed for training-backed experiments")
 		out     = flag.String("o", "", "also write the output to this file")
 		kernelW = flag.Int("kernel-workers", 0, "goroutines per tensor kernel (0 = keep default)")
+		cpuProf = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
 
 	if *kernelW > 0 {
 		etalstm.SetWorkers(*kernelW)
 	}
+	defer profileTo(*cpuProf, *memProf)()
 
 	if *list {
 		for _, id := range etalstm.ExperimentIDs() {
@@ -76,4 +81,35 @@ func main() {
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "etabench:", err)
 	os.Exit(1)
+}
+
+// profileTo starts CPU profiling (when cpuPath is non-empty) and returns
+// a cleanup that stops it and writes a heap profile (when memPath is
+// non-empty). Both paths are pprof files for `go tool pprof`.
+func profileTo(cpuPath, memPath string) func() {
+	if cpuPath != "" {
+		f, err := os.Create(cpuPath)
+		if err != nil {
+			fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+	}
+	return func() {
+		if cpuPath != "" {
+			pprof.StopCPUProfile()
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				fatal(err)
+			}
+			defer f.Close()
+			runtime.GC() // flush unreachable buffers so the profile shows live memory
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fatal(err)
+			}
+		}
+	}
 }

@@ -16,6 +16,8 @@ import (
 	"math"
 	"os"
 	"os/signal"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"etalstm"
@@ -37,12 +39,15 @@ func main() {
 		hidden    = flag.Int("hidden", 64, "hidden size for -corpus mode")
 		loadPath  = flag.String("load", "", "resume from a checkpoint file")
 		savePath  = flag.String("save", "", "write a checkpoint file after training")
+		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf   = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
 
 	if *kernelW > 0 {
 		etalstm.SetWorkers(*kernelW)
 	}
+	defer profileTo(*cpuProf, *memProf)()
 	// Ctrl-C cancels training between minibatch groups instead of
 	// killing the process mid-epoch.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
@@ -124,7 +129,7 @@ func main() {
 	}
 
 	fp := tr.Footprint(full.Cfg)
-	base := etalstm.FootprintFor(full.Cfg, etalstm.Baseline)
+	base := etalstm.Analyze(full.Cfg, etalstm.Baseline).Footprint
 	fmt.Printf("modeled footprint at paper geometry: %.2f GB (baseline %.2f GB, -%.1f%%)\n",
 		float64(fp.Total())/1e9, float64(base.Total())/1e9,
 		100*(1-float64(fp.Total())/float64(base.Total())))
@@ -147,6 +152,37 @@ func parseMode(s string) (etalstm.Mode, error) {
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "etatrain:", err)
 	os.Exit(1)
+}
+
+// profileTo starts CPU profiling (when cpuPath is non-empty) and returns
+// a cleanup that stops it and writes a heap profile (when memPath is
+// non-empty). Both paths are pprof files for `go tool pprof`.
+func profileTo(cpuPath, memPath string) func() {
+	if cpuPath != "" {
+		f, err := os.Create(cpuPath)
+		if err != nil {
+			fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+	}
+	return func() {
+		if cpuPath != "" {
+			pprof.StopCPUProfile()
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				fatal(err)
+			}
+			defer f.Close()
+			runtime.GC() // flush unreachable buffers so the profile shows live memory
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fatal(err)
+			}
+		}
+	}
 }
 
 // trainCorpus runs byte-level language modeling over a user text file.

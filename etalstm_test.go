@@ -74,13 +74,13 @@ func TestBenchmarksExposed(t *testing.T) {
 
 func TestFootprintAndMovementShrink(t *testing.T) {
 	bench, _ := BenchmarkByName("BABI")
-	base := FootprintFor(bench.Cfg, Baseline)
-	comb := FootprintFor(bench.Cfg, Combined)
+	base := Analyze(bench.Cfg, Baseline).Footprint
+	comb := Analyze(bench.Cfg, Combined).Footprint
 	if comb.Total() >= base.Total() {
 		t.Fatal("combined footprint must shrink")
 	}
-	mb := DataMovement(bench.Cfg, Baseline)
-	mc := DataMovement(bench.Cfg, Combined)
+	mb := Analyze(bench.Cfg, Baseline).Movement
+	mc := Analyze(bench.Cfg, Combined).Movement
 	if mc.Total() >= mb.Total() {
 		t.Fatal("combined movement must shrink")
 	}
@@ -98,7 +98,7 @@ func TestTrainerFootprintUsesMeasuredPoint(t *testing.T) {
 		t.Fatal(err)
 	}
 	fp := tr.Footprint(bench.Cfg)
-	base := FootprintFor(bench.Cfg, Baseline)
+	base := Analyze(bench.Cfg, Baseline).Footprint
 	if fp.Total() >= base.Total() {
 		t.Fatal("measured combined footprint must beat baseline")
 	}

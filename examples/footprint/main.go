@@ -24,7 +24,7 @@ func main() {
 		}
 		row := make([]float64, 4)
 		for i, mode := range []etalstm.Mode{etalstm.Baseline, etalstm.MS1, etalstm.MS2, etalstm.Combined} {
-			row[i] = float64(etalstm.FootprintFor(cfg, mode).Total()) / 1e9
+			row[i] = float64(etalstm.Analyze(cfg, mode).Footprint.Total()) / 1e9
 		}
 		fits := "yes"
 		if row[3] > budgetGB {

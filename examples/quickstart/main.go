@@ -49,8 +49,8 @@ func main() {
 	fmt.Printf("held-out: loss %.4f, accuracy %.1f%%\n", loss, 100*acc)
 
 	// What would this flow save at the paper's full geometry?
-	base := etalstm.FootprintFor(bench.Cfg, etalstm.Baseline)
-	comb := etalstm.FootprintFor(bench.Cfg, etalstm.Combined)
+	base := etalstm.Analyze(bench.Cfg, etalstm.Baseline).Footprint
+	comb := etalstm.Analyze(bench.Cfg, etalstm.Combined).Footprint
 	fmt.Printf("footprint at paper geometry: %.2f GB -> %.2f GB (-%.1f%%)\n",
 		float64(base.Total())/1e9, float64(comb.Total())/1e9,
 		100*(1-float64(comb.Total())/float64(base.Total())))

@@ -43,8 +43,8 @@ func main() {
 	fmt.Printf("held-out: per-token loss %.4f, token accuracy %.1f%%\n\n", loss, 100*acc)
 
 	// Data-movement picture at the paper's full WMT geometry (Fig. 17).
-	base := etalstm.DataMovement(bench.Cfg, etalstm.Baseline)
-	comb := etalstm.DataMovement(bench.Cfg, etalstm.Combined)
+	base := etalstm.Analyze(bench.Cfg, etalstm.Baseline).Movement
+	comb := etalstm.Analyze(bench.Cfg, etalstm.Combined).Movement
 	pct := func(b, o int64) float64 { return 100 * (1 - float64(o)/float64(b)) }
 	fmt.Println("per-step DRAM movement at paper geometry (GB), baseline -> eta-LSTM:")
 	fmt.Printf("  weights:       %6.1f -> %6.1f  (-%.1f%%)\n",

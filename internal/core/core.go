@@ -69,6 +69,13 @@ type Stats struct {
 }
 
 // Trainer is the η-LSTM training driver.
+//
+// Scratch memory: serial runs (Workers <= 1) execute every batch on
+// Net, whose embedded tensor.Workspace is therefore reused across the
+// whole run — steady-state epochs recycle the same FW/BP buffers
+// instead of reallocating them. Data-parallel runs give each replica
+// clone a private workspace (see internal/parallel), so no arena is
+// ever shared between goroutines.
 type Trainer struct {
 	Net  *model.Network
 	Opt  train.Optimizer

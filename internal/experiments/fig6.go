@@ -81,7 +81,7 @@ func collectDistributions(net *model.Network, prov train.Provider) (raw, p1 *sta
 			raw.Merge(cache.C.Data)
 			raw.Merge(cache.O.Data)
 			raw.Merge(cache.S.Data)
-			pp := lstm.ComputeP1(cache)
+			pp := lstm.ComputeP1(nil, cache)
 			for _, m := range pp.Matrices() {
 				p1.Merge(m.Data)
 			}

@@ -40,7 +40,7 @@ func TestForwardMatchesSoftware(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	hSW, sSW, p1SW := lstm.ForwardWithP1(p, x, h0, s0)
+	hSW, sSW, p1SW := lstm.ForwardWithP1(nil, p, x, h0, s0)
 
 	const tol = 5e-3 // LUT max error 1e-3, compounded through the EW chain
 	if !res.H.Equal(hSW, tol) {
@@ -148,7 +148,7 @@ func TestBackwardMatchesSoftware(t *testing.T) {
 		Ps: fw.Compressed[4].Decode(nil), Pfs: fw.Compressed[5].Decode(nil),
 	}
 	gSW := lstm.NewGrads(p)
-	outSW := lstm.BackwardFromP1(p, gSW, x, h0, p1, lstm.BPInput{DY: dy, DS: ds})
+	outSW := lstm.BackwardFromP1(nil, p, gSW, x, h0, p1, lstm.BPInput{DY: dy, DS: ds})
 
 	const tol = 1e-4
 	if !bp.Out.DX.Equal(outSW.DX, tol) {
@@ -198,7 +198,7 @@ func TestEndToEndTrainingStepOnHardware(t *testing.T) {
 	target.RandInit(r, 0.5)
 
 	loss := func() float64 {
-		h, _, _ := lstm.Forward(p, x, h0, s0)
+		h, _, _ := lstm.Forward(nil, p, x, h0, s0)
 		var l float64
 		for k := range h.Data {
 			d := float64(h.Data[k] - target.Data[k])

@@ -35,7 +35,7 @@ func TestForwardLayerMatchesSoftware(t *testing.T) {
 	h, s := h0, s0
 	for t0 := 0; t0 < steps; t0++ {
 		var cache *lstm.FWCache
-		h, s, cache = lstm.Forward(p, xs[t0], h, s)
+		h, s, cache = lstm.Forward(nil, p, xs[t0], h, s)
 		_ = cache
 		// Tolerance grows with timestamp as the LUT error feeds back
 		// through h and s.
@@ -128,7 +128,7 @@ func TestBackwardLayerMatchesSoftware(t *testing.T) {
 		if t0 > 0 {
 			hPrev = fw.H[t0-1]
 		}
-		out := lstm.BackwardFromP1(p, gSW, xs[t0], hPrev, p1, lstm.BPInput{DY: dY[t0], DH: dH, DS: dS})
+		out := lstm.BackwardFromP1(nil, p, gSW, xs[t0], hPrev, p1, lstm.BPInput{DY: dY[t0], DH: dH, DS: dS})
 		dxWant[t0] = out.DX
 		dH, dS = out.DHPrev, out.DSPrev
 	}

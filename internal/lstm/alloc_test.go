@@ -1,0 +1,57 @@
+package lstm
+
+import (
+	"testing"
+
+	"etalstm/internal/rng"
+	"etalstm/internal/tensor"
+)
+
+// TestWarmCellLoopAllocs pins the workspace promise at the kernel level:
+// once the free lists are warm, a full FW+BP cell cycle (both the
+// baseline raw-cache flow and the MS1 reordered P1 flow) performs zero
+// heap allocations. Geometry is kept below the tensor parallel-dispatch
+// threshold and kernel workers are pinned to 1 so goroutine spawning
+// cannot leak into the measurement.
+func TestWarmCellLoopAllocs(t *testing.T) {
+	prev := tensor.SetWorkers(1)
+	defer tensor.SetWorkers(prev)
+
+	const input, hidden, batch = 16, 16, 4
+	r := rng.New(31)
+	p := NewParams(input, hidden)
+	p.Init(r)
+	x := tensor.New(batch, input)
+	h0 := tensor.New(batch, hidden)
+	s0 := tensor.New(batch, hidden)
+	x.RandInit(r, 1)
+	h0.RandInit(r, 0.5)
+	s0.RandInit(r, 0.5)
+	dy := tensor.New(batch, hidden)
+	dy.RandInit(r, 1)
+	grads := NewGrads(p)
+	ws := tensor.NewWorkspace()
+
+	rawCycle := func() {
+		h, _, cache := Forward(ws, p, x, h0, s0)
+		out := Backward(ws, p, grads, cache, BPInput{DY: dy})
+		ws.PutAll(h, out.DX, out.DHPrev, out.DSPrev)
+		cache.Release(ws)
+	}
+	p1Cycle := func() {
+		h, s, p1 := ForwardWithP1(ws, p, x, h0, s0)
+		out := BackwardFromP1(ws, p, grads, x, h0, p1, BPInput{DY: dy})
+		ws.PutAll(h, s, out.DX, out.DHPrev, out.DSPrev)
+		p1.Release(ws)
+	}
+
+	// Warm the free lists, then demand a zero-allocation steady state.
+	rawCycle()
+	p1Cycle()
+	if avg := testing.AllocsPerRun(50, rawCycle); avg > 0 {
+		t.Errorf("warm raw FW+BP cycle allocates %.2f times, want 0", avg)
+	}
+	if avg := testing.AllocsPerRun(50, p1Cycle); avg > 0 {
+		t.Errorf("warm P1 FW+BP cycle allocates %.2f times, want 0", avg)
+	}
+}

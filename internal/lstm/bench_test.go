@@ -20,43 +20,56 @@ func benchSetup(hidden, batch int) (*Params, *tensor.Matrix, *tensor.Matrix, *te
 
 func BenchmarkForwardH256B32(b *testing.B) {
 	p, x, h, s := benchSetup(256, 32)
+	ws := tensor.NewWorkspace()
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		Forward(p, x, h, s)
+		hOut, _, cache := Forward(ws, p, x, h, s)
+		ws.Put(hOut)
+		cache.Release(ws)
 	}
 }
 
 func BenchmarkComputeP1H256B32(b *testing.B) {
 	p, x, h, s := benchSetup(256, 32)
-	_, _, cache := Forward(p, x, h, s)
+	ws := tensor.NewWorkspace()
+	_, _, cache := Forward(ws, p, x, h, s)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		ComputeP1(cache)
+		ComputeP1(ws, cache).Release(ws)
 	}
 }
 
 func BenchmarkBackwardH256B32(b *testing.B) {
 	p, x, h, s := benchSetup(256, 32)
-	_, _, cache := Forward(p, x, h, s)
+	ws := tensor.NewWorkspace()
+	_, _, cache := Forward(ws, p, x, h, s)
 	r := rng.New(2)
 	dy := tensor.New(32, 256)
 	dy.RandInit(r, 1)
 	g := NewGrads(p)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		Backward(p, g, cache, BPInput{DY: dy})
+		out := Backward(ws, p, g, cache, BPInput{DY: dy})
+		ws.PutAll(out.DX, out.DHPrev, out.DSPrev)
 	}
 }
 
 func BenchmarkBackwardFromP1H256B32(b *testing.B) {
 	p, x, h, s := benchSetup(256, 32)
-	_, _, p1 := ForwardWithP1(p, x, h, s)
+	ws := tensor.NewWorkspace()
+	hOut, sOut, p1 := ForwardWithP1(ws, p, x, h, s)
+	ws.PutAll(hOut, sOut)
 	r := rng.New(2)
 	dy := tensor.New(32, 256)
 	dy.RandInit(r, 1)
 	g := NewGrads(p)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		BackwardFromP1(p, g, x, h, p1, BPInput{DY: dy})
+		out := BackwardFromP1(ws, p, g, x, h, p1, BPInput{DY: dy})
+		ws.PutAll(out.DX, out.DHPrev, out.DSPrev)
 	}
 }

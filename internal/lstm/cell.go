@@ -4,10 +4,23 @@ import (
 	"etalstm/internal/tensor"
 )
 
+// Workspace object slots for the two cache header types (see
+// tensor.Workspace.GetObj). Each slot holds exactly one concrete type.
+const (
+	wsSlotFWCache uint8 = 1
+	wsSlotP1      uint8 = 2
+)
+
 // FWCache holds what the baseline training flow stores per FW cell for
 // later reuse by the matching BP cell: the inputs (activations) and the
 // five intermediate variables the paper identifies as the footprint
 // upper-bound (f, i, c̃, o, s — paper Sec. III-B).
+//
+// Ownership: the cache owns F/I/C/O/S (allocated from the workspace the
+// producing Forward was given) and borrows X/HPrev/SPrev from the
+// caller. Whoever consumes the cache — the matching BP cell, or
+// InferenceForward when no BP will run — calls Release to hand the
+// owned buffers back.
 type FWCache struct {
 	// Activations: inputs to the cell. Stored by every training flow.
 	X     *tensor.Matrix // batch×input layer input x_t
@@ -34,52 +47,95 @@ func (c *FWCache) ActivationBytes() int64 {
 	return c.X.Bytes() + c.HPrev.Bytes()
 }
 
+// Release returns the cache's owned buffers (F, I, C̃, O, S) to ws and
+// recycles the header. The borrowed activations are merely dropped. The
+// caller must hold no other reference to the owned matrices — note that
+// S is the s_t the producing Forward returned, and that the next cell's
+// cache borrows it as SPrev; Release is therefore only safe once the
+// *following* cell has been consumed too (BP visits cells in reverse
+// time order, which guarantees exactly that). Safe on a nil workspace.
+func (c *FWCache) Release(ws *tensor.Workspace) {
+	if c == nil {
+		return
+	}
+	ws.PutAll(c.F, c.I, c.C, c.O, c.S)
+	*c = FWCache{}
+	ws.PutObj(wsSlotFWCache, c)
+}
+
+// getFWCache pops a recycled header or allocates one.
+func getFWCache(ws *tensor.Workspace) *FWCache {
+	if v := ws.GetObj(wsSlotFWCache); v != nil {
+		return v.(*FWCache)
+	}
+	return &FWCache{}
+}
+
 // Forward runs one FW cell (paper Fig. 2a): given layer input x
 // (batch×input), context h_{t-1} and cell state s_{t-1} (batch×hidden),
 // it returns the new context h_t, cell state s_t and the cache the BP
 // cell will consume. x, hPrev and sPrev are retained by the cache, not
 // copied; callers must not mutate them afterwards.
-func Forward(p *Params, x, hPrev, sPrev *tensor.Matrix) (h, s *tensor.Matrix, cache *FWCache) {
+//
+// All scratch (the raw gate pre-activations) is drawn from ws and
+// released before returning — the raw gates live only inside the FW
+// cell, mirroring MS1's early-consume. h, s and the cache's owned
+// buffers come from ws too; the caller (or cache.Release) returns them
+// when their lifetime ends. ws may be nil, degrading every Get to a
+// plain allocation.
+func Forward(ws *tensor.Workspace, p *Params, x, hPrev, sPrev *tensor.Matrix) (h, s *tensor.Matrix, cache *FWCache) {
 	batch := x.Rows
 	var raw [NumGates]*tensor.Matrix
+	uh := ws.Get(batch, p.Hidden)
 	for g := Gate(0); g < NumGates; g++ {
 		// FW-MatMul: raw_g = x·W_g + hPrev·U_g + b_g
-		raw[g] = tensor.MatMul(nil, x, p.W[g])
-		uh := tensor.MatMul(nil, hPrev, p.U[g])
+		raw[g] = tensor.MatMul(ws.Get(batch, p.Hidden), x, p.W[g])
+		tensor.MatMul(uh, hPrev, p.U[g])
 		tensor.AddInPlace(raw[g], uh)
 		tensor.AddRowVector(raw[g], raw[g], p.B[g])
 	}
+	ws.Put(uh)
 
-	// FW-EW: activations and state update.
-	f := tensor.Sigmoid(nil, raw[GateF])
-	i := tensor.Sigmoid(nil, raw[GateI])
-	cg := tensor.Tanh(nil, raw[GateC])
-	o := tensor.Sigmoid(nil, raw[GateO])
+	// FW-EW: activations consume the raw gates, which free-on-consume.
+	f := tensor.Sigmoid(ws.Get(batch, p.Hidden), raw[GateF])
+	ws.Put(raw[GateF])
+	i := tensor.Sigmoid(ws.Get(batch, p.Hidden), raw[GateI])
+	ws.Put(raw[GateI])
+	cg := tensor.Tanh(ws.Get(batch, p.Hidden), raw[GateC])
+	ws.Put(raw[GateC])
+	o := tensor.Sigmoid(ws.Get(batch, p.Hidden), raw[GateO])
+	ws.Put(raw[GateO])
 
-	s = tensor.New(batch, p.Hidden)
+	s = ws.Get(batch, p.Hidden)
 	for k := range s.Data {
 		s.Data[k] = f.Data[k]*sPrev.Data[k] + i.Data[k]*cg.Data[k]
 	}
-	h = tensor.New(batch, p.Hidden)
+	h = ws.Get(batch, p.Hidden)
 	for k := range h.Data {
 		h.Data[k] = o.Data[k] * tensor.Tanh32(s.Data[k])
 	}
 
-	cache = &FWCache{X: x, HPrev: hPrev, SPrev: sPrev, F: f, I: i, C: cg, O: o, S: s}
+	cache = getFWCache(ws)
+	*cache = FWCache{X: x, HPrev: hPrev, SPrev: sPrev, F: f, I: i, C: cg, O: o, S: s}
 	return h, s, cache
 }
 
 // InferenceForward runs the FW cell without retaining any cache — the
 // inference flow the paper contrasts against training, and the flow
-// MS2 uses for FW cells whose BP cell is predicted insignificant.
-func InferenceForward(p *Params, x, hPrev, sPrev *tensor.Matrix) (h, s *tensor.Matrix) {
-	h, s, _ = Forward(p, x, hPrev, sPrev)
+// MS2 uses for FW cells whose BP cell is predicted insignificant. The
+// gate intermediates are released back to ws immediately; only h and s
+// (which the caller owns) survive.
+func InferenceForward(ws *tensor.Workspace, p *Params, x, hPrev, sPrev *tensor.Matrix) (h, s *tensor.Matrix) {
+	h, s, cache := Forward(ws, p, x, hPrev, sPrev)
+	cache.S = nil // s escapes to the caller; don't recycle it
+	cache.Release(ws)
 	return h, s
 }
 
 // BPInput carries the gradients flowing into a BP cell: δY_t from the
 // layer above (or the loss), δH_t from the next timestamp's BP cell and
-// δS_t, the cell-state gradient from the next timestamp.
+// δS_t, the cell-state gradient from the next timestamp. The cell only
+// reads them; the caller keeps ownership.
 type BPInput struct {
 	DY *tensor.Matrix // batch×hidden, may be nil (no output gradient)
 	DH *tensor.Matrix // batch×hidden, may be nil (last timestamp)
@@ -87,6 +143,8 @@ type BPInput struct {
 }
 
 // BPOutput carries the gradients a BP cell produces for its neighbours.
+// All three matrices are drawn from the cell's workspace and owned by
+// the caller, who returns them once consumed.
 type BPOutput struct {
 	DX     *tensor.Matrix // batch×input, gradient for the layer below
 	DHPrev *tensor.Matrix // batch×hidden, context gradient for t-1
@@ -96,13 +154,15 @@ type BPOutput struct {
 // Backward runs one baseline BP cell (paper Fig. 2b): BP-EW on the
 // cached FW intermediates followed by BP-MatMul, accumulating weight
 // gradients into grads (Eq. 3) and returning the propagated gradients
-// (Eq. 2).
-func Backward(p *Params, grads *Grads, cache *FWCache, in BPInput) BPOutput {
+// (Eq. 2). Internal scratch is drawn from ws and released before
+// returning; the cache is left intact (the caller Releases it when the
+// cell is consumed for good).
+func Backward(ws *tensor.Workspace, p *Params, grads *Grads, cache *FWCache, in BPInput) BPOutput {
 	batch := cache.F.Rows
 	hidden := p.Hidden
 
 	// Total gradient on h_t: δY_t (from above) + δH_t (from t+1).
-	dh := tensor.New(batch, hidden)
+	dh := ws.Get(batch, hidden)
 	if in.DY != nil {
 		tensor.AddInPlace(dh, in.DY)
 	}
@@ -114,12 +174,11 @@ func Backward(p *Params, grads *Grads, cache *FWCache, in BPInput) BPOutput {
 	// (functions of FW intermediates only) with the P2 parts (products
 	// with gradients); BackwardFromP1 performs the same math with P1
 	// precomputed.
-	dGate := make([]*tensor.Matrix, NumGates)
+	var dGate [NumGates]*tensor.Matrix
 	for g := Gate(0); g < NumGates; g++ {
-		dGate[g] = tensor.New(batch, hidden)
+		dGate[g] = ws.Get(batch, hidden)
 	}
-	dsPrev := tensor.New(batch, hidden)
-	dsTotal := tensor.New(batch, hidden)
+	dsPrev := ws.Get(batch, hidden)
 
 	for k := 0; k < batch*hidden; k++ {
 		f := cache.F.Data[k]
@@ -135,7 +194,6 @@ func Backward(p *Params, grads *Grads, cache *FWCache, in BPInput) BPOutput {
 		if in.DS != nil {
 			ds += in.DS.Data[k]
 		}
-		dsTotal.Data[k] = ds
 
 		dGate[GateO].Data[k] = dhk * ts * o * (1 - o)
 		dGate[GateF].Data[k] = ds * sp * f * (1 - f)
@@ -143,21 +201,27 @@ func Backward(p *Params, grads *Grads, cache *FWCache, in BPInput) BPOutput {
 		dGate[GateC].Data[k] = ds * i * (1 - c*c)
 		dsPrev.Data[k] = ds * f
 	}
+	ws.Put(dh)
 
-	return matmulBackward(p, grads, cache.X, cache.HPrev, dGate, dsPrev)
+	out := matmulBackward(ws, p, grads, cache.X, cache.HPrev, &dGate, dsPrev)
+	ws.PutAll(dGate[:]...)
+	return out
 }
 
 // matmulBackward performs the BP-MatMul stage shared by the baseline
 // and reordered flows: input/context gradients (Eq. 2) and weight
-// gradient accumulation (Eq. 3).
-func matmulBackward(p *Params, grads *Grads, x, hPrev *tensor.Matrix, dGate []*tensor.Matrix, dsPrev *tensor.Matrix) BPOutput {
+// gradient accumulation (Eq. 3). dGate stays owned by the caller;
+// dsPrev's ownership passes through to the returned BPOutput.
+func matmulBackward(ws *tensor.Workspace, p *Params, grads *Grads, x, hPrev *tensor.Matrix, dGate *[NumGates]*tensor.Matrix, dsPrev *tensor.Matrix) BPOutput {
 	batch := dsPrev.Rows
-	dx := tensor.New(batch, p.Input)
-	dhPrev := tensor.New(batch, p.Hidden)
+	dx := ws.Get(batch, p.Input)
+	dhPrev := ws.Get(batch, p.Hidden)
+	tmpX := ws.Get(batch, p.Input)
+	tmpH := ws.Get(batch, p.Hidden)
 	for g := Gate(0); g < NumGates; g++ {
 		// δX_t += δgate_g · W_gᵀ ; δH_{t-1} += δgate_g · U_gᵀ
-		tensor.AddInPlace(dx, tensor.MatMulTransB(nil, dGate[g], p.W[g]))
-		tensor.AddInPlace(dhPrev, tensor.MatMulTransB(nil, dGate[g], p.U[g]))
+		tensor.AddInPlace(dx, tensor.MatMulTransB(tmpX, dGate[g], p.W[g]))
+		tensor.AddInPlace(dhPrev, tensor.MatMulTransB(tmpH, dGate[g], p.U[g]))
 		if grads != nil {
 			// δW_g += x_tᵀ ⊗ δgate_g ; δU_g += h_{t-1}ᵀ ⊗ δgate_g
 			tensor.AddMatMulTransA(grads.W[g], x, dGate[g])
@@ -165,6 +229,8 @@ func matmulBackward(p *Params, grads *Grads, x, hPrev *tensor.Matrix, dGate []*t
 			tensor.SumRows(grads.B[g], dGate[g])
 		}
 	}
+	ws.Put(tmpX)
+	ws.Put(tmpH)
 	return BPOutput{DX: dx, DHPrev: dhPrev, DSPrev: dsPrev}
 }
 
@@ -172,8 +238,10 @@ func matmulBackward(p *Params, grads *Grads, x, hPrev *tensor.Matrix, dGate []*t
 // rebuild the intermediates — the "recompute from scratch" extreme the
 // paper dismisses as impractical (Sec. III-C). It exists so the ablation
 // benches can quantify exactly how much BP latency full recomputation
-// adds compared with MS1's reordering.
-func RecomputeForward(p *Params, x, hPrev, sPrev *tensor.Matrix) *FWCache {
-	_, _, cache := Forward(p, x, hPrev, sPrev)
+// adds compared with MS1's reordering. The rebuilt h is released
+// immediately (only the cache matters to the BP cell that follows).
+func RecomputeForward(ws *tensor.Workspace, p *Params, x, hPrev, sPrev *tensor.Matrix) *FWCache {
+	h, _, cache := Forward(ws, p, x, hPrev, sPrev)
+	ws.Put(h)
 	return cache
 }

@@ -23,7 +23,7 @@ func newTestSetup(seed uint64, input, hidden, batch int) (*Params, *tensor.Matri
 
 func TestForwardShapes(t *testing.T) {
 	p, x, h0, s0 := newTestSetup(1, 6, 5, 3)
-	h, s, cache := Forward(p, x, h0, s0)
+	h, s, cache := Forward(nil, p, x, h0, s0)
 	if h.Rows != 3 || h.Cols != 5 || s.Rows != 3 || s.Cols != 5 {
 		t.Fatalf("bad output shapes h=%v s=%v", h, s)
 	}
@@ -34,7 +34,7 @@ func TestForwardShapes(t *testing.T) {
 
 func TestForwardGateRanges(t *testing.T) {
 	p, x, h0, s0 := newTestSetup(2, 8, 8, 4)
-	_, _, cache := Forward(p, x, h0, s0)
+	_, _, cache := Forward(nil, p, x, h0, s0)
 	for _, m := range []*tensor.Matrix{cache.F, cache.I, cache.O} {
 		for _, v := range m.Data {
 			if v < 0 || v > 1 {
@@ -52,7 +52,7 @@ func TestForwardGateRanges(t *testing.T) {
 func TestForwardStateUpdateIdentity(t *testing.T) {
 	// s_t must equal f⊙s_{t-1} + i⊙c̃ element-by-element.
 	p, x, h0, s0 := newTestSetup(3, 4, 4, 2)
-	_, s, cache := Forward(p, x, h0, s0)
+	_, s, cache := Forward(nil, p, x, h0, s0)
 	for k := range s.Data {
 		want := cache.F.Data[k]*s0.Data[k] + cache.I.Data[k]*cache.C.Data[k]
 		if math.Abs(float64(s.Data[k]-want)) > 1e-6 {
@@ -63,7 +63,7 @@ func TestForwardStateUpdateIdentity(t *testing.T) {
 
 func TestForwardHiddenIdentity(t *testing.T) {
 	p, x, h0, s0 := newTestSetup(4, 4, 4, 2)
-	h, s, cache := Forward(p, x, h0, s0)
+	h, s, cache := Forward(nil, p, x, h0, s0)
 	for k := range h.Data {
 		want := cache.O.Data[k] * tensor.Tanh32(s.Data[k])
 		if math.Abs(float64(h.Data[k]-want)) > 1e-6 {
@@ -93,8 +93,8 @@ func TestForgetBiasInit(t *testing.T) {
 func TestForwardDeterministic(t *testing.T) {
 	p1h, x1, h1, s1 := newTestSetup(6, 5, 5, 2)
 	p2h, x2, h2, s2 := newTestSetup(6, 5, 5, 2)
-	ha, _, _ := Forward(p1h, x1, h1, s1)
-	hb, _, _ := Forward(p2h, x2, h2, s2)
+	ha, _, _ := Forward(nil, p1h, x1, h1, s1)
+	hb, _, _ := Forward(nil, p2h, x2, h2, s2)
 	if !ha.Equal(hb, 0) {
 		t.Fatal("forward must be deterministic for the same seed")
 	}
@@ -107,7 +107,7 @@ func numericalGrad(p *Params, x, h0, s0 *tensor.Matrix, mh, ms *tensor.Matrix, t
 	const eps = 1e-3
 	orig := theta[idx]
 	loss := func() float64 {
-		h, s, _ := Forward(p, x, h0, s0)
+		h, s, _ := Forward(nil, p, x, h0, s0)
 		var l float64
 		for k := range h.Data {
 			l += float64(h.Data[k]) * float64(mh.Data[k])
@@ -134,9 +134,9 @@ func TestBackwardGradCheck(t *testing.T) {
 	mh.RandInit(r, 1)
 	ms.RandInit(r, 1)
 
-	_, _, cache := Forward(p, x, h0, s0)
+	_, _, cache := Forward(nil, p, x, h0, s0)
 	grads := NewGrads(p)
-	out := Backward(p, grads, cache, BPInput{DY: mh, DS: ms})
+	out := Backward(nil, p, grads, cache, BPInput{DY: mh, DS: ms})
 
 	check := func(name string, analytic float32, num float64) {
 		t.Helper()
@@ -180,9 +180,9 @@ func TestBackwardNilInputs(t *testing.T) {
 	// A BP cell at the last timestamp of a layer with no loss at that
 	// step receives all-nil gradients and must produce zeros.
 	p, x, h0, s0 := newTestSetup(8, 4, 4, 2)
-	_, _, cache := Forward(p, x, h0, s0)
+	_, _, cache := Forward(nil, p, x, h0, s0)
 	grads := NewGrads(p)
-	out := Backward(p, grads, cache, BPInput{})
+	out := Backward(nil, p, grads, cache, BPInput{})
 	if out.DX.MaxAbs() != 0 || out.DHPrev.MaxAbs() != 0 || out.DSPrev.MaxAbs() != 0 {
 		t.Fatal("zero input gradients must give zero output gradients")
 	}
@@ -197,12 +197,12 @@ func TestBackwardAccumulates(t *testing.T) {
 	r := rng.New(100)
 	dy := tensor.New(2, 4)
 	dy.RandInit(r, 1)
-	_, _, cache := Forward(p, x, h0, s0)
+	_, _, cache := Forward(nil, p, x, h0, s0)
 
 	g1 := NewGrads(p)
-	Backward(p, g1, cache, BPInput{DY: dy})
+	Backward(nil, p, g1, cache, BPInput{DY: dy})
 	once := g1.W[GateF].Clone()
-	Backward(p, g1, cache, BPInput{DY: dy})
+	Backward(nil, p, g1, cache, BPInput{DY: dy})
 	twice := g1.W[GateF]
 	want := tensor.Scale(nil, once, 2)
 	if !twice.Equal(want, 1e-5) {
@@ -215,9 +215,9 @@ func TestGradsScaleAndAdd(t *testing.T) {
 	r := rng.New(101)
 	dy := tensor.New(2, 3)
 	dy.RandInit(r, 1)
-	_, _, cache := Forward(p, x, h0, s0)
+	_, _, cache := Forward(nil, p, x, h0, s0)
 	g := NewGrads(p)
-	Backward(p, g, cache, BPInput{DY: dy})
+	Backward(nil, p, g, cache, BPInput{DY: dy})
 	sum := g.AbsSum()
 	g.Scale(2)
 	if math.Abs(g.AbsSum()-2*sum) > 1e-3*sum {
@@ -250,7 +250,7 @@ func TestParamsBytes(t *testing.T) {
 
 func TestCacheBytes(t *testing.T) {
 	p, x, h0, s0 := newTestSetup(12, 6, 5, 3)
-	_, _, cache := Forward(p, x, h0, s0)
+	_, _, cache := Forward(nil, p, x, h0, s0)
 	if cache.IntermediateBytes() != 5*3*5*4 {
 		t.Fatalf("IntermediateBytes: %d", cache.IntermediateBytes())
 	}
@@ -261,8 +261,8 @@ func TestCacheBytes(t *testing.T) {
 
 func TestInferenceForwardMatchesForward(t *testing.T) {
 	p, x, h0, s0 := newTestSetup(13, 4, 4, 2)
-	h1, s1 := InferenceForward(p, x, h0, s0)
-	h2, s2, _ := Forward(p, x, h0, s0)
+	h1, s1 := InferenceForward(nil, p, x, h0, s0)
+	h2, s2, _ := Forward(nil, p, x, h0, s0)
 	if !h1.Equal(h2, 0) || !s1.Equal(s2, 0) {
 		t.Fatal("inference forward must match training forward")
 	}
@@ -270,8 +270,8 @@ func TestInferenceForwardMatchesForward(t *testing.T) {
 
 func TestRecomputeForwardRebuildsCache(t *testing.T) {
 	p, x, h0, s0 := newTestSetup(14, 4, 4, 2)
-	_, _, orig := Forward(p, x, h0, s0)
-	re := RecomputeForward(p, x, h0, s0)
+	_, _, orig := Forward(nil, p, x, h0, s0)
+	re := RecomputeForward(nil, p, x, h0, s0)
 	if !re.F.Equal(orig.F, 0) || !re.S.Equal(orig.S, 0) {
 		t.Fatal("recompute must rebuild identical intermediates")
 	}
@@ -296,7 +296,7 @@ func TestUnrolledSequenceGradCheck(t *testing.T) {
 		h := tensor.New(batch, hidden)
 		s := tensor.New(batch, hidden)
 		for t0 := 0; t0 < steps; t0++ {
-			h, s, _ = Forward(p, xs[t0], h, s)
+			h, s, _ = Forward(nil, p, xs[t0], h, s)
 		}
 		_ = s
 		var l float64
@@ -311,7 +311,7 @@ func TestUnrolledSequenceGradCheck(t *testing.T) {
 	s := tensor.New(batch, hidden)
 	caches := make([]*FWCache, steps)
 	for t0 := 0; t0 < steps; t0++ {
-		h, s, caches[t0] = Forward(p, xs[t0], h, s)
+		h, s, caches[t0] = Forward(nil, p, xs[t0], h, s)
 	}
 	grads := NewGrads(p)
 	var dH, dS *tensor.Matrix
@@ -320,7 +320,7 @@ func TestUnrolledSequenceGradCheck(t *testing.T) {
 		if t0 == steps-1 {
 			in.DY = mask
 		}
-		out := Backward(p, grads, caches[t0], in)
+		out := Backward(nil, p, grads, caches[t0], in)
 		dH, dS = out.DHPrev, out.DSPrev
 	}
 

@@ -21,6 +21,10 @@ import (
 // lies in [-1, 1]; the products concentrate mass near zero far more than
 // the raw gates do (paper Fig. 6), which is what makes near-zero pruning
 // effective after the reorder.
+//
+// Ownership: the six matrices are drawn from the workspace given to
+// ComputeP1; the BP cell (or whoever else consumes the set) calls
+// Release to hand them back.
 type P1 struct {
 	Pf, Pi, Pc, Po, Ps, Pfs *tensor.Matrix // each batch×hidden
 }
@@ -37,19 +41,41 @@ func (p *P1) Matrices() []*tensor.Matrix {
 	return []*tensor.Matrix{p.Pf, p.Pi, p.Pc, p.Po, p.Ps, p.Pfs}
 }
 
+// Release returns the six product matrices to ws and recycles the
+// header. The caller must hold no other reference to them. Safe on a
+// nil workspace.
+func (p *P1) Release(ws *tensor.Workspace) {
+	if p == nil {
+		return
+	}
+	ws.PutAll(p.Pf, p.Pi, p.Pc, p.Po, p.Ps, p.Pfs)
+	*p = P1{}
+	ws.PutObj(wsSlotP1, p)
+}
+
+// getP1 pops a recycled header or allocates one.
+func getP1(ws *tensor.Workspace) *P1 {
+	if v := ws.GetObj(wsSlotP1); v != nil {
+		return v.(*P1)
+	}
+	return &P1{}
+}
+
 // ComputeP1 derives the P1 products from a freshly produced FW cache.
 // Under MS1 this runs inside the FW pass (execution reordering); the raw
-// gate matrices may be discarded afterwards.
-func ComputeP1(cache *FWCache) *P1 {
+// gate matrices may be released afterwards. The products are drawn
+// from ws and owned by the returned set.
+func ComputeP1(ws *tensor.Workspace, cache *FWCache) *P1 {
 	n := cache.F.Rows
 	h := cache.F.Cols
-	p := &P1{
-		Pf:  tensor.New(n, h),
-		Pi:  tensor.New(n, h),
-		Pc:  tensor.New(n, h),
-		Po:  tensor.New(n, h),
-		Ps:  tensor.New(n, h),
-		Pfs: tensor.New(n, h),
+	p := getP1(ws)
+	*p = P1{
+		Pf:  ws.Get(n, h),
+		Pi:  ws.Get(n, h),
+		Pc:  ws.Get(n, h),
+		Po:  ws.Get(n, h),
+		Ps:  ws.Get(n, h),
+		Pfs: ws.Get(n, h),
 	}
 	for k := 0; k < n*h; k++ {
 		f := cache.F.Data[k]
@@ -70,12 +96,16 @@ func ComputeP1(cache *FWCache) *P1 {
 }
 
 // ForwardWithP1 runs one FW cell and immediately computes its P1
-// products (MS1's reordered flow). The returned cache holds only the
-// activations the BP-MatMul stage still needs (x, h_{t-1}); the raw
-// intermediates are not retained.
-func ForwardWithP1(p *Params, x, hPrev, sPrev *tensor.Matrix) (h, s *tensor.Matrix, p1 *P1) {
-	h, s, cache := Forward(p, x, hPrev, sPrev)
-	p1 = ComputeP1(cache)
+// products (MS1's reordered flow). The raw intermediates are consumed
+// on the spot: once the P1 products exist, the gate matrices go
+// straight back to the workspace — the in-memory analogue of the
+// paper's early-consume of raw gates. Only h, s (caller-owned) and the
+// P1 set survive the call.
+func ForwardWithP1(ws *tensor.Workspace, p *Params, x, hPrev, sPrev *tensor.Matrix) (h, s *tensor.Matrix, p1 *P1) {
+	h, s, cache := Forward(ws, p, x, hPrev, sPrev)
+	p1 = ComputeP1(ws, cache)
+	cache.S = nil // s escapes to the caller; don't recycle it
+	cache.Release(ws)
 	return h, s, p1
 }
 
@@ -83,11 +113,14 @@ func ForwardWithP1(p *Params, x, hPrev, sPrev *tensor.Matrix) (h, s *tensor.Matr
 // of raw FW intermediates (the BP-EW-P2 + BP-MatMul remainder). x and
 // hPrev are the cell's stored activations. The result is numerically
 // identical to Backward on the same cell; TestP1Equivalence asserts it.
-func BackwardFromP1(p *Params, grads *Grads, x, hPrev *tensor.Matrix, p1 *P1, in BPInput) BPOutput {
+// Internal scratch comes from ws and is released before returning; the
+// P1 set is left intact for the caller to Release once the cell is
+// consumed for good.
+func BackwardFromP1(ws *tensor.Workspace, p *Params, grads *Grads, x, hPrev *tensor.Matrix, p1 *P1, in BPInput) BPOutput {
 	batch := p1.Pf.Rows
 	hidden := p.Hidden
 
-	dh := tensor.New(batch, hidden)
+	dh := ws.Get(batch, hidden)
 	if in.DY != nil {
 		tensor.AddInPlace(dh, in.DY)
 	}
@@ -95,11 +128,11 @@ func BackwardFromP1(p *Params, grads *Grads, x, hPrev *tensor.Matrix, p1 *P1, in
 		tensor.AddInPlace(dh, in.DH)
 	}
 
-	dGate := make([]*tensor.Matrix, NumGates)
+	var dGate [NumGates]*tensor.Matrix
 	for g := Gate(0); g < NumGates; g++ {
-		dGate[g] = tensor.New(batch, hidden)
+		dGate[g] = ws.Get(batch, hidden)
 	}
-	dsPrev := tensor.New(batch, hidden)
+	dsPrev := ws.Get(batch, hidden)
 
 	// BP-EW-P2: pure gradient×P1 products. A zero P1 entry (pruned by
 	// the compression module) zeroes the corresponding gate gradient,
@@ -117,6 +150,9 @@ func BackwardFromP1(p *Params, grads *Grads, x, hPrev *tensor.Matrix, p1 *P1, in
 		dGate[GateC].Data[k] = ds * p1.Pc.Data[k]
 		dsPrev.Data[k] = ds * p1.Pfs.Data[k]
 	}
+	ws.Put(dh)
 
-	return matmulBackward(p, grads, x, hPrev, dGate, dsPrev)
+	out := matmulBackward(ws, p, grads, x, hPrev, &dGate, dsPrev)
+	ws.PutAll(dGate[:]...)
+	return out
 }

@@ -23,14 +23,14 @@ func TestP1Equivalence(t *testing.T) {
 	dh.RandInit(r, 1)
 	ds.RandInit(r, 1)
 
-	_, _, cache := Forward(p, x, h0, s0)
-	p1 := ComputeP1(cache)
+	_, _, cache := Forward(nil, p, x, h0, s0)
+	p1 := ComputeP1(nil, cache)
 
 	gBase := NewGrads(p)
-	outBase := Backward(p, gBase, cache, BPInput{DY: dy, DH: dh, DS: ds})
+	outBase := Backward(nil, p, gBase, cache, BPInput{DY: dy, DH: dh, DS: ds})
 
 	gP1 := NewGrads(p)
-	outP1 := BackwardFromP1(p, gP1, x, h0, p1, BPInput{DY: dy, DH: dh, DS: ds})
+	outP1 := BackwardFromP1(nil, p, gP1, x, h0, p1, BPInput{DY: dy, DH: dh, DS: ds})
 
 	const tol = 1e-5
 	if !outBase.DX.Equal(outP1.DX, tol) {
@@ -56,8 +56,8 @@ func TestP1ValueRange(t *testing.T) {
 	// Every P1 product is a composition of values in [-1,1] when the
 	// running cell state stays bounded, so |P1| must stay ≤ max(|s'|,1).
 	p, x, h0, s0 := newTestSetup(22, 8, 8, 4)
-	_, _, cache := Forward(p, x, h0, s0)
-	p1 := ComputeP1(cache)
+	_, _, cache := Forward(nil, p, x, h0, s0)
+	p1 := ComputeP1(nil, cache)
 	bound := float64(s0.MaxAbs())
 	if bound < 1 {
 		bound = 1
@@ -75,8 +75,8 @@ func TestP1ValueRange(t *testing.T) {
 func TestP1MoreCompressible(t *testing.T) {
 	const input, hidden, batch = 32, 64, 16
 	p, x, h0, s0 := newTestSetup(23, input, hidden, batch)
-	_, _, cache := Forward(p, x, h0, s0)
-	p1 := ComputeP1(cache)
+	_, _, cache := Forward(nil, p, x, h0, s0)
+	p1 := ComputeP1(nil, cache)
 
 	rawFrac := 0.0
 	raws := []*tensor.Matrix{cache.F, cache.I, cache.C, cache.O, cache.S}
@@ -101,9 +101,9 @@ func TestP1MoreCompressible(t *testing.T) {
 
 func TestForwardWithP1MatchesSeparate(t *testing.T) {
 	p, x, h0, s0 := newTestSetup(24, 4, 4, 2)
-	h1, s1, p1a := ForwardWithP1(p, x, h0, s0)
-	h2, s2, cache := Forward(p, x, h0, s0)
-	p1b := ComputeP1(cache)
+	h1, s1, p1a := ForwardWithP1(nil, p, x, h0, s0)
+	h2, s2, cache := Forward(nil, p, x, h0, s0)
+	p1b := ComputeP1(nil, cache)
 	if !h1.Equal(h2, 0) || !s1.Equal(s2, 0) {
 		t.Fatal("outputs differ")
 	}
@@ -117,7 +117,7 @@ func TestForwardWithP1MatchesSeparate(t *testing.T) {
 
 func TestP1Bytes(t *testing.T) {
 	p, x, h0, s0 := newTestSetup(25, 4, 5, 3)
-	_, _, p1 := ForwardWithP1(p, x, h0, s0)
+	_, _, p1 := ForwardWithP1(nil, p, x, h0, s0)
 	if p1.Bytes() != 6*3*5*4 {
 		t.Fatalf("P1 bytes: %d", p1.Bytes())
 	}
@@ -131,12 +131,12 @@ func TestPropertyP1Equivalence(t *testing.T) {
 		r := rng.New(seed ^ 0xabc)
 		dy := tensor.New(2, 4)
 		dy.RandInit(r, 1)
-		_, _, cache := Forward(p, x, h0, s0)
-		p1 := ComputeP1(cache)
+		_, _, cache := Forward(nil, p, x, h0, s0)
+		p1 := ComputeP1(nil, cache)
 		gA := NewGrads(p)
-		oA := Backward(p, gA, cache, BPInput{DY: dy})
+		oA := Backward(nil, p, gA, cache, BPInput{DY: dy})
 		gB := NewGrads(p)
-		oB := BackwardFromP1(p, gB, x, h0, p1, BPInput{DY: dy})
+		oB := BackwardFromP1(nil, p, gB, x, h0, p1, BPInput{DY: dy})
 		return oA.DX.Equal(oB.DX, 1e-5) &&
 			oA.DSPrev.Equal(oB.DSPrev, 1e-5) &&
 			gA.W[GateC].Equal(gB.W[GateC], 1e-5)
@@ -204,11 +204,11 @@ func TestP1SparsityZeroesGradients(t *testing.T) {
 	r := rng.New(400)
 	dy := tensor.New(2, 4)
 	dy.RandInit(r, 1)
-	_, _, cache := Forward(p, x, h0, s0)
-	p1 := ComputeP1(cache)
+	_, _, cache := Forward(nil, p, x, h0, s0)
+	p1 := ComputeP1(nil, cache)
 	p1.Pi.Zero() // prune the entire input-gate P1 plane
 	g := NewGrads(p)
-	BackwardFromP1(p, g, x, h0, p1, BPInput{DY: dy})
+	BackwardFromP1(nil, p, g, x, h0, p1, BPInput{DY: dy})
 	if g.W[GateI].AbsSum() != 0 || g.U[GateI].AbsSum() != 0 {
 		t.Fatal("zero Pi must zero input-gate weight gradients")
 	}

@@ -17,6 +17,25 @@ type Network struct {
 	Layer []*lstm.Params // len Cfg.Layers
 	Proj  *tensor.Matrix // Hidden×OutSize
 	ProjB []float32      // len OutSize
+
+	// ws recycles FW/BP scratch across sequences (see Workspace). It
+	// makes the network single-goroutine for forward/backward passes:
+	// concurrent training uses one Clone per worker, never a shared
+	// Network.
+	ws *tensor.Workspace
+}
+
+// Workspace returns the network's scratch arena, creating it on first
+// use. Every ForwardState draws its per-sequence buffers from it and
+// Backward returns them as the BP sweep consumes them, so steady-state
+// training reuses the same storage batch after batch. A Clone starts
+// with a fresh workspace of its own — that per-replica confinement is
+// what keeps the data-parallel engine race-free.
+func (n *Network) Workspace() *tensor.Workspace {
+	if n.ws == nil {
+		n.ws = tensor.NewWorkspace()
+	}
+	return n.ws
 }
 
 // NewNetwork builds a network with initialized weights.
@@ -189,37 +208,66 @@ func (n *Network) ForwardState(xs []*tensor.Matrix, targets *Targets, policy Sto
 		res.P1[l] = make([]*lstm.P1, cfg.SeqLen)
 	}
 
+	ws := n.Workspace()
 	out := &State{H: make([]*tensor.Matrix, cfg.Layers), S: make([]*tensor.Matrix, cfg.Layers)}
 	for l := 0; l < cfg.Layers; l++ {
-		h := tensor.New(cfg.Batch, cfg.Hidden)
-		s := tensor.New(cfg.Batch, cfg.Hidden)
+		h := ws.Get(cfg.Batch, cfg.Hidden)
+		s := ws.Get(cfg.Batch, cfg.Hidden)
 		if state != nil {
 			// Truncated BPTT: copy so BP cannot reach into the previous
 			// chunk and the caller's state stays immutable.
 			h.CopyFrom(state.H[l])
 			s.CopyFrom(state.S[l])
 		}
+		// sRetained marks that the current s is held by a StoreRaw cache
+		// (as its S, or as the next cell's SPrev); such buffers stay live
+		// until BP releases the cache, so the FW loop must not recycle
+		// them.
+		sRetained := false
 		for t := 0; t < cfg.SeqLen; t++ {
 			x := xs[t]
 			if l > 0 {
 				x = res.H[l-1][t]
 			}
-			switch policy.Store(l, t) {
+			oldH, oldS := h, s
+			store := policy.Store(l, t)
+			switch store {
 			case StoreRaw:
 				var cache *lstm.FWCache
-				h, s, cache = lstm.Forward(n.Layer[l], x, h, s)
+				h, s, cache = lstm.Forward(ws, n.Layer[l], x, h, s)
 				res.Cache[l][t] = cache
 			case StoreP1:
 				var p1 *lstm.P1
-				h, s, p1 = lstm.ForwardWithP1(n.Layer[l], x, h, s)
+				h, s, p1 = lstm.ForwardWithP1(ws, n.Layer[l], x, h, s)
 				res.P1[l][t] = p1
 			case StoreNone:
-				h, s = lstm.InferenceForward(n.Layer[l], x, h, s)
+				h, s = lstm.InferenceForward(ws, n.Layer[l], x, h, s)
 			}
 			res.H[l][t] = h
+			if store == StoreRaw {
+				// The new cache retains oldS as SPrev (and, at t == 0,
+				// oldH as HPrev); both stay live until BP consumes the
+				// cell.
+				sRetained = true
+			} else {
+				// MS1/inference cells consume their inputs on the spot:
+				// the previous cell state dies once this cell has run
+				// (unless a raw cache still holds it), and the
+				// initial-h copy dies after the first cell.
+				if !sRetained {
+					ws.Put(oldS)
+				}
+				sRetained = false
+				if t == 0 {
+					ws.Put(oldH)
+				}
+			}
 		}
 		out.H[l] = h.Clone()
 		out.S[l] = s.Clone()
+		if !sRetained {
+			ws.Put(s)
+		}
 	}
 
 	if targets != nil {
@@ -347,14 +395,23 @@ type BackwardOpts struct {
 // cell breaks the δH/δS chain at that point and propagates no δX to the
 // layer below (the paper's "as if performing inference" semantics); the
 // convergence-aware scaling that compensates lives in internal/skip.
+//
+// Backward consumes res: as the reverse-time sweep visits each cell it
+// releases that cell's cache/P1 set, its stored hidden output and the
+// gradients feeding it back to the network's workspace (the in-memory
+// analogue of the paper's free-on-consume of intermediates). res must
+// not be used again afterwards — its H/Cache/P1/dLogits entries are
+// nil-ed as they are consumed.
 func (n *Network) Backward(res *ForwardResult, policy StoragePolicy, grads *Gradients, opts BackwardOpts) error {
 	cfg := n.Cfg
 	if policy == nil {
 		policy = BaselinePolicy()
 	}
+	ws := n.Workspace()
 
 	// Seed: δY for the top layer comes from the loss through the
-	// projection; the projection gradient accumulates alongside.
+	// projection; the projection gradient accumulates alongside. The
+	// loss-side dLogits are consumed here and released immediately.
 	dY := make([]*tensor.Matrix, cfg.SeqLen)
 	top := res.H[cfg.Layers-1]
 	for t := 0; t < cfg.SeqLen; t++ {
@@ -364,7 +421,9 @@ func (n *Network) Backward(res *ForwardResult, policy StoragePolicy, grads *Grad
 		}
 		tensor.AddMatMulTransA(grads.Proj, top[t], dl)
 		tensor.SumRows(grads.ProjB, dl)
-		dY[t] = tensor.MatMulTransB(nil, dl, n.Proj)
+		dY[t] = tensor.MatMulTransB(ws.Get(cfg.Batch, cfg.Hidden), dl, n.Proj)
+		ws.Put(dl)
+		res.dLogits[t] = nil
 	}
 
 	for l := cfg.Layers - 1; l >= 0; l-- {
@@ -373,6 +432,10 @@ func (n *Network) Backward(res *ForwardResult, policy StoragePolicy, grads *Grad
 		for t := cfg.SeqLen - 1; t >= 0; t-- {
 			if policy.Store(l, t) == StoreNone {
 				grads.SkippedCells++
+				// The chain breaks here: the pending gradients and this
+				// cell's stored output die unconsumed.
+				ws.PutAll(dY[t], dH, dS, res.H[l][t])
+				dY[t], res.H[l][t] = nil, nil
 				dH, dS = nil, nil
 				continue
 			}
@@ -389,22 +452,31 @@ func (n *Network) Backward(res *ForwardResult, policy StoragePolicy, grads *Grad
 			var out lstm.BPOutput
 			switch {
 			case res.Cache[l][t] != nil:
-				out = lstm.Backward(n.Layer[l], target, res.Cache[l][t], in)
+				out = lstm.Backward(ws, n.Layer[l], target, res.Cache[l][t], in)
+				res.Cache[l][t].Release(ws)
+				res.Cache[l][t] = nil
 			case res.P1[l][t] != nil:
 				x := res.Inputs[t]
 				if l > 0 {
 					x = res.H[l-1][t]
 				}
-				var hPrev *tensor.Matrix
+				// zeroH is only drawn for the zero-start first timestamp;
+				// a carried-in state belongs to the caller and must not
+				// be recycled.
+				var hPrev, zeroH *tensor.Matrix
 				switch {
 				case t > 0:
 					hPrev = res.H[l][t-1]
 				case res.initState != nil:
 					hPrev = res.initState.H[l]
 				default:
-					hPrev = tensor.New(cfg.Batch, cfg.Hidden)
+					zeroH = ws.Get(cfg.Batch, cfg.Hidden)
+					hPrev = zeroH
 				}
-				out = lstm.BackwardFromP1(n.Layer[l], target, x, hPrev, res.P1[l][t], in)
+				out = lstm.BackwardFromP1(ws, n.Layer[l], target, x, hPrev, res.P1[l][t], in)
+				ws.Put(zeroH)
+				res.P1[l][t].Release(ws)
+				res.P1[l][t] = nil
 			default:
 				return fmt.Errorf("model: cell (%d,%d) has no stored state but policy says execute", l, t)
 			}
@@ -413,10 +485,20 @@ func (n *Network) Backward(res *ForwardResult, policy StoragePolicy, grads *Grad
 				opts.OnCell(l, t, cellGrads)
 				grads.Layer[l].Add(cellGrads)
 			}
+			// Release-on-consume: this cell was the last reader of its
+			// incoming gradients and of its own stored hidden output.
+			ws.PutAll(dY[t], dH, dS, res.H[l][t])
+			dY[t], res.H[l][t] = nil, nil
 			dH, dS = out.DHPrev, out.DSPrev
 			dXBelow[t] = out.DX
 		}
+		// Gradients flowing past t=0 into the previous chunk are
+		// discarded (truncated BPTT).
+		ws.PutAll(dH, dS)
 		dY = dXBelow
+	}
+	for _, d := range dY {
+		ws.Put(d)
 	}
 	return nil
 }

@@ -9,6 +9,7 @@ import (
 
 	"etalstm/internal/model"
 	"etalstm/internal/rng"
+	"etalstm/internal/tensor"
 	"etalstm/internal/train"
 	"etalstm/internal/workload"
 )
@@ -265,5 +266,38 @@ func TestNewClampsWorkers(t *testing.T) {
 	}
 	if got := New(net, 5, train.ClipStep{Opt: &train.SGD{LR: 1}}).Workers(); got != 5 {
 		t.Fatalf("Workers() = %d, want 5", got)
+	}
+}
+
+// TestReplicaWorkspaceIsolation pins the confinement rule behind the
+// workspace layer: every replica is a Clone and therefore owns a
+// private scratch workspace (never shared with the master or another
+// replica), and after an epoch each replica has exercised its own —
+// which is what makes concurrent FW/BP passes race-free without any
+// locking in the arena.
+func TestReplicaWorkspaceIsolation(t *testing.T) {
+	net, prov := testNetwork(t, 13)
+	eng := New(net, 4, train.ClipStep{Opt: &train.SGD{LR: 0.05}, Clip: 5})
+	seen := map[*tensor.Workspace]bool{net.Workspace(): true}
+	for i, rep := range eng.replicas {
+		ws := rep.Workspace()
+		if seen[ws] {
+			t.Fatalf("replica %d shares a workspace with another network", i)
+		}
+		seen[ws] = true
+	}
+	if _, err := eng.RunEpoch(context.Background(), prov, baselineFn); err != nil {
+		t.Fatal(err)
+	}
+	// 8 batches over 4 workers: every replica ran FW+BP and must have
+	// drawn from (and recycled into) its own arena.
+	for i, rep := range eng.replicas {
+		st := rep.Workspace().Stats()
+		if st.Gets == 0 || st.Puts == 0 {
+			t.Errorf("replica %d workspace saw no traffic: %+v", i, st)
+		}
+	}
+	if st := net.Workspace().Stats(); st.Gets != 0 {
+		t.Errorf("master workspace must stay idle during a parallel epoch: %+v", st)
 	}
 }

@@ -19,7 +19,7 @@ func makeP1(seed uint64, batch, hidden int) *lstm.P1 {
 	x.RandInit(r, 1)
 	h0.RandInit(r, 0.5)
 	s0.RandInit(r, 0.5)
-	_, _, p1 := lstm.ForwardWithP1(p, x, h0, s0)
+	_, _, p1 := lstm.ForwardWithP1(nil, p, x, h0, s0)
 	return p1
 }
 
@@ -145,7 +145,7 @@ func TestPrunedBPStillDescends(t *testing.T) {
 	loss := func() float64 {
 		h0 := tensor.New(batch, hidden)
 		s0 := tensor.New(batch, hidden)
-		h, _, _ := lstm.Forward(p, x, h0, s0)
+		h, _, _ := lstm.Forward(nil, p, x, h0, s0)
 		var l float64
 		for k := range h.Data {
 			d := float64(h.Data[k] - target.Data[k])
@@ -158,14 +158,14 @@ func TestPrunedBPStillDescends(t *testing.T) {
 	for step := 0; step < 30; step++ {
 		h0 := tensor.New(batch, hidden)
 		s0 := tensor.New(batch, hidden)
-		h, _, p1 := lstm.ForwardWithP1(p, x, h0, s0)
+		h, _, p1 := lstm.ForwardWithP1(nil, p, x, h0, s0)
 		PruneInPlace(p1, Config{Threshold: 0.1})
 		dy := tensor.New(batch, hidden)
 		for k := range dy.Data {
 			dy.Data[k] = 2 * (h.Data[k] - target.Data[k])
 		}
 		grads := lstm.NewGrads(p)
-		lstm.BackwardFromP1(p, grads, x, h0, p1, lstm.BPInput{DY: dy})
+		lstm.BackwardFromP1(nil, p, grads, x, h0, p1, lstm.BPInput{DY: dy})
 		const lr = 0.02
 		for g := lstm.Gate(0); g < lstm.NumGates; g++ {
 			for i := range p.W[g].Data {

@@ -29,11 +29,19 @@ func Workers() int { return int(atomic.LoadInt64(&maxWorkers)) }
 // kernel fans out; below it goroutine overhead dominates.
 const parallelThreshold = 1 << 16
 
+// serialRows reports whether a rows×flops kernel should run serially.
+// Callers branch on it BEFORE building the closure for parallelRows, so
+// the (heap-allocated, because of the go statement) closure only exists
+// on the fan-out path and small kernels stay allocation-free.
+func serialRows(rows int, flops int64) bool {
+	return Workers() <= 1 || flops < parallelThreshold || rows < 2
+}
+
 // parallelRows splits [0, rows) across workers and runs fn on each
-// span. flops guides the serial/parallel decision.
-func parallelRows(rows int, flops int64, fn func(lo, hi int)) {
+// span. Callers must have ruled out the serial case via serialRows.
+func parallelRows(rows int, fn func(lo, hi int)) {
 	workers := Workers()
-	if workers <= 1 || flops < parallelThreshold || rows < 2 {
+	if workers <= 1 || rows < 2 {
 		fn(0, rows)
 		return
 	}

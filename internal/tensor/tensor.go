@@ -124,25 +124,33 @@ func MatMul(dst, a, b *Matrix) *Matrix {
 	}
 	dst.Zero()
 	// ikj loop order: streams b rows, keeps dst row hot. Rows of a are
-	// independent, so large products shard across workers.
+	// independent, so large products shard across workers. The serial
+	// branch calls the span directly: building the closure only on the
+	// parallel path keeps small products allocation-free.
 	flops := int64(a.Rows) * int64(a.Cols) * int64(b.Cols)
-	parallelRows(a.Rows, flops, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			arow := a.Row(i)
-			drow := dst.Row(i)
-			for k := 0; k < a.Cols; k++ {
-				av := arow[k]
-				if av == 0 {
-					continue
-				}
-				brow := b.Row(k)
-				for j, bv := range brow {
-					drow[j] += av * bv
-				}
+	if serialRows(a.Rows, flops) {
+		matmulSpan(dst, a, b, 0, a.Rows)
+	} else {
+		parallelRows(a.Rows, func(lo, hi int) { matmulSpan(dst, a, b, lo, hi) })
+	}
+	return dst
+}
+
+func matmulSpan(dst, a, b *Matrix, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		arow := a.Row(i)
+		drow := dst.Row(i)
+		for k := 0; k < a.Cols; k++ {
+			av := arow[k]
+			if av == 0 {
+				continue
+			}
+			brow := b.Row(k)
+			for j, bv := range brow {
+				drow[j] += av * bv
 			}
 		}
-	})
-	return dst
+	}
 }
 
 // MatMulTransA computes dst = aᵀ · b (a: k×m, b: k×n, dst: m×n) without
@@ -175,21 +183,27 @@ func MatMulTransB(dst, a, b *Matrix) *Matrix {
 			dst.Rows, dst.Cols, a.Rows, b.Rows))
 	}
 	flops := int64(a.Rows) * int64(a.Cols) * int64(b.Rows)
-	parallelRows(a.Rows, flops, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			arow := a.Row(i)
-			drow := dst.Row(i)
-			for j := 0; j < b.Rows; j++ {
-				brow := b.Row(j)
-				var sum float32
-				for k, av := range arow {
-					sum += av * brow[k]
-				}
-				drow[j] = sum
-			}
-		}
-	})
+	if serialRows(a.Rows, flops) {
+		matmulTransBSpan(dst, a, b, 0, a.Rows)
+	} else {
+		parallelRows(a.Rows, func(lo, hi int) { matmulTransBSpan(dst, a, b, lo, hi) })
+	}
 	return dst
+}
+
+func matmulTransBSpan(dst, a, b *Matrix, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		arow := a.Row(i)
+		drow := dst.Row(i)
+		for j := 0; j < b.Rows; j++ {
+			brow := b.Row(j)
+			var sum float32
+			for k, av := range arow {
+				sum += av * brow[k]
+			}
+			drow[j] = sum
+		}
+	}
 }
 
 // AddMatMulTransA computes dst += aᵀ · b. This is the outer-product
@@ -207,22 +221,28 @@ func AddMatMulTransA(dst, a, b *Matrix) {
 	// Shard over dst rows (columns of a): each worker owns a disjoint
 	// slice of the accumulator, so the += stays race-free.
 	flops := int64(a.Rows) * int64(a.Cols) * int64(b.Cols)
-	parallelRows(a.Cols, flops, func(lo, hi int) {
-		for k := 0; k < a.Rows; k++ {
-			arow := a.Row(k)
-			brow := b.Row(k)
-			for i := lo; i < hi; i++ {
-				av := arow[i]
-				if av == 0 {
-					continue
-				}
-				drow := dst.Row(i)
-				for j, bv := range brow {
-					drow[j] += av * bv
-				}
+	if serialRows(a.Cols, flops) {
+		addMatMulTransASpan(dst, a, b, 0, a.Cols)
+	} else {
+		parallelRows(a.Cols, func(lo, hi int) { addMatMulTransASpan(dst, a, b, lo, hi) })
+	}
+}
+
+func addMatMulTransASpan(dst, a, b *Matrix, lo, hi int) {
+	for k := 0; k < a.Rows; k++ {
+		arow := a.Row(k)
+		brow := b.Row(k)
+		for i := lo; i < hi; i++ {
+			av := arow[i]
+			if av == 0 {
+				continue
+			}
+			drow := dst.Row(i)
+			for j, bv := range brow {
+				drow[j] += av * bv
 			}
 		}
-	})
+	}
 }
 
 // Transpose returns aᵀ as a new matrix (or into dst when non-nil).
