@@ -1,6 +1,9 @@
 GO ?= go
 
-.PHONY: build test race bench vet fmt check all
+# Budget per fuzz target for `make fuzz` (go test -fuzztime syntax).
+FUZZTIME ?= 30s
+
+.PHONY: build test race bench vet fmt check fuzz cover all
 
 all: build test
 
@@ -12,14 +15,42 @@ test:
 
 # Race-detector pass over the packages with real concurrency: the
 # data-parallel engine, the trainer that drives it, the public API
-# (whose tests exercise multi-worker training end to end), and the
+# (whose tests exercise multi-worker training end to end), the
 # workspace-threaded FW/BP stack (lstm kernels + model), where replica
-# confinement of the scratch arenas is the thing under test.
+# confinement of the scratch arenas is the thing under test, the MS2
+# planner, and the differential harness (whose equivalence engine runs
+# serial and concurrent replicas against each other).
 race:
-	$(GO) test -race ./internal/parallel ./internal/core ./internal/tensor ./internal/lstm ./internal/model .
+	$(GO) test -race ./internal/parallel ./internal/core ./internal/tensor ./internal/lstm ./internal/model ./internal/check ./internal/skip ./internal/train .
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# fuzz runs every Fuzz* target for FUZZTIME each (Go allows one target
+# per invocation). -fuzzminimizetime=1x keeps the budget spent on
+# exploration instead of input minimization.
+fuzz:
+	$(GO) test -run='^$$' -fuzz=FuzzEncodeDecode -fuzztime=$(FUZZTIME) -fuzzminimizetime=1x ./internal/compress
+	$(GO) test -run='^$$' -fuzz=FuzzLoad -fuzztime=$(FUZZTIME) -fuzzminimizetime=1x ./internal/persist
+	$(GO) test -run='^$$' -fuzz=FuzzGradCheck -fuzztime=$(FUZZTIME) -fuzzminimizetime=1x ./internal/check
+	$(GO) test -run='^$$' -fuzz=FuzzEquivalence -fuzztime=$(FUZZTIME) -fuzzminimizetime=1x ./internal/check
+
+# cover enforces statement-coverage floors on the numerically critical
+# packages. Floors sit a few points below current coverage: they catch a
+# PR that deletes tests or lands large untested code, without turning
+# every small change into a floor-tuning exercise.
+cover:
+	@set -e; \
+	check() { \
+		pct=$$($(GO) test -cover $$1 | sed -n 's/.*coverage: \([0-9.]*\)%.*/\1/p'); \
+		if [ -z "$$pct" ]; then echo "cover: no coverage reported for $$1"; exit 1; fi; \
+		ok=$$(awk "BEGIN{print ($$pct >= $$2) ? 1 : 0}"); \
+		if [ "$$ok" != 1 ]; then echo "cover: $$1 at $$pct% is below the $$2% floor"; exit 1; fi; \
+		echo "cover: $$1 $$pct% (floor $$2%)"; \
+	}; \
+	check ./internal/lstm 85; \
+	check ./internal/model 85; \
+	check ./internal/skip 90
 
 vet:
 	$(GO) vet ./...

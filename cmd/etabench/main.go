@@ -24,76 +24,88 @@ import (
 )
 
 func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "etabench:", err)
+		os.Exit(1)
+	}
+}
+
+// run is the whole command behind a testable seam: flags come from
+// args, output goes to stdout, failures return instead of exiting.
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("etabench", flag.ContinueOnError)
 	var (
-		list    = flag.Bool("list", false, "list experiment ids and exit")
-		exp     = flag.String("exp", "all", "experiment id to run, or 'all'")
-		full    = flag.Bool("full", false, "run training-backed experiments at full scale")
-		seed    = flag.Uint64("seed", 42, "seed for training-backed experiments")
-		out     = flag.String("o", "", "also write the output to this file")
-		kernelW = flag.Int("kernel-workers", 0, "goroutines per tensor kernel (0 = keep default)")
-		cpuProf = flag.String("cpuprofile", "", "write a CPU profile to this file")
-		memProf = flag.String("memprofile", "", "write a heap profile to this file on exit")
+		list    = fs.Bool("list", false, "list experiment ids and exit")
+		exp     = fs.String("exp", "all", "experiment id to run, or 'all'")
+		full    = fs.Bool("full", false, "run training-backed experiments at full scale")
+		seed    = fs.Uint64("seed", 42, "seed for training-backed experiments")
+		out     = fs.String("o", "", "also write the output to this file")
+		kernelW = fs.Int("kernel-workers", 0, "goroutines per tensor kernel (0 = keep default)")
+		cpuProf = fs.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf = fs.String("memprofile", "", "write a heap profile to this file on exit")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	if *kernelW > 0 {
 		etalstm.SetWorkers(*kernelW)
 	}
-	defer profileTo(*cpuProf, *memProf)()
+	finish, err := profileTo(*cpuProf, *memProf)
+	if err != nil {
+		return err
+	}
+	defer finish()
 
 	if *list {
 		for _, id := range etalstm.ExperimentIDs() {
-			fmt.Println(id)
+			fmt.Fprintln(stdout, id)
 		}
-		return
+		return nil
 	}
 
-	var w io.Writer = os.Stdout
+	w := stdout
 	if *out != "" {
 		f, err := os.Create(*out)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		defer f.Close()
-		w = io.MultiWriter(os.Stdout, f)
+		w = io.MultiWriter(stdout, f)
 	}
 
 	opts := etalstm.ExperimentOptions{Quick: !*full, Seed: *seed}
 	if *exp == "all" {
 		reps, err := etalstm.RunAllExperiments(opts)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		for _, rep := range reps {
 			fmt.Fprintln(w, rep)
 		}
-		return
+		return nil
 	}
 	for _, id := range strings.Split(*exp, ",") {
 		rep, err := etalstm.RunExperiment(strings.TrimSpace(id), opts)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		fmt.Fprintln(w, rep)
 	}
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "etabench:", err)
-	os.Exit(1)
+	return nil
 }
 
 // profileTo starts CPU profiling (when cpuPath is non-empty) and returns
 // a cleanup that stops it and writes a heap profile (when memPath is
 // non-empty). Both paths are pprof files for `go tool pprof`.
-func profileTo(cpuPath, memPath string) func() {
+func profileTo(cpuPath, memPath string) (func(), error) {
 	if cpuPath != "" {
 		f, err := os.Create(cpuPath)
 		if err != nil {
-			fatal(err)
+			return nil, err
 		}
 		if err := pprof.StartCPUProfile(f); err != nil {
-			fatal(err)
+			return nil, err
 		}
 	}
 	return func() {
@@ -103,13 +115,14 @@ func profileTo(cpuPath, memPath string) func() {
 		if memPath != "" {
 			f, err := os.Create(memPath)
 			if err != nil {
-				fatal(err)
+				fmt.Fprintln(os.Stderr, "etabench:", err)
+				return
 			}
 			defer f.Close()
 			runtime.GC() // flush unreachable buffers so the profile shows live memory
 			if err := pprof.WriteHeapProfile(f); err != nil {
-				fatal(err)
+				fmt.Fprintln(os.Stderr, "etabench:", err)
 			}
 		}
-	}
+	}, nil
 }

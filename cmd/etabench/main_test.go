@@ -1,0 +1,66 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunList(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-list"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	ids := strings.Fields(out.String())
+	if len(ids) == 0 {
+		t.Fatal("-list printed no experiment ids")
+	}
+	for _, id := range ids {
+		if strings.ContainsAny(id, " \t") {
+			t.Errorf("experiment id %q contains whitespace", id)
+		}
+	}
+}
+
+// TestRunSingleExperiment drives one fast analytic experiment (fig5 is
+// a closed-form footprint model, no training) end to end through the
+// flag seam.
+func TestRunSingleExperiment(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-exp", "fig5"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "fig5") {
+		t.Fatalf("report does not name its experiment:\n%s", out.String())
+	}
+}
+
+func TestRunOutputFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "results.txt")
+	var out bytes.Buffer
+	if err := run([]string{"-exp", "fig5", "-o", path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != out.String() {
+		t.Error("-o file contents differ from stdout")
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	cases := [][]string{
+		{"-no-such-flag"},
+		{"-exp", "fig999"},
+	}
+	for _, args := range cases {
+		var out bytes.Buffer
+		if err := run(args, &out); err == nil {
+			t.Errorf("run(%v) succeeded, want error", args)
+		}
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"math"
 	"os"
 	"os/signal"
@@ -24,86 +25,99 @@ import (
 )
 
 func main() {
-	var (
-		benchName = flag.String("bench", "IMDB", "benchmark: TREC-10, PTB, IMDB, WAYMO, WMT, BABI")
-		modeName  = flag.String("mode", "combined", "baseline | ms1 | ms2 | combined")
-		epochs    = flag.Int("epochs", 10, "training epochs")
-		batches   = flag.Int("batches", 4, "minibatches per epoch")
-		hiddenDiv = flag.Int("hidden-div", 64, "divide the paper's hidden size by this")
-		seqCap    = flag.Int("seq", 16, "cap the layer length")
-		batchCap  = flag.Int("batch", 8, "cap the batch size")
-		seed      = flag.Uint64("seed", 42, "seed")
-		workers   = flag.Int("workers", 1, "data-parallel replica workers (0 = derive from CPU count)")
-		kernelW   = flag.Int("kernel-workers", 0, "goroutines per tensor kernel (0 = keep default)")
-		corpusPth = flag.String("corpus", "", "train a byte-level LM on this text file instead of a benchmark")
-		hidden    = flag.Int("hidden", 64, "hidden size for -corpus mode")
-		loadPath  = flag.String("load", "", "resume from a checkpoint file")
-		savePath  = flag.String("save", "", "write a checkpoint file after training")
-		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile to this file")
-		memProf   = flag.String("memprofile", "", "write a heap profile to this file on exit")
-	)
-	flag.Parse()
-
-	if *kernelW > 0 {
-		etalstm.SetWorkers(*kernelW)
-	}
-	defer profileTo(*cpuProf, *memProf)()
 	// Ctrl-C cancels training between minibatch groups instead of
 	// killing the process mid-epoch.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "etatrain:", err)
+		os.Exit(1)
+	}
+}
+
+// run is the whole command behind a testable seam: flags come from
+// args, output goes to w, failures return instead of exiting.
+func run(ctx context.Context, args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("etatrain", flag.ContinueOnError)
+	var (
+		benchName = fs.String("bench", "IMDB", "benchmark: TREC-10, PTB, IMDB, WAYMO, WMT, BABI")
+		modeName  = fs.String("mode", "combined", "baseline | ms1 | ms2 | combined")
+		epochs    = fs.Int("epochs", 10, "training epochs")
+		batches   = fs.Int("batches", 4, "minibatches per epoch")
+		hiddenDiv = fs.Int("hidden-div", 64, "divide the paper's hidden size by this")
+		seqCap    = fs.Int("seq", 16, "cap the layer length")
+		batchCap  = fs.Int("batch", 8, "cap the batch size")
+		seed      = fs.Uint64("seed", 42, "seed")
+		workers   = fs.Int("workers", 1, "data-parallel replica workers (0 = derive from CPU count)")
+		kernelW   = fs.Int("kernel-workers", 0, "goroutines per tensor kernel (0 = keep default)")
+		corpusPth = fs.String("corpus", "", "train a byte-level LM on this text file instead of a benchmark")
+		hidden    = fs.Int("hidden", 64, "hidden size for -corpus mode")
+		loadPath  = fs.String("load", "", "resume from a checkpoint file")
+		savePath  = fs.String("save", "", "write a checkpoint file after training")
+		cpuProf   = fs.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf   = fs.String("memprofile", "", "write a heap profile to this file on exit")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *kernelW > 0 {
+		etalstm.SetWorkers(*kernelW)
+	}
+	finish, err := profileTo(*cpuProf, *memProf)
+	if err != nil {
+		return err
+	}
+	defer finish()
 
 	mode, err := parseMode(*modeName)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	topts := etalstm.TrainerOptions{Workers: *workers}
 	if *corpusPth != "" {
-		trainCorpus(ctx, *corpusPth, mode, topts, *hidden, *seqCap, *batchCap, *epochs, *batches, *seed)
-		return
+		return trainCorpus(ctx, w, *corpusPth, mode, topts, *hidden, *seqCap, *batchCap, *epochs, *batches, *seed)
 	}
 	bench, err := etalstm.BenchmarkByName(*benchName)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	full := bench
 	bench = bench.Scaled(*hiddenDiv, *seqCap, *batchCap)
-	fmt.Printf("benchmark %s (%v): paper geometry H=%d LN=%d LL=%d; training at H=%d LL=%d B=%d\n",
+	fmt.Fprintf(w, "benchmark %s (%v): paper geometry H=%d LN=%d LL=%d; training at H=%d LL=%d B=%d\n",
 		full.Name, full.Cfg.Loss, full.Cfg.Hidden, full.Cfg.Layers, full.Cfg.SeqLen,
 		bench.Cfg.Hidden, bench.Cfg.SeqLen, bench.Cfg.Batch)
 
 	var net *etalstm.Network
 	if *loadPath != "" {
-		var err error
 		net, err = etalstm.LoadNetwork(*loadPath)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		if net.Cfg != bench.Cfg {
-			fatal(fmt.Errorf("checkpoint geometry %+v does not match the requested scale %+v", net.Cfg, bench.Cfg))
+			return fmt.Errorf("checkpoint geometry %+v does not match the requested scale %+v", net.Cfg, bench.Cfg)
 		}
-		fmt.Printf("resumed from %s\n", *loadPath)
+		fmt.Fprintf(w, "resumed from %s\n", *loadPath)
 	} else {
-		var err error
 		net, err = etalstm.NewNetwork(bench.Cfg, *seed)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 	}
 	tr := etalstm.NewTrainer(net, mode, topts)
 	if tr.Workers() > 1 {
-		fmt.Printf("data-parallel: %d replica workers\n", tr.Workers())
+		fmt.Fprintf(w, "data-parallel: %d replica workers\n", tr.Workers())
 	}
 	prov := bench.Provider(*batches, *seed)
 
 	for e := 0; e < *epochs; e++ {
 		st, err := tr.RunEpoch(ctx, prov, e)
 		if errors.Is(err, context.Canceled) {
-			fmt.Println("interrupted; stopping after", e, "epochs")
+			fmt.Fprintln(w, "interrupted; stopping after", e, "epochs")
 			break
 		}
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		line := fmt.Sprintf("epoch %2d  loss %.4f", e, st.MeanLoss)
 		if st.SkipFrac > 0 {
@@ -112,27 +126,28 @@ func main() {
 		if st.PruneStats.Elements > 0 {
 			line += fmt.Sprintf("  pruned %.0f%% of P1", 100*st.PruneStats.Frac())
 		}
-		fmt.Println(line)
+		fmt.Fprintln(w, line)
 	}
 
 	loss, acc, err := etalstm.Evaluate(net, bench.Provider(2, *seed+100))
 	if err != nil {
-		fatal(err)
+		return err
 	}
-	fmt.Printf("eval: loss %.4f accuracy %.1f%%\n", loss, 100*acc)
+	fmt.Fprintf(w, "eval: loss %.4f accuracy %.1f%%\n", loss, 100*acc)
 
 	if *savePath != "" {
 		if err := etalstm.SaveNetwork(*savePath, net); err != nil {
-			fatal(err)
+			return err
 		}
-		fmt.Printf("checkpoint written to %s\n", *savePath)
+		fmt.Fprintf(w, "checkpoint written to %s\n", *savePath)
 	}
 
 	fp := tr.Footprint(full.Cfg)
 	base := etalstm.Analyze(full.Cfg, etalstm.Baseline).Footprint
-	fmt.Printf("modeled footprint at paper geometry: %.2f GB (baseline %.2f GB, -%.1f%%)\n",
+	fmt.Fprintf(w, "modeled footprint at paper geometry: %.2f GB (baseline %.2f GB, -%.1f%%)\n",
 		float64(fp.Total())/1e9, float64(base.Total())/1e9,
 		100*(1-float64(fp.Total())/float64(base.Total())))
+	return nil
 }
 
 func parseMode(s string) (etalstm.Mode, error) {
@@ -149,22 +164,17 @@ func parseMode(s string) (etalstm.Mode, error) {
 	return 0, fmt.Errorf("unknown mode %q", s)
 }
 
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "etatrain:", err)
-	os.Exit(1)
-}
-
 // profileTo starts CPU profiling (when cpuPath is non-empty) and returns
 // a cleanup that stops it and writes a heap profile (when memPath is
 // non-empty). Both paths are pprof files for `go tool pprof`.
-func profileTo(cpuPath, memPath string) func() {
+func profileTo(cpuPath, memPath string) (func(), error) {
 	if cpuPath != "" {
 		f, err := os.Create(cpuPath)
 		if err != nil {
-			fatal(err)
+			return nil, err
 		}
 		if err := pprof.StartCPUProfile(f); err != nil {
-			fatal(err)
+			return nil, err
 		}
 	}
 	return func() {
@@ -174,44 +184,46 @@ func profileTo(cpuPath, memPath string) func() {
 		if memPath != "" {
 			f, err := os.Create(memPath)
 			if err != nil {
-				fatal(err)
+				fmt.Fprintln(os.Stderr, "etatrain:", err)
+				return
 			}
 			defer f.Close()
 			runtime.GC() // flush unreachable buffers so the profile shows live memory
 			if err := pprof.WriteHeapProfile(f); err != nil {
-				fatal(err)
+				fmt.Fprintln(os.Stderr, "etatrain:", err)
 			}
 		}
-	}
+	}, nil
 }
 
 // trainCorpus runs byte-level language modeling over a user text file.
-func trainCorpus(ctx context.Context, path string, mode etalstm.Mode, topts etalstm.TrainerOptions, hidden, seqLen, batch, epochs, batches int, seed uint64) {
+func trainCorpus(ctx context.Context, w io.Writer, path string, mode etalstm.Mode, topts etalstm.TrainerOptions, hidden, seqLen, batch, epochs, batches int, seed uint64) error {
 	c, err := etalstm.LoadCorpusFile(path, 32, seed)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	cfg := c.Config(hidden, 2, seqLen, batch)
-	fmt.Printf("corpus %s: %d bytes; byte-level LM H=%d LN=%d LL=%d B=%d\n",
+	fmt.Fprintf(w, "corpus %s: %d bytes; byte-level LM H=%d LN=%d LL=%d B=%d\n",
 		path, c.Len(), cfg.Hidden, cfg.Layers, cfg.SeqLen, cfg.Batch)
 	prov, err := c.Provider(cfg, batches, seed)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	net, err := etalstm.NewNetwork(cfg, seed)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	tr := etalstm.NewTrainer(net, mode, topts)
 	for e := 0; e < epochs; e++ {
 		st, err := tr.RunEpoch(ctx, prov, e)
 		if errors.Is(err, context.Canceled) {
-			fmt.Println("interrupted; stopping after", e, "epochs")
-			return
+			fmt.Fprintln(w, "interrupted; stopping after", e, "epochs")
+			return nil
 		}
 		if err != nil {
-			fatal(err)
+			return err
 		}
-		fmt.Printf("epoch %2d  loss %.4f  perplexity %.1f\n", e, st.MeanLoss, math.Exp(st.MeanLoss))
+		fmt.Fprintf(w, "epoch %2d  loss %.4f  perplexity %.1f\n", e, st.MeanLoss, math.Exp(st.MeanLoss))
 	}
+	return nil
 }

@@ -1,0 +1,96 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// tinyArgs shrinks a benchmark far enough that a full end-to-end run —
+// flag parsing, scaling, training, evaluation, footprint report — takes
+// well under a second.
+func tinyArgs(extra ...string) []string {
+	args := []string{
+		"-bench", "TREC-10", "-epochs", "2", "-batches", "2",
+		"-hidden-div", "256", "-seq", "4", "-batch", "2",
+	}
+	return append(args, extra...)
+}
+
+func TestRunEndToEnd(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(context.Background(), tinyArgs(), &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{"benchmark TREC-10", "epoch  0", "epoch  1", "eval:", "modeled footprint"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestRunEveryMode(t *testing.T) {
+	for _, mode := range []string{"baseline", "ms1", "ms2", "combined"} {
+		mode := mode
+		t.Run(mode, func(t *testing.T) {
+			t.Parallel()
+			var out bytes.Buffer
+			if err := run(context.Background(), tinyArgs("-mode", mode), &out); err != nil {
+				t.Fatal(err)
+			}
+			if !strings.Contains(out.String(), "eval:") {
+				t.Errorf("mode %s produced no eval line:\n%s", mode, out.String())
+			}
+		})
+	}
+}
+
+func TestRunSaveLoadRoundTrip(t *testing.T) {
+	ckpt := filepath.Join(t.TempDir(), "net.ckpt")
+	var out bytes.Buffer
+	if err := run(context.Background(), tinyArgs("-save", ckpt), &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "checkpoint written") {
+		t.Fatalf("no checkpoint confirmation:\n%s", out.String())
+	}
+	out.Reset()
+	if err := run(context.Background(), tinyArgs("-load", ckpt, "-epochs", "1"), &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "resumed from") {
+		t.Fatalf("no resume confirmation:\n%s", out.String())
+	}
+}
+
+func TestRunFlagAndArgumentErrors(t *testing.T) {
+	cases := [][]string{
+		{"-no-such-flag"},
+		{"-bench", "NOPE"},
+		{"-mode", "warp-speed"},
+		{"-load", filepath.Join(t.TempDir(), "absent.ckpt")},
+	}
+	for _, args := range cases {
+		var out bytes.Buffer
+		if err := run(context.Background(), args, &out); err == nil {
+			t.Errorf("run(%v) succeeded, want error", args)
+		}
+	}
+}
+
+func TestRunCanceledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var out bytes.Buffer
+	// A pre-canceled context must stop between groups and still exit
+	// cleanly through the interrupted path, not error out.
+	if err := run(ctx, tinyArgs(), &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "interrupted") {
+		t.Fatalf("canceled run did not report interruption:\n%s", out.String())
+	}
+}

@@ -1,0 +1,203 @@
+package check
+
+import (
+	"fmt"
+	"testing"
+
+	"etalstm/internal/model"
+	"etalstm/internal/skip"
+)
+
+// TestEquivalenceRandomized runs the full path matrix — serial/parallel
+// × arena/no-arena × raw/P1 storage — over randomized scenarios and
+// asserts the bitwise and ULP-bounded agreement contracts.
+func TestEquivalenceRandomized(t *testing.T) {
+	for _, seed := range []uint64{2, 4, 6, 10, 12} {
+		seed := seed
+		s := RandomScenario(seed)
+		t.Run(fmt.Sprintf("seed%d/%+v", seed, s.Cfg), func(t *testing.T) {
+			t.Parallel()
+			if err := Equivalence(s, 2); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestEquivalenceWorkers3 varies the concurrency (and so the group
+// size) to make sure the serial/parallel agreement is not an artifact
+// of pairs.
+func TestEquivalenceWorkers3(t *testing.T) {
+	s := RandomScenario(42)
+	s.NumBatches = 5 // a ragged final group of 2
+	if err := Equivalence(s, 3); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestLossesBitwiseAcrossStores pins the strongest cross-path claim:
+// the FW pass is shared by every storage mode, so per-batch losses are
+// bit-identical between the raw and P1 paths — not merely close.
+func TestLossesBitwiseAcrossStores(t *testing.T) {
+	s := RandomScenario(17)
+	raw, err := RunPath(s, PathSpec{Name: "raw", Store: model.StoreRaw}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p1, err := RunPath(s, PathSpec{Name: "p1", Store: model.StoreP1}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := CompareLosses(raw.Losses, p1.Losses); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPruneMonotoneDivergence is the bounded-divergence contract for
+// MS1's near-zero pruning: threshold 0 must not diverge at all, and the
+// gradient distance from the unpruned baseline must grow monotonically
+// with the threshold.
+func TestPruneMonotoneDivergence(t *testing.T) {
+	for _, seed := range []uint64{9, 23} {
+		s := RandomScenario(seed)
+		dists, err := CheckPruneMonotone(s, PruneThresholds, 1e-9)
+		if err != nil {
+			t.Fatalf("seed %d: %v (distances %v)", seed, err, dists)
+		}
+		t.Logf("seed %d: thresholds %v → distances %v", seed, PruneThresholds, dists)
+	}
+}
+
+// buildSkipPlan constructs an MS2 plan that actually skips cells for
+// the scenario's geometry (relative threshold high enough to bite, base
+// mode as given).
+func buildSkipPlan(s *Scenario, base model.CellStore) *skip.Plan {
+	p := skip.NewPredictor(s.Cfg.Loss, s.Cfg.Layers, s.Cfg.SeqLen)
+	return skip.Build(p, 1.0, skip.Config{Threshold: 0.6, Base: base})
+}
+
+// skipScenario returns a geometry long and deep enough that the plan
+// has room to skip (SeqLen 1–2 layers leave nothing to drop). A single
+// batch: skipping changes the gradients, so from the second optimizer
+// step on, the dense and skipped trajectories legitimately diverge —
+// the bounded-divergence contracts compare within one step.
+func skipScenario() *Scenario {
+	return &Scenario{
+		Seed: 31,
+		Cfg: model.Config{
+			InputSize: 2, Hidden: 4, Layers: 2, SeqLen: 6,
+			Batch: 2, OutSize: 3, Loss: model.SingleLoss,
+		},
+		NumBatches: 1,
+	}
+}
+
+// TestScaledMassConserved is the bounded-divergence contract for MS2:
+// after convergence-aware scaling, each touched layer's surviving
+// gradient mass must land within a loose band of the dense mass.
+func TestScaledMassConserved(t *testing.T) {
+	s := skipScenario()
+	plan := buildSkipPlan(s, model.StoreRaw)
+	if plan.SkippedFrac() == 0 {
+		t.Fatal("test plan skips nothing; raise the threshold")
+	}
+
+	dense, err := RunPath(s, PathSpec{Name: "dense", Store: model.StoreRaw}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scaled, err := RunPath(s, PathSpec{Name: "skip+scale", Store: model.StoreRaw, Plan: plan}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := CheckScaledMass(dense.Grads, scaled.Grads, plan, 10); err != nil {
+		t.Fatal(err)
+	}
+	// Losses stay bitwise equal: skipping affects only BP, never FW.
+	if err := CompareLosses(dense.Losses, scaled.Losses); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestScaledMassDetectsCorruption is the required negative case: the
+// bounded-divergence assertion must catch an intentionally corrupted
+// gradient. A gradient set whose scaling was destroyed (zeroed out on a
+// skipped layer's survivors) lands far outside the mass band.
+func TestScaledMassDetectsCorruption(t *testing.T) {
+	s := skipScenario()
+	plan := buildSkipPlan(s, model.StoreRaw)
+	dense, err := RunPath(s, PathSpec{Name: "dense", Store: model.StoreRaw}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scaled, err := RunPath(s, PathSpec{Name: "skip+scale", Store: model.StoreRaw, Plan: plan}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	corrupt := scaled.Grads.Clone()
+	for l := range corrupt.Layer {
+		touched := false
+		for _, sk := range plan.Skip[l] {
+			if sk {
+				touched = true
+			}
+		}
+		if touched {
+			// Simulate a lost/garbled scaling step: crush the layer's
+			// surviving gradients to 2% of their value.
+			corrupt.Layer[l].Scale(0.02)
+		}
+	}
+	if err := CheckScaledMass(dense.Grads, corrupt, plan, 10); err == nil {
+		t.Fatal("mass-conservation check accepted a corrupted gradient set")
+	} else {
+		t.Logf("corruption detected as expected: %v", err)
+	}
+}
+
+// TestSkipPlanComposesWithP1 runs MS1+MS2 together (P1 storage under a
+// skip plan) against plain P1: losses stay bitwise identical, the
+// FW/BP pipeline completes, and the executed-cell accounting matches
+// the plan.
+func TestSkipPlanComposesWithP1(t *testing.T) {
+	s := skipScenario()
+	plan := buildSkipPlan(s, model.StoreP1)
+	full, err := RunPath(s, PathSpec{Name: "p1", Store: model.StoreP1}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	skipped, err := RunPath(s, PathSpec{Name: "p1+skip", Store: model.StoreP1, Plan: plan}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := CompareLosses(full.Losses, skipped.Losses); err != nil {
+		t.Fatal(err)
+	}
+	cells := s.Cfg.Layers * s.Cfg.SeqLen
+	wantSkipped := int(plan.SkippedFrac()*float64(cells) + 0.5)
+	if skipped.Grads.SkippedCells != wantSkipped {
+		t.Fatalf("skipped %d BP cells, plan says %d", skipped.Grads.SkippedCells, wantSkipped)
+	}
+	if full.Grads.SkippedCells != 0 {
+		t.Fatalf("dense path skipped %d cells", full.Grads.SkippedCells)
+	}
+}
+
+// TestGradDistanceBasics pins the metric the divergence checks stand
+// on: identical sets at distance 0, and a known perturbation at the
+// expected relative distance.
+func TestGradDistanceBasics(t *testing.T) {
+	s := RandomScenario(5)
+	res, err := RunPath(s, PathSpec{Name: "base", Store: model.StoreRaw}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := GradDistance(res.Grads, res.Grads); d != 0 {
+		t.Fatalf("self-distance %g, want 0", d)
+	}
+	pert := res.Grads.Clone()
+	pert.Proj.Data[0] += 1
+	if d := GradDistance(res.Grads, pert); d <= 0 {
+		t.Fatalf("perturbed distance %g, want > 0", d)
+	}
+}

@@ -1,0 +1,62 @@
+package check
+
+import (
+	"testing"
+
+	"etalstm/internal/model"
+)
+
+// fuzzStores are the storage modes every fuzzed gradient check covers.
+var fuzzStores = []model.CellStore{model.StoreRaw, model.StoreP1}
+
+// FuzzEquivalence feeds arbitrary byte strings through DecodeScenario
+// and asserts the path-equivalence contract on whatever configuration
+// falls out. Every input decodes to a valid small scenario (bytes map
+// onto bounded fields), so the fuzzer explores configuration space —
+// geometry × loss kind × concurrency × pruning — not crash space.
+func FuzzEquivalence(f *testing.F) {
+	f.Add([]byte("equivalence-seed"))
+	f.Add([]byte{0, 0, 0, 0, 0, 0, 0, 0, 0, 0})
+	f.Add([]byte{2, 6, 2, 4, 3, 3, 1, 0x82, 2, 7, 7})
+	f.Add([]byte{1, 3, 1, 1, 0, 1, 2, 1, 3, 255, 128, 64})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, flags, ok := DecodeScenario(data)
+		if !ok {
+			return
+		}
+		if err := Equivalence(s, flags.Workers); err != nil {
+			t.Fatalf("scenario %+v flags %+v: %v", s, flags, err)
+		}
+		if step := flags.PruneStep; step > 0 {
+			// Two-point bounded-divergence ladder: no pruning must not
+			// diverge, the decoded threshold may diverge but boundedly
+			// (monotonicity over the pair).
+			th := []float32{0, PruneThresholds[step]}
+			if _, err := CheckPruneMonotone(s, th, 1e-9); err != nil {
+				t.Fatalf("scenario %+v threshold %g: %v", s, PruneThresholds[step], err)
+			}
+		}
+	})
+}
+
+// FuzzGradCheck feeds decoded scenarios through the full trust chain:
+// reference analytic gradients vs finite differences, then the float32
+// raw and P1 paths vs the reference. FD probes are capped low — each
+// costs two reference forward passes — so individual inputs stay fast.
+func FuzzGradCheck(f *testing.F) {
+	f.Add([]byte("gradcheck-seed"))
+	f.Add([]byte{1, 1, 0, 0, 0, 0, 0, 0, 0, 1})
+	f.Add([]byte{2, 4, 1, 2, 1, 2, 1, 0, 0, 42, 9})
+	f.Add([]byte{0, 2, 2, 3, 2, 0, 2, 0, 0, 3, 1, 4})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, _, ok := DecodeScenario(data)
+		if !ok {
+			return
+		}
+		for _, store := range fuzzStores {
+			if err := GradCheck(s, store, 3); err != nil {
+				t.Fatalf("scenario %+v %s: %v", s, storeName(store), err)
+			}
+		}
+	})
+}

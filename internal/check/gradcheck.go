@@ -1,0 +1,226 @@
+package check
+
+import (
+	"fmt"
+	"math"
+
+	"etalstm/internal/model"
+	"etalstm/internal/reorder"
+	"etalstm/internal/rng"
+	"etalstm/internal/train"
+)
+
+// Tolerances for the two links of the trust chain. The float64
+// reference against its own central finite differences is tight (both
+// sides are float64; the only error is O(ε²) truncation plus
+// cancellation). The float32 network against the float64 reference is
+// looser: every intermediate of the optimized path rounds to float32,
+// and BPTT compounds those roundings across cells.
+const (
+	// fdRelTol / fdAbsTol bound |analytic − numeric| for the reference.
+	fdRelTol = 1e-5
+	fdAbsTol = 1e-8
+	// netRelTol / netAbsTol bound |float32 path − reference|.
+	netRelTol = 5e-3
+	netAbsTol = 5e-4
+)
+
+// agree reports whether got matches want under a mixed
+// absolute/relative criterion.
+func agree(got, want, relTol, absTol float64) bool {
+	d := math.Abs(got - want)
+	return d <= absTol+relTol*math.Abs(want)
+}
+
+// GradCheck validates one scenario end to end:
+//
+//  1. the reference's analytic gradients against central finite
+//     differences of the reference loss (a deterministic parameter
+//     sample, float64 vs float64);
+//  2. the optimized float32 path's gradients — under the given storage
+//     policy (StoreRaw exercises Forward+Backward, StoreP1 exercises
+//     ForwardWithP1+BackwardFromP1) — against the reference, every
+//     parameter.
+//
+// maxFDSamples caps how many parameters per tensor run the (expensive,
+// two-forward-passes-each) finite-difference probe; <= 0 checks all.
+// The first batch of the scenario supplies data. Returns nil when every
+// comparison holds.
+func GradCheck(s *Scenario, store model.CellStore, maxFDSamples int) error {
+	net, err := s.NewNetwork()
+	if err != nil {
+		return err
+	}
+	batch := s.Batches()[0]
+	inputs, classes, regress := RefInputs(batch)
+
+	ref := NewRef(net)
+	refLoss, refGrads, err := ref.Backward(inputs, classes, regress)
+	if err != nil {
+		return fmt.Errorf("check: reference backward: %w", err)
+	}
+
+	if err := fdCheck(ref, refGrads, inputs, classes, regress, maxFDSamples, s.Seed); err != nil {
+		return err
+	}
+
+	// Optimized float32 path under the requested storage mode.
+	var policy model.StoragePolicy
+	switch store {
+	case model.StoreRaw:
+		policy = model.BaselinePolicy()
+	case model.StoreP1:
+		policy = model.P1Policy()
+	default:
+		return fmt.Errorf("check: GradCheck does not support store mode %v", store)
+	}
+	res, err := net.Forward(batch.Inputs, batch.Targets, policy)
+	if err != nil {
+		return fmt.Errorf("check: network forward: %w", err)
+	}
+	if !agree(res.Loss, refLoss, 1e-3, 1e-6) {
+		return fmt.Errorf("check: loss mismatch: network %v, reference %v", res.Loss, refLoss)
+	}
+	grads := net.NewGradients()
+	if err := net.Backward(res, policy, grads, model.BackwardOpts{}); err != nil {
+		return fmt.Errorf("check: network backward: %w", err)
+	}
+	return compareToRef(grads, refGrads, store)
+}
+
+// fdCheck probes a deterministic sample of parameters with central
+// differences of the reference loss and compares against the analytic
+// gradient. eps scales with the parameter's magnitude so large and tiny
+// weights are probed at comparable relative step sizes.
+func fdCheck(ref *Ref, g *RefGrads, inputs []*mat64, classes [][]int, regress []*mat64, maxSamples int, seed uint64) error {
+	probe := func(name string, params, grads []float64) error {
+		idx := sampleIndices(len(params), maxSamples, seed)
+		for _, i := range idx {
+			orig := params[i]
+			eps := 1e-5 * math.Max(1, math.Abs(orig))
+			params[i] = orig + eps
+			lp, err := ref.Forward(inputs, classes, regress)
+			if err != nil {
+				return err
+			}
+			params[i] = orig - eps
+			lm, err := ref.Forward(inputs, classes, regress)
+			if err != nil {
+				return err
+			}
+			params[i] = orig
+			numeric := (lp - lm) / (2 * eps)
+			if !agree(grads[i], numeric, fdRelTol, fdAbsTol) {
+				return fmt.Errorf("check: finite-difference mismatch at %s[%d]: analytic %v, numeric %v",
+					name, i, grads[i], numeric)
+			}
+		}
+		return nil
+	}
+	for l := range ref.W {
+		for gg := range ref.W[l] {
+			if err := probe(fmt.Sprintf("layer%d.W[%d]", l, gg), ref.W[l][gg].v, g.W[l][gg].v); err != nil {
+				return err
+			}
+			if err := probe(fmt.Sprintf("layer%d.U[%d]", l, gg), ref.U[l][gg].v, g.U[l][gg].v); err != nil {
+				return err
+			}
+			if err := probe(fmt.Sprintf("layer%d.B[%d]", l, gg), ref.B[l][gg], g.B[l][gg]); err != nil {
+				return err
+			}
+		}
+	}
+	if err := probe("proj", ref.Proj.v, g.Proj.v); err != nil {
+		return err
+	}
+	return probe("projB", ref.ProjB, g.ProjB)
+}
+
+// sampleIndices returns up to max deterministic sample positions in
+// [0, n); max <= 0 or max >= n returns every index.
+func sampleIndices(n, max int, seed uint64) []int {
+	if n == 0 {
+		return nil
+	}
+	if max <= 0 || max >= n {
+		idx := make([]int, n)
+		for i := range idx {
+			idx[i] = i
+		}
+		return idx
+	}
+	r := rng.New(seed ^ 0xfd5eed)
+	perm := r.Perm(n)
+	return perm[:max]
+}
+
+// compareToRef checks every float32 gradient entry against the float64
+// reference under the mixed tolerance.
+func compareToRef(grads *model.Gradients, ref *RefGrads, store model.CellStore) error {
+	cmp := func(name string, got []float32, want []float64) error {
+		for i := range got {
+			if !agree(float64(got[i]), want[i], netRelTol, netAbsTol) {
+				return fmt.Errorf("check: %v path gradient mismatch at %s[%d]: network %v, reference %v",
+					storeName(store), name, i, got[i], want[i])
+			}
+		}
+		return nil
+	}
+	for l, lg := range grads.Layer {
+		for gg := range lg.W {
+			if err := cmp(fmt.Sprintf("layer%d.W[%d]", l, gg), lg.W[gg].Data, ref.W[l][gg].v); err != nil {
+				return err
+			}
+			if err := cmp(fmt.Sprintf("layer%d.U[%d]", l, gg), lg.U[gg].Data, ref.U[l][gg].v); err != nil {
+				return err
+			}
+			if err := cmp(fmt.Sprintf("layer%d.B[%d]", l, gg), lg.B[gg], ref.B[l][gg]); err != nil {
+				return err
+			}
+		}
+	}
+	if err := cmp("proj", grads.Proj.Data, ref.Proj.v); err != nil {
+		return err
+	}
+	return cmp("projB", grads.ProjB, ref.ProjB)
+}
+
+func storeName(s model.CellStore) string {
+	switch s {
+	case model.StoreRaw:
+		return "raw"
+	case model.StoreP1:
+		return "P1"
+	case model.StoreNone:
+		return "skip"
+	}
+	return fmt.Sprintf("store(%d)", int(s))
+}
+
+// batchGrads runs one FW+BP pass on net and returns the gradients and
+// loss — the shared unit of work for the equivalence engine.
+// pruneThreshold > 0 applies MS1's near-zero pruning to the stored P1
+// sets between FW and BP (the approximation the compressed store
+// introduces).
+func batchGrads(net *model.Network, b train.Batch, policy model.StoragePolicy, pruneThreshold float32) (*model.Gradients, float64, error) {
+	res, err := net.Forward(b.Inputs, b.Targets, policy)
+	if err != nil {
+		return nil, 0, err
+	}
+	loss := res.Loss
+	if pruneThreshold > 0 {
+		pcfg := reorder.Config{Threshold: pruneThreshold}
+		for l := range res.P1 {
+			for t := range res.P1[l] {
+				if p1 := res.P1[l][t]; p1 != nil {
+					reorder.PruneInPlace(p1, pcfg)
+				}
+			}
+		}
+	}
+	grads := net.NewGradients()
+	if err := net.Backward(res, policy, grads, model.BackwardOpts{}); err != nil {
+		return nil, 0, err
+	}
+	return grads, loss, nil
+}

@@ -1,0 +1,111 @@
+package check
+
+import (
+	"fmt"
+	"testing"
+
+	"etalstm/internal/model"
+)
+
+// maxFDSamples bounds per-tensor finite-difference probes in the
+// randomized sweeps; each probe costs two full reference forward
+// passes.
+const maxFDSamples = 6
+
+// TestGradCheckRandomized is the acceptance sweep: at least 8
+// randomized configurations (layers × loss kinds × seqlen × batch),
+// each validated through the full trust chain — finite differences →
+// float64 reference → float32 optimized path — for both the baseline
+// (StoreRaw) and the MS1-reordered (StoreP1) BP.
+func TestGradCheckRandomized(t *testing.T) {
+	seeds := []uint64{1, 2, 3, 5, 8, 13, 21, 34, 55, 89}
+	for _, seed := range seeds {
+		s := RandomScenario(seed)
+		for _, store := range []model.CellStore{model.StoreRaw, model.StoreP1} {
+			store := store
+			t.Run(fmt.Sprintf("seed%d/%s/%+v", seed, storeName(store), s.Cfg), func(t *testing.T) {
+				t.Parallel()
+				if err := GradCheck(s, store, maxFDSamples); err != nil {
+					t.Fatal(err)
+				}
+			})
+		}
+	}
+}
+
+// TestGradCheckEveryLossKind pins one hand-picked configuration per
+// loss kind so a regression in any single loss's BP seeding is caught
+// by name, not by luck of the random sweep.
+func TestGradCheckEveryLossKind(t *testing.T) {
+	for _, loss := range []model.LossKind{model.SingleLoss, model.PerTimestampLoss, model.RegressionLoss} {
+		loss := loss
+		t.Run(fmt.Sprintf("loss%d", int(loss)), func(t *testing.T) {
+			t.Parallel()
+			s := &Scenario{
+				Seed: 7,
+				Cfg: model.Config{
+					InputSize: 3, Hidden: 4, Layers: 2, SeqLen: 5,
+					Batch: 2, OutSize: 3, Loss: loss,
+				},
+				NumBatches: 1,
+			}
+			for _, store := range []model.CellStore{model.StoreRaw, model.StoreP1} {
+				if err := GradCheck(s, store, maxFDSamples); err != nil {
+					t.Fatalf("%s: %v", storeName(store), err)
+				}
+			}
+		})
+	}
+}
+
+// TestGradCheckDeepNarrow covers the corner the random sweep rarely
+// draws: maximum depth with minimum width and a single-step sequence
+// (the t==0 P1 zero-hPrev path in every layer).
+func TestGradCheckDeepNarrow(t *testing.T) {
+	s := &Scenario{
+		Seed: 11,
+		Cfg: model.Config{
+			InputSize: 1, Hidden: 2, Layers: 3, SeqLen: 1,
+			Batch: 1, OutSize: 2, Loss: model.SingleLoss,
+		},
+		NumBatches: 1,
+	}
+	for _, store := range []model.CellStore{model.StoreRaw, model.StoreP1} {
+		if err := GradCheck(s, store, 0); err != nil {
+			t.Fatalf("%s: %v", storeName(store), err)
+		}
+	}
+}
+
+// TestGradCheckDetectsCorruption is the harness's own negative control:
+// a reference whose analytic gradient is deliberately corrupted must
+// fail the finite-difference probe. A checker that cannot fail proves
+// nothing.
+func TestGradCheckDetectsCorruption(t *testing.T) {
+	s := &Scenario{
+		Seed: 3,
+		Cfg: model.Config{
+			InputSize: 2, Hidden: 3, Layers: 1, SeqLen: 3,
+			Batch: 2, OutSize: 2, Loss: model.SingleLoss,
+		},
+		NumBatches: 1,
+	}
+	net, err := s.NewNetwork()
+	if err != nil {
+		t.Fatal(err)
+	}
+	inputs, classes, regress := RefInputs(s.Batches()[0])
+	ref := NewRef(net)
+	_, grads, err := ref.Backward(inputs, classes, regress)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sanity: uncorrupted gradients pass.
+	if err := fdCheck(ref, grads, inputs, classes, regress, 0, s.Seed); err != nil {
+		t.Fatalf("clean gradients failed the probe: %v", err)
+	}
+	grads.Proj.v[0] += 0.5
+	if err := fdCheck(ref, grads, inputs, classes, regress, 0, s.Seed); err == nil {
+		t.Fatal("finite-difference probe accepted a corrupted gradient")
+	}
+}

@@ -1,0 +1,155 @@
+package check
+
+import (
+	"etalstm/internal/model"
+	"etalstm/internal/rng"
+	"etalstm/internal/tensor"
+	"etalstm/internal/train"
+)
+
+// Scenario is one fully-determined training situation: a model
+// geometry, a weight-initialization seed, and a deterministic stream of
+// minibatches. Everything derives from (Seed, Cfg, NumBatches) alone,
+// so two paths given the same scenario see bit-identical weights and
+// data — any disagreement downstream is the path's fault, never the
+// scenario's.
+type Scenario struct {
+	Seed       uint64
+	Cfg        model.Config
+	NumBatches int
+}
+
+// NewNetwork builds the scenario's network — the same weights every
+// call (rng stream keyed by Seed).
+func (s *Scenario) NewNetwork() (*model.Network, error) {
+	return model.NewNetwork(s.Cfg, rng.New(s.Seed))
+}
+
+// Batches materializes the scenario's minibatches. The data stream is
+// keyed by Seed+1 so it is independent of weight initialization.
+func (s *Scenario) Batches() []train.Batch {
+	r := rng.New(s.Seed + 1)
+	cfg := s.Cfg
+	out := make([]train.Batch, 0, s.NumBatches)
+	for n := 0; n < s.NumBatches; n++ {
+		b := train.Batch{Targets: &model.Targets{}}
+		for t := 0; t < cfg.SeqLen; t++ {
+			x := tensor.New(cfg.Batch, cfg.InputSize)
+			for i := range x.Data {
+				x.Data[i] = r.Uniform(-1, 1)
+			}
+			b.Inputs = append(b.Inputs, x)
+		}
+		switch cfg.Loss {
+		case model.SingleLoss, model.PerTimestampLoss:
+			for t := 0; t < cfg.SeqLen; t++ {
+				classes := make([]int, cfg.Batch)
+				for i := range classes {
+					classes[i] = r.Intn(cfg.OutSize)
+					// Occasionally mask a sample out, so the -1 padding
+					// path is part of what equivalence covers.
+					if cfg.Batch > 1 && r.Intn(8) == 0 {
+						classes[i] = -1
+					}
+				}
+				b.Targets.Classes = append(b.Targets.Classes, classes)
+			}
+		case model.RegressionLoss:
+			for t := 0; t < cfg.SeqLen; t++ {
+				y := tensor.New(cfg.Batch, cfg.OutSize)
+				for i := range y.Data {
+					y.Data[i] = r.Uniform(-1, 1)
+				}
+				b.Targets.Regress = append(b.Targets.Regress, y)
+			}
+		}
+		out = append(out, b)
+	}
+	return out
+}
+
+// RefInputs widens one batch's inputs and targets for the reference
+// oracle.
+func RefInputs(b train.Batch) (inputs []*mat64, classes [][]int, regress []*mat64) {
+	for _, x := range b.Inputs {
+		inputs = append(inputs, widen(x))
+	}
+	if b.Targets != nil {
+		classes = b.Targets.Classes
+		for _, y := range b.Targets.Regress {
+			regress = append(regress, widen(y))
+		}
+	}
+	return inputs, classes, regress
+}
+
+func widen(m *tensor.Matrix) *mat64 {
+	w := newMat64(m.Rows, m.Cols)
+	for i, v := range m.Data {
+		w.v[i] = float64(v)
+	}
+	return w
+}
+
+// RandomScenario derives a randomized small scenario from a seed: the
+// geometry sweep (layers × loss kind × seqlen × batch) the gradient
+// checker and equivalence tests sample from. Sizes stay small enough
+// that the float64 reference (O(cells × batch × hidden²)) and the
+// finite-difference sweep stay fast.
+func RandomScenario(seed uint64) *Scenario {
+	r := rng.New(seed ^ 0x5ca1ab1e)
+	cfg := model.Config{
+		InputSize: 1 + r.Intn(4),
+		Hidden:    2 + r.Intn(5),
+		Layers:    1 + r.Intn(3),
+		SeqLen:    1 + r.Intn(6),
+		Batch:     1 + r.Intn(3),
+		OutSize:   2 + r.Intn(4),
+		Loss:      model.LossKind(r.Intn(3)),
+	}
+	return &Scenario{Seed: seed, Cfg: cfg, NumBatches: 2 + r.Intn(3)}
+}
+
+// DecodeScenario turns a fuzzer byte string into a scenario plus path
+// flags, or ok=false when the input is too short. Every byte maps onto
+// a bounded field, so arbitrary mutations always yield a valid, small
+// configuration — the fuzzer explores configuration space, not crash
+// space.
+func DecodeScenario(data []byte) (s *Scenario, flags PathFlags, ok bool) {
+	if len(data) < 10 {
+		return nil, PathFlags{}, false
+	}
+	cfg := model.Config{
+		Layers:    1 + int(data[0])%3,
+		SeqLen:    1 + int(data[1])%7,
+		Batch:     1 + int(data[2])%3,
+		Hidden:    2 + int(data[3])%5,
+		InputSize: 1 + int(data[4])%4,
+		OutSize:   2 + int(data[5])%4,
+		Loss:      model.LossKind(int(data[6]) % 3),
+	}
+	flags = PathFlags{
+		Workers:   1 + int(data[7])%3,
+		NoArena:   data[7]&0x80 != 0,
+		PruneStep: int(data[8]) % 4,
+	}
+	var seed uint64
+	for _, b := range data[9:] {
+		seed = seed*131 + uint64(b)
+	}
+	return &Scenario{Seed: seed, Cfg: cfg, NumBatches: 2}, flags, true
+}
+
+// PathFlags is the fuzzer's decoded path selection.
+type PathFlags struct {
+	// Workers is the concurrency used for the parallel variant.
+	Workers int
+	// NoArena additionally runs the workspace-disabled variant.
+	NoArena bool
+	// PruneStep indexes a small ladder of MS1 pruning thresholds
+	// (0 = no pruning) for the bounded-divergence check.
+	PruneStep int
+}
+
+// PruneThresholds is the ladder PathFlags.PruneStep indexes into.
+var PruneThresholds = []float32{0, 0.05, 0.1, 0.3}

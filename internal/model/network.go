@@ -23,6 +23,9 @@ type Network struct {
 	// concurrent training uses one Clone per worker, never a shared
 	// Network.
 	ws *tensor.Workspace
+	// wsOff forces Workspace() to return nil, making every FW/BP pass
+	// allocate fresh buffers. See DisableWorkspace.
+	wsOff bool
 }
 
 // Workspace returns the network's scratch arena, creating it on first
@@ -32,10 +35,24 @@ type Network struct {
 // with a fresh workspace of its own — that per-replica confinement is
 // what keeps the data-parallel engine race-free.
 func (n *Network) Workspace() *tensor.Workspace {
+	if n.wsOff {
+		return nil
+	}
 	if n.ws == nil {
 		n.ws = tensor.NewWorkspace()
 	}
 	return n.ws
+}
+
+// DisableWorkspace makes the network run FW/BP without a scratch arena:
+// Workspace() returns nil, which every kernel accepts (Get degrades to
+// a plain allocation, Put to a no-op). The buffer-recycling contract
+// promises this changes allocation behaviour only, never the math — the
+// differential harness (internal/check) runs the same scenario with the
+// arena on and off and asserts bitwise-identical results.
+func (n *Network) DisableWorkspace() {
+	n.wsOff = true
+	n.ws = nil
 }
 
 // NewNetwork builds a network with initialized weights.
@@ -366,6 +383,29 @@ func (g *Gradients) Add(o *Gradients) {
 	}
 	g.SkippedCells += o.SkippedCells
 	g.ExecutedCells += o.ExecutedCells
+}
+
+// Clone returns a deep copy of g — same values, independent storage.
+// The equivalence harness snapshots merged gradients with it before a
+// reducer mutates them in place.
+func (g *Gradients) Clone() *Gradients {
+	c := &Gradients{
+		Proj:          g.Proj.Clone(),
+		ProjB:         make([]float32, len(g.ProjB)),
+		SkippedCells:  g.SkippedCells,
+		ExecutedCells: g.ExecutedCells,
+	}
+	copy(c.ProjB, g.ProjB)
+	for _, lg := range g.Layer {
+		nl := &lstm.Grads{Input: lg.Input, Hidden: lg.Hidden}
+		for i := lstm.Gate(0); i < lstm.NumGates; i++ {
+			nl.W[i] = lg.W[i].Clone()
+			nl.U[i] = lg.U[i].Clone()
+			nl.B[i] = append([]float32(nil), lg.B[i]...)
+		}
+		c.Layer = append(c.Layer, nl)
+	}
+	return c
 }
 
 // Scale multiplies every gradient entry by s (replica averaging after

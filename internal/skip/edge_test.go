@@ -1,0 +1,117 @@
+package skip
+
+import (
+	"testing"
+
+	"etalstm/internal/model"
+)
+
+// These tests pin the edge behavior of the MS2 planner — the corners a
+// refactor is most likely to silently change. Each documents the
+// contract it freezes.
+
+// Eq. 5's denominator is loss_{n-3} − loss_{n-2}. When only that pair
+// is equal (the general zero-denominator case, not a full plateau), the
+// Δ² step is undefined and Predict must fall back to the last observed
+// loss — still reporting ok, because three epochs of history exist.
+func TestLossPredictZeroDenominator(t *testing.T) {
+	var h LossHistory
+	h.Record(5)
+	h.Record(5) // den = 5 − 5 = 0
+	h.Record(3) // but the loss did move afterwards
+	pred, ok := h.Predict()
+	if !ok {
+		t.Fatal("zero denominator with 3 epochs must still predict")
+	}
+	if pred != 3 {
+		t.Fatalf("zero denominator must fall back to the last loss: got %v want 3", pred)
+	}
+}
+
+// Calibrate before any epoch has produced observations (nil grid, not
+// merely zero-filled) must leave α untouched: there is nothing to fit.
+func TestCalibrateBeforeAnyEpoch(t *testing.T) {
+	p := NewPredictor(model.SingleLoss, 2, 4)
+	p.Alpha = 3.5
+	p.Calibrate(1, nil)
+	if p.Alpha != 3.5 {
+		t.Fatalf("calibrating on no observations changed α to %v", p.Alpha)
+	}
+}
+
+// Threshold 0 is "unset" and must resolve to DefaultThreshold — the
+// zero value of Config selects the paper's operating point, it does not
+// disable skipping.
+func TestThresholdZeroMeansDefault(t *testing.T) {
+	p := NewPredictor(model.SingleLoss, 1, 16)
+	zero := Build(p, 1, Config{Threshold: 0, Base: model.StoreRaw})
+	def := Build(p, 1, Config{Threshold: DefaultThreshold, Base: model.StoreRaw})
+	for l := range zero.Skip {
+		for tt := range zero.Skip[l] {
+			if zero.Skip[l][tt] != def.Skip[l][tt] {
+				t.Fatalf("threshold 0 and DefaultThreshold disagree at (%d,%d)", l, tt)
+			}
+		}
+	}
+	if zero.SkippedFrac() == 0 {
+		t.Fatal("default threshold on a 16-cell single-loss layer should skip something")
+	}
+}
+
+// Threshold 1 marks every cell whose magnitude is below the layer
+// maximum — the most aggressive relative setting. Two guarantees must
+// survive it: the layer's maximum-magnitude cell always executes, and
+// the skipped share never exceeds the MaxFrac cap (DefaultMaxFrac when
+// unset).
+func TestThresholdOneExtreme(t *testing.T) {
+	p := NewPredictor(model.SingleLoss, 2, 10)
+	plan := Build(p, 1, Config{Threshold: 1, Base: model.StoreRaw})
+	for l, row := range plan.Skip {
+		kept := 0
+		for _, s := range row {
+			if !s {
+				kept++
+			}
+		}
+		if kept == 0 {
+			t.Fatalf("layer %d has no surviving BP cell", l)
+		}
+		// Single loss ⇒ magnitude peaks at the last timestamp; that cell
+		// must be among the survivors.
+		if row[len(row)-1] {
+			t.Fatalf("layer %d skipped its maximum-magnitude cell", l)
+		}
+		skipped := len(row) - kept
+		if frac := float64(skipped) / float64(len(row)); frac > DefaultMaxFrac {
+			t.Fatalf("layer %d skips %.0f%%, above the %.0f%% cap", l, 100*frac, 100*DefaultMaxFrac)
+		}
+	}
+	// Scaling must stay finite and ≥ 1: survivors absorb the skipped
+	// mass, never shed it.
+	for l, sc := range plan.Scale {
+		if sc < 1 || sc != sc /* NaN */ {
+			t.Fatalf("layer %d scale %v; want finite ≥ 1", l, sc)
+		}
+	}
+}
+
+// MaxFrac < 0 removes the cap entirely; with threshold 1 this pins the
+// other extreme: every cell but the per-layer maximum may be skipped,
+// but that one cell still survives (Build never starves a layer).
+func TestThresholdOneUncapped(t *testing.T) {
+	p := NewPredictor(model.SingleLoss, 1, 8)
+	plan := Build(p, 1, Config{Threshold: 1, MaxFrac: -1, Base: model.StoreRaw})
+	row := plan.Skip[0]
+	kept := 0
+	for _, s := range row {
+		if !s {
+			kept++
+		}
+	}
+	if kept != 1 {
+		t.Fatalf("uncapped threshold-1 plan kept %d cells, want exactly the maximum", kept)
+	}
+	if row[len(row)-1] {
+		t.Fatal("the maximum-magnitude cell must be the survivor")
+	}
+}

@@ -113,6 +113,30 @@ func TestWorkspaceRetainedReset(t *testing.T) {
 	}
 }
 
+// TestWorkspacePoisonedBufferZeroed attacks the recycling contract
+// directly: a returned buffer full of garbage — including the spare
+// capacity beyond the logical shape, which a smaller follow-up Get
+// would otherwise inherit — must come back indistinguishable from a
+// fresh allocation.
+func TestWorkspacePoisonedBufferZeroed(t *testing.T) {
+	ws := NewWorkspace()
+	m := ws.Get(4, 8)
+	poison := m.Data[:cap(m.Data)]
+	for i := range poison {
+		poison[i] = float32(i) + 0.5
+	}
+	ws.Put(m)
+	got := ws.Get(4, 5) // 20 elements rounds up into the same 32 bucket
+	if got != m {
+		t.Fatal("expected the poisoned buffer back from the same bucket")
+	}
+	for i, v := range got.Data {
+		if v != 0 {
+			t.Fatalf("recycled Data[%d] = %v, want 0", i, v)
+		}
+	}
+}
+
 // TestWorkspaceSteadyStateAllocs pins the arena promise at the tensor
 // level: a warm Get/Put cycle performs zero heap allocations.
 func TestWorkspaceSteadyStateAllocs(t *testing.T) {
