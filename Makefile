@@ -3,7 +3,7 @@ GO ?= go
 # Budget per fuzz target for `make fuzz` (go test -fuzztime syntax).
 FUZZTIME ?= 30s
 
-.PHONY: build test race bench vet fmt check fuzz cover all
+.PHONY: build test race bench vet fmt check fuzz cover serve-smoke all
 
 all: build test
 
@@ -18,10 +18,11 @@ test:
 # (whose tests exercise multi-worker training end to end), the
 # workspace-threaded FW/BP stack (lstm kernels + model), where replica
 # confinement of the scratch arenas is the thing under test, the MS2
-# planner, and the differential harness (whose equivalence engine runs
-# serial and concurrent replicas against each other).
+# planner, the differential harness (whose equivalence engine runs
+# serial and concurrent replicas against each other), and the serving
+# subsystem (micro-batcher, session table, graceful drain).
 race:
-	$(GO) test -race ./internal/parallel ./internal/core ./internal/tensor ./internal/lstm ./internal/model ./internal/check ./internal/skip ./internal/train .
+	$(GO) test -race ./internal/parallel ./internal/core ./internal/tensor ./internal/lstm ./internal/model ./internal/check ./internal/skip ./internal/train ./internal/serve .
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
@@ -50,7 +51,14 @@ cover:
 	}; \
 	check ./internal/lstm 85; \
 	check ./internal/model 85; \
-	check ./internal/skip 90
+	check ./internal/skip 90; \
+	check ./internal/serve 65
+
+# serve-smoke is the end-to-end serving check: checkpoint -> etaserve
+# on an ephemeral port -> loadgen burst -> graceful drain, all through
+# the real binary paths (cmd/etaserve's run seam).
+serve-smoke:
+	$(GO) test -run TestServeSmoke -v ./cmd/etaserve
 
 vet:
 	$(GO) vet ./...

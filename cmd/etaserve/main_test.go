@@ -1,0 +1,143 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"etalstm"
+)
+
+// syncBuffer lets the test poll run's output while run is still
+// writing from its own goroutine.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+// saveTestCheckpoint writes a tiny untrained network for the server to
+// load — serving doesn't care whether the weights converged.
+func saveTestCheckpoint(t *testing.T) string {
+	t.Helper()
+	cfg := etalstm.Config{InputSize: 3, Hidden: 4, Layers: 2, SeqLen: 6,
+		Batch: 2, OutSize: 3, Loss: etalstm.SingleLoss}
+	net, err := etalstm.NewNetwork(cfg, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "net.ckpt")
+	if err := etalstm.SaveNetwork(path, net); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// waitForAddr polls the server's output for the "listening on" line and
+// returns the bound base URL.
+func waitForAddr(t *testing.T, out *syncBuffer, serveErr <-chan error) string {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		s := out.String()
+		if i := strings.Index(s, "listening on "); i >= 0 {
+			rest := s[i+len("listening on "):]
+			if nl := strings.IndexByte(rest, '\n'); nl >= 0 {
+				return strings.TrimSpace(rest[:nl])
+			}
+		}
+		select {
+		case err := <-serveErr:
+			t.Fatalf("server exited before listening: %v\n%s", err, out.String())
+		case <-time.After(10 * time.Millisecond):
+		}
+	}
+	t.Fatalf("server never reported its address:\n%s", out.String())
+	return ""
+}
+
+// TestServeSmoke is the end-to-end path of the serve-smoke Makefile
+// target: save a checkpoint, serve it on an ephemeral port, fire a
+// loadgen burst through the same binary's -loadgen mode, then cancel
+// and verify a clean drain with every request answered.
+func TestServeSmoke(t *testing.T) {
+	ckpt := saveTestCheckpoint(t)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var out syncBuffer
+	serveErr := make(chan error, 1)
+	go func() {
+		serveErr <- run(ctx, []string{
+			"-ckpt", ckpt, "-addr", "127.0.0.1:0",
+			"-max-batch", "8", "-window", "1ms",
+		}, &out)
+	}()
+	target := waitForAddr(t, &out, serveErr)
+
+	var loadOut bytes.Buffer
+	if err := run(context.Background(), []string{
+		"-loadgen", "-target", target, "-conc", "8", "-n", "64", "-seq", "4",
+		"-sessions", "2",
+	}, &loadOut); err != nil {
+		t.Fatalf("loadgen: %v", err)
+	}
+	rep := loadOut.String()
+	if !strings.Contains(rep, "ok=64") || !strings.Contains(rep, "errors=0") {
+		t.Fatalf("loadgen report %q, want 64 ok / 0 errors", strings.TrimSpace(rep))
+	}
+
+	cancel()
+	select {
+	case err := <-serveErr:
+		if err != nil {
+			t.Fatalf("serve: %v", err)
+		}
+	case <-time.After(20 * time.Second):
+		t.Fatalf("server did not drain:\n%s", out.String())
+	}
+	s := out.String()
+	if !strings.Contains(s, "drained:") || !strings.Contains(s, "64 completed") {
+		t.Fatalf("no drain summary with 64 completed:\n%s", s)
+	}
+}
+
+func TestRunFlagErrors(t *testing.T) {
+	cases := [][]string{
+		{"-no-such-flag"},
+		{},                          // -ckpt required
+		{"-ckpt", "absent.ckpt"},    // missing checkpoint file
+		{"-ckpt", "x", "-addr", ""}, // still fails at load, before listen
+	}
+	for _, args := range cases {
+		var out bytes.Buffer
+		if err := run(context.Background(), args, &out); err == nil {
+			t.Errorf("run(%v) succeeded, want error", args)
+		}
+	}
+}
+
+func TestLoadgenUnreachableTarget(t *testing.T) {
+	var out bytes.Buffer
+	err := run(context.Background(), []string{
+		"-loadgen", "-target", "http://127.0.0.1:1", "-n", "1",
+	}, &out)
+	if err == nil {
+		t.Fatal("loadgen against a dead target succeeded, want error")
+	}
+}

@@ -11,28 +11,41 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"etalstm"
 )
 
 func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "etasim:", err)
+		os.Exit(1)
+	}
+}
+
+// run is the whole command behind a testable seam: flags come from
+// args, output goes to w, failures return instead of exiting.
+func run(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("etasim", flag.ContinueOnError)
 	var (
-		benchName = flag.String("bench", "", "Table I benchmark name (overrides the geometry flags)")
-		hidden    = flag.Int("hidden", 1024, "hidden size")
-		layers    = flag.Int("layers", 3, "layer number")
-		seq       = flag.Int("seq", 100, "layer length")
-		batch     = flag.Int("batch", 128, "batch size")
-		lossKind  = flag.String("loss", "per-ts", "single | per-ts | regression")
+		benchName = fs.String("bench", "", "Table I benchmark name (overrides the geometry flags)")
+		hidden    = fs.Int("hidden", 1024, "hidden size")
+		layers    = fs.Int("layers", 3, "layer number")
+		seq       = fs.Int("seq", 100, "layer length")
+		batch     = fs.Int("batch", 128, "batch size")
+		lossKind  = fs.String("loss", "per-ts", "single | per-ts | regression")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	var cfg etalstm.Config
 	label := "custom"
 	if *benchName != "" {
 		bench, err := etalstm.BenchmarkByName(*benchName)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		cfg = bench.Cfg
 		label = bench.Name
@@ -45,7 +58,7 @@ func main() {
 		case "regression":
 			loss = etalstm.RegressionLoss
 		default:
-			fatal(fmt.Errorf("unknown loss kind %q", *lossKind))
+			return fmt.Errorf("unknown loss kind %q", *lossKind)
 		}
 		cfg = etalstm.Config{
 			InputSize: 512, Hidden: *hidden, Layers: *layers, SeqLen: *seq,
@@ -56,28 +69,24 @@ func main() {
 		}
 	}
 	if err := cfg.Validate(); err != nil {
-		fatal(err)
+		return err
 	}
 
-	fmt.Printf("model %s: H=%d LN=%d LL=%d B=%d (%v)\n",
+	fmt.Fprintf(w, "model %s: H=%d LN=%d LL=%d B=%d (%v)\n",
 		label, cfg.Hidden, cfg.Layers, cfg.SeqLen, cfg.Batch, cfg.Loss)
 	hw := etalstm.PaperAccelerator()
-	fmt.Printf("accelerator: %d boards x %d channels x %d PEs @ %.0f MHz, %.0f GB/s HBM\n\n",
+	fmt.Fprintf(w, "accelerator: %d boards x %d channels x %d PEs @ %.0f MHz, %.0f GB/s HBM\n\n",
 		hw.Boards, hw.ChannelsPerBoard, hw.PEsPerChannel, hw.ClockHz/1e6, hw.HBMBytesPerSec/1e9)
 
-	fmt.Printf("%-12s %12s %10s %10s %9s %9s\n",
+	fmt.Fprintf(w, "%-12s %12s %10s %10s %9s %9s\n",
 		"scenario", "step (ms)", "energy (J)", "power (W)", "speedup", "energy x")
 	for _, c := range etalstm.CompareScenarios(cfg) {
 		if c.OOM {
-			fmt.Printf("%-12s %12s\n", c.Scenario, "OOM")
+			fmt.Fprintf(w, "%-12s %12s\n", c.Scenario, "OOM")
 			continue
 		}
-		fmt.Printf("%-12s %12.2f %10.2f %10.1f %8.2fx %9.2f\n",
+		fmt.Fprintf(w, "%-12s %12.2f %10.2f %10.1f %8.2fx %9.2f\n",
 			c.Scenario, 1000*c.StepSeconds, c.EnergyJ, c.PowerW, c.Speedup, c.NormalizedEnergy)
 	}
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "etasim:", err)
-	os.Exit(1)
+	return nil
 }

@@ -1,0 +1,52 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunBenchmarkGeometry(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-bench", "BABI"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{"model BABI", "accelerator:", "scenario", "Baseline", "EtaLSTM"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestRunCustomGeometry(t *testing.T) {
+	for _, loss := range []string{"single", "per-ts", "regression"} {
+		loss := loss
+		t.Run(loss, func(t *testing.T) {
+			t.Parallel()
+			var out bytes.Buffer
+			args := []string{"-hidden", "256", "-layers", "2", "-seq", "10", "-batch", "8", "-loss", loss}
+			if err := run(args, &out); err != nil {
+				t.Fatal(err)
+			}
+			if !strings.Contains(out.String(), "model custom") {
+				t.Errorf("no custom-model header:\n%s", out.String())
+			}
+		})
+	}
+}
+
+func TestRunFlagAndArgumentErrors(t *testing.T) {
+	cases := [][]string{
+		{"-no-such-flag"},
+		{"-bench", "NOPE"},
+		{"-loss", "cosmic"},
+		{"-hidden", "0"}, // invalid geometry
+	}
+	for _, args := range cases {
+		var out bytes.Buffer
+		if err := run(args, &out); err == nil {
+			t.Errorf("run(%v) succeeded, want error", args)
+		}
+	}
+}

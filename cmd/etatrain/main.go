@@ -94,8 +94,8 @@ func run(ctx context.Context, args []string, w io.Writer) error {
 		if err != nil {
 			return err
 		}
-		if net.Cfg != bench.Cfg {
-			return fmt.Errorf("checkpoint geometry %+v does not match the requested scale %+v", net.Cfg, bench.Cfg)
+		if err := etalstm.CheckConfig(net.Cfg, bench.Cfg); err != nil {
+			return fmt.Errorf("%w (adjust -hidden-div/-seq/-batch to the checkpoint's scale)", err)
 		}
 		fmt.Fprintf(w, "resumed from %s\n", *loadPath)
 	} else {

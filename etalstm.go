@@ -34,6 +34,7 @@ import (
 	"etalstm/internal/model"
 	"etalstm/internal/persist"
 	"etalstm/internal/rng"
+	"etalstm/internal/serve"
 	"etalstm/internal/tensor"
 	"etalstm/internal/trace"
 	"etalstm/internal/train"
@@ -379,6 +380,40 @@ func SaveNetwork(path string, net *Network) error {
 // LoadNetwork reads a checkpoint written by SaveNetwork.
 func LoadNetwork(path string) (*Network, error) {
 	return persist.LoadFile(path)
+}
+
+// CheckConfig compares a loaded checkpoint's geometry against the
+// caller's expectation and reports every differing field by name with
+// got/want values (nil when they match).
+func CheckConfig(got, want Config) error { return persist.CheckConfig(got, want) }
+
+// Server is a model inference server: it loads one checkpoint and
+// serves it over HTTP+JSON, coalescing concurrent requests into dense
+// micro-batches (see internal/serve and DESIGN.md §9).
+type Server = serve.Server
+
+// ServeOptions tunes a Server; zero values select sensible defaults
+// (MaxBatch 32, 2ms batching window, worker pool sized from NumCPU).
+type ServeOptions = serve.Options
+
+// ServeStats is a Server's self-reported operational snapshot (also
+// served as JSON at /statz).
+type ServeStats = serve.Stats
+
+// InferResult is one inference answer: the final-timestep output
+// vector and the argmax class (-1 for regression models).
+type InferResult = serve.Result
+
+// NewServer builds an inference server around a trained network. The
+// caller owns shutdown: either cancel the context given to
+// Server.Serve or call Server.Close.
+func NewServer(net *Network, opts ServeOptions) *Server { return serve.New(net, opts) }
+
+// Infer answers a batch of variable-length sequences in one packed
+// sweep — the library-level entry to the serving path, without the
+// HTTP server or micro-batching queue.
+func Infer(net *Network, seqs [][][]float32) ([]InferResult, error) {
+	return serve.Infer(net, seqs)
 }
 
 // State carries recurrent state across sequence chunks for truncated

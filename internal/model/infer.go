@@ -1,0 +1,225 @@
+package model
+
+import (
+	"fmt"
+	"sort"
+
+	"etalstm/internal/lstm"
+	"etalstm/internal/tensor"
+)
+
+// VecState is the recurrent state of a single sample: one h and one s
+// row per layer, each of length Cfg.Hidden. It is the serving-side
+// analogue of State (which carries batch×hidden matrices for truncated
+// BPTT): a streaming session holds one VecState and threads it through
+// successive InferBatch calls so the model sees one long sequence.
+type VecState struct {
+	H [][]float32 // per layer, len Hidden
+	S [][]float32
+}
+
+// InferSeq is one inference request: a variable-length input sequence
+// and an optional carried-in state (nil = zero start). Sequences in one
+// InferBatch call may have different lengths.
+type InferSeq struct {
+	Inputs [][]float32 // len >= 1 timesteps, each of len Cfg.InputSize
+	State  *VecState
+}
+
+// InferOut is the result for one InferSeq: the projected output at the
+// sequence's final timestep and the carried-out recurrent state (always
+// freshly allocated — it never aliases the request's State).
+type InferOut struct {
+	Output []float32 // len Cfg.OutSize
+	State  *VecState
+}
+
+// CheckInferSeq validates one request against the network's geometry
+// without running it: non-empty sequence, input width, and (when a
+// state is carried in) state layer count and width. Serving layers call
+// it per request so one malformed request fails alone instead of
+// failing the whole micro-batch it would have joined.
+func (n *Network) CheckInferSeq(seq InferSeq) error {
+	cfg := n.Cfg
+	if len(seq.Inputs) == 0 {
+		return fmt.Errorf("model: empty input sequence")
+	}
+	for t, x := range seq.Inputs {
+		if len(x) != cfg.InputSize {
+			return fmt.Errorf("model: input step %d has width %d, want %d", t, len(x), cfg.InputSize)
+		}
+	}
+	if st := seq.State; st != nil {
+		if len(st.H) != cfg.Layers || len(st.S) != cfg.Layers {
+			return fmt.Errorf("model: state has %d/%d layers, want %d", len(st.H), len(st.S), cfg.Layers)
+		}
+		for l := 0; l < cfg.Layers; l++ {
+			if len(st.H[l]) != cfg.Hidden || len(st.S[l]) != cfg.Hidden {
+				return fmt.Errorf("model: state layer %d is %d/%d wide, want %d",
+					l, len(st.H[l]), len(st.S[l]), cfg.Hidden)
+			}
+		}
+	}
+	return nil
+}
+
+// rowPrefix views the first rows rows of m without copying. Views are
+// read-only borrows: they are never handed back to a workspace (only
+// their owning matrix is).
+func rowPrefix(m *tensor.Matrix, rows int) *tensor.Matrix {
+	if rows == m.Rows {
+		return m
+	}
+	return &tensor.Matrix{Rows: rows, Cols: m.Cols, Data: m.Data[:rows*m.Cols]}
+}
+
+// InferBatch runs one inference-only forward sweep over a batch of
+// independent variable-length sequences, packed so every timestep's
+// cell call is a single dense batched kernel. Requests are sorted by
+// length (descending) into the batch rows; as shorter sequences finish,
+// the active row count shrinks and later timesteps run on a prefix of
+// the batch — no masking, no wasted compute on finished rows. Each
+// sample's final h/s rows are extracted at its own last timestep, and
+// the output projection runs once over all final hidden rows.
+//
+// The batch dimension here is the number of requests, independent of
+// Cfg.Batch, and sequence lengths are independent of Cfg.SeqLen — the
+// serving path is not tied to the training geometry.
+//
+// ws supplies scratch (nil = plain allocation). InferBatch only reads
+// the network's weights, so concurrent calls on one Network are safe as
+// long as each caller brings its own workspace — that is how the
+// serving worker pool shares one checkpoint across goroutines without
+// cloning weights.
+//
+// Results are returned in request order.
+func (n *Network) InferBatch(ws *tensor.Workspace, reqs []InferSeq) ([]InferOut, error) {
+	cfg := n.Cfg
+	if len(reqs) == 0 {
+		return nil, nil
+	}
+	for i := range reqs {
+		if err := n.CheckInferSeq(reqs[i]); err != nil {
+			return nil, fmt.Errorf("request %d: %w", i, err)
+		}
+	}
+
+	// Row assignment: longest sequence first, so the rows active at any
+	// timestep are exactly a prefix. The sort is stable in effect (ties
+	// keep request order) to make packing deterministic.
+	order := make([]int, len(reqs))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		return len(reqs[order[a]].Inputs) > len(reqs[order[b]].Inputs)
+	})
+	maxLen := len(reqs[order[0]].Inputs)
+
+	// act[t] = rows still running at timestep t (a prefix of the batch).
+	cnt := make([]int, maxLen+2)
+	for i := range reqs {
+		cnt[len(reqs[i].Inputs)]++
+	}
+	act := make([]int, maxLen+1)
+	running := len(reqs)
+	for t := 0; t < maxLen; t++ {
+		act[t] = running
+		running -= cnt[t+1]
+	}
+
+	// Carried-out states are allocated as one backing block per request
+	// (not per vector): serving allocates a fresh state on every request,
+	// so the constant count here is squarely on the hot path. A shared
+	// whole-batch block would be smaller still, but states escape into
+	// sessions with unbounded lifetimes and must not pin each other.
+	outs := make([]InferOut, len(reqs))
+	states := make([]VecState, len(reqs))
+	for i := range outs {
+		st := &states[i]
+		rows := make([][]float32, 2*cfg.Layers)
+		backing := make([]float32, 2*cfg.Layers*cfg.Hidden)
+		for l := range rows {
+			rows[l] = backing[l*cfg.Hidden : (l+1)*cfg.Hidden : (l+1)*cfg.Hidden]
+		}
+		st.H, st.S = rows[:cfg.Layers], rows[cfg.Layers:]
+		outs[i].State = st
+	}
+
+	// below[t] holds the previous layer's hidden output at timestep t
+	// (act[t] rows); nil for layer 0, which reads the request inputs.
+	var below []*tensor.Matrix
+	for l := 0; l < cfg.Layers; l++ {
+		hOwner := ws.Get(len(reqs), cfg.Hidden)
+		sOwner := ws.Get(len(reqs), cfg.Hidden)
+		for row, idx := range order {
+			if st := reqs[idx].State; st != nil {
+				copy(hOwner.Row(row), st.H[l])
+				copy(sOwner.Row(row), st.S[l])
+			}
+		}
+		outsT := make([]*tensor.Matrix, maxLen)
+		for t := 0; t < maxLen; t++ {
+			active := act[t]
+			var x *tensor.Matrix
+			if l == 0 {
+				x = ws.Get(active, cfg.InputSize)
+				for row := 0; row < active; row++ {
+					copy(x.Row(row), reqs[order[row]].Inputs[t])
+				}
+			} else {
+				x = below[t]
+			}
+			hNew, sNew := lstm.InferenceForward(ws, n.Layer[l],
+				x, rowPrefix(hOwner, active), rowPrefix(sOwner, active))
+			if l == 0 {
+				ws.Put(x)
+			}
+			// Rows finishing at this timestep carry their state out.
+			next := 0
+			if t+1 < maxLen {
+				next = act[t+1]
+			}
+			for row := next; row < active; row++ {
+				idx := order[row]
+				copy(outs[idx].State.H[l], hNew.Row(row))
+				copy(outs[idx].State.S[l], sNew.Row(row))
+			}
+			// The consumed h: at t == 0 it is the carried-in copy (dies
+			// now); at t > 0 it is outsT[t-1], which the layer above
+			// still reads, so it stays live. The consumed s dies either
+			// way — finished rows were extracted at their own step.
+			if t == 0 {
+				ws.Put(hOwner)
+			}
+			ws.Put(sOwner)
+			hOwner, sOwner = hNew, sNew
+			outsT[t] = hNew
+		}
+		ws.Put(sOwner)
+		if l > 0 {
+			ws.PutAll(below...)
+		}
+		below = outsT
+	}
+
+	// One batched projection over every sample's final top-layer hidden
+	// row (already extracted into the per-request states above).
+	top := cfg.Layers - 1
+	finalH := ws.Get(len(reqs), cfg.Hidden)
+	for i := range reqs {
+		copy(finalH.Row(i), outs[i].State.H[top])
+	}
+	logits := tensor.MatMul(ws.Get(len(reqs), cfg.OutSize), finalH, n.Proj)
+	tensor.AddRowVector(logits, logits, n.ProjB)
+	// One backing block for every output row; a few tens of floats, so
+	// one surviving Result pinning its batch-mates' rows is harmless.
+	outBlock := make([]float32, len(reqs)*cfg.OutSize)
+	copy(outBlock, logits.Data)
+	for i := range outs {
+		outs[i].Output = outBlock[i*cfg.OutSize : (i+1)*cfg.OutSize : (i+1)*cfg.OutSize]
+	}
+	ws.PutAll(finalH, logits)
+	ws.PutAll(below...)
+	return outs, nil
+}

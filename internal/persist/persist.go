@@ -22,13 +22,22 @@ import (
 	"io"
 	"math"
 	"os"
+	"strings"
 
 	"etalstm/internal/lstm"
 	"etalstm/internal/model"
 	"etalstm/internal/rng"
 )
 
-var magic = []byte("\xce\xb7LSTMv1\n") // "ηLSTMv1\n"
+var (
+	// magicPrefix identifies any η-LSTM checkpoint regardless of
+	// version; the token between it and the terminating '\n' is the
+	// format version, parsed separately so a version mismatch reports
+	// got/want instead of a generic bad-magic error.
+	magicPrefix = []byte("\xce\xb7LSTM") // "ηLSTM"
+	version     = "v1"
+	magic       = []byte(string(magicPrefix) + version + "\n")
+)
 
 // Save writes net to w.
 func Save(w io.Writer, net *model.Network) error {
@@ -88,7 +97,20 @@ func Load(r io.Reader) (*model.Network, error) {
 		return nil, fmt.Errorf("persist: checksum mismatch (corrupt checkpoint)")
 	}
 	if !bytes.HasPrefix(payload, magic) {
-		return nil, fmt.Errorf("persist: bad magic (not an η-LSTM checkpoint or wrong version)")
+		if bytes.HasPrefix(payload, magicPrefix) {
+			// An η-LSTM checkpoint, but not our version: extract the
+			// version token (up to the '\n' terminator) and say exactly
+			// what was found versus what this build reads.
+			rest := payload[len(magicPrefix):]
+			got := rest
+			if nl := bytes.IndexByte(rest, '\n'); nl >= 0 && nl <= 16 {
+				got = rest[:nl]
+			} else if len(got) > 16 {
+				got = got[:16]
+			}
+			return nil, fmt.Errorf("persist: checkpoint format version %q, this build reads %q", got, version)
+		}
+		return nil, fmt.Errorf("persist: bad magic (not an η-LSTM checkpoint)")
 	}
 	br := bytes.NewReader(payload[len(magic):])
 
@@ -134,6 +156,35 @@ func Load(r io.Reader) (*model.Network, error) {
 		return nil, fmt.Errorf("persist: %d trailing bytes after weights", br.Len())
 	}
 	return net, nil
+}
+
+// CheckConfig compares a loaded checkpoint's geometry against what the
+// caller expects and reports every differing field by name with its
+// got/want values — "geometry mismatch" with two %+v dumps makes the
+// reader diff seven fields by eye; this does the diff for them.
+func CheckConfig(got, want model.Config) error {
+	if got == want {
+		return nil
+	}
+	type field struct {
+		name      string
+		got, want any
+	}
+	var diffs []string
+	for _, f := range []field{
+		{"InputSize", got.InputSize, want.InputSize},
+		{"Hidden", got.Hidden, want.Hidden},
+		{"Layers", got.Layers, want.Layers},
+		{"SeqLen", got.SeqLen, want.SeqLen},
+		{"Batch", got.Batch, want.Batch},
+		{"OutSize", got.OutSize, want.OutSize},
+		{"Loss", got.Loss, want.Loss},
+	} {
+		if f.got != f.want {
+			diffs = append(diffs, fmt.Sprintf("%s %v (want %v)", f.name, f.got, f.want))
+		}
+	}
+	return fmt.Errorf("persist: checkpoint config mismatch: %s", strings.Join(diffs, ", "))
 }
 
 func writeFloats(w io.Writer, fs []float32) error {

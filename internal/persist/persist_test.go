@@ -106,6 +106,54 @@ func TestBadMagic(t *testing.T) {
 	}
 }
 
+func TestVersionMismatchReported(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Save(&buf, testNet(t)); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	// Rewrite the version token ("v1" -> "v9") and re-seal the CRC so
+	// only the version check can fire.
+	payload := append([]byte{}, raw[:len(raw)-4]...)
+	payload[len(magicPrefix)+1] = '9'
+	var out bytes.Buffer
+	out.Write(payload)
+	crcOf(&out, payload)
+	_, err := Load(&out)
+	if err == nil {
+		t.Fatal("expected version error")
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, `"v9"`) || !strings.Contains(msg, `"v1"`) {
+		t.Fatalf("version error %q does not name got (v9) and want (v1)", msg)
+	}
+}
+
+func TestCheckConfig(t *testing.T) {
+	base := model.Config{InputSize: 5, Hidden: 7, Layers: 2, SeqLen: 4,
+		Batch: 3, OutSize: 6, Loss: model.PerTimestampLoss}
+	if err := CheckConfig(base, base); err != nil {
+		t.Fatalf("equal configs: %v", err)
+	}
+	got := base
+	got.Hidden = 16
+	got.Loss = model.SingleLoss
+	err := CheckConfig(got, base)
+	if err == nil {
+		t.Fatal("expected mismatch error")
+	}
+	msg := err.Error()
+	for _, want := range []string{"Hidden 16 (want 7)", "Loss", "mismatch"} {
+		if !strings.Contains(msg, want) {
+			t.Fatalf("mismatch error %q missing %q", msg, want)
+		}
+	}
+	// Matching fields stay out of the diff.
+	if strings.Contains(msg, "InputSize") {
+		t.Fatalf("mismatch error %q names a matching field", msg)
+	}
+}
+
 // crcOf appends the IEEE CRC of payload to out.
 func crcOf(out *bytes.Buffer, payload []byte) {
 	sum := crc32.ChecksumIEEE(payload)

@@ -1,0 +1,297 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"etalstm/internal/model"
+	"etalstm/internal/rng"
+	"etalstm/internal/tensor"
+)
+
+func testNet(t testing.TB) *model.Network {
+	t.Helper()
+	cfg := model.Config{
+		InputSize: 4, Hidden: 8, Layers: 2, SeqLen: 8, Batch: 1,
+		OutSize: 3, Loss: model.SingleLoss,
+	}
+	net, err := model.NewNetwork(cfg, rng.New(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return net
+}
+
+func testSeq(r *rng.RNG, steps, width int) model.InferSeq {
+	xs := make([][]float32, steps)
+	for t := range xs {
+		xs[t] = make([]float32, width)
+		for j := range xs[t] {
+			xs[t][j] = r.Uniform(-1, 1)
+		}
+	}
+	return model.InferSeq{Inputs: xs}
+}
+
+// TestBatcherConcurrentSubmit drives many goroutines through one
+// batcher and checks every submission completes with a plausible
+// result and that batches actually coalesce.
+func TestBatcherConcurrentSubmit(t *testing.T) {
+	net := testNet(t)
+	opts := Options{MaxBatch: 8, Window: time.Millisecond, Workers: 2}.withDefaults()
+	m := newMetrics(opts.MaxBatch)
+	b := newBatcher(net, opts, m)
+	defer b.drain(context.Background())
+
+	const n = 64
+	r := rng.New(3)
+	seqs := make([]model.InferSeq, n)
+	for i := range seqs {
+		seqs[i] = testSeq(r.Split(), 1+i%5, net.Cfg.InputSize)
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	outs := make([]model.InferOut, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			outs[i], errs[i] = b.submit(context.Background(), seqs[i])
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+		if len(outs[i].Output) != net.Cfg.OutSize {
+			t.Fatalf("submit %d: output width %d, want %d", i, len(outs[i].Output), net.Cfg.OutSize)
+		}
+	}
+	if got := m.completed.Load(); got != n {
+		t.Fatalf("completed %d, want %d", got, n)
+	}
+	m.mu.Lock()
+	batches, items := m.batches, m.items
+	m.mu.Unlock()
+	if items != n {
+		t.Fatalf("batched items %d, want %d", items, n)
+	}
+	if batches >= n {
+		t.Fatalf("no coalescing: %d batches for %d requests", batches, n)
+	}
+}
+
+// TestBatcherMatchesSingleShot checks a batched submission is bitwise
+// identical to the direct single-request sweep.
+func TestBatcherMatchesSingleShot(t *testing.T) {
+	net := testNet(t)
+	opts := Options{MaxBatch: 4, Window: time.Millisecond}.withDefaults()
+	b := newBatcher(net, opts, newMetrics(opts.MaxBatch))
+	defer b.drain(context.Background())
+
+	seq := testSeq(rng.New(5), 6, net.Cfg.InputSize)
+	want, err := net.InferBatch(nil, []model.InferSeq{seq})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := b.submit(context.Background(), seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := range want[0].Output {
+		if got.Output[j] != want[0].Output[j] {
+			t.Fatalf("output[%d]: batched %v != direct %v", j, got.Output[j], want[0].Output[j])
+		}
+	}
+}
+
+// TestBatcherQueueFull verifies load shedding: with no workers draining
+// the queue, submissions beyond QueueCap are rejected immediately.
+func TestBatcherQueueFull(t *testing.T) {
+	net := testNet(t)
+	opts := Options{MaxBatch: 4, QueueCap: 2, Window: time.Hour}.withDefaults()
+	m := newMetrics(opts.MaxBatch)
+	// Build the batcher by hand with no collector/workers so nothing
+	// drains the admission queue.
+	b := &batcher{
+		net: net, opts: opts, m: m,
+		in:   make(chan *pending, opts.QueueCap),
+		work: make(chan []*pending),
+	}
+	seq := testSeq(rng.New(7), 2, net.Cfg.InputSize)
+	ctx, cancel := context.WithCancel(context.Background())
+	var wg sync.WaitGroup
+	for i := 0; i < opts.QueueCap; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			b.submit(ctx, seq) // parks until cancel
+		}()
+	}
+	// Wait for both to be admitted (queue at capacity).
+	deadline := time.Now().Add(2 * time.Second)
+	for len(b.in) < opts.QueueCap {
+		if time.Now().After(deadline) {
+			t.Fatal("queue never filled")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if _, err := b.submit(ctx, seq); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("overflow submit: err=%v, want ErrQueueFull", err)
+	}
+	if m.rejected.Load() != 1 {
+		t.Fatalf("rejected=%d, want 1", m.rejected.Load())
+	}
+	cancel()
+	wg.Wait()
+}
+
+// TestBatcherCancelMidQueue checks a request canceled while queued is
+// skipped by the worker: the submitter gets ctx.Err() and the canceled
+// request never joins a sweep.
+func TestBatcherCancelMidQueue(t *testing.T) {
+	net := testNet(t)
+	// A huge window so the batch sits in the collector until we cancel.
+	opts := Options{MaxBatch: 64, Window: 50 * time.Millisecond, Workers: 1}.withDefaults()
+	m := newMetrics(opts.MaxBatch)
+	b := newBatcher(net, opts, m)
+	defer b.drain(context.Background())
+
+	seq := testSeq(rng.New(9), 3, net.Cfg.InputSize)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancelErr := make(chan error, 1)
+	go func() {
+		_, err := b.submit(ctx, seq)
+		cancelErr <- err
+	}()
+	// Give the submission time to be admitted, then cancel before the
+	// window can flush it.
+	time.Sleep(5 * time.Millisecond)
+	cancel()
+	if err := <-cancelErr; !errors.Is(err, context.Canceled) {
+		t.Fatalf("canceled submit: err=%v, want context.Canceled", err)
+	}
+	// A live follow-up still completes, and the canceled request must
+	// not have joined its sweep.
+	if _, err := b.submit(context.Background(), seq); err != nil {
+		t.Fatalf("follow-up submit: %v", err)
+	}
+	if got := m.canceled.Load(); got != 1 {
+		t.Fatalf("canceled=%d, want 1", got)
+	}
+	m.mu.Lock()
+	items := m.items
+	m.mu.Unlock()
+	if items != 1 {
+		t.Fatalf("swept items=%d, want 1 (canceled request must not be swept)", items)
+	}
+}
+
+// TestDrainNoDrops is the graceful-shutdown acceptance test: every
+// request admitted before drain completes with a result; submissions
+// after drain get ErrClosed; zero requests are dropped.
+func TestDrainNoDrops(t *testing.T) {
+	net := testNet(t)
+	opts := Options{MaxBatch: 8, Window: 2 * time.Millisecond, Workers: 2, QueueCap: 1024}.withDefaults()
+	m := newMetrics(opts.MaxBatch)
+	b := newBatcher(net, opts, m)
+
+	const n = 128
+	r := rng.New(21)
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	admitted, completed := 0, 0
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(seq model.InferSeq) {
+			defer wg.Done()
+			_, err := b.submit(context.Background(), seq)
+			mu.Lock()
+			defer mu.Unlock()
+			switch {
+			case err == nil:
+				admitted++
+				completed++
+			case errors.Is(err, ErrClosed) || errors.Is(err, ErrQueueFull):
+				// Never admitted — not a drop.
+			default:
+				t.Errorf("submit: unexpected error %v", err)
+			}
+		}(testSeq(r.Split(), 1+i%4, net.Cfg.InputSize))
+	}
+	// Start draining while submissions are still arriving.
+	time.Sleep(time.Millisecond)
+	if err := b.drain(context.Background()); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	wg.Wait()
+	if completed != admitted {
+		t.Fatalf("dropped %d admitted requests during drain", admitted-completed)
+	}
+	if completed == 0 {
+		t.Fatal("no requests completed before drain — test raced to nothing")
+	}
+	if _, err := b.submit(context.Background(), testSeq(r, 2, net.Cfg.InputSize)); !errors.Is(err, ErrClosed) {
+		t.Fatalf("post-drain submit: err=%v, want ErrClosed", err)
+	}
+	// Idempotent.
+	if err := b.drain(context.Background()); err != nil {
+		t.Fatalf("second drain: %v", err)
+	}
+}
+
+// TestBatcherPanicIsolation simulates a poisoned model mid-flight:
+// request validation passes, but the sweep panics in a kernel (here a
+// projection whose shape was corrupted). The panic must fail the group
+// with an error — not kill the process — and after the corruption is
+// repaired the same worker (arena reset) keeps serving.
+func TestBatcherPanicIsolation(t *testing.T) {
+	net := testNet(t)
+	opts := Options{MaxBatch: 4, Window: time.Millisecond, Workers: 1}.withDefaults()
+	m := newMetrics(opts.MaxBatch)
+	b := newBatcher(net, opts, m)
+	defer b.drain(context.Background())
+
+	goodProj := net.Proj
+	net.Proj = tensor.New(net.Cfg.Hidden+1, net.Cfg.OutSize) // inner-dim mismatch → MatMul panics
+	_, err := b.submit(context.Background(), testSeq(rng.New(31), 2, net.Cfg.InputSize))
+	if err == nil {
+		t.Fatal("poisoned sweep: want error, got nil")
+	}
+	if !strings.Contains(err.Error(), "inference panic") {
+		t.Fatalf("poisoned sweep: err=%v, want inference-panic error", err)
+	}
+	// The batcher survived: after repairing the model, a healthy request
+	// completes on the same (reset) worker arena.
+	net.Proj = goodProj
+	out, err := b.submit(context.Background(), testSeq(rng.New(32), 3, net.Cfg.InputSize))
+	if err != nil {
+		t.Fatalf("post-panic submit: %v", err)
+	}
+	if len(out.Output) != net.Cfg.OutSize {
+		t.Fatalf("post-panic output width %d, want %d", len(out.Output), net.Cfg.OutSize)
+	}
+	if m.failed.Load() == 0 {
+		t.Fatal("failed counter not incremented for poisoned request")
+	}
+}
+
+// TestBatcherWindowFlush checks a lone request is not stuck waiting for
+// MaxBatch company: the window timer flushes it.
+func TestBatcherWindowFlush(t *testing.T) {
+	net := testNet(t)
+	opts := Options{MaxBatch: 1024, Window: time.Millisecond, QueueCap: 1024}.withDefaults()
+	b := newBatcher(net, opts, newMetrics(opts.MaxBatch))
+	defer b.drain(context.Background())
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if _, err := b.submit(ctx, testSeq(rng.New(41), 2, net.Cfg.InputSize)); err != nil {
+		t.Fatalf("lone submit never flushed: %v", err)
+	}
+}

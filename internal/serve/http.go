@@ -1,0 +1,146 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+)
+
+// maxBodyBytes bounds /v1/infer request bodies; a MaxSeqLen×InputSize
+// float sequence in JSON stays far under this.
+const maxBodyBytes = 8 << 20
+
+// inferRequest is the JSON body of POST /v1/infer.
+type inferRequest struct {
+	Inputs  [][]float32 `json:"inputs"`
+	Session string      `json:"session,omitempty"`
+}
+
+// inferResponse is the JSON body of a successful inference.
+type inferResponse struct {
+	Output    []float32 `json:"output"`
+	Class     int       `json:"class"`
+	LatencyMs float64   `json:"latency_ms"`
+}
+
+// modelResponse describes the served checkpoint's geometry (GET
+// /v1/model) so clients — the embedded load generator included — can
+// shape valid inputs without out-of-band knowledge.
+type modelResponse struct {
+	InputSize  int    `json:"input_size"`
+	HiddenSize int    `json:"hidden_size"`
+	Layers     int    `json:"layers"`
+	OutSize    int    `json:"out_size"`
+	Loss       string `json:"loss"`
+	MaxSeqLen  int    `json:"max_seq_len"`
+	MaxBatch   int    `json:"max_batch"`
+}
+
+func (s *Server) routes() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/infer", s.handleInfer)
+	mux.HandleFunc("GET /v1/model", s.handleModel)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /statz", s.handleStatz)
+	return mux
+}
+
+// Handler returns the server's HTTP handler: the route mux wrapped
+// with per-request panic isolation, so a handler bug yields one 500
+// instead of a dead process.
+func (s *Server) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			if rec := recover(); rec != nil {
+				httpError(w, http.StatusInternalServerError,
+					fmt.Sprintf("internal error: %v", rec))
+			}
+		}()
+		s.mux.ServeHTTP(w, r)
+	})
+}
+
+func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	r.Body = http.MaxBytesReader(w, r.Body, maxBodyBytes)
+	var req inferRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Sprintf("malformed JSON body: %v", err))
+		return
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), s.opts.RequestTimeout)
+	defer cancel()
+	res, err := s.Infer(ctx, Request{Inputs: req.Inputs, Session: req.Session})
+	if err != nil {
+		writeInferError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, inferResponse{
+		Output:    res.Output,
+		Class:     res.Class,
+		LatencyMs: float64(time.Since(start)) / float64(time.Millisecond),
+	})
+}
+
+// writeInferError maps the serving failure modes onto status codes:
+// shed load is retryable (429 + Retry-After), drain is 503, validation
+// is 400, a blown deadline is 504, everything else (sweep panic) 500.
+func writeInferError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, ErrQueueFull):
+		w.Header().Set("Retry-After", "1")
+		httpError(w, http.StatusTooManyRequests, err.Error())
+	case errors.Is(err, ErrClosed):
+		httpError(w, http.StatusServiceUnavailable, err.Error())
+	case errors.Is(err, ErrBadRequest):
+		httpError(w, http.StatusBadRequest, err.Error())
+	case errors.Is(err, context.DeadlineExceeded):
+		httpError(w, http.StatusGatewayTimeout, err.Error())
+	case errors.Is(err, context.Canceled):
+		// Client went away; the status is moot but 499-style semantics
+		// don't exist in net/http, so report the nearest standard code.
+		httpError(w, http.StatusServiceUnavailable, err.Error())
+	default:
+		httpError(w, http.StatusInternalServerError, err.Error())
+	}
+}
+
+func (s *Server) handleModel(w http.ResponseWriter, r *http.Request) {
+	cfg := s.net.Cfg
+	writeJSON(w, http.StatusOK, modelResponse{
+		InputSize:  cfg.InputSize,
+		HiddenSize: cfg.Hidden,
+		Layers:     cfg.Layers,
+		OutSize:    cfg.OutSize,
+		Loss:       cfg.Loss.String(),
+		MaxSeqLen:  s.opts.MaxSeqLen,
+		MaxBatch:   s.opts.MaxBatch,
+	})
+}
+
+// handleHealthz answers 200 while serving and 503 once draining, so a
+// load balancer stops routing here before in-flight work finishes.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		httpError(w, http.StatusServiceUnavailable, "draining")
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleStatz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Stats())
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v)
+}
+
+func httpError(w http.ResponseWriter, code int, msg string) {
+	writeJSON(w, code, map[string]string{"error": msg})
+}

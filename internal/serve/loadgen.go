@@ -1,0 +1,185 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+
+	"etalstm/internal/rng"
+	"etalstm/internal/stats"
+)
+
+// LoadOptions shapes a synthetic traffic burst against a running
+// server (etaserve -loadgen and the serve-smoke target).
+type LoadOptions struct {
+	// Target is the server base URL, e.g. "http://127.0.0.1:8080".
+	Target string
+	// Concurrency is the number of client goroutines (0 = 32).
+	Concurrency int
+	// Requests is the total request count across all clients (0 = 512).
+	Requests int
+	// SeqLen is the timesteps per request (0 = 8).
+	SeqLen int
+	// Sessions, when > 0, spreads requests over this many session ids so
+	// a slice of the traffic exercises the stateful path.
+	Sessions int
+	// Seed makes the generated inputs reproducible (0 = 1).
+	Seed uint64
+}
+
+func (o LoadOptions) withDefaults() LoadOptions {
+	if o.Concurrency <= 0 {
+		o.Concurrency = 32
+	}
+	if o.Requests <= 0 {
+		o.Requests = 512
+	}
+	if o.SeqLen <= 0 {
+		o.SeqLen = 8
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	return o
+}
+
+// LoadReport summarizes one generated burst.
+type LoadReport struct {
+	Sent     int
+	OK       int
+	Rejected int // shed with 429 — expected under deliberate overload
+	Errors   int // anything else non-200
+	Wall     time.Duration
+	RPS      float64 // OK completions per wall-clock second
+	P50Ms    float64
+	P99Ms    float64
+}
+
+func (r LoadReport) String() string {
+	return fmt.Sprintf("sent=%d ok=%d rejected=%d errors=%d wall=%v rps=%.1f p50=%.2fms p99=%.2fms",
+		r.Sent, r.OK, r.Rejected, r.Errors, r.Wall.Round(time.Millisecond), r.RPS, r.P50Ms, r.P99Ms)
+}
+
+// RunLoad fires a closed-loop burst at the target: it probes /v1/model
+// for the input geometry, then Concurrency clients each issue their
+// share of Requests back to back. 429s count as rejected (shedding is
+// the server working as designed), other non-200s as errors.
+func RunLoad(ctx context.Context, opts LoadOptions) (LoadReport, error) {
+	opts = opts.withDefaults()
+	geo, err := probeModel(ctx, opts.Target)
+	if err != nil {
+		return LoadReport{}, err
+	}
+	client := &http.Client{}
+	var (
+		mu   sync.Mutex
+		rep  LoadReport
+		lats []float64
+	)
+	start := time.Now()
+	var wg sync.WaitGroup
+	root := rng.New(opts.Seed)
+	perClient := (opts.Requests + opts.Concurrency - 1) / opts.Concurrency
+	issued := 0
+	for c := 0; c < opts.Concurrency && issued < opts.Requests; c++ {
+		n := perClient
+		if issued+n > opts.Requests {
+			n = opts.Requests - issued
+		}
+		issued += n
+		wg.Add(1)
+		go func(r *rng.RNG, id, n int) {
+			defer wg.Done()
+			for i := 0; i < n; i++ {
+				if ctx.Err() != nil {
+					return
+				}
+				req := inferRequest{Inputs: randomSeq(r, opts.SeqLen, geo.InputSize)}
+				if opts.Sessions > 0 {
+					req.Session = fmt.Sprintf("load-%d", (id+i)%opts.Sessions)
+				}
+				t0 := time.Now()
+				status, err := postInfer(ctx, client, opts.Target, req)
+				d := time.Since(t0)
+				mu.Lock()
+				rep.Sent++
+				switch {
+				case err != nil || status >= 500:
+					rep.Errors++
+				case status == http.StatusTooManyRequests:
+					rep.Rejected++
+				case status == http.StatusOK:
+					rep.OK++
+					lats = append(lats, float64(d)/float64(time.Millisecond))
+				default:
+					rep.Errors++
+				}
+				mu.Unlock()
+			}
+		}(root.Split(), c, n)
+	}
+	wg.Wait()
+	rep.Wall = time.Since(start)
+	if rep.Wall > 0 {
+		rep.RPS = float64(rep.OK) / rep.Wall.Seconds()
+	}
+	qs := stats.Quantiles(lats, 0.5, 0.99)
+	rep.P50Ms, rep.P99Ms = qs[0], qs[1]
+	return rep, nil
+}
+
+func randomSeq(r *rng.RNG, steps, width int) [][]float32 {
+	xs := make([][]float32, steps)
+	for t := range xs {
+		row := make([]float32, width)
+		for j := range row {
+			row[j] = r.Uniform(-1, 1)
+		}
+		xs[t] = row
+	}
+	return xs
+}
+
+func probeModel(ctx context.Context, target string) (modelResponse, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, target+"/v1/model", nil)
+	if err != nil {
+		return modelResponse{}, err
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return modelResponse{}, fmt.Errorf("loadgen: cannot reach %s: %w", target, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return modelResponse{}, fmt.Errorf("loadgen: %s/v1/model: HTTP %d", target, resp.StatusCode)
+	}
+	var geo modelResponse
+	if err := json.NewDecoder(resp.Body).Decode(&geo); err != nil {
+		return modelResponse{}, fmt.Errorf("loadgen: bad /v1/model body: %w", err)
+	}
+	return geo, nil
+}
+
+func postInfer(ctx context.Context, client *http.Client, target string, body inferRequest) (int, error) {
+	buf, err := json.Marshal(body)
+	if err != nil {
+		return 0, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, target+"/v1/infer", bytes.NewReader(buf))
+	if err != nil {
+		return 0, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := client.Do(req)
+	if err != nil {
+		return 0, err
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	return resp.StatusCode, nil
+}

@@ -1,0 +1,108 @@
+package serve
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"etalstm/internal/stats"
+)
+
+// latWindow is how many recent request latencies the p50/p99 export is
+// computed over — a fixed-size ring so /statz cost is bounded no matter
+// how long the server runs.
+const latWindow = 4096
+
+// metrics aggregates the serving counters exported by /statz.
+type metrics struct {
+	start time.Time
+
+	submitted atomic.Int64 // admitted into the queue
+	completed atomic.Int64 // finished with a result
+	failed    atomic.Int64 // finished with an error (panic, sweep failure)
+	rejected  atomic.Int64 // shed at admission (queue full)
+	canceled  atomic.Int64 // submitter gave up (deadline/cancel)
+
+	mu      sync.Mutex
+	batches int64
+	items   int64
+	hist    *stats.Histogram // batch-size distribution, bins 1..MaxBatch
+	lat     [latWindow]float64
+	latIdx  int
+	latN    int
+}
+
+func newMetrics(maxBatch int) *metrics {
+	return &metrics{
+		start: time.Now(),
+		// One bin per batch size: [1, maxBatch+1) over maxBatch bins.
+		hist: stats.NewHistogram(1, float64(maxBatch+1), maxBatch),
+	}
+}
+
+func (m *metrics) observeBatch(size int) {
+	m.mu.Lock()
+	m.batches++
+	m.items += int64(size)
+	m.hist.Observe(float64(size))
+	m.mu.Unlock()
+}
+
+func (m *metrics) observeLatency(d time.Duration) {
+	ms := float64(d) / float64(time.Millisecond)
+	m.mu.Lock()
+	m.lat[m.latIdx] = ms
+	m.latIdx = (m.latIdx + 1) % latWindow
+	if m.latN < latWindow {
+		m.latN++
+	}
+	m.mu.Unlock()
+}
+
+// Stats is one consistent snapshot of the serving metrics — the JSON
+// body of /statz.
+type Stats struct {
+	UptimeSeconds float64 `json:"uptime_seconds"`
+
+	Submitted int64 `json:"submitted"`
+	Completed int64 `json:"completed"`
+	Failed    int64 `json:"failed"`
+	Rejected  int64 `json:"rejected"`
+	Canceled  int64 `json:"canceled"`
+
+	QueueDepth int   `json:"queue_depth"`
+	Sessions   int   `json:"sessions"`
+	Batches    int64 `json:"batches"`
+	// MeanBatch is the average flushed batch size — the headline
+	// number for how well micro-batching is coalescing the load.
+	MeanBatch float64 `json:"mean_batch"`
+	// BatchHist[i] counts flushes of batch size i+1.
+	BatchHist []int64 `json:"batch_hist"`
+
+	LatencyP50Ms float64 `json:"latency_p50_ms"`
+	LatencyP99Ms float64 `json:"latency_p99_ms"`
+}
+
+func (m *metrics) snapshot(queueDepth, sessions int) Stats {
+	s := Stats{
+		UptimeSeconds: time.Since(m.start).Seconds(),
+		Submitted:     m.submitted.Load(),
+		Completed:     m.completed.Load(),
+		Failed:        m.failed.Load(),
+		Rejected:      m.rejected.Load(),
+		Canceled:      m.canceled.Load(),
+		QueueDepth:    queueDepth,
+		Sessions:      sessions,
+	}
+	m.mu.Lock()
+	s.Batches = m.batches
+	if m.batches > 0 {
+		s.MeanBatch = float64(m.items) / float64(m.batches)
+	}
+	s.BatchHist = append([]int64(nil), m.hist.Bins...)
+	window := append([]float64(nil), m.lat[:m.latN]...)
+	m.mu.Unlock()
+	qs := stats.Quantiles(window, 0.5, 0.99)
+	s.LatencyP50Ms, s.LatencyP99Ms = qs[0], qs[1]
+	return s
+}

@@ -1,0 +1,7 @@
+//go:build !race
+
+package serve
+
+// raceEnabled reports whether the race detector instruments this build;
+// timing-sensitive tests consult it before asserting throughput ratios.
+const raceEnabled = false

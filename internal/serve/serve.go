@@ -1,0 +1,298 @@
+// Package serve is the inference serving subsystem: it takes a trained
+// (typically persist-loaded) model.Network and serves next-token /
+// classification / regression inference over HTTP+JSON or in-process
+// calls, with a dynamic micro-batcher at its core.
+//
+// Concurrent requests are coalesced — flush on max batch size or a
+// deadline window — into single batched InferBatch sweeps through a
+// worker pool whose members each own a tensor.Workspace arena and share
+// the checkpoint's weights read-only. Per-request inference footprint
+// is tiny (the cache-free FW cell stores nothing), so throughput scales
+// with the batch the coalescer can form instead of degrading with
+// concurrency.
+//
+// Around the batcher: per-connection stateful sessions (h/s carried
+// across requests for streaming, TTL-evicted), request deadlines, a
+// bounded admission queue with load shedding (429 + Retry-After),
+// graceful drain (zero dropped in-flight requests), panic isolation,
+// and /healthz + /statz endpoints exporting queue depth, the
+// batch-size histogram and p50/p99 latency. See DESIGN.md §9.
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"etalstm/internal/model"
+)
+
+// ErrBadRequest wraps request-validation failures (HTTP 400).
+var ErrBadRequest = errors.New("serve: bad request")
+
+// Options tunes a Server; zero values select production-sensible
+// defaults.
+type Options struct {
+	// MaxBatch is the flush size of the micro-batcher (0 = 32): a
+	// forming batch is dispatched as soon as it reaches this many
+	// requests.
+	MaxBatch int
+	// Window is the flush deadline (0 = 2ms): a forming batch waits at
+	// most this long for company before dispatching partial.
+	Window time.Duration
+	// QueueCap bounds the admission queue (0 = 8×MaxBatch); submissions
+	// beyond it are shed with ErrQueueFull.
+	QueueCap int
+	// Workers is the sweep worker pool size (0 = NumCPU, capped at 8).
+	// Each worker owns a private arena; weights are shared read-only.
+	Workers int
+	// SessionTTL evicts idle streaming sessions (0 = 5m).
+	SessionTTL time.Duration
+	// RequestTimeout bounds each HTTP request end to end (0 = 5s).
+	RequestTimeout time.Duration
+	// MaxSeqLen rejects sequences longer than this (0 = 1024) so one
+	// request cannot monopolize a sweep.
+	MaxSeqLen int
+	// DrainTimeout bounds graceful shutdown (0 = 15s).
+	DrainTimeout time.Duration
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxBatch <= 0 {
+		o.MaxBatch = 32
+	}
+	if o.Window <= 0 {
+		o.Window = 2 * time.Millisecond
+	}
+	if o.QueueCap <= 0 {
+		o.QueueCap = 8 * o.MaxBatch
+	}
+	if o.Workers <= 0 {
+		o.Workers = runtime.NumCPU()
+		if o.Workers > 8 {
+			o.Workers = 8
+		}
+	}
+	if o.SessionTTL <= 0 {
+		o.SessionTTL = 5 * time.Minute
+	}
+	if o.RequestTimeout <= 0 {
+		o.RequestTimeout = 5 * time.Second
+	}
+	if o.MaxSeqLen <= 0 {
+		o.MaxSeqLen = 1024
+	}
+	if o.DrainTimeout <= 0 {
+		o.DrainTimeout = 15 * time.Second
+	}
+	return o
+}
+
+// Request is one inference call: an input sequence and an optional
+// session id for streaming state.
+type Request struct {
+	// Inputs is the sequence, one vector of width Cfg.InputSize per
+	// timestep. Lengths may vary freely between requests.
+	Inputs [][]float32
+	// Session, when non-empty, carries h/s across requests under this
+	// id: each call continues where the previous one on the same id
+	// stopped. Concurrent calls on one id are serialized.
+	Session string
+}
+
+// Result is the model's answer at the sequence's final timestep.
+type Result struct {
+	// Output is the projected output row (logits for classification,
+	// values for regression), width Cfg.OutSize.
+	Output []float32
+	// Class is the argmax over Output for classification models, -1
+	// for regression.
+	Class int
+}
+
+// Server owns the batcher, the worker pool and the session table for
+// one loaded checkpoint.
+type Server struct {
+	net      *model.Network
+	opts     Options
+	m        *metrics
+	b        *batcher
+	sessions *sessionTable
+
+	mux      *http.ServeMux
+	draining atomic.Bool
+
+	closeOnce   sync.Once
+	closeErr    error
+	stopJanitor chan struct{}
+	janitorDone chan struct{}
+}
+
+// New builds a server around net. The network's weights are treated as
+// read-only from here on; training it concurrently is not supported.
+func New(net *model.Network, opts Options) *Server {
+	opts = opts.withDefaults()
+	s := &Server{
+		net:         net,
+		opts:        opts,
+		m:           newMetrics(opts.MaxBatch),
+		sessions:    newSessionTable(opts.SessionTTL),
+		stopJanitor: make(chan struct{}),
+		janitorDone: make(chan struct{}),
+	}
+	s.b = newBatcher(net, opts, s.m)
+	s.mux = s.routes()
+	go s.janitor()
+	return s
+}
+
+// janitor sweeps idle sessions every quarter TTL until Close.
+func (s *Server) janitor() {
+	defer close(s.janitorDone)
+	period := s.opts.SessionTTL / 4
+	if period < time.Second {
+		period = time.Second
+	}
+	t := time.NewTicker(period)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			s.sessions.evict()
+		case <-s.stopJanitor:
+			return
+		}
+	}
+}
+
+// Config returns the served model's geometry.
+func (s *Server) Config() model.Config { return s.net.Cfg }
+
+// Stats returns a snapshot of the serving metrics.
+func (s *Server) Stats() Stats {
+	return s.m.snapshot(s.b.depth(), s.sessions.count())
+}
+
+// validate maps malformed inputs to ErrBadRequest before they can
+// reach (and fail) a whole micro-batch.
+func (s *Server) validate(inputs [][]float32) error {
+	if len(inputs) > s.opts.MaxSeqLen {
+		return fmt.Errorf("%w: sequence of %d steps exceeds the %d-step limit",
+			ErrBadRequest, len(inputs), s.opts.MaxSeqLen)
+	}
+	if err := s.net.CheckInferSeq(model.InferSeq{Inputs: inputs}); err != nil {
+		return fmt.Errorf("%w: %v", ErrBadRequest, err)
+	}
+	return nil
+}
+
+// Infer submits one request through the micro-batcher and blocks until
+// its sweep completes, ctx is done, or the request is shed. It is the
+// in-process entry point the HTTP handler also uses.
+func (s *Server) Infer(ctx context.Context, req Request) (Result, error) {
+	if err := s.validate(req.Inputs); err != nil {
+		return Result{}, err
+	}
+	seq := model.InferSeq{Inputs: req.Inputs}
+	var sess *session
+	if req.Session != "" {
+		var err error
+		sess, err = s.sessions.acquire(ctx, req.Session)
+		if err != nil {
+			return Result{}, err
+		}
+		seq.State = sess.state
+	}
+	out, err := s.b.submit(ctx, seq)
+	if sess != nil {
+		if err == nil {
+			sess.state = out.State
+		}
+		s.sessions.release(sess)
+	}
+	if err != nil {
+		return Result{}, err
+	}
+	return s.result(out), nil
+}
+
+func (s *Server) result(out model.InferOut) Result {
+	r := Result{Output: out.Output, Class: -1}
+	if s.net.Cfg.Loss != model.RegressionLoss {
+		best := 0
+		for j, v := range out.Output {
+			if v > out.Output[best] {
+				best = j
+			}
+		}
+		r.Class = best
+	}
+	return r
+}
+
+// Serve accepts connections on ln until ctx is done, then drains
+// gracefully: stop accepting, finish in-flight HTTP requests, flush
+// and complete every admitted batch, stop the janitor. In-flight
+// requests are never dropped; the drain is bounded by DrainTimeout.
+func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
+	hs := &http.Server{Handler: s.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+	select {
+	case err := <-errc:
+		s.Close(context.Background())
+		return err
+	case <-ctx.Done():
+	}
+	s.draining.Store(true)
+	drainCtx, cancel := context.WithTimeout(context.Background(), s.opts.DrainTimeout)
+	defer cancel()
+	// Order matters: Shutdown waits for in-flight handlers (whose
+	// submissions must still be accepted), then the batcher drains.
+	err := hs.Shutdown(drainCtx)
+	if cerr := s.Close(drainCtx); err == nil {
+		err = cerr
+	}
+	<-errc // hs.Serve has returned ErrServerClosed
+	return err
+}
+
+// Close drains the batcher (bounded by ctx) and stops the janitor.
+// Safe to call more than once; used directly by in-process embedders
+// that never started Serve.
+func (s *Server) Close(ctx context.Context) error {
+	s.closeOnce.Do(func() {
+		s.draining.Store(true)
+		s.closeErr = s.b.drain(ctx)
+		close(s.stopJanitor)
+		<-s.janitorDone
+	})
+	return s.closeErr
+}
+
+// Infer runs one single-shot batched sweep over independent sequences
+// without standing up a server — the library entry point for callers
+// that already hold a batch (amortizing the kernel sweep exactly like
+// the micro-batcher does for concurrent callers).
+func Infer(net *model.Network, seqs [][][]float32) ([]Result, error) {
+	reqs := make([]model.InferSeq, len(seqs))
+	for i, xs := range seqs {
+		reqs[i] = model.InferSeq{Inputs: xs}
+	}
+	outs, err := net.InferBatch(nil, reqs)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadRequest, err)
+	}
+	res := make([]Result, len(outs))
+	srv := Server{net: net}
+	for i, out := range outs {
+		res[i] = srv.result(out)
+	}
+	return res, nil
+}

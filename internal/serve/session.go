@@ -1,0 +1,99 @@
+package serve
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"etalstm/internal/model"
+)
+
+// session is one streaming conversation: the carried h/s state plus a
+// one-slot gate that serializes requests so two concurrent submissions
+// on the same session cannot interleave their state updates.
+type session struct {
+	gate chan struct{} // cap 1; held while a request is in flight
+	// state is owned by whoever holds the gate; nil means zero start.
+	state *model.VecState
+	// last is the most recent acquire/release instant, guarded by the
+	// table mutex (not the gate) so the evictor can read it cheaply.
+	last time.Time
+}
+
+// sessionTable maps session ids to recurrent state with TTL eviction.
+//
+// Lifecycle (DESIGN.md §9): a session is created on first use, its
+// state is replaced after every successful sweep, and the janitor
+// evicts sessions idle longer than the TTL. Eviction only ever removes
+// idle sessions — the evictor try-acquires the gate and skips sessions
+// with a request in flight. A client racing its own eviction simply
+// starts a fresh (zero-state) session on its next request.
+type sessionTable struct {
+	ttl time.Duration
+	now func() time.Time // injected clock for tests
+
+	mu sync.Mutex
+	m  map[string]*session
+}
+
+func newSessionTable(ttl time.Duration) *sessionTable {
+	return &sessionTable{ttl: ttl, now: time.Now, m: make(map[string]*session)}
+}
+
+// acquire returns the named session with its gate held, creating it on
+// first use. It blocks while another request holds the gate, honouring
+// ctx.
+func (t *sessionTable) acquire(ctx context.Context, id string) (*session, error) {
+	t.mu.Lock()
+	s := t.m[id]
+	if s == nil {
+		s = &session{gate: make(chan struct{}, 1)}
+		t.m[id] = s
+	}
+	s.last = t.now()
+	t.mu.Unlock()
+	select {
+	case s.gate <- struct{}{}:
+		return s, nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// release refreshes the idle clock and frees the gate.
+func (t *sessionTable) release(s *session) {
+	t.mu.Lock()
+	s.last = t.now()
+	t.mu.Unlock()
+	<-s.gate
+}
+
+// evict removes every idle session untouched for longer than the TTL
+// and reports how many were removed. Busy sessions (gate held) are
+// skipped and re-examined on the next sweep.
+func (t *sessionTable) evict() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	cut := t.now().Add(-t.ttl)
+	n := 0
+	for id, s := range t.m {
+		if s.last.After(cut) {
+			continue
+		}
+		select {
+		case s.gate <- struct{}{}:
+			delete(t.m, id)
+			<-s.gate
+			n++
+		default: // in flight; not idle after all
+		}
+	}
+	return n
+}
+
+// count returns the live session count.
+func (t *sessionTable) count() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.m)
+}

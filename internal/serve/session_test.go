@@ -1,0 +1,179 @@
+package serve
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"etalstm/internal/model"
+)
+
+// fakeClock is an injectable, lockable time source for TTL tests.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func (c *fakeClock) now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+func TestSessionSerializesRequests(t *testing.T) {
+	tab := newSessionTable(time.Minute)
+	ctx := context.Background()
+
+	s1, err := tab.acquire(ctx, "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A second acquire on the same id must block until release.
+	acquired := make(chan *session)
+	go func() {
+		s2, err := tab.acquire(ctx, "a")
+		if err != nil {
+			t.Error(err)
+		}
+		acquired <- s2
+	}()
+	select {
+	case <-acquired:
+		t.Fatal("second acquire did not block while gate held")
+	case <-time.After(10 * time.Millisecond):
+	}
+	tab.release(s1)
+	s2 := <-acquired
+	if s2 != s1 {
+		t.Fatal("same id resolved to different sessions")
+	}
+	tab.release(s2)
+
+	// A blocked acquire honours context cancellation.
+	s3, _ := tab.acquire(ctx, "a")
+	cctx, cancel := context.WithCancel(ctx)
+	cancel()
+	if _, err := tab.acquire(cctx, "a"); err == nil {
+		t.Fatal("acquire with canceled ctx on a busy session: want error")
+	}
+	tab.release(s3)
+}
+
+// TestSessionStateThreading checks state carried through the table is
+// the per-id state: distinct ids do not share it.
+func TestSessionStateThreading(t *testing.T) {
+	tab := newSessionTable(time.Minute)
+	ctx := context.Background()
+
+	sa, _ := tab.acquire(ctx, "a")
+	sa.state = &model.VecState{H: [][]float32{{1}}}
+	tab.release(sa)
+	sb, _ := tab.acquire(ctx, "b")
+	if sb.state != nil {
+		t.Fatal("fresh session b inherited state")
+	}
+	tab.release(sb)
+	sa2, _ := tab.acquire(ctx, "a")
+	if sa2.state == nil || sa2.state.H[0][0] != 1 {
+		t.Fatal("session a lost its state")
+	}
+	tab.release(sa2)
+}
+
+func TestSessionTTLEviction(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	tab := newSessionTable(time.Minute)
+	tab.now = clk.now
+	ctx := context.Background()
+
+	for _, id := range []string{"a", "b"} {
+		s, _ := tab.acquire(ctx, id)
+		tab.release(s)
+	}
+	// "busy" stays gate-held across the sweep.
+	busy, _ := tab.acquire(ctx, "busy")
+	if n := tab.count(); n != 3 {
+		t.Fatalf("count=%d, want 3", n)
+	}
+
+	// Not yet idle long enough: nothing evicted.
+	clk.advance(30 * time.Second)
+	if n := tab.evict(); n != 0 {
+		t.Fatalf("early evict removed %d", n)
+	}
+
+	// Refresh "a" so only "b" (and the skipped "busy") are stale later.
+	sa, _ := tab.acquire(ctx, "a")
+	tab.release(sa)
+	clk.advance(45 * time.Second)
+	if n := tab.evict(); n != 1 {
+		t.Fatalf("evict removed %d, want 1 (only the idle stale session)", n)
+	}
+	if n := tab.count(); n != 2 {
+		t.Fatalf("count=%d, want 2 (a refreshed, busy skipped)", n)
+	}
+
+	// Releasing "busy" refreshes it; after a full TTL everything goes.
+	tab.release(busy)
+	clk.advance(2 * time.Minute)
+	if n := tab.evict(); n != 2 {
+		t.Fatalf("final evict removed %d, want 2", n)
+	}
+	if n := tab.count(); n != 0 {
+		t.Fatalf("count=%d, want 0", n)
+	}
+}
+
+// TestSessionConcurrentAcquireEvict hammers acquire/release on a hot
+// id while the evictor sweeps — the race-detector workout for the
+// busy-skip path.
+func TestSessionConcurrentAcquireEvict(t *testing.T) {
+	tab := newSessionTable(time.Nanosecond) // everything is instantly stale
+	ctx := context.Background()
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			ids := []string{"x", "y", "z"}
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				s, err := tab.acquire(ctx, ids[(g+i)%len(ids)])
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				s.state = &model.VecState{} // the write the gate must protect
+				tab.release(s)
+			}
+		}(g)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				tab.evict()
+			}
+		}
+	}()
+	time.Sleep(50 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+}

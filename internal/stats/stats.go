@@ -195,6 +195,29 @@ func GeoMean(vs []float64) float64 {
 	return math.Exp(logSum / float64(n))
 }
 
+// Quantiles returns the q-th quantiles of vs (each q in [0, 1],
+// nearest-rank on a sorted copy) in one sort pass — the p50/p99 export
+// of the serving layer's /statz endpoint. An empty sample yields zeros.
+func Quantiles(vs []float64, qs ...float64) []float64 {
+	out := make([]float64, len(qs))
+	if len(vs) == 0 {
+		return out
+	}
+	sorted := append([]float64(nil), vs...)
+	sort.Float64s(sorted)
+	for i, q := range qs {
+		switch {
+		case q <= 0:
+			out[i] = sorted[0]
+		case q >= 1:
+			out[i] = sorted[len(sorted)-1]
+		default:
+			out[i] = sorted[int(q*float64(len(sorted)-1))]
+		}
+	}
+	return out
+}
+
 // Mean returns the arithmetic mean (0 for an empty slice).
 func Mean(vs []float64) float64 {
 	if len(vs) == 0 {

@@ -190,3 +190,21 @@ func TestPropertyHistogramTotal(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestQuantiles(t *testing.T) {
+	// Unsorted input: Quantiles must sort a copy, not the caller's slice.
+	vs := []float64{5, 1, 4, 2, 3}
+	qs := Quantiles(vs, 0, 0.5, 0.99, 1)
+	if qs[0] != 1 || qs[1] != 3 || qs[2] != 4 || qs[3] != 5 {
+		t.Fatalf("Quantiles = %v, want [1 3 4 5]", qs)
+	}
+	if vs[0] != 5 {
+		t.Fatal("Quantiles mutated its input")
+	}
+	if got := Quantiles(nil, 0.5, 0.99); got[0] != 0 || got[1] != 0 {
+		t.Fatalf("empty input: %v, want zeros", got)
+	}
+	if got := Quantiles([]float64{7}, 0.5); got[0] != 7 {
+		t.Fatalf("single element: %v, want [7]", got)
+	}
+}
