@@ -3,7 +3,7 @@ GO ?= go
 # Budget per fuzz target for `make fuzz` (go test -fuzztime syntax).
 FUZZTIME ?= 30s
 
-.PHONY: build test race bench vet fmt check fuzz cover serve-smoke all
+.PHONY: build test race bench vet fmt check fuzz cover serve-smoke obs-smoke all
 
 all: build test
 
@@ -19,10 +19,11 @@ test:
 # workspace-threaded FW/BP stack (lstm kernels + model), where replica
 # confinement of the scratch arenas is the thing under test, the MS2
 # planner, the differential harness (whose equivalence engine runs
-# serial and concurrent replicas against each other), and the serving
-# subsystem (micro-batcher, session table, graceful drain).
+# serial and concurrent replicas against each other), the serving
+# subsystem (micro-batcher, session table, graceful drain), and the
+# telemetry layer (concurrent registry, per-replica span recorders).
 race:
-	$(GO) test -race ./internal/parallel ./internal/core ./internal/tensor ./internal/lstm ./internal/model ./internal/check ./internal/skip ./internal/train ./internal/serve .
+	$(GO) test -race ./internal/parallel ./internal/core ./internal/tensor ./internal/lstm ./internal/model ./internal/check ./internal/skip ./internal/train ./internal/serve ./internal/obs .
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
@@ -52,13 +53,20 @@ cover:
 	check ./internal/lstm 85; \
 	check ./internal/model 85; \
 	check ./internal/skip 90; \
-	check ./internal/serve 65
+	check ./internal/serve 65; \
+	check ./internal/obs 85
 
 # serve-smoke is the end-to-end serving check: checkpoint -> etaserve
 # on an ephemeral port -> loadgen burst -> graceful drain, all through
 # the real binary paths (cmd/etaserve's run seam).
 serve-smoke:
 	$(GO) test -run TestServeSmoke -v ./cmd/etaserve
+
+# obs-smoke is the end-to-end telemetry check: a training run with
+# -metrics-addr on an ephemeral port is scraped over HTTP until the
+# MS1 prune-ratio gauge shows up in the Prometheus text output.
+obs-smoke:
+	$(GO) test -run TestObsSmoke -v ./cmd/etatrain
 
 vet:
 	$(GO) vet ./...

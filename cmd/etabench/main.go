@@ -12,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -21,6 +22,7 @@ import (
 	"strings"
 
 	"etalstm"
+	"etalstm/internal/obs"
 )
 
 func main() {
@@ -43,6 +45,7 @@ func run(args []string, stdout io.Writer) error {
 		kernelW = fs.Int("kernel-workers", 0, "goroutines per tensor kernel (0 = keep default)")
 		cpuProf = fs.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf = fs.String("memprofile", "", "write a heap profile to this file on exit")
+		phases  = fs.Bool("phases", false, "print a per-phase wall-time breakdown of a short training run and exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -62,6 +65,9 @@ func run(args []string, stdout io.Writer) error {
 			fmt.Fprintln(stdout, id)
 		}
 		return nil
+	}
+	if *phases {
+		return runPhases(stdout, *seed, *full)
 	}
 
 	w := stdout
@@ -92,6 +98,39 @@ func run(args []string, stdout io.Writer) error {
 		}
 		fmt.Fprintln(w, rep)
 	}
+	return nil
+}
+
+// runPhases trains a few combined-mode epochs with phase recording on
+// and prints the per-phase wall-time breakdown (FW, BP-EW-P1, BP-EW-P2,
+// BP-MatMul, all-reduce, optimizer). Two replica workers are used so
+// the coordinator phases show up alongside the kernel phases.
+func runPhases(w io.Writer, seed uint64, full bool) error {
+	bench, err := etalstm.BenchmarkByName("IMDB")
+	if err != nil {
+		return err
+	}
+	hiddenDiv, seqCap, batchCap, epochs, batches := 64, 16, 8, 3, 4
+	if full {
+		hiddenDiv, seqCap, batchCap, epochs = 16, 32, 16, 5
+	}
+	bench = bench.Scaled(hiddenDiv, seqCap, batchCap)
+	net, err := etalstm.NewNetwork(bench.Cfg, seed)
+	if err != nil {
+		return err
+	}
+	tr := etalstm.NewTrainer(net, etalstm.Combined, etalstm.TrainerOptions{
+		Workers: 2, RecordPhases: true,
+	})
+	prov := bench.Provider(batches, seed)
+	for e := 0; e < epochs; e++ {
+		if _, err := tr.RunEpoch(context.Background(), prov, e); err != nil {
+			return err
+		}
+	}
+	fmt.Fprintf(w, "phase breakdown: %s, combined mode, %d epochs x %d batches, H=%d LL=%d B=%d, 2 workers\n",
+		bench.Name, epochs, batches, bench.Cfg.Hidden, bench.Cfg.SeqLen, bench.Cfg.Batch)
+	fmt.Fprint(w, obs.BreakdownTable(tr.Phases()))
 	return nil
 }
 

@@ -52,6 +52,25 @@ func TestRunOutputFile(t *testing.T) {
 	}
 }
 
+// TestRunPhases checks -phases trains with phase recording on and
+// prints a breakdown that names every hot-path phase plus the
+// coordinator phases (the run uses two replica workers).
+func TestRunPhases(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-phases"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{
+		"phase breakdown", "FW", "BP-EW-P1", "BP-EW-P2", "BP-MatMul",
+		"all-reduce", "optimizer", "total",
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("phase table missing %q:\n%s", want, s)
+		}
+	}
+}
+
 func TestRunErrors(t *testing.T) {
 	cases := [][]string{
 		{"-no-such-flag"},

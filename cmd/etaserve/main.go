@@ -53,6 +53,7 @@ func run(ctx context.Context, args []string, w io.Writer) error {
 		workers  = fs.Int("workers", 0, "sweep worker pool size (0 = derive from CPU count)")
 		ttl      = fs.Duration("session-ttl", 0, "idle session eviction age (0 = 5m)")
 		timeout  = fs.Duration("timeout", 0, "per-request deadline (0 = 5s)")
+		pprofOn  = fs.Bool("pprof", false, "mount /debug/pprof/ profiling handlers (exposes internals; keep off on open ports)")
 
 		loadgen  = fs.Bool("loadgen", false, "generate load against -target instead of serving")
 		target   = fs.String("target", "http://127.0.0.1:8080", "loadgen: server base URL")
@@ -88,8 +89,11 @@ func run(ctx context.Context, args []string, w io.Writer) error {
 	cfg := net_.Cfg
 	s := etalstm.NewServer(net_, etalstm.ServeOptions{
 		MaxBatch: *maxBatch, Window: *window, QueueCap: *queue, Workers: *workers,
-		SessionTTL: *ttl, RequestTimeout: *timeout,
+		SessionTTL: *ttl, RequestTimeout: *timeout, EnablePprof: *pprofOn,
 	})
+	if *pprofOn {
+		fmt.Fprintln(w, "pprof enabled under /debug/pprof/")
+	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {

@@ -15,6 +15,8 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"runtime"
@@ -56,6 +58,7 @@ func run(ctx context.Context, args []string, w io.Writer) error {
 		savePath  = fs.String("save", "", "write a checkpoint file after training")
 		cpuProf   = fs.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf   = fs.String("memprofile", "", "write a heap profile to this file on exit")
+		metrics   = fs.String("metrics-addr", "", `serve GET /metrics (Prometheus text) on this address while training (e.g. "127.0.0.1:9090")`)
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -63,6 +66,13 @@ func run(ctx context.Context, args []string, w io.Writer) error {
 
 	if *kernelW > 0 {
 		etalstm.SetWorkers(*kernelW)
+	}
+	if *metrics != "" {
+		stopMetrics, err := serveMetrics(*metrics, w)
+		if err != nil {
+			return err
+		}
+		defer stopMetrics()
 	}
 	finish, err := profileTo(*cpuProf, *memProf)
 	if err != nil {
@@ -119,9 +129,9 @@ func run(ctx context.Context, args []string, w io.Writer) error {
 		if err != nil {
 			return err
 		}
-		line := fmt.Sprintf("epoch %2d  loss %.4f", e, st.MeanLoss)
-		if st.SkipFrac > 0 {
-			line += fmt.Sprintf("  skipped %.0f%% of BP cells", 100*st.SkipFrac)
+		line := fmt.Sprintf("epoch %2d  loss %.4f  wall %.2fs", e, st.MeanLoss, st.Wall.Seconds())
+		if skipped := st.MeasuredSkipFrac(); skipped > 0 {
+			line += fmt.Sprintf("  skipped %.0f%% of BP cells", 100*skipped)
 		}
 		if st.PruneStats.Elements > 0 {
 			line += fmt.Sprintf("  pruned %.0f%% of P1", 100*st.PruneStats.Frac())
@@ -148,6 +158,22 @@ func run(ctx context.Context, args []string, w io.Writer) error {
 		float64(fp.Total())/1e9, float64(base.Total())/1e9,
 		100*(1-float64(fp.Total())/float64(base.Total())))
 	return nil
+}
+
+// serveMetrics exposes the process-wide telemetry registry over HTTP
+// for the duration of the run. The bound address is printed (addr may
+// end in :0), so scrapers — and the obs smoke test — can find the port.
+func serveMetrics(addr string, w io.Writer) (func(), error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	mux := http.NewServeMux()
+	mux.Handle("GET /metrics", etalstm.MetricsHandler())
+	hs := &http.Server{Handler: mux}
+	go hs.Serve(ln)
+	fmt.Fprintf(w, "metrics: http://%s/metrics\n", ln.Addr())
+	return func() { hs.Close() }, nil
 }
 
 func parseMode(s string) (etalstm.Mode, error) {

@@ -3,9 +3,14 @@ package main
 import (
 	"bytes"
 	"context"
+	"io"
+	"net/http"
 	"path/filepath"
+	"regexp"
 	"strings"
+	"sync"
 	"testing"
+	"time"
 )
 
 // tinyArgs shrinks a benchmark far enough that a full end-to-end run —
@@ -66,12 +71,91 @@ func TestRunSaveLoadRoundTrip(t *testing.T) {
 	}
 }
 
+// syncBuffer lets the smoke test read run()'s output while the run is
+// still writing it from another goroutine.
+type syncBuffer struct {
+	mu sync.Mutex
+	b  bytes.Buffer
+}
+
+func (s *syncBuffer) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuffer) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
+}
+
+// TestObsSmoke drives -metrics-addr end to end: start a tiny training
+// run with the metrics endpoint on an ephemeral port, scrape GET
+// /metrics while it trains until the MS1 prune-ratio gauge appears in
+// Prometheus text form, then interrupt the run. `make obs-smoke` runs
+// exactly this test.
+func TestObsSmoke(t *testing.T) {
+	var out syncBuffer
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	done := make(chan error, 1)
+	go func() {
+		// Enough epochs that training outlives the scrape loop; the test
+		// cancels the context as soon as it has what it needs.
+		done <- run(ctx, tinyArgs("-epochs", "100000", "-metrics-addr", "127.0.0.1:0"), &out)
+	}()
+
+	deadline := time.Now().Add(15 * time.Second)
+	urlRe := regexp.MustCompile(`metrics: (http://\S+)`)
+	var url string
+	for url == "" {
+		if time.Now().After(deadline) {
+			t.Fatalf("metrics URL never printed:\n%s", out.String())
+		}
+		if m := urlRe.FindStringSubmatch(out.String()); m != nil {
+			url = m[1]
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	var body string
+	for !strings.Contains(body, "etalstm_ms1_prune_ratio") {
+		if time.Now().After(deadline) {
+			t.Fatalf("prune-ratio metric never appeared; last scrape:\n%s", body)
+		}
+		if resp, err := http.Get(url); err == nil {
+			b, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			body = string(b)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	for _, want := range []string{
+		"# TYPE etalstm_epochs_total counter",
+		"# TYPE etalstm_step_latency_seconds histogram",
+		"etalstm_epoch_loss",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("scrape missing %q:\n%s", want, body)
+		}
+	}
+	cancel()
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "interrupted") {
+		t.Fatalf("canceled metrics run did not report interruption:\n%s", out.String())
+	}
+}
+
 func TestRunFlagAndArgumentErrors(t *testing.T) {
 	cases := [][]string{
 		{"-no-such-flag"},
 		{"-bench", "NOPE"},
 		{"-mode", "warp-speed"},
 		{"-load", filepath.Join(t.TempDir(), "absent.ckpt")},
+		{"-metrics-addr", "256.256.256.256:bad"},
 	}
 	for _, args := range cases {
 		var out bytes.Buffer

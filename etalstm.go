@@ -172,6 +172,16 @@ type TrainerOptions struct {
 	MaxSkipFrac float64
 	// WarmupEpochs run unskipped before Eq. 5 has history (0 = 3).
 	WarmupEpochs int
+	// Observer, when non-nil, receives each epoch's stats right after
+	// the epoch completes — loss, wall time, prune/skip behaviour — for
+	// live logging without polling. It runs on the training goroutine;
+	// keep it fast.
+	Observer func(EpochStats)
+	// RecordPhases enables per-phase span recording (see
+	// Trainer.Phases). Off by default; disabled recording costs one nil
+	// test per phase boundary, so the FW/BP hot path stays
+	// allocation-free either way.
+	RecordPhases bool
 }
 
 // Trainer trains a Network under the selected optimization mode.
@@ -225,6 +235,8 @@ func NewTrainer(net *Network, mode Mode, opts TrainerOptions) *Trainer {
 	inner := core.New(net, opt, clip, cfg)
 	inner.Workers = workers
 	inner.Reducer = opts.Reducer
+	inner.Observer = opts.Observer
+	inner.RecordPhases = opts.RecordPhases
 	return &Trainer{inner: inner, mode: mode}
 }
 

@@ -19,13 +19,16 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"time"
 
 	"etalstm/internal/lstm"
 	"etalstm/internal/memplan"
 	"etalstm/internal/model"
+	"etalstm/internal/obs"
 	"etalstm/internal/parallel"
 	"etalstm/internal/reorder"
 	"etalstm/internal/skip"
+	"etalstm/internal/tensor"
 	"etalstm/internal/train"
 )
 
@@ -66,6 +69,17 @@ type Stats struct {
 	TotalCells   int
 	SkipFrac     float64
 	ScaleApplied bool
+	// Wall is the epoch's wall-clock duration.
+	Wall time.Duration
+}
+
+// MeasuredSkipFrac returns the skipped share of BP cells the epoch
+// actually saw (SkipFrac is the plan's intent; this is the outcome).
+func (s Stats) MeasuredSkipFrac() float64 {
+	if s.TotalCells == 0 {
+		return 0
+	}
+	return float64(s.SkippedCells) / float64(s.TotalCells)
 }
 
 // Trainer is the η-LSTM training driver.
@@ -89,8 +103,18 @@ type Trainer struct {
 	// batches, gradients merged by a deterministic tree all-reduce.
 	Workers int
 	// Reducer applies merged gradients (averaging, clipping, optimizer
-	// step). nil selects train.ClipStep{Opt, Clip}.
+	// step). nil selects train.ClipStep{Opt, Clip} wired to the gradient
+	// instruments.
 	Reducer train.Reducer
+
+	// Observer, when non-nil, receives each epoch's Stats right after
+	// the epoch completes — the introspection hook behind
+	// etalstm.TrainerOptions.Observer.
+	Observer func(Stats)
+	// RecordPhases enables phase-span recording (FW / BP-EW-P1 /
+	// BP-EW-P2 / BP-MatMul / all-reduce / optimizer). Off by default:
+	// disabled recording costs one nil test per phase boundary.
+	RecordPhases bool
 
 	history   skip.LossHistory
 	predictor *skip.Predictor
@@ -99,6 +123,21 @@ type Trainer struct {
 	absBar float64
 	// engine is the lazily-built data-parallel engine (Workers > 1).
 	engine *parallel.Engine
+
+	// ins are the telemetry instruments (lazily bound to obs.Default).
+	ins *obs.Train
+	// rec aggregates phase spans across epochs; replicaRecs are the
+	// per-worker recorders folded into it after each parallel epoch.
+	rec         *obs.Recorder
+	replicaRecs []*obs.Recorder
+	// arenaHits/arenaMisses remember the workspace counters already
+	// exported, so each epoch adds only the delta to the cumulative
+	// arena instruments.
+	arenaHits, arenaMisses int64
+	// lastPred is the Eq. 5 loss extrapolation used for the current
+	// epoch's plan; compared against the realized loss afterwards.
+	lastPred   float64
+	lastPredOK bool
 
 	// EpochStats records per-epoch optimization behaviour.
 	EpochStats []Stats
@@ -112,12 +151,39 @@ func New(net *model.Network, opt train.Optimizer, clip float64, cfg Config) *Tra
 	}
 }
 
-// reducer returns the configured reducer or the default clip-then-step.
+// instruments lazily binds the trainer's telemetry bundle to the
+// process-wide registry. Instruments are always live — they are atomic
+// writes on a path that runs once per step or epoch, far off the
+// per-cell hot path the span switch guards.
+func (tr *Trainer) instruments() *obs.Train {
+	if tr.ins == nil {
+		tr.ins = obs.NewTrain(obs.Default)
+	}
+	return tr.ins
+}
+
+// Phases returns the accumulated phase-span breakdown (nil unless
+// RecordPhases was set before training).
+func (tr *Trainer) Phases() []obs.PhaseStat {
+	if tr.rec == nil {
+		return nil
+	}
+	return tr.rec.Breakdown()
+}
+
+// reducer returns the configured reducer or the default clip-then-step,
+// wired to the gradient-norm instruments.
 func (tr *Trainer) reducer() train.Reducer {
 	if tr.Reducer != nil {
 		return tr.Reducer
 	}
-	return train.ClipStep{Opt: tr.Opt, Clip: tr.Clip}
+	ins := tr.instruments()
+	return train.ClipStep{Opt: tr.Opt, Clip: tr.Clip, OnApply: func(norm float64, clipped bool) {
+		ins.GradNorm.Set(norm)
+		if clipped {
+			ins.ClipEvents.Inc()
+		}
+	}}
 }
 
 // baseStore is the storage mode for executed cells.
@@ -139,6 +205,9 @@ func (tr *Trainer) planFor(epoch int) *skip.Plan {
 	if !ok {
 		predLoss = tr.history.Last()
 	}
+	// Remember the extrapolation so the epoch's realized loss can score
+	// it (the etalstm_ms2_pred_loss_error gauge).
+	tr.lastPred, tr.lastPredOK = predLoss, ok
 	return skip.Build(tr.predictor, predLoss, skip.Config{
 		Threshold:         tr.Cfg.SkipThreshold,
 		AbsoluteThreshold: tr.absBar,
@@ -215,6 +284,11 @@ func (tr *Trainer) RunEpoch(ctx context.Context, p train.Provider, epoch int) (S
 		return Stats{}, fmt.Errorf("core: Trainer requires Net and Opt")
 	}
 	cfg := tr.Net.Cfg
+	start := time.Now()
+	ins := tr.instruments()
+	if tr.RecordPhases && tr.rec == nil {
+		tr.rec = &obs.Recorder{}
+	}
 	plan := tr.planFor(epoch)
 	policy := plan.Policy()
 
@@ -228,9 +302,30 @@ func (tr *Trainer) RunEpoch(ctx context.Context, p train.Provider, epoch int) (S
 	if tr.Workers > 1 {
 		if tr.engine == nil || tr.engine.Workers() != tr.Workers {
 			tr.engine = parallel.New(tr.Net, tr.Workers, tr.reducer())
+			tr.replicaRecs = nil
 		}
+		if tr.rec != nil && tr.replicaRecs == nil {
+			// One recorder per replica, riding the replica's workspace
+			// (same goroutine confinement). They are folded into the
+			// aggregate after the epoch, once the workers have joined.
+			for _, rep := range tr.engine.Replicas() {
+				r := &obs.Recorder{}
+				rep.Workspace().SetRecorder(r)
+				tr.replicaRecs = append(tr.replicaRecs, r)
+			}
+		}
+		tr.engine.Rec = tr.rec
+		tr.engine.OnStep = func(d time.Duration) { ins.StepLatency.Observe(d.Seconds()) }
+		tr.engine.OnWait = func(_ int, d time.Duration) { ins.AllReduceWait.Observe(d.Seconds()) }
 		epochRes, err = tr.engine.RunEpoch(ctx, p, fn)
+		if tr.rec != nil {
+			for _, r := range tr.replicaRecs {
+				tr.rec.Add(r)
+				r.Reset()
+			}
+		}
 	} else {
+		tr.Net.Workspace().SetRecorder(tr.rec)
 		epochRes, err = tr.runSerial(ctx, p, fn)
 	}
 	st.PruneStats = epochRes.Prune
@@ -274,8 +369,51 @@ func (tr *Trainer) RunEpoch(ctx context.Context, p train.Provider, epoch int) (S
 		tr.absBar = th * mx
 	}
 
+	st.Wall = time.Since(start)
+	ins.Epochs.Inc()
+	ins.EpochLoss.Set(st.MeanLoss)
+	ins.EpochSeconds.Set(st.Wall.Seconds())
+	ins.MS1PruneRatio.Set(st.PruneStats.Frac())
+	ins.MS1StoredPairs.Add(st.PruneStats.Kept())
+	ins.MS2SkipRatio.Set(st.MeasuredSkipFrac())
+	if tr.lastPredOK {
+		ins.MS2PredLossError.Set(math.Abs(tr.lastPred - st.MeanLoss))
+		tr.lastPredOK = false
+	}
+	tr.observeArenas(ins)
+
 	tr.EpochStats = append(tr.EpochStats, st)
+	if tr.Observer != nil {
+		tr.Observer(st)
+	}
 	return st, nil
+}
+
+// observeArenas folds the workspace traffic of the master network and
+// every replica into the cumulative arena instruments. The workspace
+// counters are lifetime totals, so only the delta since the previous
+// call is added; a rebuilt engine (fresh replicas) makes the total
+// shrink momentarily, which Counter.Add ignores until the new replicas
+// catch up.
+func (tr *Trainer) observeArenas(ins *obs.Train) {
+	var hits, misses, elems int64
+	add := func(ws *tensor.Workspace) {
+		s := ws.Stats()
+		hits += s.Hits
+		misses += s.Misses
+		_, el := ws.Retained()
+		elems += el
+	}
+	add(tr.Net.Workspace())
+	if tr.engine != nil {
+		for _, rep := range tr.engine.Replicas() {
+			add(rep.Workspace())
+		}
+	}
+	ins.ArenaHits.Add(hits - tr.arenaHits)
+	ins.ArenaMisses.Add(misses - tr.arenaMisses)
+	tr.arenaHits, tr.arenaMisses = hits, misses
+	ins.ArenaBytes.Set(float64(elems) * 4) // float32 elements
 }
 
 // runSerial is the classic one-step-per-minibatch loop: every batch
@@ -285,15 +423,20 @@ func (tr *Trainer) RunEpoch(ctx context.Context, p train.Provider, epoch int) (S
 func (tr *Trainer) runSerial(ctx context.Context, p train.Provider, fn parallel.BatchFn) (parallel.EpochResult, error) {
 	var res parallel.EpochResult
 	red := tr.reducer()
+	ins := tr.instruments()
 	for b := 0; b < p.NumBatches(); b++ {
 		if err := ctx.Err(); err != nil {
 			return res, err
 		}
+		t0 := time.Now()
 		r, err := fn(tr.Net, p.Batch(b), b)
 		if err != nil {
 			return res, err
 		}
+		sp := tr.rec.Begin(obs.PhaseOptimizer)
 		red.Apply(tr.Net, r.Grads, 1)
+		sp.End()
+		ins.StepLatency.Observe(time.Since(t0).Seconds())
 		res.Batches++
 		res.TotalLoss += r.Loss
 		res.Prune = res.Prune.Add(r.Prune)

@@ -1,6 +1,7 @@
 package lstm
 
 import (
+	"etalstm/internal/obs"
 	"etalstm/internal/tensor"
 )
 
@@ -84,6 +85,7 @@ func getFWCache(ws *tensor.Workspace) *FWCache {
 // when their lifetime ends. ws may be nil, degrading every Get to a
 // plain allocation.
 func Forward(ws *tensor.Workspace, p *Params, x, hPrev, sPrev *tensor.Matrix) (h, s *tensor.Matrix, cache *FWCache) {
+	sp := ws.Recorder().Begin(obs.PhaseFW)
 	batch := x.Rows
 	var raw [NumGates]*tensor.Matrix
 	uh := ws.Get(batch, p.Hidden)
@@ -117,6 +119,7 @@ func Forward(ws *tensor.Workspace, p *Params, x, hPrev, sPrev *tensor.Matrix) (h
 
 	cache = getFWCache(ws)
 	*cache = FWCache{X: x, HPrev: hPrev, SPrev: sPrev, F: f, I: i, C: cg, O: o, S: s}
+	sp.End()
 	return h, s, cache
 }
 
@@ -158,6 +161,10 @@ type BPOutput struct {
 // returning; the cache is left intact (the caller Releases it when the
 // cell is consumed for good).
 func Backward(ws *tensor.Workspace, p *Params, grads *Grads, cache *FWCache, in BPInput) BPOutput {
+	// The baseline flow interleaves the P1 and P2 parts of BP-EW in one
+	// loop, so its whole element-wise stage records as BP-EW-P2; only
+	// the reordered flow separates a BP-EW-P1 phase (ComputeP1).
+	span := ws.Recorder().Begin(obs.PhaseBPEWP2)
 	batch := cache.F.Rows
 	hidden := p.Hidden
 
@@ -202,6 +209,7 @@ func Backward(ws *tensor.Workspace, p *Params, grads *Grads, cache *FWCache, in 
 		dsPrev.Data[k] = ds * f
 	}
 	ws.Put(dh)
+	span.End()
 
 	out := matmulBackward(ws, p, grads, cache.X, cache.HPrev, &dGate, dsPrev)
 	ws.PutAll(dGate[:]...)
@@ -213,6 +221,7 @@ func Backward(ws *tensor.Workspace, p *Params, grads *Grads, cache *FWCache, in 
 // gradient accumulation (Eq. 3). dGate stays owned by the caller;
 // dsPrev's ownership passes through to the returned BPOutput.
 func matmulBackward(ws *tensor.Workspace, p *Params, grads *Grads, x, hPrev *tensor.Matrix, dGate *[NumGates]*tensor.Matrix, dsPrev *tensor.Matrix) BPOutput {
+	sp := ws.Recorder().Begin(obs.PhaseBPMatMul)
 	batch := dsPrev.Rows
 	dx := ws.Get(batch, p.Input)
 	dhPrev := ws.Get(batch, p.Hidden)
@@ -231,6 +240,7 @@ func matmulBackward(ws *tensor.Workspace, p *Params, grads *Grads, x, hPrev *ten
 	}
 	ws.Put(tmpX)
 	ws.Put(tmpH)
+	sp.End()
 	return BPOutput{DX: dx, DHPrev: dhPrev, DSPrev: dsPrev}
 }
 

@@ -1,6 +1,7 @@
 package lstm
 
 import (
+	"etalstm/internal/obs"
 	"etalstm/internal/tensor"
 )
 
@@ -66,6 +67,7 @@ func getP1(ws *tensor.Workspace) *P1 {
 // gate matrices may be released afterwards. The products are drawn
 // from ws and owned by the returned set.
 func ComputeP1(ws *tensor.Workspace, cache *FWCache) *P1 {
+	sp := ws.Recorder().Begin(obs.PhaseBPEWP1)
 	n := cache.F.Rows
 	h := cache.F.Cols
 	p := getP1(ws)
@@ -92,6 +94,7 @@ func ComputeP1(ws *tensor.Workspace, cache *FWCache) *P1 {
 		p.Ps.Data[k] = o * (1 - ts*ts)
 		p.Pfs.Data[k] = f
 	}
+	sp.End()
 	return p
 }
 
@@ -117,6 +120,7 @@ func ForwardWithP1(ws *tensor.Workspace, p *Params, x, hPrev, sPrev *tensor.Matr
 // P1 set is left intact for the caller to Release once the cell is
 // consumed for good.
 func BackwardFromP1(ws *tensor.Workspace, p *Params, grads *Grads, x, hPrev *tensor.Matrix, p1 *P1, in BPInput) BPOutput {
+	sp := ws.Recorder().Begin(obs.PhaseBPEWP2)
 	batch := p1.Pf.Rows
 	hidden := p.Hidden
 
@@ -151,6 +155,7 @@ func BackwardFromP1(ws *tensor.Workspace, p *Params, grads *Grads, x, hPrev *ten
 		dsPrev.Data[k] = ds * p1.Pfs.Data[k]
 	}
 	ws.Put(dh)
+	sp.End()
 
 	out := matmulBackward(ws, p, grads, x, hPrev, &dGate, dsPrev)
 	ws.PutAll(dGate[:]...)

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"etalstm/internal/lstm"
+	"etalstm/internal/obs"
 	"etalstm/internal/rng"
 	"etalstm/internal/tensor"
 )
@@ -296,6 +297,10 @@ func (n *Network) ForwardState(xs []*tensor.Matrix, targets *Targets, policy Sto
 }
 
 func (n *Network) computeLoss(res *ForwardResult, targets *Targets) error {
+	// The output projection and loss run at the tail of the FW pass, so
+	// their time records under the FW phase.
+	sp := n.Workspace().Recorder().Begin(obs.PhaseFW)
+	defer sp.End()
 	cfg := n.Cfg
 	top := res.H[cfg.Layers-1]
 	evalStep := func(t int) {
@@ -452,6 +457,8 @@ func (n *Network) Backward(res *ForwardResult, policy StoragePolicy, grads *Grad
 	// Seed: δY for the top layer comes from the loss through the
 	// projection; the projection gradient accumulates alongside. The
 	// loss-side dLogits are consumed here and released immediately.
+	// Projection backward is matrix work, so it records as BP-MatMul.
+	sp := ws.Recorder().Begin(obs.PhaseBPMatMul)
 	dY := make([]*tensor.Matrix, cfg.SeqLen)
 	top := res.H[cfg.Layers-1]
 	for t := 0; t < cfg.SeqLen; t++ {
@@ -465,6 +472,7 @@ func (n *Network) Backward(res *ForwardResult, policy StoragePolicy, grads *Grad
 		ws.Put(dl)
 		res.dLogits[t] = nil
 	}
+	sp.End()
 
 	for l := cfg.Layers - 1; l >= 0; l-- {
 		var dH, dS *tensor.Matrix

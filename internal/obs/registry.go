@@ -1,0 +1,348 @@
+// Package obs is the unified telemetry layer: a zero-dependency
+// (stdlib + internal/stats only) metrics registry plus lightweight
+// phase spans for the FW/BP hot path.
+//
+// The registry holds counters, gauges and fixed-bin histograms behind
+// one concurrent surface with two exports — the Prometheus text format
+// (GET /metrics) and a flat name→value snapshot (JSON-friendly, the
+// etalstm.Metrics() API). Instruments are upserted: asking for a name
+// that already exists returns the existing instrument, so several
+// trainers (or a trainer and a server) in one process share counters
+// instead of fighting over registration.
+//
+// The span half (span.go) breaks a training step into the paper's
+// execution phases (FW, BP-EW-P1, BP-EW-P2, BP-MatMul, all-reduce,
+// optimizer). Recorders are goroutine-confined like the workspace
+// arenas they ride on, off by default, and allocation-free whether
+// enabled or disabled — the hot-path 0 allocs/op guarantee holds either
+// way (see internal/lstm's alloc regression test).
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"etalstm/internal/stats"
+)
+
+// Counter is a monotonically increasing integer metric.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add increases the counter by n (n < 0 is ignored: counters only go
+// up; use a Gauge for signed quantities).
+func (c *Counter) Add(n int64) {
+	if n > 0 {
+		c.v.Add(n)
+	}
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a float64 metric that can go up and down.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Value returns the last stored value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Histogram is a concurrent fixed-bin histogram (equal-width bins over
+// [Lo, Hi), edge-clamped — stats.Histogram under a mutex) that also
+// keeps a bounded ring of recent raw observations so windowed p50/p99
+// stay exact (stats.Quantiles) no matter how coarse the bins are.
+type Histogram struct {
+	mu   sync.Mutex
+	h    *stats.Histogram
+	sum  float64
+	ring []float64
+	idx  int
+	n    int
+}
+
+func newHistogram(lo, hi float64, bins, window int) *Histogram {
+	if window <= 0 {
+		window = 1024
+	}
+	return &Histogram{h: stats.NewHistogram(lo, hi, bins), ring: make([]float64, window)}
+}
+
+// Observe records one value. NaN observations are dropped so quantile
+// and mean exports stay NaN-free. Allocation-free.
+func (h *Histogram) Observe(v float64) {
+	if math.IsNaN(v) {
+		return
+	}
+	h.mu.Lock()
+	h.h.Observe(v)
+	h.sum += v
+	h.ring[h.idx] = v
+	h.idx = (h.idx + 1) % len(h.ring)
+	if h.n < len(h.ring) {
+		h.n++
+	}
+	h.mu.Unlock()
+}
+
+// HistSnapshot is one consistent view of a histogram.
+type HistSnapshot struct {
+	Lo, Hi float64
+	Bins   []int64
+	Count  int64
+	Sum    float64
+	// P50/P99 are nearest-rank quantiles over the recent-observation
+	// window (not the bins), so they are exact for the last window.
+	P50, P99 float64
+}
+
+// Snapshot returns a copy of the histogram's state.
+func (h *Histogram) Snapshot() HistSnapshot {
+	h.mu.Lock()
+	s := HistSnapshot{
+		Lo:    h.h.Lo,
+		Hi:    h.h.Hi,
+		Bins:  append([]int64(nil), h.h.Bins...),
+		Count: h.h.Total(),
+		Sum:   h.sum,
+	}
+	window := append([]float64(nil), h.ring[:h.n]...)
+	h.mu.Unlock()
+	qs := stats.Quantiles(window, 0.5, 0.99)
+	s.P50, s.P99 = qs[0], qs[1]
+	return s
+}
+
+// Mean returns Sum/Count (0 when empty).
+func (s HistSnapshot) Mean() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return s.Sum / float64(s.Count)
+}
+
+// kind tags what an entry holds.
+type kind uint8
+
+const (
+	kindCounter kind = iota
+	kindGauge
+	kindGaugeFunc
+	kindHistogram
+)
+
+func (k kind) String() string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindGaugeFunc, kindGauge:
+		return "gauge"
+	case kindHistogram:
+		return "histogram"
+	}
+	return "untyped"
+}
+
+type entry struct {
+	name string
+	help string
+	kind kind
+
+	counter *Counter
+	gauge   *Gauge
+	fn      func() float64
+	hist    *Histogram
+}
+
+// Registry is a concurrent collection of named instruments.
+type Registry struct {
+	mu      sync.RWMutex
+	entries map[string]*entry
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{entries: make(map[string]*entry)}
+}
+
+// Default is the process-wide registry: the training stack registers
+// its instruments here, etalstm.Metrics() snapshots it, and etatrain's
+// -metrics-addr serves it. Servers keep per-instance registries instead
+// (their counters describe one Server's lifetime).
+var Default = NewRegistry()
+
+// lookup returns the existing entry for name after checking its kind,
+// or nil when absent.
+func (r *Registry) lookup(name string, k kind) *entry {
+	if e, ok := r.entries[name]; ok {
+		if e.kind != k {
+			panic(fmt.Sprintf("obs: %q re-registered as %v, was %v", name, k, e.kind))
+		}
+		return e
+	}
+	return nil
+}
+
+// Counter returns the counter registered under name, creating it on
+// first use. help is kept from the first registration.
+func (r *Registry) Counter(name, help string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if e := r.lookup(name, kindCounter); e != nil {
+		return e.counter
+	}
+	c := &Counter{}
+	r.entries[name] = &entry{name: name, help: help, kind: kindCounter, counter: c}
+	return c
+}
+
+// Gauge returns the gauge registered under name, creating it on first
+// use.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if e := r.lookup(name, kindGauge); e != nil {
+		return e.gauge
+	}
+	g := &Gauge{}
+	r.entries[name] = &entry{name: name, help: help, kind: kindGauge, gauge: g}
+	return g
+}
+
+// GaugeFunc registers a gauge whose value is computed at export time
+// (queue depths, session counts, arena residency). Re-registering a
+// name replaces the function — the newest owner wins.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if e := r.lookup(name, kindGaugeFunc); e != nil {
+		e.fn = fn
+		return
+	}
+	r.entries[name] = &entry{name: name, help: help, kind: kindGaugeFunc, fn: fn}
+}
+
+// Histogram returns the histogram registered under name, creating it
+// with bins equal-width bins over [lo, hi) and a window-sized
+// recent-observation ring on first use.
+func (r *Registry) Histogram(name, help string, lo, hi float64, bins, window int) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if e := r.lookup(name, kindHistogram); e != nil {
+		return e.hist
+	}
+	h := newHistogram(lo, hi, bins, window)
+	r.entries[name] = &entry{name: name, help: help, kind: kindHistogram, hist: h}
+	return h
+}
+
+// sorted returns the entries in name order (the export order both
+// formats use).
+func (r *Registry) sorted() []*entry {
+	r.mu.RLock()
+	es := make([]*entry, 0, len(r.entries))
+	for _, e := range r.entries {
+		es = append(es, e)
+	}
+	r.mu.RUnlock()
+	sort.Slice(es, func(i, j int) bool { return es[i].name < es[j].name })
+	return es
+}
+
+// WritePrometheus writes every instrument in the Prometheus text
+// exposition format (version 0.0.4), sorted by name.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	for _, e := range r.sorted() {
+		if e.help != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", e.name, e.help); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", e.name, e.kind); err != nil {
+			return err
+		}
+		var err error
+		switch e.kind {
+		case kindCounter:
+			_, err = fmt.Fprintf(w, "%s %d\n", e.name, e.counter.Value())
+		case kindGauge:
+			_, err = fmt.Fprintf(w, "%s %s\n", e.name, formatFloat(e.gauge.Value()))
+		case kindGaugeFunc:
+			_, err = fmt.Fprintf(w, "%s %s\n", e.name, formatFloat(e.fn()))
+		case kindHistogram:
+			err = writePromHistogram(w, e.name, e.hist.Snapshot())
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// writePromHistogram emits the cumulative _bucket/_sum/_count triplet.
+// The fixed-bin layout maps to le = Lo + (i+1)·width; the edge-clamped
+// top bin plus the +Inf bucket keep the cumulative counts consistent.
+func writePromHistogram(w io.Writer, name string, s HistSnapshot) error {
+	width := (s.Hi - s.Lo) / float64(len(s.Bins))
+	var cum int64
+	for i, c := range s.Bins {
+		cum += c
+		le := s.Lo + float64(i+1)*width
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, formatFloat(le), cum); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, s.Count); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%s_sum %s\n", name, formatFloat(s.Sum)); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_count %d\n", name, s.Count)
+	return err
+}
+
+// formatFloat renders a float the way Prometheus expects (shortest
+// round-trip representation; NaN guarded to 0 so exports stay finite).
+func formatFloat(v float64) string {
+	if math.IsNaN(v) {
+		v = 0
+	}
+	return fmt.Sprintf("%g", v)
+}
+
+// Snapshot flattens every instrument to name→value: counters and
+// gauges directly; histograms contribute <name>_count, <name>_sum,
+// <name>_p50 and <name>_p99. The map is JSON-ready and is what
+// etalstm.Metrics() returns.
+func (r *Registry) Snapshot() map[string]float64 {
+	out := make(map[string]float64)
+	for _, e := range r.sorted() {
+		switch e.kind {
+		case kindCounter:
+			out[e.name] = float64(e.counter.Value())
+		case kindGauge:
+			out[e.name] = e.gauge.Value()
+		case kindGaugeFunc:
+			out[e.name] = e.fn()
+		case kindHistogram:
+			s := e.hist.Snapshot()
+			out[e.name+"_count"] = float64(s.Count)
+			out[e.name+"_sum"] = s.Sum
+			out[e.name+"_p50"] = s.P50
+			out[e.name+"_p99"] = s.P99
+		}
+	}
+	return out
+}

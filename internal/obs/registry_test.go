@@ -1,0 +1,196 @@
+package obs
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGauge(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total", "a counter")
+	c.Inc()
+	c.Add(4)
+	c.Add(-10) // ignored: counters only go up
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	g := r.Gauge("g", "a gauge")
+	g.Set(-2.5)
+	if got := g.Value(); got != -2.5 {
+		t.Fatalf("gauge = %v, want -2.5", got)
+	}
+	// Upsert: same name returns the same instrument.
+	if r.Counter("c_total", "other help") != c {
+		t.Fatal("Counter upsert returned a different instrument")
+	}
+	if r.Gauge("g", "") != g {
+		t.Fatal("Gauge upsert returned a different instrument")
+	}
+}
+
+func TestKindMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x", "")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("re-registering a counter as a gauge did not panic")
+		}
+	}()
+	r.Gauge("x", "")
+}
+
+func TestHistogram(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat", "latency", 0, 10, 10, 8)
+	for _, v := range []float64{1, 1, 2, 3, 9, 15, -1, math.NaN()} {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	if s.Count != 7 { // NaN dropped, clamped values kept
+		t.Fatalf("count = %d, want 7", s.Count)
+	}
+	if s.Bins[9] != 2 || s.Bins[0] != 1 { // 15 clamps in with 9 at the top, -1 into the bottom
+		t.Fatalf("edge clamping wrong: bins = %v", s.Bins)
+	}
+	if s.Sum != 1+1+2+3+9+15-1 {
+		t.Fatalf("sum = %v", s.Sum)
+	}
+	if s.Mean() == 0 || math.IsNaN(s.P50) || math.IsNaN(s.P99) {
+		t.Fatalf("snapshot stats: mean=%v p50=%v p99=%v", s.Mean(), s.P50, s.P99)
+	}
+	if (HistSnapshot{}).Mean() != 0 {
+		t.Fatal("empty snapshot mean should be 0")
+	}
+}
+
+func TestHistogramWindowWraps(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("w", "", 0, 100, 10, 4)
+	for i := 0; i < 100; i++ {
+		h.Observe(1) // old window content
+	}
+	for i := 0; i < 4; i++ {
+		h.Observe(50)
+	}
+	s := h.Snapshot()
+	if s.P50 != 50 || s.P99 != 50 {
+		t.Fatalf("window quantiles should reflect only recent samples: p50=%v p99=%v", s.P50, s.P99)
+	}
+	if s.Count != 104 {
+		t.Fatalf("count = %d, want 104", s.Count)
+	}
+}
+
+func TestWritePrometheus(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("b_total", "second").Add(2)
+	r.Gauge("a_gauge", "first").Set(1.5)
+	r.GaugeFunc("c_fn", "computed", func() float64 { return 7 })
+	h := r.Histogram("d_hist", "hist", 0, 4, 2, 8)
+	h.Observe(1)
+	h.Observe(3)
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	want := []string{
+		"# HELP a_gauge first\n# TYPE a_gauge gauge\na_gauge 1.5\n",
+		"# TYPE b_total counter\nb_total 2\n",
+		"c_fn 7\n",
+		"# TYPE d_hist histogram\n",
+		"d_hist_bucket{le=\"2\"} 1\n",
+		"d_hist_bucket{le=\"4\"} 2\n",
+		"d_hist_bucket{le=\"+Inf\"} 2\n",
+		"d_hist_sum 4\n",
+		"d_hist_count 2\n",
+	}
+	for _, w := range want {
+		if !strings.Contains(out, w) {
+			t.Errorf("prometheus output missing %q\n---\n%s", w, out)
+		}
+	}
+	// Name-sorted: a_gauge before b_total before c_fn before d_hist.
+	if !(strings.Index(out, "a_gauge") < strings.Index(out, "b_total") &&
+		strings.Index(out, "b_total") < strings.Index(out, "c_fn") &&
+		strings.Index(out, "c_fn") < strings.Index(out, "d_hist")) {
+		t.Errorf("output not name-sorted:\n%s", out)
+	}
+}
+
+func TestGaugeFuncReplace(t *testing.T) {
+	r := NewRegistry()
+	r.GaugeFunc("f", "", func() float64 { return 1 })
+	r.GaugeFunc("f", "", func() float64 { return 2 })
+	if got := r.Snapshot()["f"]; got != 2 {
+		t.Fatalf("replaced GaugeFunc = %v, want 2", got)
+	}
+}
+
+func TestSnapshot(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("c_total", "").Add(3)
+	r.Gauge("g", "").Set(0.5)
+	h := r.Histogram("h", "", 0, 1, 4, 8)
+	h.Observe(0.25)
+	s := r.Snapshot()
+	if s["c_total"] != 3 || s["g"] != 0.5 {
+		t.Fatalf("snapshot scalars wrong: %v", s)
+	}
+	if s["h_count"] != 1 || s["h_sum"] != 0.25 || s["h_p50"] != 0.25 || s["h_p99"] != 0.25 {
+		t.Fatalf("snapshot histogram wrong: %v", s)
+	}
+}
+
+func TestFormatFloatNaN(t *testing.T) {
+	if formatFloat(math.NaN()) != "0" {
+		t.Fatal("NaN should export as 0")
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 200; j++ {
+				r.Counter("c_total", "").Inc()
+				r.Gauge("g", "").Set(float64(j))
+				r.Histogram("h", "", 0, 1, 4, 16).Observe(0.5)
+				r.Snapshot()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("c_total", "").Value(); got != 8*200 {
+		t.Fatalf("concurrent counter = %d, want %d", got, 8*200)
+	}
+}
+
+func TestNewTrainRegistersAll(t *testing.T) {
+	r := NewRegistry()
+	ins := NewTrain(r)
+	if ins.Epochs == nil || ins.StepLatency == nil || ins.AllReduceWait == nil {
+		t.Fatal("NewTrain left instruments nil")
+	}
+	s := r.Snapshot()
+	for _, name := range []string{
+		MetricEpochsTotal, MetricEpochLoss, MetricEpochSeconds, MetricGradNorm,
+		MetricClipEventsTotal, MetricMS1PruneRatio, MetricMS1StoredPairs,
+		MetricMS2SkipRatio, MetricMS2PredLossError, MetricArenaHitsTotal,
+		MetricArenaMissesTotal, MetricArenaBytesHeld,
+	} {
+		if _, ok := s[name]; !ok {
+			t.Errorf("snapshot missing %s", name)
+		}
+	}
+	// Re-binding on the same registry reuses the same instruments.
+	if NewTrain(r).Epochs != ins.Epochs {
+		t.Fatal("NewTrain did not upsert")
+	}
+}

@@ -1,0 +1,105 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestRecorderSpans(t *testing.T) {
+	r := NewRecorder()
+	sp := r.Begin(PhaseFW)
+	time.Sleep(time.Millisecond)
+	sp.End()
+	r.Begin(PhaseBPMatMul).End()
+	r.Observe(PhaseAllReduce, 5*time.Millisecond)
+	r.Observe(PhaseAllReduce, -time.Millisecond) // negative durations dropped
+
+	rows := r.Breakdown()
+	if len(rows) != 3 {
+		t.Fatalf("breakdown rows = %d, want 3: %+v", len(rows), rows)
+	}
+	if rows[0].Phase != "FW" || rows[0].Count != 1 || rows[0].Total < time.Millisecond {
+		t.Fatalf("FW row wrong: %+v", rows[0])
+	}
+	if rows[2].Phase != "all-reduce" || rows[2].Total != 5*time.Millisecond || rows[2].Count != 1 {
+		t.Fatalf("all-reduce row wrong: %+v", rows[2])
+	}
+}
+
+func TestNilRecorderIsFree(t *testing.T) {
+	var r *Recorder
+	sp := r.Begin(PhaseFW) // must not panic or read the clock
+	sp.End()
+	r.Observe(PhaseFW, time.Second)
+	r.Add(NewRecorder())
+	r.Reset()
+	if r.Breakdown() != nil {
+		t.Fatal("nil recorder breakdown should be nil")
+	}
+	if avg := testing.AllocsPerRun(100, func() {
+		s := r.Begin(PhaseBPEWP2)
+		s.End()
+	}); avg > 0 {
+		t.Fatalf("disabled span path allocates %.2f/op, want 0", avg)
+	}
+}
+
+func TestEnabledRecorderZeroAlloc(t *testing.T) {
+	r := NewRecorder()
+	if avg := testing.AllocsPerRun(100, func() {
+		s := r.Begin(PhaseBPEWP2)
+		s.End()
+	}); avg > 0 {
+		t.Fatalf("enabled span path allocates %.2f/op, want 0", avg)
+	}
+}
+
+func TestRecorderAddReset(t *testing.T) {
+	a, b := NewRecorder(), NewRecorder()
+	a.Observe(PhaseFW, time.Second)
+	b.Observe(PhaseFW, 2*time.Second)
+	b.Observe(PhaseOptimizer, time.Second)
+	a.Add(b)
+	rows := a.Breakdown()
+	if rows[0].Total != 3*time.Second || rows[0].Count != 2 {
+		t.Fatalf("merged FW row wrong: %+v", rows[0])
+	}
+	if rows[1].Phase != "optimizer" {
+		t.Fatalf("want optimizer row, got %+v", rows[1])
+	}
+	a.Reset()
+	if len(a.Breakdown()) != 0 {
+		t.Fatal("reset recorder should be empty")
+	}
+}
+
+func TestPhaseString(t *testing.T) {
+	want := map[Phase]string{
+		PhaseFW: "FW", PhaseBPEWP1: "BP-EW-P1", PhaseBPEWP2: "BP-EW-P2",
+		PhaseBPMatMul: "BP-MatMul", PhaseAllReduce: "all-reduce", PhaseOptimizer: "optimizer",
+	}
+	for p, s := range want {
+		if p.String() != s {
+			t.Errorf("%d.String() = %q, want %q", p, p.String(), s)
+		}
+	}
+	if !strings.Contains(Phase(99).String(), "99") {
+		t.Error("unknown phase should print its number")
+	}
+}
+
+func TestBreakdownTable(t *testing.T) {
+	r := NewRecorder()
+	r.Observe(PhaseFW, 3*time.Second)
+	r.Observe(PhaseBPMatMul, time.Second)
+	tbl := BreakdownTable(r.Breakdown())
+	for _, want := range []string{"FW", "BP-MatMul", "75.0%", "25.0%", "total", "4s"} {
+		if !strings.Contains(tbl, want) {
+			t.Errorf("table missing %q:\n%s", want, tbl)
+		}
+	}
+	if empty := BreakdownTable(nil); !strings.Contains(empty, "phase") {
+		t.Errorf("empty table should still have a header:\n%s", empty)
+	}
+}

@@ -30,8 +30,10 @@ import (
 	"context"
 	"fmt"
 	"sync"
+	"time"
 
 	"etalstm/internal/model"
+	"etalstm/internal/obs"
 	"etalstm/internal/reorder"
 	"etalstm/internal/train"
 )
@@ -76,6 +78,18 @@ type Engine struct {
 	master   *model.Network
 	replicas []*model.Network
 	reducer  train.Reducer
+
+	// Rec, when non-nil, receives the coordinator-side phase spans (the
+	// tree all-reduce and the optimizer step). It is used only from the
+	// goroutine calling RunEpoch, matching obs.Recorder's confinement.
+	Rec *obs.Recorder
+	// OnStep, when non-nil, observes each optimizer step's wall time —
+	// one step per batch group, measured from re-sync to weight update.
+	OnStep func(d time.Duration)
+	// OnWait, when non-nil, observes the per-replica straggler wait:
+	// how long each finished worker sat idle before the group's last
+	// worker finished and the all-reduce could begin.
+	OnWait func(replica int, d time.Duration)
 }
 
 // New builds an engine with `workers` replicas of net (clamped to >= 1).
@@ -96,6 +110,12 @@ func New(net *model.Network, workers int, reducer train.Reducer) *Engine {
 // Workers returns the engine's replica count.
 func (e *Engine) Workers() int { return len(e.replicas) }
 
+// Replicas exposes the engine's replica networks so the trainer can
+// attach per-replica state (phase recorders on their workspaces, arena
+// accounting). The slice is owned by the engine; replicas must only be
+// touched between epochs, never while RunEpoch is in flight.
+func (e *Engine) Replicas() []*model.Network { return e.replicas }
+
 // RunEpoch shards p's batches into groups of Workers, runs fn on each
 // group concurrently, tree-reduces the gradients and applies them
 // through the reducer — one optimizer step per group. ctx is checked
@@ -114,6 +134,7 @@ func (e *Engine) RunEpoch(ctx context.Context, p train.Provider, fn BatchFn) (Ep
 		if hi > n {
 			hi = n
 		}
+		stepStart := time.Now()
 		// Re-sync replica weights from the master. The clone geometry
 		// always matches, so the error path is unreachable in practice.
 		for i := 0; i < hi-lo; i++ {
@@ -124,6 +145,7 @@ func (e *Engine) RunEpoch(ctx context.Context, p train.Provider, fn BatchFn) (Ep
 
 		results := make([]BatchResult, hi-lo)
 		errs := make([]error, hi-lo)
+		finished := make([]time.Time, hi-lo)
 		var wg sync.WaitGroup
 		for b := lo; b < hi; b++ {
 			slot := b - lo
@@ -138,9 +160,25 @@ func (e *Engine) RunEpoch(ctx context.Context, p train.Provider, fn BatchFn) (Ep
 			go func(slot, index int, batch train.Batch) {
 				defer wg.Done()
 				results[slot], errs[slot] = fn(e.replicas[slot], batch, index)
+				finished[slot] = time.Now()
 			}(slot, b, batch)
 		}
 		wg.Wait()
+		if e.OnWait != nil {
+			// The group's all-reduce begins when its last worker lands;
+			// every earlier finisher waited for the stragglers.
+			var last time.Time
+			for _, t := range finished {
+				if t.After(last) {
+					last = t
+				}
+			}
+			for slot, t := range finished {
+				if !t.IsZero() {
+					e.OnWait(slot, last.Sub(t))
+				}
+			}
+		}
 
 		// Fold statistics and surface errors in batch order, so the
 		// reported state is identical to a serial run that stopped at
@@ -166,8 +204,15 @@ func (e *Engine) RunEpoch(ctx context.Context, p train.Provider, fn BatchFn) (Ep
 		if len(grads) == 0 {
 			continue
 		}
+		sp := e.Rec.Begin(obs.PhaseAllReduce)
 		merged := TreeReduce(grads)
+		sp.End()
+		sp = e.Rec.Begin(obs.PhaseOptimizer)
 		e.reducer.Apply(e.master, merged, len(grads))
+		sp.End()
+		if e.OnStep != nil {
+			e.OnStep(time.Since(stepStart))
+		}
 	}
 	return res, nil
 }

@@ -52,6 +52,10 @@ func (s PruneStats) Add(o PruneStats) PruneStats {
 	return PruneStats{Elements: s.Elements + o.Elements, Pruned: s.Pruned + o.Pruned}
 }
 
+// Kept returns the entries that survived pruning — the value+index
+// pairs the compressed P1 store actually holds.
+func (s PruneStats) Kept() int64 { return s.Elements - s.Pruned }
+
 // PruneInPlace zeroes every |v| < threshold entry of the P1 set —
 // the approximation that training under MS1 actually experiences.
 // (Encoding and decoding through the sparse codec is lossless beyond

@@ -72,12 +72,11 @@ func TestBatcherConcurrentSubmit(t *testing.T) {
 			t.Fatalf("submit %d: output width %d, want %d", i, len(outs[i].Output), net.Cfg.OutSize)
 		}
 	}
-	if got := m.completed.Load(); got != n {
+	if got := m.completed.Value(); got != n {
 		t.Fatalf("completed %d, want %d", got, n)
 	}
-	m.mu.Lock()
-	batches, items := m.batches, m.items
-	m.mu.Unlock()
+	bs := m.batchSize.Snapshot()
+	batches, items := bs.Count, int64(bs.Sum)
 	if items != n {
 		t.Fatalf("batched items %d, want %d", items, n)
 	}
@@ -144,8 +143,8 @@ func TestBatcherQueueFull(t *testing.T) {
 	if _, err := b.submit(ctx, seq); !errors.Is(err, ErrQueueFull) {
 		t.Fatalf("overflow submit: err=%v, want ErrQueueFull", err)
 	}
-	if m.rejected.Load() != 1 {
-		t.Fatalf("rejected=%d, want 1", m.rejected.Load())
+	if m.rejected.Value() != 1 {
+		t.Fatalf("rejected=%d, want 1", m.rejected.Value())
 	}
 	cancel()
 	wg.Wait()
@@ -181,13 +180,10 @@ func TestBatcherCancelMidQueue(t *testing.T) {
 	if _, err := b.submit(context.Background(), seq); err != nil {
 		t.Fatalf("follow-up submit: %v", err)
 	}
-	if got := m.canceled.Load(); got != 1 {
+	if got := m.canceled.Value(); got != 1 {
 		t.Fatalf("canceled=%d, want 1", got)
 	}
-	m.mu.Lock()
-	items := m.items
-	m.mu.Unlock()
-	if items != 1 {
+	if items := int64(m.batchSize.Snapshot().Sum); items != 1 {
 		t.Fatalf("swept items=%d, want 1 (canceled request must not be swept)", items)
 	}
 }
@@ -276,7 +272,7 @@ func TestBatcherPanicIsolation(t *testing.T) {
 	if len(out.Output) != net.Cfg.OutSize {
 		t.Fatalf("post-panic output width %d, want %d", len(out.Output), net.Cfg.OutSize)
 	}
-	if m.failed.Load() == 0 {
+	if m.failed.Value() == 0 {
 		t.Fatal("failed counter not incremented for poisoned request")
 	}
 }

@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"time"
 )
 
@@ -45,6 +46,14 @@ func (s *Server) routes() *http.ServeMux {
 	mux.HandleFunc("GET /v1/model", s.handleModel)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /statz", s.handleStatz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	if s.opts.EnablePprof {
+		mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+		mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	}
 	return mux
 }
 
@@ -133,6 +142,13 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleStatz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, s.Stats())
+}
+
+// handleMetrics serves the server's registry in the Prometheus text
+// exposition format — the same instruments /statz summarizes as JSON.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = s.m.reg.WritePrometheus(w)
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {

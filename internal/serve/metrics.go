@@ -1,11 +1,9 @@
 package serve
 
 import (
-	"sync"
-	"sync/atomic"
 	"time"
 
-	"etalstm/internal/stats"
+	"etalstm/internal/obs"
 )
 
 // latWindow is how many recent request latencies the p50/p99 export is
@@ -13,54 +11,69 @@ import (
 // how long the server runs.
 const latWindow = 4096
 
-// metrics aggregates the serving counters exported by /statz.
+// Serving metric names. Each Server owns a private obs.Registry (its
+// counters describe one Server's lifetime, and independent servers in
+// one process — or one test binary — must not share them), so these
+// names never collide with the process-wide training registry.
+const (
+	metricSubmitted  = "etalstm_serve_submitted_total"
+	metricCompleted  = "etalstm_serve_completed_total"
+	metricFailed     = "etalstm_serve_failed_total"
+	metricRejected   = "etalstm_serve_rejected_total"
+	metricCanceled   = "etalstm_serve_canceled_total"
+	metricBatchSize  = "etalstm_serve_batch_size"
+	metricLatencyMs  = "etalstm_serve_latency_ms"
+	metricQueueDepth = "etalstm_serve_queue_depth"
+	metricSessions   = "etalstm_serve_sessions"
+	metricUptime     = "etalstm_serve_uptime_seconds"
+)
+
+// metrics aggregates the serving instruments exported by /statz (JSON)
+// and /metrics (Prometheus text). It is a thin view over the server's
+// registry; all bookkeeping lives in the obs instruments.
 type metrics struct {
 	start time.Time
+	reg   *obs.Registry
 
-	submitted atomic.Int64 // admitted into the queue
-	completed atomic.Int64 // finished with a result
-	failed    atomic.Int64 // finished with an error (panic, sweep failure)
-	rejected  atomic.Int64 // shed at admission (queue full)
-	canceled  atomic.Int64 // submitter gave up (deadline/cancel)
+	submitted *obs.Counter // admitted into the queue
+	completed *obs.Counter // finished with a result
+	failed    *obs.Counter // finished with an error (panic, sweep failure)
+	rejected  *obs.Counter // shed at admission (queue full)
+	canceled  *obs.Counter // submitter gave up (deadline/cancel)
 
-	mu      sync.Mutex
-	batches int64
-	items   int64
-	hist    *stats.Histogram // batch-size distribution, bins 1..MaxBatch
-	lat     [latWindow]float64
-	latIdx  int
-	latN    int
+	batchSize *obs.Histogram // batch-size distribution, bins 1..MaxBatch
+	latency   *obs.Histogram // request latency in ms, latWindow ring
 }
 
 func newMetrics(maxBatch int) *metrics {
+	reg := obs.NewRegistry()
 	return &metrics{
-		start: time.Now(),
+		start:     time.Now(),
+		reg:       reg,
+		submitted: reg.Counter(metricSubmitted, "requests admitted into the queue"),
+		completed: reg.Counter(metricCompleted, "requests finished with a result"),
+		failed:    reg.Counter(metricFailed, "requests finished with an error"),
+		rejected:  reg.Counter(metricRejected, "requests shed at admission (queue full)"),
+		canceled:  reg.Counter(metricCanceled, "requests whose submitter gave up"),
 		// One bin per batch size: [1, maxBatch+1) over maxBatch bins.
-		hist: stats.NewHistogram(1, float64(maxBatch+1), maxBatch),
+		batchSize: reg.Histogram(metricBatchSize, "flushed micro-batch sizes",
+			1, float64(maxBatch+1), maxBatch, 1024),
+		latency: reg.Histogram(metricLatencyMs, "request latency in milliseconds",
+			0, 1000, 100, latWindow),
 	}
 }
 
 func (m *metrics) observeBatch(size int) {
-	m.mu.Lock()
-	m.batches++
-	m.items += int64(size)
-	m.hist.Observe(float64(size))
-	m.mu.Unlock()
+	m.batchSize.Observe(float64(size))
 }
 
 func (m *metrics) observeLatency(d time.Duration) {
-	ms := float64(d) / float64(time.Millisecond)
-	m.mu.Lock()
-	m.lat[m.latIdx] = ms
-	m.latIdx = (m.latIdx + 1) % latWindow
-	if m.latN < latWindow {
-		m.latN++
-	}
-	m.mu.Unlock()
+	m.latency.Observe(float64(d) / float64(time.Millisecond))
 }
 
 // Stats is one consistent snapshot of the serving metrics — the JSON
-// body of /statz.
+// body of /statz. Its shape (field set, names, order) is a stable
+// contract; TestStatzGoldenShape pins it.
 type Stats struct {
 	UptimeSeconds float64 `json:"uptime_seconds"`
 
@@ -84,25 +97,22 @@ type Stats struct {
 }
 
 func (m *metrics) snapshot(queueDepth, sessions int) Stats {
+	bs := m.batchSize.Snapshot()
+	lat := m.latency.Snapshot()
 	s := Stats{
 		UptimeSeconds: time.Since(m.start).Seconds(),
-		Submitted:     m.submitted.Load(),
-		Completed:     m.completed.Load(),
-		Failed:        m.failed.Load(),
-		Rejected:      m.rejected.Load(),
-		Canceled:      m.canceled.Load(),
+		Submitted:     m.submitted.Value(),
+		Completed:     m.completed.Value(),
+		Failed:        m.failed.Value(),
+		Rejected:      m.rejected.Value(),
+		Canceled:      m.canceled.Value(),
 		QueueDepth:    queueDepth,
 		Sessions:      sessions,
+		Batches:       bs.Count,
+		MeanBatch:     bs.Mean(),
+		BatchHist:     bs.Bins,
+		LatencyP50Ms:  lat.P50,
+		LatencyP99Ms:  lat.P99,
 	}
-	m.mu.Lock()
-	s.Batches = m.batches
-	if m.batches > 0 {
-		s.MeanBatch = float64(m.items) / float64(m.batches)
-	}
-	s.BatchHist = append([]int64(nil), m.hist.Bins...)
-	window := append([]float64(nil), m.lat[:m.latN]...)
-	m.mu.Unlock()
-	qs := stats.Quantiles(window, 0.5, 0.99)
-	s.LatencyP50Ms, s.LatencyP99Ms = qs[0], qs[1]
 	return s
 }

@@ -1,0 +1,168 @@
+package serve
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"etalstm/internal/rng"
+)
+
+// TestStatzGoldenShape pins the /statz JSON contract: the exact key
+// set, in the exact order encoding/json emits for the Stats struct.
+// Migrating the bookkeeping onto the obs registry must not move a
+// single field — dashboards parse this shape.
+func TestStatzGoldenShape(t *testing.T) {
+	s, hs := testServer(t, Options{MaxBatch: 4, Window: time.Millisecond})
+	cfg := s.Config()
+	if _, err := s.Infer(t.Context(), Request{Inputs: seqJSON(rng.New(3), 4, cfg.InputSize)}); err != nil {
+		t.Fatal(err)
+	}
+
+	resp, err := http.Get(hs.URL + "/statz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Key order is part of the golden shape: encoding/json emits struct
+	// fields in declaration order, so any reordering (or a rename, or a
+	// dropped field) shows up as a diff here.
+	var keys []string
+	dec := json.NewDecoder(strings.NewReader(string(raw)))
+	if tok, err := dec.Token(); err != nil || tok != json.Delim('{') {
+		t.Fatalf("statz body is not a JSON object: %s", raw)
+	}
+	for dec.More() {
+		tok, err := dec.Token()
+		if err != nil {
+			t.Fatal(err)
+		}
+		keys = append(keys, tok.(string))
+		var v json.RawMessage
+		if err := dec.Decode(&v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want := []string{
+		"uptime_seconds",
+		"submitted", "completed", "failed", "rejected", "canceled",
+		"queue_depth", "sessions", "batches", "mean_batch", "batch_hist",
+		"latency_p50_ms", "latency_p99_ms",
+	}
+	if len(keys) != len(want) {
+		t.Fatalf("statz keys = %v, want %v", keys, want)
+	}
+	for i, k := range keys {
+		if k != want[i] {
+			t.Fatalf("statz key %d = %q, want %q (full: %v)", i, k, want[i], keys)
+		}
+	}
+
+	// And the values must describe the one completed request.
+	var st Stats
+	if err := json.Unmarshal(raw, &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Submitted != 1 || st.Completed != 1 || st.Batches != 1 {
+		t.Fatalf("statz counters wrong after one request: %+v", st)
+	}
+	if st.MeanBatch != 1 || len(st.BatchHist) != 4 || st.BatchHist[0] != 1 {
+		t.Fatalf("statz batch stats wrong: %+v", st)
+	}
+	if st.LatencyP50Ms <= 0 || st.LatencyP99Ms < st.LatencyP50Ms {
+		t.Fatalf("statz latency quantiles wrong: %+v", st)
+	}
+}
+
+// TestMetricsEndpoint checks GET /metrics serves the same instruments
+// in Prometheus text format, from the server's own registry.
+func TestMetricsEndpoint(t *testing.T) {
+	s, hs := testServer(t, Options{MaxBatch: 4, Window: time.Millisecond})
+	cfg := s.Config()
+	if _, err := s.Infer(t.Context(), Request{Inputs: seqJSON(rng.New(4), 4, cfg.InputSize)}); err != nil {
+		t.Fatal(err)
+	}
+
+	resp, err := http.Get(hs.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("metrics: HTTP %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("metrics content type = %q", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := string(body)
+	for _, want := range []string{
+		"# TYPE " + metricCompleted + " counter",
+		metricCompleted + " 1",
+		"# TYPE " + metricBatchSize + " histogram",
+		metricBatchSize + "_count 1",
+		metricQueueDepth + " 0",
+		metricUptime,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("metrics output missing %q\n---\n%s", want, out)
+		}
+	}
+}
+
+// TestMetricsRegistriesIndependent checks two servers in one process
+// keep separate counters — the reason serving uses per-instance
+// registries instead of the process-wide default.
+func TestMetricsRegistriesIndependent(t *testing.T) {
+	a, _ := testServer(t, Options{MaxBatch: 4, Window: time.Millisecond})
+	b, _ := testServer(t, Options{MaxBatch: 4, Window: time.Millisecond})
+	cfg := a.Config()
+	if _, err := a.Infer(t.Context(), Request{Inputs: seqJSON(rng.New(5), 3, cfg.InputSize)}); err != nil {
+		t.Fatal(err)
+	}
+	if got := a.Stats().Completed; got != 1 {
+		t.Fatalf("server a completed = %d, want 1", got)
+	}
+	if got := b.Stats().Completed; got != 0 {
+		t.Fatalf("server b completed = %d, want 0 (registries leaked across servers)", got)
+	}
+}
+
+// TestPprofGate checks the profiling handlers only exist behind
+// Options.EnablePprof.
+func TestPprofGate(t *testing.T) {
+	_, off := testServer(t, Options{MaxBatch: 4, Window: time.Millisecond})
+	resp, err := http.Get(off.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("pprof without EnablePprof: HTTP %d, want 404", resp.StatusCode)
+	}
+
+	_, on := testServer(t, Options{MaxBatch: 4, Window: time.Millisecond, EnablePprof: true})
+	resp, err = http.Get(on.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("pprof with EnablePprof: HTTP %d, want 200", resp.StatusCode)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	if !strings.Contains(string(body), "goroutine") {
+		t.Fatalf("pprof index does not look like pprof output")
+	}
+}

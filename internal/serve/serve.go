@@ -61,6 +61,11 @@ type Options struct {
 	MaxSeqLen int
 	// DrainTimeout bounds graceful shutdown (0 = 15s).
 	DrainTimeout time.Duration
+	// EnablePprof mounts net/http/pprof's profiling handlers under
+	// /debug/pprof/ on the server's mux. Off by default: the profiles
+	// expose internals (heap contents, goroutine stacks) that do not
+	// belong on an open inference port.
+	EnablePprof bool
 }
 
 func (o Options) withDefaults() Options {
@@ -147,6 +152,14 @@ func New(net *model.Network, opts Options) *Server {
 		janitorDone: make(chan struct{}),
 	}
 	s.b = newBatcher(net, opts, s.m)
+	// Derived gauges close over the live server; they are evaluated at
+	// export time, so /metrics and /statz always agree.
+	s.m.reg.GaugeFunc(metricQueueDepth, "requests waiting in the admission queue",
+		func() float64 { return float64(s.b.depth()) })
+	s.m.reg.GaugeFunc(metricSessions, "live streaming sessions",
+		func() float64 { return float64(s.sessions.count()) })
+	s.m.reg.GaugeFunc(metricUptime, "seconds since the server started",
+		func() float64 { return time.Since(s.m.start).Seconds() })
 	s.mux = s.routes()
 	go s.janitor()
 	return s

@@ -195,24 +195,36 @@ func GeoMean(vs []float64) float64 {
 	return math.Exp(logSum / float64(n))
 }
 
-// Quantiles returns the q-th quantiles of vs (each q in [0, 1],
-// nearest-rank on a sorted copy) in one sort pass — the p50/p99 export
-// of the serving layer's /statz endpoint. An empty sample yields zeros.
+// Quantiles returns the q-th quantiles of vs (nearest-rank on a sorted
+// copy) in one sort pass — the p50/p99 export of the telemetry layer
+// and the serving /statz endpoint.
+//
+// Contract: vs is never mutated; an empty sample yields all zeros; a
+// single sample yields that value for every q; q is clamped to [0, 1]
+// (q≤0 → minimum, q≥1 → maximum); NaN observations are dropped before
+// ranking, so the output is NaN-free whenever any finite sample exists
+// (all-NaN input degrades to the empty case). NaN would otherwise
+// leave sort.Float64s order unspecified and poison every quantile.
 func Quantiles(vs []float64, qs ...float64) []float64 {
 	out := make([]float64, len(qs))
-	if len(vs) == 0 {
+	sorted := make([]float64, 0, len(vs))
+	for _, v := range vs {
+		if !math.IsNaN(v) {
+			sorted = append(sorted, v)
+		}
+	}
+	if len(sorted) == 0 {
 		return out
 	}
-	sorted := append([]float64(nil), vs...)
 	sort.Float64s(sorted)
 	for i, q := range qs {
 		switch {
-		case q <= 0:
-			out[i] = sorted[0]
 		case q >= 1:
 			out[i] = sorted[len(sorted)-1]
-		default:
+		case q > 0: // finite (0,1); NaN q falls through to the minimum
 			out[i] = sorted[int(q*float64(len(sorted)-1))]
+		default:
+			out[i] = sorted[0]
 		}
 	}
 	return out

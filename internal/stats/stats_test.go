@@ -204,7 +204,50 @@ func TestQuantiles(t *testing.T) {
 	if got := Quantiles(nil, 0.5, 0.99); got[0] != 0 || got[1] != 0 {
 		t.Fatalf("empty input: %v, want zeros", got)
 	}
-	if got := Quantiles([]float64{7}, 0.5); got[0] != 7 {
-		t.Fatalf("single element: %v, want [7]", got)
+	if got := Quantiles([]float64{7}, 0, 0.5, 1); got[0] != 7 || got[1] != 7 || got[2] != 7 {
+		t.Fatalf("single element: %v, want [7 7 7]", got)
+	}
+	// Out-of-range q clamps to the extremes instead of indexing out.
+	if got := Quantiles([]float64{1, 2, 3}, -0.5, 1.5); got[0] != 1 || got[1] != 3 {
+		t.Fatalf("clamped q: %v, want [1 3]", got)
+	}
+}
+
+// TestQuantilesNaNFree pins the NaN part of the contract: NaN samples
+// are dropped before ranking, so quantiles over any finite data stay
+// finite, and an all-NaN window degrades to the empty case (zeros).
+func TestQuantilesNaNFree(t *testing.T) {
+	nan := math.NaN()
+	got := Quantiles([]float64{nan, 3, nan, 1, 2, nan}, 0, 0.5, 1)
+	if got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Fatalf("NaN-laced input: %v, want [1 2 3]", got)
+	}
+	for i, v := range Quantiles([]float64{nan, nan}, 0.5, 0.99) {
+		if math.IsNaN(v) || v != 0 {
+			t.Fatalf("all-NaN input, q[%d] = %v, want 0", i, v)
+		}
+	}
+}
+
+// Property: Quantiles output is always NaN-free and non-decreasing in q.
+func TestPropertyQuantilesNaNFree(t *testing.T) {
+	f := func(vs []float64, a, b float64) bool {
+		if math.IsNaN(a) {
+			a = 0
+		}
+		if math.IsNaN(b) {
+			b = 0
+		}
+		if a > b {
+			a, b = b, a
+		}
+		qs := Quantiles(vs, a, b)
+		if math.IsNaN(qs[0]) || math.IsNaN(qs[1]) {
+			return false
+		}
+		return qs[0] <= qs[1]
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
 	}
 }

@@ -1,6 +1,10 @@
 package tensor
 
-import "math/bits"
+import (
+	"math/bits"
+
+	"etalstm/internal/obs"
+)
 
 // Workspace is an allocation arena for the FW/BP hot path: a set of
 // size-bucketed free lists that recycle Matrix buffers (and, through
@@ -41,6 +45,14 @@ type Workspace struct {
 	// keyed by a caller-chosen slot. Pointers stored in an interface do
 	// not allocate, keeping GetObj/PutObj on the zero-alloc path.
 	objs map[uint8][]any
+
+	// rec, when set, receives the phase spans of every kernel running
+	// on this workspace. The workspace is the natural vehicle: it is
+	// already threaded through the whole FW/BP hot path and confined to
+	// one goroutine, exactly the confinement obs.Recorder requires. nil
+	// (the default) disables span recording at a pointer test per phase
+	// boundary.
+	rec *obs.Recorder
 
 	stats WorkspaceStats
 }
@@ -147,6 +159,26 @@ func (w *Workspace) PutObj(slot uint8, v any) {
 		return
 	}
 	w.objs[slot] = append(w.objs[slot], v)
+}
+
+// SetRecorder attaches (or, with nil, detaches) a phase-span recorder.
+// The recorder inherits the workspace's goroutine confinement. No-op on
+// a nil workspace.
+func (w *Workspace) SetRecorder(r *obs.Recorder) {
+	if w == nil {
+		return
+	}
+	w.rec = r
+}
+
+// Recorder returns the attached span recorder (nil when recording is
+// off or the workspace is nil). Kernels call it once per pass and open
+// spans through the nil-safe obs.Recorder.Begin.
+func (w *Workspace) Recorder() *obs.Recorder {
+	if w == nil {
+		return nil
+	}
+	return w.rec
 }
 
 // Stats returns a snapshot of the workspace's traffic counters.

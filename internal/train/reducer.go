@@ -24,6 +24,12 @@ type Reducer interface {
 type ClipStep struct {
 	Opt  Optimizer
 	Clip float64
+
+	// OnApply, when non-nil, observes each step's pre-clip global L2
+	// norm and whether clipping actually rescaled. It is only invoked
+	// when Clip > 0 — with clipping disabled the norm is never computed,
+	// and the hook stays free.
+	OnApply func(norm float64, clipped bool)
 }
 
 // Apply implements Reducer.
@@ -32,7 +38,10 @@ func (c ClipStep) Apply(net *model.Network, grads *model.Gradients, replicas int
 		grads.Scale(1 / float32(replicas))
 	}
 	if c.Clip > 0 {
-		ClipGradients(grads, c.Clip)
+		norm := ClipGradients(grads, c.Clip)
+		if c.OnApply != nil {
+			c.OnApply(norm, norm > c.Clip)
+		}
 	}
 	c.Opt.Step(net, grads)
 }

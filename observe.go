@@ -1,0 +1,37 @@
+package etalstm
+
+import (
+	"net/http"
+
+	"etalstm/internal/obs"
+)
+
+// Metrics returns a flat name→value snapshot of the process-wide
+// telemetry registry: every training instrument (epoch loss, gradient
+// norm, the MS1 prune ratio, the MS2 skip ratio, workspace-arena
+// traffic, …) keyed by its Prometheus name, with histograms flattened
+// to <name>_count / _sum / _p50 / _p99. The map is JSON-ready.
+//
+// Servers keep per-instance registries instead; their metrics are
+// served by the Server itself (GET /metrics and /statz).
+func Metrics() map[string]float64 { return obs.Default.Snapshot() }
+
+// MetricsHandler returns an http.Handler that serves the process-wide
+// registry in the Prometheus text exposition format — mount it on any
+// mux (etatrain's -metrics-addr flag does exactly this).
+func MetricsHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = obs.Default.WritePrometheus(w)
+	})
+}
+
+// PhaseStat is one row of a phase-latency breakdown: how often a
+// training-step phase (FW, BP-EW-P1, BP-EW-P2, BP-MatMul, all-reduce,
+// optimizer) ran and its total wall time.
+type PhaseStat = obs.PhaseStat
+
+// Phases returns the trainer's accumulated phase-latency breakdown in
+// execution order, or nil unless TrainerOptions.RecordPhases was set
+// before training. etabench -phases renders this as a table.
+func (t *Trainer) Phases() []PhaseStat { return t.inner.Phases() }
