@@ -3,7 +3,7 @@ GO ?= go
 # Budget per fuzz target for `make fuzz` (go test -fuzztime syntax).
 FUZZTIME ?= 30s
 
-.PHONY: build test race bench vet fmt check fuzz cover serve-smoke obs-smoke all
+.PHONY: build test race bench vet fmt check fuzz cover serve-smoke obs-smoke longseq-smoke all
 
 all: build test
 
@@ -20,10 +20,12 @@ test:
 # confinement of the scratch arenas is the thing under test, the MS2
 # planner, the differential harness (whose equivalence engine runs
 # serial and concurrent replicas against each other), the serving
-# subsystem (micro-batcher, session table, graceful drain), and the
-# telemetry layer (concurrent registry, per-replica span recorders).
+# subsystem (micro-batcher, session table, graceful drain), the
+# telemetry layer (concurrent registry, per-replica span recorders),
+# and the checkpoint planner whose placements the replicas recompute
+# under concurrently.
 race:
-	$(GO) test -race ./internal/parallel ./internal/core ./internal/tensor ./internal/lstm ./internal/model ./internal/check ./internal/skip ./internal/train ./internal/serve ./internal/obs .
+	$(GO) test -race ./internal/parallel ./internal/core ./internal/tensor ./internal/lstm ./internal/model ./internal/check ./internal/skip ./internal/train ./internal/serve ./internal/obs ./internal/memplan .
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
@@ -36,6 +38,7 @@ fuzz:
 	$(GO) test -run='^$$' -fuzz=FuzzLoad -fuzztime=$(FUZZTIME) -fuzzminimizetime=1x ./internal/persist
 	$(GO) test -run='^$$' -fuzz=FuzzGradCheck -fuzztime=$(FUZZTIME) -fuzzminimizetime=1x ./internal/check
 	$(GO) test -run='^$$' -fuzz=FuzzEquivalence -fuzztime=$(FUZZTIME) -fuzzminimizetime=1x ./internal/check
+	$(GO) test -run='^$$' -fuzz=FuzzCheckpointed -fuzztime=$(FUZZTIME) -fuzzminimizetime=1x ./internal/check
 
 # cover enforces statement-coverage floors on the numerically critical
 # packages. Floors sit a few points below current coverage: they catch a
@@ -54,7 +57,8 @@ cover:
 	check ./internal/model 85; \
 	check ./internal/skip 90; \
 	check ./internal/serve 65; \
-	check ./internal/obs 85
+	check ./internal/obs 85; \
+	check ./internal/memplan 90
 
 # serve-smoke is the end-to-end serving check: checkpoint -> etaserve
 # on an ephemeral port -> loadgen burst -> graceful drain, all through
@@ -67,6 +71,13 @@ serve-smoke:
 # MS1 prune-ratio gauge shows up in the Prometheus text output.
 obs-smoke:
 	$(GO) test -run TestObsSmoke -v ./cmd/etatrain
+
+# longseq-smoke is the end-to-end memory-budget check: a seqlen-4096
+# byte-level LM run under a quarter-of-peak budget that provably cannot
+# hold full storage, asserted to stay under budget via the measured
+# peak-stored-bytes report.
+longseq-smoke:
+	$(GO) test -run TestLongSeqSmoke -v ./cmd/etatrain
 
 vet:
 	$(GO) vet ./...

@@ -102,9 +102,11 @@ func run(args []string, stdout io.Writer) error {
 }
 
 // runPhases trains a few combined-mode epochs with phase recording on
-// and prints the per-phase wall-time breakdown (FW, BP-EW-P1, BP-EW-P2,
-// BP-MatMul, all-reduce, optimizer). Two replica workers are used so
-// the coordinator phases show up alongside the kernel phases.
+// and prints the per-phase wall-time breakdown (FW, recompute-FW,
+// BP-EW-P1, BP-EW-P2, BP-MatMul, all-reduce, optimizer). Two replica
+// workers are used so the coordinator phases show up alongside the
+// kernel phases, and a third-of-peak memory budget so checkpointed
+// BPTT's recompute-FW phase appears in the table.
 func runPhases(w io.Writer, seed uint64, full bool) error {
 	bench, err := etalstm.BenchmarkByName("IMDB")
 	if err != nil {
@@ -119,8 +121,12 @@ func runPhases(w io.Writer, seed uint64, full bool) error {
 	if err != nil {
 		return err
 	}
+	budget := etalstm.PlanFor(bench.Cfg, etalstm.Combined, 0).FullPeak / 3
+	if pl := etalstm.PlanFor(bench.Cfg, etalstm.Combined, budget); !pl.Feasible {
+		budget = 0 // geometry too small to checkpoint; keep full storage
+	}
 	tr := etalstm.NewTrainer(net, etalstm.Combined, etalstm.TrainerOptions{
-		Workers: 2, RecordPhases: true,
+		Workers: 2, RecordPhases: true, MemoryBudget: budget,
 	})
 	prov := bench.Provider(batches, seed)
 	for e := 0; e < epochs; e++ {
@@ -128,8 +134,8 @@ func runPhases(w io.Writer, seed uint64, full bool) error {
 			return err
 		}
 	}
-	fmt.Fprintf(w, "phase breakdown: %s, combined mode, %d epochs x %d batches, H=%d LL=%d B=%d, 2 workers\n",
-		bench.Name, epochs, batches, bench.Cfg.Hidden, bench.Cfg.SeqLen, bench.Cfg.Batch)
+	fmt.Fprintf(w, "phase breakdown: %s, combined mode, %d epochs x %d batches, H=%d LL=%d B=%d, 2 workers, budget %d B\n",
+		bench.Name, epochs, batches, bench.Cfg.Hidden, bench.Cfg.SeqLen, bench.Cfg.Batch, budget)
 	fmt.Fprint(w, obs.BreakdownTable(tr.Phases()))
 	return nil
 }

@@ -62,8 +62,8 @@ func TestRunPhases(t *testing.T) {
 	}
 	s := out.String()
 	for _, want := range []string{
-		"phase breakdown", "FW", "BP-EW-P1", "BP-EW-P2", "BP-MatMul",
-		"all-reduce", "optimizer", "total",
+		"phase breakdown", "FW", "recompute-FW", "BP-EW-P1", "BP-EW-P2",
+		"BP-MatMul", "all-reduce", "optimizer", "total",
 	} {
 		if !strings.Contains(s, want) {
 			t.Errorf("phase table missing %q:\n%s", want, s)

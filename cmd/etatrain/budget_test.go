@@ -1,0 +1,136 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"etalstm"
+)
+
+func TestParseBytes(t *testing.T) {
+	cases := map[string]int64{
+		"":        0,
+		"65536":   65536,
+		"64B":     64,
+		"320KiB":  320 << 10,
+		"512MiB":  512 << 20,
+		"2GiB":    2 << 30,
+		"5kb":     5_000,
+		"3MB":     3_000_000,
+		"1gb":     1_000_000_000,
+		" 16 KiB": 16 << 10,
+	}
+	for in, want := range cases {
+		got, err := parseBytes(in)
+		if err != nil || got != want {
+			t.Errorf("parseBytes(%q) = %d, %v; want %d", in, got, err, want)
+		}
+	}
+	for _, bad := range []string{"x", "-5", "12XiB", "KiB"} {
+		if _, err := parseBytes(bad); err == nil {
+			t.Errorf("parseBytes(%q) should fail", bad)
+		}
+	}
+}
+
+// TestMemBudgetFlag drives -mem-budget through the benchmark path and
+// checks the plan and measured-peak reporting.
+func TestMemBudgetFlag(t *testing.T) {
+	var out bytes.Buffer
+	args := []string{
+		"-bench", "IMDB", "-mode", "baseline", "-epochs", "2", "-batches", "2",
+		"-hidden-div", "64", "-seq", "48", "-batch", "4", "-mem-budget", "96KiB",
+	}
+	if err := run(context.Background(), args, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{"memory budget 98304 B:", "checkpoint column", "measured peak stored"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output missing %q:\n%s", want, s)
+		}
+	}
+	peak, budget := parsePeakLine(t, s)
+	if peak <= 0 || peak > budget {
+		t.Fatalf("measured peak %d B outside budget %d B:\n%s", peak, budget, s)
+	}
+}
+
+func TestMemBudgetInfeasibleFailsFast(t *testing.T) {
+	var out bytes.Buffer
+	err := run(context.Background(), tinyArgs("-mem-budget", "64B"), &out)
+	if err == nil || !strings.Contains(err.Error(), "infeasible") {
+		t.Fatalf("want infeasible error, got %v", err)
+	}
+}
+
+// TestLongSeqSmoke is the acceptance scenario: a seqlen-4096 byte-level
+// LM run under a budget that provably cannot hold full storage (25% of
+// the full-storage peak) completes with the measured peak under budget.
+func TestLongSeqSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long-sequence smoke test")
+	}
+	corpus := filepath.Join(t.TempDir(), "corpus.txt")
+	var text bytes.Buffer
+	for text.Len() < 8500 {
+		text.WriteString("the quick brown fox jumps over the lazy dog; ")
+	}
+	if err := os.WriteFile(corpus, text.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	const seqLen = 4096
+	cfg := etalstm.Config{
+		InputSize: 32, Hidden: 8, Layers: 2, SeqLen: seqLen, Batch: 1,
+		OutSize: 256, Loss: etalstm.PerTimestampLoss,
+	}
+	full := etalstm.PlanFor(cfg, etalstm.Baseline, 0).FullPeak
+	budget := full / 4
+	pl := etalstm.PlanFor(cfg, etalstm.Baseline, budget)
+	if pl.FullStorage() || !pl.Feasible {
+		t.Fatalf("quarter budget %d B must force checkpointing, got %+v", budget, pl)
+	}
+
+	var out bytes.Buffer
+	args := []string{
+		"-corpus", corpus, "-mode", "baseline", "-workers", "1",
+		"-hidden", "8", "-seq", strconv.Itoa(seqLen), "-batch", "1",
+		"-epochs", "1", "-batches", "1",
+		"-mem-budget", fmt.Sprintf("%dB", budget),
+	}
+	if err := run(context.Background(), args, &out); err != nil {
+		t.Fatalf("%v\n%s", err, out.String())
+	}
+	s := out.String()
+	if !strings.Contains(s, "epoch  0") {
+		t.Fatalf("run did not train:\n%s", s)
+	}
+	peak, b := parsePeakLine(t, s)
+	if b != budget {
+		t.Fatalf("reported budget %d != requested %d", b, budget)
+	}
+	if peak <= 0 || peak > budget {
+		t.Fatalf("seqlen-%d measured peak %d B not under budget %d B:\n%s", seqLen, peak, budget, s)
+	}
+}
+
+var peakLine = regexp.MustCompile(`measured peak stored (\d+) B \(budget (\d+) B, predicted (\d+) B\)`)
+
+func parsePeakLine(t *testing.T, s string) (peak, budget int64) {
+	t.Helper()
+	m := peakLine.FindStringSubmatch(s)
+	if m == nil {
+		t.Fatalf("no measured-peak line in output:\n%s", s)
+	}
+	peak, _ = strconv.ParseInt(m[1], 10, 64)
+	budget, _ = strconv.ParseInt(m[2], 10, 64)
+	return peak, budget
+}

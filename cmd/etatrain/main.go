@@ -21,6 +21,7 @@ import (
 	"os/signal"
 	"runtime"
 	"runtime/pprof"
+	"strconv"
 	"strings"
 
 	"etalstm"
@@ -53,6 +54,7 @@ func run(ctx context.Context, args []string, w io.Writer) error {
 		workers   = fs.Int("workers", 1, "data-parallel replica workers (0 = derive from CPU count)")
 		kernelW   = fs.Int("kernel-workers", 0, "goroutines per tensor kernel (0 = keep default)")
 		corpusPth = fs.String("corpus", "", "train a byte-level LM on this text file instead of a benchmark")
+		memBudget = fs.String("mem-budget", "", `cap stored activation bytes per FW+BP pass, e.g. "512MiB" or "320KiB" (empty = full storage); tighter budgets checkpoint more and recompute FW segments during BP`)
 		hidden    = fs.Int("hidden", 64, "hidden size for -corpus mode")
 		loadPath  = fs.String("load", "", "resume from a checkpoint file")
 		savePath  = fs.String("save", "", "write a checkpoint file after training")
@@ -84,7 +86,11 @@ func run(ctx context.Context, args []string, w io.Writer) error {
 	if err != nil {
 		return err
 	}
-	topts := etalstm.TrainerOptions{Workers: *workers}
+	budget, err := parseBytes(*memBudget)
+	if err != nil {
+		return err
+	}
+	topts := etalstm.TrainerOptions{Workers: *workers, MemoryBudget: budget}
 	if *corpusPth != "" {
 		return trainCorpus(ctx, w, *corpusPth, mode, topts, *hidden, *seqCap, *batchCap, *epochs, *batches, *seed)
 	}
@@ -118,8 +124,12 @@ func run(ctx context.Context, args []string, w io.Writer) error {
 	if tr.Workers() > 1 {
 		fmt.Fprintf(w, "data-parallel: %d replica workers\n", tr.Workers())
 	}
+	if err := printPlan(w, bench.Cfg, mode, budget); err != nil {
+		return err
+	}
 	prov := bench.Provider(*batches, *seed)
 
+	var peakStored int64
 	for e := 0; e < *epochs; e++ {
 		st, err := tr.RunEpoch(ctx, prov, e)
 		if errors.Is(err, context.Canceled) {
@@ -136,8 +146,12 @@ func run(ctx context.Context, args []string, w io.Writer) error {
 		if st.PruneStats.Elements > 0 {
 			line += fmt.Sprintf("  pruned %.0f%% of P1", 100*st.PruneStats.Frac())
 		}
+		if st.PeakStoredBytes > peakStored {
+			peakStored = st.PeakStoredBytes
+		}
 		fmt.Fprintln(w, line)
 	}
+	printPeak(w, tr, budget, peakStored)
 
 	loss, acc, err := etalstm.Evaluate(net, bench.Provider(2, *seed+100))
 	if err != nil {
@@ -152,7 +166,7 @@ func run(ctx context.Context, args []string, w io.Writer) error {
 		fmt.Fprintf(w, "checkpoint written to %s\n", *savePath)
 	}
 
-	fp := tr.Footprint(full.Cfg)
+	fp := etalstm.Analyze(full.Cfg, mode).Footprint
 	base := etalstm.Analyze(full.Cfg, etalstm.Baseline).Footprint
 	fmt.Fprintf(w, "modeled footprint at paper geometry: %.2f GB (baseline %.2f GB, -%.1f%%)\n",
 		float64(fp.Total())/1e9, float64(base.Total())/1e9,
@@ -174,6 +188,64 @@ func serveMetrics(addr string, w io.Writer) (func(), error) {
 	go hs.Serve(ln)
 	fmt.Fprintf(w, "metrics: http://%s/metrics\n", ln.Addr())
 	return func() { hs.Close() }, nil
+}
+
+// parseBytes parses a human byte size: a bare integer is bytes, and
+// the suffixes B, KiB/MiB/GiB (binary) and KB/MB/GB (decimal) scale it,
+// case-insensitively. Empty means no budget (0).
+func parseBytes(s string) (int64, error) {
+	l := strings.ToLower(strings.TrimSpace(s))
+	if l == "" {
+		return 0, nil
+	}
+	mult := int64(1)
+	switch {
+	case strings.HasSuffix(l, "kib"):
+		mult, l = 1<<10, l[:len(l)-3]
+	case strings.HasSuffix(l, "mib"):
+		mult, l = 1<<20, l[:len(l)-3]
+	case strings.HasSuffix(l, "gib"):
+		mult, l = 1<<30, l[:len(l)-3]
+	case strings.HasSuffix(l, "kb"):
+		mult, l = 1_000, l[:len(l)-2]
+	case strings.HasSuffix(l, "mb"):
+		mult, l = 1_000_000, l[:len(l)-2]
+	case strings.HasSuffix(l, "gb"):
+		mult, l = 1_000_000_000, l[:len(l)-2]
+	case strings.HasSuffix(l, "b"):
+		l = l[:len(l)-1]
+	}
+	n, err := strconv.ParseInt(strings.TrimSpace(l), 10, 64)
+	if err != nil || n < 0 {
+		return 0, fmt.Errorf("invalid byte size %q (want e.g. 65536, 320KiB, 512MiB)", s)
+	}
+	return n * mult, nil
+}
+
+// printPlan reports what the memory budget buys before training starts:
+// the checkpoint placement, its predicted peak and recompute overhead.
+// An infeasible budget fails here, with the diagnostic the trainer
+// would produce one epoch later.
+func printPlan(w io.Writer, cfg etalstm.Config, mode etalstm.Mode, budget int64) error {
+	if budget <= 0 {
+		return nil
+	}
+	pl := etalstm.PlanFor(cfg, mode, budget)
+	if !pl.Feasible {
+		return fmt.Errorf("memory budget %d B is infeasible: even per-step checkpoints need %d B", budget, pl.PredictedPeak)
+	}
+	fmt.Fprintf(w, "memory budget %d B: %s (full storage would peak at %d B)\n", budget, pl.String(), pl.FullPeak)
+	return nil
+}
+
+// printPeak reports the measured peak stored bytes against the budget
+// and the plan's prediction after a budgeted run.
+func printPeak(w io.Writer, tr *etalstm.Trainer, budget, peakStored int64) {
+	if budget <= 0 || peakStored <= 0 {
+		return
+	}
+	pl := tr.Plan()
+	fmt.Fprintf(w, "measured peak stored %d B (budget %d B, predicted %d B)\n", peakStored, budget, pl.PredictedPeak)
 }
 
 func parseMode(s string) (etalstm.Mode, error) {
@@ -239,7 +311,11 @@ func trainCorpus(ctx context.Context, w io.Writer, path string, mode etalstm.Mod
 	if err != nil {
 		return err
 	}
+	if err := printPlan(w, cfg, mode, topts.MemoryBudget); err != nil {
+		return err
+	}
 	tr := etalstm.NewTrainer(net, mode, topts)
+	var peakStored int64
 	for e := 0; e < epochs; e++ {
 		st, err := tr.RunEpoch(ctx, prov, e)
 		if errors.Is(err, context.Canceled) {
@@ -249,7 +325,11 @@ func trainCorpus(ctx context.Context, w io.Writer, path string, mode etalstm.Mod
 		if err != nil {
 			return err
 		}
+		if st.PeakStoredBytes > peakStored {
+			peakStored = st.PeakStoredBytes
+		}
 		fmt.Fprintf(w, "epoch %2d  loss %.4f  perplexity %.1f\n", e, st.MeanLoss, math.Exp(st.MeanLoss))
 	}
+	printPeak(w, tr, topts.MemoryBudget, peakStored)
 	return nil
 }

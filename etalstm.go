@@ -172,6 +172,16 @@ type TrainerOptions struct {
 	MaxSkipFrac float64
 	// WarmupEpochs run unskipped before Eq. 5 has history (0 = 3).
 	WarmupEpochs int
+	// MemoryBudget caps the stored activation bytes of one FW+BP pass
+	// per replica (0 = classic full-storage BPTT). A positive budget
+	// below the full-storage peak switches the trainer to checkpointed
+	// BPTT: only the placement's (h,s) columns are kept through FW and
+	// the segments between them are recomputed during BP, with losses
+	// and gradients bitwise identical to full storage. PlanFor previews
+	// the placement a budget buys; Trainer.Plan returns the one in use.
+	// An infeasible budget (below even per-step checkpointing) fails at
+	// the first RunEpoch with a diagnostic.
+	MemoryBudget int64
 	// Observer, when non-nil, receives each epoch's stats right after
 	// the epoch completes — loss, wall time, prune/skip behaviour — for
 	// live logging without polling. It runs on the training goroutine;
@@ -231,6 +241,7 @@ func NewTrainer(net *Network, mode Mode, opts TrainerOptions) *Trainer {
 		SkipThreshold:  opts.SkipThreshold,
 		MaxSkipFrac:    opts.MaxSkipFrac,
 		WarmupEpochs:   opts.WarmupEpochs,
+		MemoryBudget:   opts.MemoryBudget,
 	}
 	inner := core.New(net, opt, clip, cfg)
 	inner.Workers = workers
@@ -261,9 +272,28 @@ func (t *Trainer) RunEpoch(ctx context.Context, p Provider, epoch int) (EpochSta
 // Losses returns the recorded per-epoch mean losses.
 func (t *Trainer) Losses() []float64 { return t.inner.Losses() }
 
+// Plan returns the checkpoint placement this trainer uses for its
+// MemoryBudget. With no budget (or one the full-storage peak fits) the
+// placement is a single segment and Plan().FullStorage() is true.
+func (t *Trainer) Plan() Plan { return *t.inner.Placement() }
+
+// Analyze evaluates both analytic cost models — per-step DRAM traffic
+// and training memory footprint — for this trainer's own network at its
+// measured operating point (the P1 sparsity its pruning actually
+// achieved, the skip fraction its latest plan actually chose), rather
+// than the paper's defaults the package-level Analyze assumes.
+func (t *Trainer) Analyze() Analysis {
+	sparsity, skipFrac := t.inner.OperatingPoint()
+	return analyzeAt(t.inner.Net.Cfg, t.mode, sparsity, skipFrac)
+}
+
 // Footprint returns the modeled training memory footprint of cfg at
 // this trainer's measured operating point, split into the paper's
 // parameter / activation / intermediate categories.
+//
+// Deprecated: use Trainer.Analyze, which reports the footprint and the
+// DRAM traffic of the trainer's own network in one call, or the
+// package-level Analyze for arbitrary configurations.
 func (t *Trainer) Footprint(cfg Config) Footprint {
 	b := memplan.Footprint(cfg, t.inner.FootprintMode(), t.inner.FootprintParams())
 	return Footprint{
@@ -316,38 +346,70 @@ type Analysis struct {
 	Footprint Footprint
 }
 
-// Analyze models cfg under mode and returns both the DRAM traffic and
-// the memory footprint in one call — the single entry point behind the
-// deprecated DataMovement and FootprintFor wrappers. Use
-// Trainer.Footprint for a trained run's measured operating point.
-func Analyze(cfg Config, mode Mode) Analysis {
-	p := defaultOptParams(cfg)
-	// One mode switch covers both models: each Mode maps to a trace
-	// call and a memplan mode with the same operating-point parameters.
-	var m trace.Movement
-	var mm memplan.Mode
+// memMode maps a public training Mode onto the memplan cost-model mode.
+func memMode(mode Mode) memplan.Mode {
 	switch mode {
 	case MS1:
-		m = trace.WithMS1(cfg, p.P1Sparsity)
-		mm = memplan.MS1
+		return memplan.MS1
 	case MS2:
-		m = trace.WithMS2(cfg, p.SkipFrac)
-		mm = memplan.MS2
+		return memplan.MS2
 	case Combined:
-		m = trace.Combined(cfg, p.P1Sparsity, p.SkipFrac)
-		mm = memplan.Combined
+		return memplan.Combined
+	}
+	return memplan.Baseline
+}
+
+// analyzeAt evaluates both analytic models at an explicit operating
+// point — the shared core of Analyze (paper defaults) and
+// Trainer.Analyze (measured values).
+func analyzeAt(cfg Config, mode Mode, p1Sparsity, skipFrac float64) Analysis {
+	var m trace.Movement
+	switch mode {
+	case MS1:
+		m = trace.WithMS1(cfg, p1Sparsity)
+	case MS2:
+		m = trace.WithMS2(cfg, skipFrac)
+	case Combined:
+		m = trace.Combined(cfg, p1Sparsity, skipFrac)
 	default:
 		m = trace.Baseline(cfg)
-		mm = memplan.Baseline
 	}
-	mp := memplan.Params{P1KeepRatio: memplan.FromSparsity(p.P1Sparsity), SkipFrac: p.SkipFrac}
-	b := memplan.Footprint(cfg, mm, mp)
+	mp := memplan.Params{P1KeepRatio: memplan.FromSparsity(p1Sparsity), SkipFrac: skipFrac}
+	b := memplan.Footprint(cfg, memMode(mode), mp)
 	return Analysis{
 		Cfg:       cfg,
 		Mode:      mode,
 		Movement:  Movement{Weights: m.Weights, Activations: m.Activations, Intermediates: m.Intermediates},
 		Footprint: Footprint{Parameter: b.Parameter, Activations: b.Activations, Intermediate: b.Intermediate},
 	}
+}
+
+// Analyze models cfg under mode and returns both the DRAM traffic and
+// the memory footprint in one call — the single entry point behind the
+// deprecated DataMovement and FootprintFor wrappers, at the paper's
+// operating points (65 % P1 sparsity, geometry-derived skip fraction).
+// Use Trainer.Analyze for a trained run's measured operating point, and
+// PlanFor for what a memory budget does to the training loop itself.
+func Analyze(cfg Config, mode Mode) Analysis {
+	p := defaultOptParams(cfg)
+	return analyzeAt(cfg, mode, p.P1Sparsity, p.SkipFrac)
+}
+
+// Plan is a checkpointed-BPTT placement: which (h,s) columns FW keeps
+// resident, the segments recomputed during BP, and the predicted peak
+// bytes / recompute overhead that buys. Produce one with PlanFor or
+// read a trainer's active placement with Trainer.Plan.
+type Plan = memplan.Placement
+
+// PlanFor plans checkpointed BPTT for cfg under mode within budget
+// bytes — the planning half of TrainerOptions.MemoryBudget, exposed so
+// callers can preview what a budget costs (Plan.RecomputeRatio,
+// Plan.PredictedPeak) before committing to a training run. budget <= 0,
+// or one the full-storage peak already fits, returns the trivial
+// single-segment placement (Plan.FullStorage() == true); a budget no
+// placement can satisfy returns Plan.Feasible == false.
+func PlanFor(cfg Config, mode Mode, budget int64) Plan {
+	return memplan.Plan(cfg, memMode(mode), budget)
 }
 
 // DataMovement returns the modeled per-step DRAM traffic of cfg under

@@ -1,0 +1,104 @@
+package check
+
+import (
+	"fmt"
+	"testing"
+
+	"etalstm/internal/memplan"
+	"etalstm/internal/model"
+)
+
+// ckptScenario returns a fixed geometry per loss kind, long enough that
+// every ladder rung (mid, per-step, memplan's quarter-budget placement)
+// is a genuinely different partition.
+func ckptScenario(loss model.LossKind) *Scenario {
+	return &Scenario{
+		Seed: 31 + uint64(loss),
+		Cfg: model.Config{
+			InputSize: 3, Hidden: 4, Layers: 2, SeqLen: 8, Batch: 2,
+			OutSize: 3, Loss: loss,
+		},
+		NumBatches: 4,
+	}
+}
+
+// TestEquivalenceCheckpointed runs the full checkpointed matrix —
+// budget ladder × raw/P1/pruned-P1 × serial/parallel/no-arena — for
+// every loss topology and asserts bitwise agreement with full storage.
+func TestEquivalenceCheckpointed(t *testing.T) {
+	for _, loss := range []model.LossKind{model.SingleLoss, model.PerTimestampLoss, model.RegressionLoss} {
+		loss := loss
+		t.Run(loss.String(), func(t *testing.T) {
+			t.Parallel()
+			if err := EquivalenceCheckpointed(ckptScenario(loss), 2); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestEquivalenceCheckpointedRandomized sweeps randomized geometries
+// through the same contract (Workers 3 on one of them for a ragged
+// group).
+func TestEquivalenceCheckpointedRandomized(t *testing.T) {
+	for i, seed := range []uint64{3, 11, 19} {
+		seed, workers := seed, 2
+		if i == 1 {
+			workers = 3
+		}
+		s := RandomScenario(seed)
+		t.Run(fmt.Sprintf("seed%d/%+v", seed, s.Cfg), func(t *testing.T) {
+			t.Parallel()
+			if err := EquivalenceCheckpointed(s, workers); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestBudgetLadderShape pins what the ladder contains: the ∞ rung is
+// always first and full-storage; tiny is per-step; every rung's
+// boundaries are valid for the geometry.
+func TestBudgetLadderShape(t *testing.T) {
+	cfg := ckptScenario(model.SingleLoss).Cfg
+	rungs := BudgetLadder(cfg, memplan.Baseline)
+	if rungs[0].Name != "inf" || len(rungs[0].Boundaries) != 1 {
+		t.Fatalf("first rung must be full storage, got %+v", rungs[0])
+	}
+	names := map[string]bool{}
+	for _, r := range rungs {
+		names[r.Name] = true
+		if r.Boundaries[0] != 0 {
+			t.Fatalf("rung %s must start at column 0", r.Name)
+		}
+		for i := 1; i < len(r.Boundaries); i++ {
+			if r.Boundaries[i] <= r.Boundaries[i-1] || r.Boundaries[i] >= cfg.SeqLen {
+				t.Fatalf("rung %s has invalid boundaries %v", r.Name, r.Boundaries)
+			}
+		}
+		if r.Name == "tiny" && len(r.Boundaries) != cfg.SeqLen {
+			t.Fatalf("tiny rung must checkpoint every step, got %v", r.Boundaries)
+		}
+	}
+	if !names["mid"] || !names["tiny"] {
+		t.Fatalf("ladder missing contract rungs: %v", names)
+	}
+}
+
+// TestDecodeBudgetBounded: any byte string yields a budget in
+// [FullPeak/8, FullPeak] — the fuzzer explores budget space without
+// ever producing a degenerate negative value.
+func TestDecodeBudgetBounded(t *testing.T) {
+	cfg := ckptScenario(model.SingleLoss).Cfg
+	full := memplan.Plan(cfg, memplan.Baseline, 0).FullPeak
+	for b := 0; b < 256; b++ {
+		data := append(make([]byte, 10), byte(b))
+		got := DecodeBudget(data, cfg, memplan.Baseline)
+		if got < full/8 || got > full {
+			t.Fatalf("byte %d: budget %d outside [%d, %d]", b, got, full/8, full)
+		}
+	}
+	if DecodeBudget([]byte{1, 2, 3}, cfg, memplan.Baseline) != 0 {
+		t.Fatal("short input must decode to no budget")
+	}
+}

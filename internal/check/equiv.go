@@ -43,6 +43,11 @@ type PathSpec struct {
 	// Plan, when non-nil, supplies MS2's skip grid and post-BP
 	// convergence-aware scaling. The plan's base store must match Store.
 	Plan *skip.Plan
+	// Boundaries, when it names more than one segment, runs the batch
+	// through the checkpointed FW/BP pair (ForwardCheckpointed /
+	// BackwardCheckpointed) with these checkpoint columns instead of the
+	// full-storage pair. nil or a single [0] runs full storage.
+	Boundaries []int
 }
 
 // PathResult captures what one path produced: per-batch losses, the
@@ -150,7 +155,16 @@ func storePolicy(p PathSpec) model.StoragePolicy {
 }
 
 func pathBatchGrads(net *model.Network, b train.Batch, policy model.StoragePolicy, p PathSpec) (*model.Gradients, float64, error) {
-	grads, loss, err := batchGrads(net, b, policy, p.PruneThreshold)
+	var (
+		grads *model.Gradients
+		loss  float64
+		err   error
+	)
+	if len(p.Boundaries) > 1 {
+		grads, loss, err = ckptBatchGrads(net, b, policy, p.PruneThreshold, p.Boundaries)
+	} else {
+		grads, loss, err = batchGrads(net, b, policy, p.PruneThreshold)
+	}
 	if err != nil {
 		return nil, 0, err
 	}

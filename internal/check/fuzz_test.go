@@ -3,6 +3,7 @@ package check
 import (
 	"testing"
 
+	"etalstm/internal/memplan"
 	"etalstm/internal/model"
 )
 
@@ -35,6 +36,46 @@ func FuzzEquivalence(f *testing.F) {
 			if _, err := CheckPruneMonotone(s, th, 1e-9); err != nil {
 				t.Fatalf("scenario %+v threshold %g: %v", s, PruneThresholds[step], err)
 			}
+		}
+	})
+}
+
+// FuzzCheckpointed feeds decoded (scenario, budget) pairs through the
+// checkpointed-BPTT contract: the ladder rungs plus the placement the
+// decoded byte budget buys must all reproduce full storage bitwise.
+func FuzzCheckpointed(f *testing.F) {
+	f.Add([]byte("checkpointed-seed"))
+	f.Add([]byte{0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0})
+	f.Add([]byte{2, 6, 2, 4, 3, 3, 1, 0x82, 2, 7, 3})
+	f.Add([]byte{1, 5, 1, 2, 1, 2, 2, 1, 0, 99, 7, 13})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, flags, ok := DecodeScenario(data)
+		if !ok {
+			return
+		}
+		if err := EquivalenceCheckpointed(s, flags.Workers); err != nil {
+			t.Fatalf("scenario %+v flags %+v: %v", s, flags, err)
+		}
+		// The decoded budget's own placement, beyond the fixed ladder:
+		// whatever memplan plans for it must also agree bitwise.
+		budget := DecodeBudget(data, s.Cfg, memplan.Baseline)
+		pl := memplan.Plan(s.Cfg, memplan.Baseline, budget)
+		if !pl.Feasible || pl.FullStorage() {
+			return
+		}
+		base, err := RunPath(s, PathSpec{Name: "fuzz/full", Store: model.StoreRaw}, flags.Workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := RunPath(s, PathSpec{
+			Name: "fuzz/budget", Store: model.StoreRaw,
+			Boundaries: pl.Boundaries, NoArena: flags.NoArena,
+		}, flags.Workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := comparePaths(base, got, "fuzz/budget", Bitwise); err != nil {
+			t.Fatalf("scenario %+v budget %d (placement %v): %v", s, budget, pl.Boundaries, err)
 		}
 	})
 }

@@ -51,6 +51,14 @@ type Config struct {
 	// (the paper's "first three epochs will not perform the
 	// prediction"). 0 means 3.
 	WarmupEpochs int
+
+	// MemoryBudget caps the stored activation bytes of one FW+BP pass
+	// (per replica). 0 (or a budget the full-storage peak already fits)
+	// trains with classic full-storage BPTT; otherwise memplan.Plan
+	// picks checkpoint columns and the trainer runs the checkpointed
+	// FW/BP pair, recomputing segments during BP. Gradients and losses
+	// are bitwise identical either way.
+	MemoryBudget int64
 }
 
 func (c Config) warmup() int {
@@ -71,6 +79,12 @@ type Stats struct {
 	ScaleApplied bool
 	// Wall is the epoch's wall-clock duration.
 	Wall time.Duration
+	// PeakStoredBytes is the measured peak of stored activation bytes of
+	// the epoch's worst batch (0 when training runs full storage);
+	// RecomputedCells counts FW cells replayed during BP across the
+	// epoch (checkpointed BPTT only).
+	PeakStoredBytes int64
+	RecomputedCells int
 }
 
 // MeasuredSkipFrac returns the skipped share of BP cells the epoch
@@ -80,6 +94,15 @@ func (s Stats) MeasuredSkipFrac() float64 {
 		return 0
 	}
 	return float64(s.SkippedCells) / float64(s.TotalCells)
+}
+
+// RecomputeRatio returns the fraction of FW cells the epoch re-executed
+// during BP (0 under full storage).
+func (s Stats) RecomputeRatio() float64 {
+	if s.TotalCells == 0 {
+		return 0
+	}
+	return float64(s.RecomputedCells) / float64(s.TotalCells)
 }
 
 // Trainer is the η-LSTM training driver.
@@ -123,6 +146,9 @@ type Trainer struct {
 	absBar float64
 	// engine is the lazily-built data-parallel engine (Workers > 1).
 	engine *parallel.Engine
+	// placement is the cached checkpoint placement for Cfg.MemoryBudget
+	// (nil until first resolved; see Placement).
+	placement *memplan.Placement
 
 	// ins are the telemetry instruments (lazily bound to obs.Default).
 	ins *obs.Train
@@ -222,31 +248,18 @@ func (tr *Trainer) planFor(epoch int) *skip.Plan {
 // requested), and apply MS2's convergence-aware scaling. The same
 // closure drives both the serial loop and the data-parallel engine, so
 // the two paths share every floating-point operation.
-func (tr *Trainer) batchFn(epoch int, plan *skip.Plan, policy model.StoragePolicy, calibrating bool) parallel.BatchFn {
+//
+// When boundaries spans more than one segment the closure runs the
+// checkpointed FW/BP pair instead of the full-storage one. MS1's
+// pruning then happens inside the OnP1 hook — once per P1 set whether
+// it was produced by the main FW sweep or regenerated during BP — so
+// the compressed store sees the identical pruned products on both
+// paths.
+func (tr *Trainer) batchFn(epoch int, plan *skip.Plan, policy model.StoragePolicy, calibrating bool, boundaries []int) parallel.BatchFn {
+	checkpointed := len(boundaries) > 1
 	return func(net *model.Network, batch train.Batch, b int) (parallel.BatchResult, error) {
 		var out parallel.BatchResult
-		res, err := net.Forward(batch.Inputs, batch.Targets, policy)
-		if err != nil {
-			return out, fmt.Errorf("core: epoch %d batch %d forward: %w", epoch, b, err)
-		}
-		if math.IsNaN(res.Loss) || math.IsInf(res.Loss, 0) {
-			return out, fmt.Errorf("core: epoch %d batch %d: non-finite loss %v (diverged; lower the learning rate)",
-				epoch, b, res.Loss)
-		}
-		out.Loss = res.Loss
-
-		if tr.Cfg.EnableMS1 {
-			// MS1's pruning: the approximation the compressed store
-			// introduces, applied where the compression module would.
-			pcfg := reorder.Config{Threshold: tr.Cfg.PruneThreshold}
-			for l := range res.P1 {
-				for t := range res.P1[l] {
-					if p1 := res.P1[l][t]; p1 != nil {
-						out.Prune = out.Prune.Add(reorder.PruneInPlace(p1, pcfg))
-					}
-				}
-			}
-		}
+		pcfg := reorder.Config{Threshold: tr.Cfg.PruneThreshold}
 
 		grads := net.NewGradients()
 		opts := model.BackwardOpts{}
@@ -260,8 +273,53 @@ func (tr *Trainer) batchFn(epoch int, plan *skip.Plan, policy model.StoragePolic
 				out.Observed[l][t] += cell.AbsSum()
 			}
 		}
-		if err := net.Backward(res, policy, grads, opts); err != nil {
-			return out, fmt.Errorf("core: epoch %d batch %d backward: %w", epoch, b, err)
+
+		if checkpointed {
+			if tr.Cfg.EnableMS1 {
+				opts.OnP1 = func(l, t int, p1 *lstm.P1) {
+					out.Prune = out.Prune.Add(reorder.PruneInPlace(p1, pcfg))
+				}
+			}
+			res, _, err := net.ForwardCheckpointed(batch.Inputs, batch.Targets, policy, nil, boundaries)
+			if err != nil {
+				return out, fmt.Errorf("core: epoch %d batch %d forward: %w", epoch, b, err)
+			}
+			if math.IsNaN(res.Loss) || math.IsInf(res.Loss, 0) {
+				return out, fmt.Errorf("core: epoch %d batch %d: non-finite loss %v (diverged; lower the learning rate)",
+					epoch, b, res.Loss)
+			}
+			out.Loss = res.Loss
+			if err := net.BackwardCheckpointed(res, policy, grads, opts); err != nil {
+				return out, fmt.Errorf("core: epoch %d batch %d backward: %w", epoch, b, err)
+			}
+			out.PeakStored = res.PeakStoredBytes()
+			out.Recomputed = res.RecomputedCells()
+		} else {
+			res, err := net.Forward(batch.Inputs, batch.Targets, policy)
+			if err != nil {
+				return out, fmt.Errorf("core: epoch %d batch %d forward: %w", epoch, b, err)
+			}
+			if math.IsNaN(res.Loss) || math.IsInf(res.Loss, 0) {
+				return out, fmt.Errorf("core: epoch %d batch %d: non-finite loss %v (diverged; lower the learning rate)",
+					epoch, b, res.Loss)
+			}
+			out.Loss = res.Loss
+
+			if tr.Cfg.EnableMS1 {
+				// MS1's pruning: the approximation the compressed store
+				// introduces, applied where the compression module would.
+				for l := range res.P1 {
+					for t := range res.P1[l] {
+						if p1 := res.P1[l][t]; p1 != nil {
+							out.Prune = out.Prune.Add(reorder.PruneInPlace(p1, pcfg))
+						}
+					}
+				}
+			}
+
+			if err := net.Backward(res, policy, grads, opts); err != nil {
+				return out, fmt.Errorf("core: epoch %d batch %d backward: %w", epoch, b, err)
+			}
 		}
 
 		if plan.SkippedFrac() > 0 {
@@ -272,6 +330,20 @@ func (tr *Trainer) batchFn(epoch int, plan *skip.Plan, policy model.StoragePolic
 		out.Grads = grads
 		return out, nil
 	}
+}
+
+// Placement resolves (and caches) the checkpoint placement for the
+// configured MemoryBudget. With no budget — or one the full-storage
+// peak already fits — the returned placement is a single segment and
+// training runs classic full-storage BPTT. The placement depends only
+// on the network geometry and the MS1 flag, both fixed at construction,
+// so it is computed once.
+func (tr *Trainer) Placement() *memplan.Placement {
+	if tr.placement == nil {
+		pl := memplan.Plan(tr.Net.Cfg, tr.FootprintMode(), tr.Cfg.MemoryBudget)
+		tr.placement = &pl
+	}
+	return tr.placement
 }
 
 // RunEpoch trains one epoch over p. During epoch 0 it calibrates the
@@ -292,10 +364,16 @@ func (tr *Trainer) RunEpoch(ctx context.Context, p train.Provider, epoch int) (S
 	plan := tr.planFor(epoch)
 	policy := plan.Policy()
 
+	placement := tr.Placement()
+	if !placement.Feasible {
+		return Stats{}, fmt.Errorf("core: memory budget %d B is infeasible: even per-step checkpoints peak at %d B (cfg %+v)",
+			tr.Cfg.MemoryBudget, placement.PredictedPeak, cfg)
+	}
+
 	st := Stats{Epoch: epoch, SkipFrac: plan.SkippedFrac()}
 
 	calibrating := tr.Cfg.EnableMS2 && epoch == 0
-	fn := tr.batchFn(epoch, plan, policy, calibrating)
+	fn := tr.batchFn(epoch, plan, policy, calibrating, placement.Boundaries)
 
 	var epochRes parallel.EpochResult
 	var err error
@@ -331,6 +409,8 @@ func (tr *Trainer) RunEpoch(ctx context.Context, p train.Provider, epoch int) (S
 	st.PruneStats = epochRes.Prune
 	st.SkippedCells = epochRes.SkippedCells
 	st.TotalCells = epochRes.Batches * cfg.Cells()
+	st.PeakStoredBytes = epochRes.PeakStored
+	st.RecomputedCells = epochRes.RecomputedCells
 	if plan.SkippedFrac() > 0 && epochRes.Batches > 0 {
 		st.ScaleApplied = true
 	}
@@ -376,6 +456,12 @@ func (tr *Trainer) RunEpoch(ctx context.Context, p train.Provider, epoch int) (S
 	ins.MS1PruneRatio.Set(st.PruneStats.Frac())
 	ins.MS1StoredPairs.Add(st.PruneStats.Kept())
 	ins.MS2SkipRatio.Set(st.MeasuredSkipFrac())
+	if !placement.FullStorage() {
+		ins.CkptColumns.Set(float64(len(placement.Boundaries)))
+		ins.CkptBytes.Set(float64(placement.CheckpointBytes))
+		ins.PeakStored.Set(float64(st.PeakStoredBytes))
+		ins.RecomputeRatio.Set(st.RecomputeRatio())
+	}
 	if tr.lastPredOK {
 		ins.MS2PredLossError.Set(math.Abs(tr.lastPred - st.MeanLoss))
 		tr.lastPredOK = false
@@ -442,6 +528,10 @@ func (tr *Trainer) runSerial(ctx context.Context, p train.Provider, fn parallel.
 		res.Prune = res.Prune.Add(r.Prune)
 		res.SkippedCells += r.Grads.SkippedCells
 		res.ExecutedCells += r.Grads.ExecutedCells
+		if r.PeakStored > res.PeakStored {
+			res.PeakStored = r.PeakStored
+		}
+		res.RecomputedCells += r.Recomputed
 		if r.Observed != nil {
 			if res.Observed == nil {
 				res.Observed = r.Observed
@@ -483,11 +573,12 @@ func (tr *Trainer) Losses() []float64 {
 	return out
 }
 
-// FootprintParams converts the trainer's measured behaviour into the
-// memplan/trace parameters, so the analytic models report this exact
-// training run's operating point.
-func (tr *Trainer) FootprintParams() memplan.Params {
-	p := memplan.Params{}
+// OperatingPoint returns the trainer's measured optimization operating
+// point: the P1 near-zero sparsity accumulated over every epoch so far
+// (0 when MS1 is off) and the latest epoch's planned skip fraction
+// (0 when MS2 is off). Both analytic cost models — footprint and DRAM
+// traffic — are parameterized by exactly these two numbers.
+func (tr *Trainer) OperatingPoint() (p1Sparsity, skipFrac float64) {
 	var lastSkip float64
 	var prune reorder.PruneStats
 	for _, s := range tr.EpochStats {
@@ -495,11 +586,24 @@ func (tr *Trainer) FootprintParams() memplan.Params {
 		lastSkip = s.SkipFrac
 	}
 	if tr.Cfg.EnableMS1 {
-		p.P1KeepRatio = memplan.FromSparsity(prune.Frac())
+		p1Sparsity = prune.Frac()
 	}
 	if tr.Cfg.EnableMS2 {
-		p.SkipFrac = lastSkip
+		skipFrac = lastSkip
 	}
+	return p1Sparsity, skipFrac
+}
+
+// FootprintParams converts the trainer's measured behaviour into the
+// memplan/trace parameters, so the analytic models report this exact
+// training run's operating point.
+func (tr *Trainer) FootprintParams() memplan.Params {
+	p := memplan.Params{}
+	sparsity, skipFrac := tr.OperatingPoint()
+	if tr.Cfg.EnableMS1 {
+		p.P1KeepRatio = memplan.FromSparsity(sparsity)
+	}
+	p.SkipFrac = skipFrac
 	return p
 }
 

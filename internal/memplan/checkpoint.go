@@ -1,0 +1,253 @@
+package memplan
+
+import (
+	"fmt"
+
+	"etalstm/internal/model"
+)
+
+// This file is the checkpoint-placement side of the package: given a
+// byte budget, decide which (h,s) timestep columns BPTT keeps so that
+// everything else can be recomputed segment-by-segment during BP
+// (Gruslys et al., "Memory-Efficient Backpropagation Through Time").
+//
+// Two byte accountings coexist in this package, deliberately:
+//
+//   - Footprint models the PAPER's flows (Fig. 5/18), where MS1 stores
+//     P1 as compressed value+index pairs — the numbers the figures and
+//     their regression tests pin.
+//   - Plan models what THIS implementation keeps resident: the in-memory
+//     P1 store is dense (six batch×hidden planes; pruning zeroes values
+//     without shrinking storage), so a budget that must actually hold is
+//     computed against six planes per P1 cell, five per raw cell. The
+//     planner must never promise a peak the measured run exceeds.
+
+// Placement is a checkpoint plan for one configuration: which timestep
+// columns to snapshot, and the predicted cost of honoring them.
+type Placement struct {
+	Cfg    model.Config
+	Mode   Mode
+	Budget int64 // requested budget in bytes; <= 0 means unlimited
+
+	// Boundaries are the segment starts, ascending, always beginning
+	// with 0. Segment i spans [Boundaries[i], Boundaries[i+1]) (the last
+	// runs to SeqLen). Every boundary after the first pins an (h,s)
+	// column for all layers; the final segment's cells are stored
+	// directly during the main FW pass and never recomputed.
+	Boundaries []int
+
+	// PredictedPeak is the modeled peak of stored activation bytes under
+	// this placement; FullPeak is the same model at full storage
+	// (Boundaries == [0]). CheckpointBytes is what the pinned columns
+	// alone cost.
+	PredictedPeak   int64
+	FullPeak        int64
+	CheckpointBytes int64
+
+	// RecomputedCells counts the FW cells re-executed during one BP pass
+	// (layers × timesteps before the last segment); RecomputeFLOPs is
+	// their modeled cost; RecomputeRatio is RecomputedCells over the
+	// total cell count.
+	RecomputedCells int
+	RecomputeFLOPs  int64
+	RecomputeRatio  float64
+
+	// Feasible is false when even one checkpoint per timestep cannot fit
+	// the budget; Boundaries then hold that densest plan and
+	// PredictedPeak reports how far over budget it lands.
+	Feasible bool
+}
+
+// FullStorage reports whether the plan stores every column (classic
+// BPTT, zero recompute).
+func (p Placement) FullStorage() bool { return len(p.Boundaries) <= 1 }
+
+// Segments returns the number of FW segments.
+func (p Placement) Segments() int { return len(p.Boundaries) }
+
+// Checkpoints returns the number of pinned (h,s) columns.
+func (p Placement) Checkpoints() int {
+	if len(p.Boundaries) <= 1 {
+		return 0
+	}
+	return len(p.Boundaries) - 1
+}
+
+// String summarizes the plan for CLI output.
+func (p Placement) String() string {
+	if p.FullStorage() {
+		return fmt.Sprintf("full storage (peak %d B)", p.PredictedPeak)
+	}
+	return fmt.Sprintf("%d checkpoint columns / %d segments, predicted peak %d B, recompute %.1f%% of FW cells",
+		p.Checkpoints(), p.Segments(), p.PredictedPeak, 100*p.RecomputeRatio)
+}
+
+// planCosts are the resident byte weights of one configuration under
+// one mode — the terms the placement search optimizes over.
+type planCosts struct {
+	plane      int64 // one batch×hidden float32 plane
+	stepStored int64 // h + intermediates for all layers of one stored timestep
+	colBytes   int64 // one (h,s) checkpoint column across all layers
+	fixed      int64 // projection-gradient accumulators, alive for the whole pass
+	evalAt     func(t int) int64
+	cellFLOPs  int64 // modeled FW cost of one timestep across all layers
+}
+
+func costsFor(cfg model.Config, mode Mode) planCosts {
+	plane := int64(cfg.Batch*cfg.Hidden) * 4
+	// Resident planes per cell: h plus the intermediates the storage
+	// policy keeps. The dense in-memory P1 store holds SIX planes
+	// (Pf..Pfs) regardless of prune ratio, one more than raw storage.
+	inter := int64(5)
+	if mode == MS1 || mode == Combined {
+		inter = 6
+	}
+	// MS2's skip plan is epoch-dependent (warmup epochs run every cell
+	// dense), so the planner budgets for zero skipping: conservative for
+	// steady state, exact for warmup.
+	c := planCosts{
+		plane:      plane,
+		stepStored: int64(cfg.Layers) * (1 + inter) * plane,
+		colBytes:   2 * int64(cfg.Layers) * plane,
+		fixed:      int64(cfg.Hidden*cfg.OutSize+cfg.OutSize) * 4,
+	}
+	c.evalAt = func(t int) int64 {
+		if cfg.Loss == model.SingleLoss && t != cfg.SeqLen-1 {
+			return 0
+		}
+		return plane // the segment's dY seed for this timestep
+	}
+	for l := 0; l < cfg.Layers; l++ {
+		in := cfg.Hidden
+		if l == 0 {
+			in = cfg.InputSize
+		}
+		c.cellFLOPs += int64(2*cfg.Batch*(in+cfg.Hidden)*4*cfg.Hidden) +
+			int64(10*cfg.Batch*cfg.Hidden)
+	}
+	return c
+}
+
+// segBytes is the resident cost of backpropagating segment [lo,hi): its
+// stored cells plus the dY seeds of its evaluated timesteps. The peak
+// sits at the segment's BP start — each consumed cell frees more (h +
+// intermediates + dY) than the dX it produces.
+func (c planCosts) segBytes(lo, hi int) int64 {
+	b := int64(hi-lo) * c.stepStored
+	for t := lo; t < hi; t++ {
+		b += c.evalAt(t)
+	}
+	return b
+}
+
+// peakOf evaluates the model's peak for a boundary set: while segment i
+// is being backpropagated, columns 1..i are still pinned (later ones
+// were already released), so the max is taken per segment. The i == K−1
+// term is also the FW-end state.
+func (c planCosts) peakOf(boundaries []int, seqLen int) int64 {
+	var peak int64
+	for i, lo := range boundaries {
+		hi := seqLen
+		if i+1 < len(boundaries) {
+			hi = boundaries[i+1]
+		}
+		b := c.fixed + int64(i)*c.colBytes + c.segBytes(lo, hi)
+		if b > peak {
+			peak = b
+		}
+	}
+	return peak
+}
+
+// Plan chooses a checkpoint placement for cfg under mode that keeps the
+// predicted peak of stored activation bytes within budget while
+// minimizing recompute. A budget <= 0 (or one the full-storage peak
+// already fits) returns the full-storage plan.
+//
+// The underlying problem is the interval-partition DP
+//
+//	best[t] = min over s <= t with segBytes(s,t) <= limit of 1 + best[s]
+//
+// (fewest segments covering [0,T) under a per-segment byte limit); because
+// per-step weights are positive, the greedy sweep that grows each
+// segment maximal from the END solves it exactly, and putting the
+// longest feasible segment last is precisely what minimizes recompute —
+// only the non-last segments are ever replayed. The search tries
+// K = 1, 2, … segments, shrinking the per-segment cap by the bytes the
+// K−1 pinned columns cost, and takes the first K the greedy sweep
+// satisfies.
+func Plan(cfg model.Config, mode Mode, budget int64) Placement {
+	T := cfg.SeqLen
+	c := costsFor(cfg, mode)
+	p := Placement{Cfg: cfg, Mode: mode, Budget: budget, Feasible: true}
+	p.FullPeak = c.peakOf([]int{0}, T)
+
+	if budget <= 0 || p.FullPeak <= budget || T <= 1 {
+		p.Boundaries = []int{0}
+		p.PredictedPeak = p.FullPeak
+		return p
+	}
+
+	for k := 2; k <= T; k++ {
+		limit := budget - c.fixed - int64(k-1)*c.colBytes
+		b := greedyFromEnd(c, T, limit)
+		if b == nil {
+			break // even single-step segments exceed cap; larger k only shrinks it
+		}
+		if len(b) <= k {
+			p.Boundaries = b
+			p.finish(c)
+			return p
+		}
+	}
+
+	// Nothing fits: report the densest possible plan, flagged.
+	p.Feasible = false
+	p.Boundaries = make([]int, T)
+	for t := range p.Boundaries {
+		p.Boundaries[t] = t
+	}
+	p.finish(c)
+	return p
+}
+
+// greedyFromEnd partitions [0,T) into maximal segments growing backward
+// from the end, each within limit. Returns nil when some single step
+// alone exceeds limit.
+func greedyFromEnd(c planCosts, T int, limit int64) []int {
+	if limit <= 0 {
+		return nil
+	}
+	var rev []int // segment starts, collected descending
+	cur := int64(0)
+	for t := T - 1; t >= 0; t-- {
+		w := c.stepStored + c.evalAt(t)
+		if w > limit {
+			return nil
+		}
+		if cur+w > limit {
+			rev = append(rev, t+1)
+			cur = 0
+		}
+		cur += w
+	}
+	rev = append(rev, 0)
+	b := make([]int, len(rev))
+	for i, v := range rev {
+		b[len(rev)-1-i] = v
+	}
+	return b
+}
+
+// finish fills the derived cost fields from Boundaries.
+func (p *Placement) finish(c planCosts) {
+	T := p.Cfg.SeqLen
+	p.PredictedPeak = c.peakOf(p.Boundaries, T)
+	p.CheckpointBytes = int64(p.Checkpoints()) * c.colBytes
+	lastLo := p.Boundaries[len(p.Boundaries)-1]
+	p.RecomputedCells = p.Cfg.Layers * lastLo
+	p.RecomputeFLOPs = int64(lastLo) * c.cellFLOPs
+	if T > 0 {
+		p.RecomputeRatio = float64(lastLo) / float64(T)
+	}
+}

@@ -1,0 +1,161 @@
+package memplan
+
+import (
+	"strings"
+	"testing"
+
+	"etalstm/internal/model"
+)
+
+func planConfigs() []model.Config {
+	return []model.Config{
+		{InputSize: 8, Hidden: 16, Layers: 2, SeqLen: 32, Batch: 4, OutSize: 4, Loss: model.SingleLoss},
+		{InputSize: 8, Hidden: 8, Layers: 1, SeqLen: 64, Batch: 2, OutSize: 8, Loss: model.PerTimestampLoss},
+		{InputSize: 16, Hidden: 32, Layers: 3, SeqLen: 48, Batch: 2, OutSize: 16, Loss: model.RegressionLoss},
+		{InputSize: 4, Hidden: 4, Layers: 2, SeqLen: 7, Batch: 1, OutSize: 3, Loss: model.PerTimestampLoss},
+	}
+}
+
+func planModes() []Mode { return []Mode{Baseline, MS1, MS2, Combined} }
+
+// validatePlacement re-derives the plan's peak independently and checks
+// structural invariants.
+func validatePlacement(t *testing.T, p Placement) {
+	t.Helper()
+	if len(p.Boundaries) == 0 || p.Boundaries[0] != 0 {
+		t.Fatalf("boundaries must start at 0: %v", p.Boundaries)
+	}
+	for i := 1; i < len(p.Boundaries); i++ {
+		if p.Boundaries[i] <= p.Boundaries[i-1] || p.Boundaries[i] >= p.Cfg.SeqLen {
+			t.Fatalf("boundaries not strictly ascending in [0,T): %v (T=%d)", p.Boundaries, p.Cfg.SeqLen)
+		}
+	}
+	c := costsFor(p.Cfg, p.Mode)
+	if got := c.peakOf(p.Boundaries, p.Cfg.SeqLen); got != p.PredictedPeak {
+		t.Fatalf("PredictedPeak %d != recomputed %d", p.PredictedPeak, got)
+	}
+	lastLo := p.Boundaries[len(p.Boundaries)-1]
+	if want := p.Cfg.Layers * lastLo; p.RecomputedCells != want {
+		t.Fatalf("RecomputedCells %d != layers*lastLo %d", p.RecomputedCells, want)
+	}
+}
+
+func TestPlanNeverExceedsBudget(t *testing.T) {
+	for _, cfg := range planConfigs() {
+		for _, mode := range planModes() {
+			full := Plan(cfg, mode, 0)
+			// Sweep budgets from generous down to the infeasible floor.
+			for div := int64(1); div <= 64; div *= 2 {
+				budget := full.FullPeak / div
+				p := Plan(cfg, mode, budget)
+				validatePlacement(t, p)
+				if !p.Feasible {
+					continue
+				}
+				if p.PredictedPeak > budget && budget < full.FullPeak {
+					t.Errorf("%v/%v budget %d: predicted peak %d exceeds budget", cfg.Loss, mode, budget, p.PredictedPeak)
+				}
+			}
+		}
+	}
+}
+
+func TestPlanRecomputeMonotone(t *testing.T) {
+	for _, cfg := range planConfigs() {
+		for _, mode := range planModes() {
+			full := Plan(cfg, mode, 0)
+			prev := -1 // recompute of the previous (smaller) budget
+			for div := int64(64); div >= 1; div /= 2 {
+				p := Plan(cfg, mode, full.FullPeak/div)
+				if !p.Feasible {
+					continue
+				}
+				if prev >= 0 && p.RecomputedCells > prev {
+					t.Errorf("%v/%v: recompute grew from %d to %d as budget grew", cfg.Loss, mode, prev, p.RecomputedCells)
+				}
+				prev = p.RecomputedCells
+			}
+		}
+	}
+}
+
+func TestPlanDegeneratesToFullStorage(t *testing.T) {
+	for _, cfg := range planConfigs() {
+		for _, mode := range planModes() {
+			for _, budget := range []int64{0, -5, 1 << 50} {
+				p := Plan(cfg, mode, budget)
+				if !p.FullStorage() || p.RecomputedCells != 0 || p.RecomputeRatio != 0 {
+					t.Fatalf("budget %d should be full storage, got %v", budget, p.Boundaries)
+				}
+				if p.Checkpoints() != 0 || p.CheckpointBytes != 0 {
+					t.Fatalf("full storage must pin no columns: %+v", p)
+				}
+				if p.PredictedPeak != p.FullPeak {
+					t.Fatalf("full storage peak mismatch: %d vs %d", p.PredictedPeak, p.FullPeak)
+				}
+			}
+		}
+	}
+}
+
+func TestPlanInfeasibleFlagged(t *testing.T) {
+	cfg := planConfigs()[0]
+	p := Plan(cfg, Baseline, 64) // can't even hold one timestep column
+	if p.Feasible {
+		t.Fatalf("64-byte budget should be infeasible, got %v", p.Boundaries)
+	}
+	if len(p.Boundaries) != cfg.SeqLen {
+		t.Fatalf("infeasible plan should report the densest placement, got %d boundaries", len(p.Boundaries))
+	}
+	if p.PredictedPeak <= 64 {
+		t.Fatalf("infeasible plan must report the over-budget peak, got %d", p.PredictedPeak)
+	}
+	validatePlacement(t, p)
+}
+
+func TestPlanTightBudgetShortensLastSegment(t *testing.T) {
+	cfg := planConfigs()[1] // per-timestamp, T=64
+	full := Plan(cfg, Baseline, 0)
+	loose := Plan(cfg, Baseline, full.FullPeak/2)
+	tight := Plan(cfg, Baseline, full.FullPeak/8)
+	if loose.FullStorage() || tight.FullStorage() {
+		t.Fatalf("both budgets should force checkpointing: %v / %v", loose.Boundaries, tight.Boundaries)
+	}
+	if tight.Segments() <= loose.Segments() {
+		t.Errorf("tighter budget should need more segments: %d vs %d", tight.Segments(), loose.Segments())
+	}
+	if tight.RecomputeRatio <= loose.RecomputeRatio {
+		t.Errorf("tighter budget should recompute more: %.3f vs %.3f", tight.RecomputeRatio, loose.RecomputeRatio)
+	}
+	if tight.RecomputeFLOPs <= loose.RecomputeFLOPs {
+		t.Errorf("FLOP model should track recompute: %d vs %d", tight.RecomputeFLOPs, loose.RecomputeFLOPs)
+	}
+}
+
+func TestPlanP1CostsMoreThanRaw(t *testing.T) {
+	// The dense in-memory P1 store keeps six planes per cell vs five raw,
+	// so under the same budget MS1 must checkpoint at least as densely.
+	cfg := planConfigs()[0]
+	full := Plan(cfg, Baseline, 0)
+	raw := Plan(cfg, Baseline, full.FullPeak/4)
+	p1 := Plan(cfg, MS1, full.FullPeak/4)
+	if p1.Segments() < raw.Segments() {
+		t.Errorf("P1 plan uses fewer segments (%d) than raw (%d) under the same budget", p1.Segments(), raw.Segments())
+	}
+	if Plan(cfg, MS1, 0).FullPeak <= full.FullPeak {
+		t.Errorf("resident P1 full peak should exceed raw full peak")
+	}
+}
+
+func TestPlacementString(t *testing.T) {
+	cfg := planConfigs()[0]
+	full := Plan(cfg, Baseline, 0)
+	if !strings.Contains(full.String(), "full storage") {
+		t.Errorf("full-storage String: %q", full.String())
+	}
+	p := Plan(cfg, Baseline, full.FullPeak/4)
+	s := p.String()
+	if !strings.Contains(s, "checkpoint columns") || !strings.Contains(s, "recompute") {
+		t.Errorf("budgeted String: %q", s)
+	}
+}

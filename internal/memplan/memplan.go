@@ -113,6 +113,14 @@ func activationBytes(cfg model.Config) int64 {
 		steps = 1
 	}
 	b += int64(2*steps*cfg.Batch*cfg.OutSize) * 4 // logits + dLogits
+	// BP seed planes: the dY = dLogits·Projᵀ buffers materialized per
+	// evaluated timestep at the start of BP. These live in the output/loss
+	// share, NOT the per-cell share — MS2 creates them even for skipped
+	// top-layer cells (the seed exists before the skip decision), so they
+	// must not scale with liveFrac. Earlier revisions omitted them, which
+	// under-counted the fixed share exactly where MS2's skip scaling made
+	// the discrepancy visible.
+	b += int64(steps*cfg.Batch*cfg.Hidden) * 4
 	return b
 }
 

@@ -1,0 +1,620 @@
+package model
+
+import (
+	"fmt"
+	"time"
+
+	"etalstm/internal/lstm"
+	"etalstm/internal/obs"
+	"etalstm/internal/tensor"
+)
+
+// Checkpointed BPTT (memory-budgeted training, DESIGN.md §11).
+//
+// The full-storage flow keeps every cell's intermediates from FW until
+// the matching BP cell — the paper's long-reuse-distance problem, with
+// sequence length as a hard RAM ceiling. The checkpointed flow instead
+// partitions time into segments (memplan.Plan picks the boundaries):
+// the main FW pass runs segments before the last in inference mode,
+// snapshotting only the (h,s) column entering each boundary, and stores
+// per-cell state only for the final segment. BP then walks the segments
+// in reverse, replaying FW over each earlier segment from its column
+// snapshot to regenerate exactly the per-cell state (raw caches or MS1
+// P1 products, per the same storage policy) the full flow would have
+// kept — the Gruslys et al. recipe composed with MS1/MS2.
+//
+// Bitwise discipline. The checkpointed pass reproduces full-storage
+// results bit for bit:
+//
+//   - FW values: Forward, ForwardWithP1 and InferenceForward share one
+//     kernel, so replaying a segment produces the identical h/s/P1
+//     values the main pass (or the full-storage pass) computed.
+//   - Losses: evaluated timesteps are visited in ascending t with the
+//     same projection/loss/scale operations as computeLoss.
+//   - Projection gradients: accumulated during FW in ascending t — the
+//     exact op sequence of Backward's seed loop — then folded into the
+//     zero-initialized Gradients, which is exact.
+//   - Layer gradients: within a segment BP runs layer-major with t
+//     descending, and segments are processed last-to-first, so each
+//     layer's accumulation order over global t is identical to the full
+//     Backward; the δH/δS carries thread across segment boundaries
+//     unchanged. The δY seeds are recomputed per segment from the
+//     stored top-layer h (a deterministic function), matching the
+//     full-storage seeds bitwise.
+type CheckpointedResult struct {
+	// Inputs are the external x_t (caller-owned, retained for replay).
+	Inputs []*tensor.Matrix
+	// Boundaries are the segment starts (ascending, Boundaries[0] == 0).
+	Boundaries []int
+	// Targets are retained: the BP pass recomputes the per-step dLogits
+	// from them instead of storing T output-sized gradient planes.
+	Targets *Targets
+
+	// Loss and PerStepLoss match ForwardResult's semantics bitwise.
+	Loss        float64
+	PerStepLoss []float64
+
+	// cols[i] is the (h,s) column entering Boundaries[i] (cols[0] stays
+	// nil — segment 0 restarts from initState or zeros).
+	cols []*State
+	// seg is the last segment, stored during the main FW pass.
+	seg *ckptSegment
+	// projG/projBG accumulate the projection gradients during FW, in
+	// ascending-t order, so no per-step dLogits/dY planes are retained.
+	projG  *tensor.Matrix
+	projBG []float32
+
+	initState       *State
+	recomputedCells int
+	tracker         byteTracker
+}
+
+// PeakStoredBytes returns the measured peak of bytes held for later BP
+// consumption over the pass so far: checkpoint columns, stored per-cell
+// state (h + caches/P1), in-flight δ planes, and the projection-gradient
+// accumulators. The running (h,s) state and per-cell scratch are
+// transient and excluded — the same accounting memplan.Plan predicts.
+func (r *CheckpointedResult) PeakStoredBytes() int64 { return r.tracker.peak }
+
+// RecomputedCells returns how many FW cells were re-executed during BP.
+func (r *CheckpointedResult) RecomputedCells() int { return r.recomputedCells }
+
+// ckptSegment is the stored state of one FW segment [lo,hi): per-cell
+// hidden outputs plus whatever the storage policy keeps, indexed
+// [layer][t-lo].
+type ckptSegment struct {
+	lo, hi int
+	H      [][]*tensor.Matrix
+	Cache  [][]*lstm.FWCache
+	P1     [][]*lstm.P1
+	// sRetained marks layers whose final s is held by a StoreRaw cache
+	// (see ForwardState's recycling rules).
+	sRetained []bool
+}
+
+// byteTracker is a high-water-mark counter for stored bytes.
+type byteTracker struct{ cur, peak int64 }
+
+func (b *byteTracker) add(n int64) {
+	b.cur += n
+	if b.cur > b.peak {
+		b.peak = b.cur
+	}
+}
+func (b *byteTracker) sub(n int64) { b.cur -= n }
+
+// evaluates reports whether the loss kind evaluates timestep t.
+func (n *Network) evaluates(t int) bool {
+	return n.Cfg.Loss != SingleLoss || t == n.Cfg.SeqLen-1
+}
+
+// evalOutput projects top (batch×hidden) through the output layer and
+// returns timestep t's raw loss plus the dLogits, scaled exactly as
+// computeLoss scales them. It is shared by the FW loss accumulation and
+// the BP seed recompute, which must produce bitwise-identical values.
+func (n *Network) evalOutput(top *tensor.Matrix, targets *Targets, t int) (float64, *tensor.Matrix, error) {
+	cfg := n.Cfg
+	ws := n.Workspace()
+	logits := tensor.MatMul(ws.Get(cfg.Batch, cfg.OutSize), top, n.Proj)
+	tensor.AddRowVector(logits, logits, n.ProjB)
+	var loss float64
+	var dl *tensor.Matrix
+	switch cfg.Loss {
+	case SingleLoss:
+		if len(targets.Classes) == 0 {
+			return 0, nil, fmt.Errorf("model: single loss requires class targets")
+		}
+		loss, dl = SoftmaxCrossEntropy(logits, targets.Classes[len(targets.Classes)-1])
+	case PerTimestampLoss:
+		if len(targets.Classes) != cfg.SeqLen {
+			return 0, nil, fmt.Errorf("model: per-timestamp loss requires %d class target steps, got %d",
+				cfg.SeqLen, len(targets.Classes))
+		}
+		loss, dl = SoftmaxCrossEntropy(logits, targets.Classes[t])
+		dl = tensor.Scale(dl, dl, 1/float32(cfg.SeqLen))
+	case RegressionLoss:
+		if len(targets.Regress) != cfg.SeqLen {
+			return 0, nil, fmt.Errorf("model: regression loss requires %d target steps, got %d",
+				cfg.SeqLen, len(targets.Regress))
+		}
+		loss, dl = SquaredError(logits, targets.Regress[t])
+		dl = tensor.Scale(dl, dl, 1/float32(cfg.SeqLen))
+	default:
+		return 0, nil, fmt.Errorf("model: unknown loss kind %v", cfg.Loss)
+	}
+	ws.Put(logits)
+	return loss, dl, nil
+}
+
+// foldLoss accumulates one evaluated timestep into the result's loss
+// fields and projection-gradient accumulators, mirroring computeLoss's
+// arithmetic (and its ascending-t order, which the caller guarantees).
+func (n *Network) foldLoss(res *CheckpointedResult, top *tensor.Matrix, t int) error {
+	sp := n.Workspace().Recorder().Begin(obs.PhaseFW)
+	defer sp.End()
+	loss, dl, err := n.evalOutput(top, res.Targets, t)
+	if err != nil {
+		return err
+	}
+	if n.Cfg.Loss == SingleLoss {
+		res.Loss = loss
+		res.PerStepLoss[t] = loss
+	} else {
+		res.Loss += loss / float64(n.Cfg.SeqLen)
+		res.PerStepLoss[t] = loss / float64(n.Cfg.SeqLen)
+	}
+	tensor.AddMatMulTransA(res.projG, top, dl)
+	tensor.SumRows(res.projBG, dl)
+	n.Workspace().Put(dl)
+	return nil
+}
+
+// validBoundaries checks the segment-start invariants.
+func validBoundaries(boundaries []int, seqLen int) error {
+	if len(boundaries) == 0 || boundaries[0] != 0 {
+		return fmt.Errorf("model: boundaries must start at 0, got %v", boundaries)
+	}
+	for i := 1; i < len(boundaries); i++ {
+		if boundaries[i] <= boundaries[i-1] || boundaries[i] >= seqLen {
+			return fmt.Errorf("model: boundaries must ascend within [0,%d): %v", seqLen, boundaries)
+		}
+	}
+	return nil
+}
+
+// ForwardCheckpointed runs the FW phase under a checkpoint plan:
+// segments before the last execute in inference mode (only the (h,s)
+// column entering each boundary is snapshotted), the last segment
+// stores per-cell state per policy, and losses/projection-gradient
+// seeds accumulate along the way. boundaries must satisfy
+// validBoundaries; []int{0} (or nil) degenerates to a single stored
+// segment — full storage, minus the per-step Logits retention.
+// state carries recurrent state across chunks exactly as ForwardState.
+func (n *Network) ForwardCheckpointed(xs []*tensor.Matrix, targets *Targets, policy StoragePolicy, state *State, boundaries []int) (*CheckpointedResult, *State, error) {
+	cfg := n.Cfg
+	if len(boundaries) == 0 {
+		boundaries = []int{0}
+	}
+	if err := validBoundaries(boundaries, cfg.SeqLen); err != nil {
+		return nil, nil, err
+	}
+	if len(xs) != cfg.SeqLen {
+		return nil, nil, fmt.Errorf("model: got %d input steps, want %d", len(xs), cfg.SeqLen)
+	}
+	for t, x := range xs {
+		if x.Rows != cfg.Batch || x.Cols != cfg.InputSize {
+			return nil, nil, fmt.Errorf("model: input %d is %dx%d, want %dx%d",
+				t, x.Rows, x.Cols, cfg.Batch, cfg.InputSize)
+		}
+	}
+	if state != nil && (len(state.H) != cfg.Layers || len(state.S) != cfg.Layers) {
+		return nil, nil, fmt.Errorf("model: state has %d/%d layers, want %d",
+			len(state.H), len(state.S), cfg.Layers)
+	}
+	if policy == nil {
+		policy = BaselinePolicy()
+	}
+	ws := n.Workspace()
+
+	K := len(boundaries)
+	res := &CheckpointedResult{
+		Inputs:      xs,
+		Boundaries:  append([]int(nil), boundaries...),
+		Targets:     targets,
+		PerStepLoss: make([]float64, cfg.SeqLen),
+		cols:        make([]*State, K),
+		projG:       ws.Get(cfg.Hidden, cfg.OutSize),
+		projBG:      make([]float32, cfg.OutSize),
+		initState:   state,
+	}
+	res.tracker.add(res.projG.Bytes() + int64(len(res.projBG))*4)
+
+	// Running recurrent state, copied so the caller's state stays
+	// immutable (truncated BPTT, same as ForwardState).
+	h := make([]*tensor.Matrix, cfg.Layers)
+	s := make([]*tensor.Matrix, cfg.Layers)
+	for l := 0; l < cfg.Layers; l++ {
+		h[l] = ws.Get(cfg.Batch, cfg.Hidden)
+		s[l] = ws.Get(cfg.Batch, cfg.Hidden)
+		if state != nil {
+			h[l].CopyFrom(state.H[l])
+			s[l].CopyFrom(state.S[l])
+		}
+	}
+
+	// Inference sweep over the recomputable region, time-major: a
+	// column's lower-layer output feeds its upper layer immediately, so
+	// only the 2·Layers running planes stay live.
+	lastLo := boundaries[K-1]
+	nextB := 1
+	for t := 0; t < lastLo; t++ {
+		if nextB < K-1 && t == boundaries[nextB] {
+			res.snapshotColumn(nextB, h, s)
+			nextB++
+		}
+		for l := 0; l < cfg.Layers; l++ {
+			x := xs[t]
+			if l > 0 {
+				x = h[l-1]
+			}
+			oldH, oldS := h[l], s[l]
+			h[l], s[l] = lstm.InferenceForward(ws, n.Layer[l], x, oldH, oldS)
+			ws.Put(oldS)
+			ws.Put(oldH)
+		}
+		if targets != nil && n.evaluates(t) {
+			if err := n.foldLoss(res, h[cfg.Layers-1], t); err != nil {
+				return nil, nil, err
+			}
+		}
+	}
+	if K > 1 {
+		res.snapshotColumn(K-1, h, s)
+	}
+
+	// Stored segment: the tail runs exactly like the full-storage FW.
+	seg := n.runStoredSegment(res, policy, lastLo, cfg.SeqLen, h, s)
+	res.seg = seg
+	if targets != nil {
+		for t := lastLo; t < cfg.SeqLen; t++ {
+			if !n.evaluates(t) {
+				continue
+			}
+			if err := n.foldLoss(res, seg.H[cfg.Layers-1][t-lastLo], t); err != nil {
+				return nil, nil, err
+			}
+		}
+	}
+
+	out := &State{H: make([]*tensor.Matrix, cfg.Layers), S: make([]*tensor.Matrix, cfg.Layers)}
+	for l := 0; l < cfg.Layers; l++ {
+		out.H[l] = h[l].Clone()
+		out.S[l] = s[l].Clone()
+		// h[l] aliases the segment's last column (BP releases it); s[l]
+		// dies here unless a raw cache retains it.
+		if !seg.sRetained[l] {
+			ws.Put(s[l])
+		}
+	}
+	return res, out, nil
+}
+
+// snapshotColumn pins a copy of the running (h,s) column as cols[i].
+func (res *CheckpointedResult) snapshotColumn(i int, h, s []*tensor.Matrix) {
+	col := &State{}
+	var bytes int64
+	for l := range h {
+		ch := h[l].Clone()
+		cs := s[l].Clone()
+		col.H = append(col.H, ch)
+		col.S = append(col.S, cs)
+		bytes += ch.Bytes() + cs.Bytes()
+	}
+	res.cols[i] = col
+	res.tracker.add(bytes)
+}
+
+// runStoredSegment advances the running state over [lo,hi), storing
+// each cell per policy — the shared tail of the main FW pass and the
+// BP-time segment replay. h/s are owned running buffers and are mutated
+// in place; on return each h[l] aliases the segment's last column (owned
+// by the segment), and s[l] must be recycled by the caller unless
+// sRetained[l] says a raw cache holds it.
+func (n *Network) runStoredSegment(res *CheckpointedResult, policy StoragePolicy, lo, hi int, h, s []*tensor.Matrix) *ckptSegment {
+	cfg := n.Cfg
+	ws := n.Workspace()
+	seg := &ckptSegment{
+		lo: lo, hi: hi,
+		H:         make([][]*tensor.Matrix, cfg.Layers),
+		Cache:     make([][]*lstm.FWCache, cfg.Layers),
+		P1:        make([][]*lstm.P1, cfg.Layers),
+		sRetained: make([]bool, cfg.Layers),
+	}
+	for l := 0; l < cfg.Layers; l++ {
+		seg.H[l] = make([]*tensor.Matrix, hi-lo)
+		seg.Cache[l] = make([]*lstm.FWCache, hi-lo)
+		seg.P1[l] = make([]*lstm.P1, hi-lo)
+	}
+	for t := lo; t < hi; t++ {
+		j := t - lo
+		for l := 0; l < cfg.Layers; l++ {
+			x := res.Inputs[t]
+			if l > 0 {
+				x = h[l-1]
+			}
+			oldH, oldS := h[l], s[l]
+			store := policy.Store(l, t)
+			switch store {
+			case StoreRaw:
+				var cache *lstm.FWCache
+				h[l], s[l], cache = lstm.Forward(ws, n.Layer[l], x, oldH, oldS)
+				seg.Cache[l][j] = cache
+				res.tracker.add(cache.IntermediateBytes())
+			case StoreP1:
+				var p1 *lstm.P1
+				h[l], s[l], p1 = lstm.ForwardWithP1(ws, n.Layer[l], x, oldH, oldS)
+				seg.P1[l][j] = p1
+				res.tracker.add(p1.Bytes())
+			case StoreNone:
+				h[l], s[l] = lstm.InferenceForward(ws, n.Layer[l], x, oldH, oldS)
+			}
+			seg.H[l][j] = h[l]
+			res.tracker.add(h[l].Bytes())
+			if store == StoreRaw {
+				// The cache retains oldS as SPrev (and, on the segment's
+				// first step, oldH as HPrev) until BP releases the cell.
+				seg.sRetained[l] = true
+			} else {
+				if !seg.sRetained[l] {
+					ws.Put(oldS)
+				}
+				seg.sRetained[l] = false
+				if j == 0 {
+					ws.Put(oldH)
+				}
+			}
+		}
+	}
+	return seg
+}
+
+// recomputeSegment replays FW over segment i from its checkpoint column
+// (or the initial state), storing per-cell state per policy — the
+// recompute-FW phase. The per-cell kernel spans are suppressed for the
+// replay and its whole wall time is folded into PhaseRecomputeFW, so
+// recompute cost never inflates the FW/BP-EW rows of a phase breakdown.
+func (n *Network) recomputeSegment(res *CheckpointedResult, i, lo, hi int, policy StoragePolicy, opts BackwardOpts) *ckptSegment {
+	cfg := n.Cfg
+	ws := n.Workspace()
+	h := make([]*tensor.Matrix, cfg.Layers)
+	s := make([]*tensor.Matrix, cfg.Layers)
+	for l := 0; l < cfg.Layers; l++ {
+		h[l] = ws.Get(cfg.Batch, cfg.Hidden)
+		s[l] = ws.Get(cfg.Batch, cfg.Hidden)
+		switch {
+		case i > 0:
+			h[l].CopyFrom(res.cols[i].H[l])
+			s[l].CopyFrom(res.cols[i].S[l])
+		case res.initState != nil:
+			h[l].CopyFrom(res.initState.H[l])
+			s[l].CopyFrom(res.initState.S[l])
+		}
+	}
+	rec := ws.Recorder()
+	var t0 time.Time
+	if rec != nil {
+		ws.SetRecorder(nil)
+		t0 = time.Now()
+	}
+	seg := n.runStoredSegment(res, policy, lo, hi, h, s)
+	if rec != nil {
+		ws.SetRecorder(rec)
+		rec.Observe(obs.PhaseRecomputeFW, time.Since(t0))
+	}
+	res.recomputedCells += (hi - lo) * cfg.Layers
+	for l := 0; l < cfg.Layers; l++ {
+		if !seg.sRetained[l] {
+			ws.Put(s[l])
+		}
+	}
+	if opts.OnP1 != nil {
+		for l := range seg.P1 {
+			for j, p1 := range seg.P1[l] {
+				if p1 != nil {
+					opts.OnP1(l, lo+j, p1)
+				}
+			}
+		}
+	}
+	return seg
+}
+
+// BackwardCheckpointed runs BP through time over a CheckpointedResult,
+// recomputing each earlier segment's per-cell state from its checkpoint
+// column as the reverse sweep reaches it. The same policy passed to
+// ForwardCheckpointed must be supplied. Like Backward, it consumes res —
+// stored state, checkpoint columns and accumulators are released as the
+// sweep passes them, and res must not be reused. grads should be fresh
+// (zero): the FW-accumulated projection gradients are folded in with one
+// exact addition.
+func (n *Network) BackwardCheckpointed(res *CheckpointedResult, policy StoragePolicy, grads *Gradients, opts BackwardOpts) error {
+	cfg := n.Cfg
+	if policy == nil {
+		policy = BaselinePolicy()
+	}
+	if res.Targets == nil {
+		return fmt.Errorf("model: checkpointed backward requires targets (run ForwardCheckpointed with supervision)")
+	}
+	if res.seg == nil {
+		return fmt.Errorf("model: checkpointed result already consumed")
+	}
+	ws := n.Workspace()
+	rec := ws.Recorder()
+
+	// Fold the FW-accumulated projection gradients. grads starts zero,
+	// so this addition reproduces the full-storage seed loop bitwise.
+	sp := rec.Begin(obs.PhaseBPMatMul)
+	tensor.AddInPlace(grads.Proj, res.projG)
+	for i := range grads.ProjB {
+		grads.ProjB[i] += res.projBG[i]
+	}
+	sp.End()
+
+	// The stored last segment's P1 sets see the same pre-BP hook
+	// (MS1 pruning) the full-storage flow applies between FW and BP;
+	// recomputed segments get theirs inside recomputeSegment.
+	if opts.OnP1 != nil {
+		for l := range res.seg.P1 {
+			for j, p1 := range res.seg.P1[l] {
+				if p1 != nil {
+					opts.OnP1(l, res.seg.lo+j, p1)
+				}
+			}
+		}
+	}
+
+	K := len(res.Boundaries)
+	// δH/δS carries persist across segment boundaries, preserving each
+	// layer's global reverse-time accumulation chain.
+	dH := make([]*tensor.Matrix, cfg.Layers)
+	dS := make([]*tensor.Matrix, cfg.Layers)
+
+	for i := K - 1; i >= 0; i-- {
+		lo := res.Boundaries[i]
+		hi := cfg.SeqLen
+		if i+1 < K {
+			hi = res.Boundaries[i+1]
+		}
+		var seg *ckptSegment
+		if i == K-1 {
+			seg, res.seg = res.seg, nil
+		} else {
+			seg = n.recomputeSegment(res, i, lo, hi, policy, opts)
+		}
+
+		// Seed δY from the loss: the dLogits are recomputed from the
+		// segment's stored top-layer h (bitwise identical to the values
+		// the FW pass folded into the loss) instead of having been stored.
+		dY := make([]*tensor.Matrix, hi-lo)
+		sp := rec.Begin(obs.PhaseBPMatMul)
+		for t := lo; t < hi; t++ {
+			if !n.evaluates(t) {
+				continue
+			}
+			_, dl, err := n.evalOutput(seg.H[cfg.Layers-1][t-lo], res.Targets, t)
+			if err != nil {
+				sp.End()
+				return err
+			}
+			dY[t-lo] = tensor.MatMulTransB(ws.Get(cfg.Batch, cfg.Hidden), dl, n.Proj)
+			res.tracker.add(dY[t-lo].Bytes())
+			ws.Put(dl)
+		}
+		sp.End()
+
+		for l := cfg.Layers - 1; l >= 0; l-- {
+			dHl, dSl := dH[l], dS[l]
+			dXBelow := make([]*tensor.Matrix, hi-lo)
+			for t := hi - 1; t >= lo; t-- {
+				j := t - lo
+				if policy.Store(l, t) == StoreNone {
+					grads.SkippedCells++
+					res.releaseDelta(dY[j])
+					res.tracker.sub(seg.H[l][j].Bytes())
+					ws.PutAll(dY[j], dHl, dSl, seg.H[l][j])
+					dY[j], seg.H[l][j] = nil, nil
+					dHl, dSl = nil, nil
+					continue
+				}
+				grads.ExecutedCells++
+				in := lstm.BPInput{DY: dY[j], DH: dHl, DS: dSl}
+
+				target := grads.Layer[l]
+				var cellGrads *lstm.Grads
+				if opts.OnCell != nil {
+					cellGrads = lstm.NewGrads(n.Layer[l])
+					target = cellGrads
+				}
+
+				var out lstm.BPOutput
+				switch {
+				case seg.Cache[l][j] != nil:
+					res.tracker.sub(seg.Cache[l][j].IntermediateBytes())
+					out = lstm.Backward(ws, n.Layer[l], target, seg.Cache[l][j], in)
+					seg.Cache[l][j].Release(ws)
+					seg.Cache[l][j] = nil
+				case seg.P1[l][j] != nil:
+					x := res.Inputs[t]
+					if l > 0 {
+						x = seg.H[l-1][j]
+					}
+					// hPrev on the segment's first step comes from the
+					// checkpoint column (or the carried-in/zero state) —
+					// the same h_{t-1} the full-storage path stored.
+					var hPrev, zeroH *tensor.Matrix
+					switch {
+					case j > 0:
+						hPrev = seg.H[l][j-1]
+					case i > 0:
+						hPrev = res.cols[i].H[l]
+					case res.initState != nil:
+						hPrev = res.initState.H[l]
+					default:
+						zeroH = ws.Get(cfg.Batch, cfg.Hidden)
+						hPrev = zeroH
+					}
+					res.tracker.sub(seg.P1[l][j].Bytes())
+					out = lstm.BackwardFromP1(ws, n.Layer[l], target, x, hPrev, seg.P1[l][j], in)
+					ws.Put(zeroH)
+					seg.P1[l][j].Release(ws)
+					seg.P1[l][j] = nil
+				default:
+					return fmt.Errorf("model: cell (%d,%d) has no stored state but policy says execute", l, t)
+				}
+
+				if opts.OnCell != nil {
+					opts.OnCell(l, t, cellGrads)
+					grads.Layer[l].Add(cellGrads)
+				}
+				res.releaseDelta(dY[j])
+				res.tracker.sub(seg.H[l][j].Bytes())
+				ws.PutAll(dY[j], dHl, dSl, seg.H[l][j])
+				dY[j], seg.H[l][j] = nil, nil
+				dHl, dSl = out.DHPrev, out.DSPrev
+				dXBelow[j] = out.DX
+				res.tracker.add(out.DX.Bytes())
+			}
+			dH[l], dS[l] = dHl, dSl
+			dY = dXBelow
+		}
+		for _, d := range dY {
+			res.releaseDelta(d)
+			ws.Put(d)
+		}
+		if i > 0 {
+			col := res.cols[i]
+			for l := range col.H {
+				res.tracker.sub(col.H[l].Bytes() + col.S[l].Bytes())
+			}
+			ws.PutAll(col.H...)
+			ws.PutAll(col.S...)
+			res.cols[i] = nil
+		}
+	}
+	// Gradients flowing past t=0 into the previous chunk are discarded
+	// (truncated BPTT).
+	for l := 0; l < cfg.Layers; l++ {
+		ws.PutAll(dH[l], dS[l])
+	}
+	res.tracker.sub(res.projG.Bytes() + int64(len(res.projBG))*4)
+	ws.Put(res.projG)
+	res.projG = nil
+	return nil
+}
+
+// releaseDelta discounts a δ plane from the stored-bytes tracker.
+func (res *CheckpointedResult) releaseDelta(d *tensor.Matrix) {
+	if d != nil {
+		res.tracker.sub(d.Bytes())
+	}
+}

@@ -432,6 +432,15 @@ type BackwardOpts struct {
 	// collect the per-timestamp magnitudes of paper Fig. 8. Costs one
 	// extra Grads allocation per cell.
 	OnCell func(layer, t int, cell *lstm.Grads)
+
+	// OnP1, when non-nil, is invoked for every P1 set a checkpointed BP
+	// pass materializes — the stored last segment's sets before BP
+	// consumes them, and each recomputed segment's sets right after its
+	// replay. It is the hook MS1's near-zero pruning uses so regenerated
+	// P1 pairs see exactly the compression the full-storage flow applies
+	// between FW and BP. Backward (full storage) never calls it: there
+	// the caller prunes ForwardResult.P1 directly.
+	OnP1 func(layer, t int, p1 *lstm.P1)
 }
 
 // Backward runs BP through time over a ForwardResult. The same policy

@@ -18,6 +18,10 @@ const (
 	MetricArenaMissesTotal = "etalstm_arena_misses_total"
 	MetricArenaBytesHeld   = "etalstm_arena_bytes_held"
 	MetricAllReduceWait    = "etalstm_allreduce_wait_seconds"
+	MetricCkptColumns      = "etalstm_ckpt_columns"
+	MetricCkptStoredBytes  = "etalstm_ckpt_stored_bytes"
+	MetricPeakStoredBytes  = "etalstm_bptt_peak_stored_bytes"
+	MetricRecomputeRatio   = "etalstm_recompute_ratio"
 )
 
 // Train bundles the training-side instruments. One bundle is created
@@ -63,6 +67,16 @@ type Train struct {
 	// AllReduceWait is the per-replica straggler wait: how long each
 	// finished replica sat idle before its group's all-reduce began.
 	AllReduceWait *Histogram
+
+	// Checkpointed BPTT: the number of (h,s) checkpoint columns the
+	// active plan keeps and the bytes they pin, the measured peak of
+	// stored activation bytes over the latest epoch (max across
+	// replicas), and the fraction of FW cells re-executed during BP.
+	// All four sit at zero when training runs full-storage.
+	CkptColumns    *Gauge
+	CkptBytes      *Gauge
+	PeakStored     *Gauge
+	RecomputeRatio *Gauge
 }
 
 // NewTrain registers (or re-binds) the training instruments on r.
@@ -84,5 +98,9 @@ func NewTrain(r *Registry) *Train {
 		ArenaBytes:       r.Gauge(MetricArenaBytesHeld, "bytes currently held in workspace free lists"),
 		AllReduceWait: r.Histogram(MetricAllReduceWait, "per-replica wait before the group all-reduce in seconds",
 			0, 1, 50, 4096),
+		CkptColumns:    r.Gauge(MetricCkptColumns, "checkpoint (h,s) columns kept by the active memory plan"),
+		CkptBytes:      r.Gauge(MetricCkptStoredBytes, "bytes pinned by the checkpoint columns of the active plan"),
+		PeakStored:     r.Gauge(MetricPeakStoredBytes, "measured peak stored activation bytes of the latest epoch"),
+		RecomputeRatio: r.Gauge(MetricRecomputeRatio, "fraction of FW cells re-executed during BP of the latest epoch"),
 	}
 }

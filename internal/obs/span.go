@@ -26,6 +26,12 @@ const (
 	// PhaseBPMatMul covers Eq. 2/Eq. 3: propagated gradients and weight
 	// gradient accumulation.
 	PhaseBPMatMul
+	// PhaseRecomputeFW is the checkpointed-BPTT segment replay: the FW
+	// cells re-executed during BP to regenerate the intermediates that a
+	// memory budget kept us from storing. It is extra work the
+	// full-storage flow never does, so it gets its own row rather than
+	// inflating PhaseFW.
+	PhaseRecomputeFW
 	// PhaseAllReduce is the data-parallel gradient merge (tree reduce).
 	PhaseAllReduce
 	// PhaseOptimizer is the reducer stage: averaging, clipping, and the
@@ -47,6 +53,8 @@ func (p Phase) String() string {
 		return "BP-EW-P2"
 	case PhaseBPMatMul:
 		return "BP-MatMul"
+	case PhaseRecomputeFW:
+		return "recompute-FW"
 	case PhaseAllReduce:
 		return "all-reduce"
 	case PhaseOptimizer:

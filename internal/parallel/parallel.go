@@ -53,6 +53,11 @@ type BatchResult struct {
 	// ([layer][t], summed over the batch) during MS2's epoch-0
 	// calibration; nil otherwise.
 	Observed [][]float64
+	// PeakStored is the measured peak of stored activation bytes during
+	// the batch's checkpointed FW+BP (0 when training runs full
+	// storage); Recomputed counts the FW cells replayed during BP.
+	PeakStored int64
+	Recomputed int
 }
 
 // BatchFn runs FW+BP for one minibatch on the given network (a replica
@@ -71,6 +76,12 @@ type EpochResult struct {
 	// Observed is the element-wise sum of every batch's Observed grid
 	// (nil when no batch reported one).
 	Observed [][]float64
+	// PeakStored is the max over batches of the measured peak stored
+	// bytes (each replica has its own arena, so the epoch's true peak is
+	// the worst single batch); RecomputedCells sums the FW cells
+	// replayed during BP across the epoch.
+	PeakStored      int64
+	RecomputedCells int
 }
 
 // Engine executes epochs data-parallel over a fixed replica set.
@@ -200,6 +211,10 @@ func (e *Engine) RunEpoch(ctx context.Context, p train.Provider, fn BatchFn) (Ep
 			if r.Observed != nil {
 				res.Observed = addObserved(res.Observed, r.Observed)
 			}
+			if r.PeakStored > res.PeakStored {
+				res.PeakStored = r.PeakStored
+			}
+			res.RecomputedCells += r.Recomputed
 		}
 		if len(grads) == 0 {
 			continue
