@@ -3,7 +3,7 @@ GO ?= go
 # Budget per fuzz target for `make fuzz` (go test -fuzztime syntax).
 FUZZTIME ?= 30s
 
-.PHONY: build test race bench vet fmt check fuzz cover serve-smoke obs-smoke longseq-smoke all
+.PHONY: build test race bench vet fmt check fuzz cover serve-smoke obs-smoke longseq-smoke dist-smoke all
 
 all: build test
 
@@ -22,10 +22,11 @@ test:
 # serial and concurrent replicas against each other), the serving
 # subsystem (micro-batcher, session table, graceful drain), the
 # telemetry layer (concurrent registry, per-replica span recorders),
-# and the checkpoint planner whose placements the replicas recompute
-# under concurrently.
+# the checkpoint planner whose placements the replicas recompute
+# under concurrently, and the distributed gradient transport (reader
+# goroutines handing decode buffers to the coordinator's merge loop).
 race:
-	$(GO) test -race ./internal/parallel ./internal/core ./internal/tensor ./internal/lstm ./internal/model ./internal/check ./internal/skip ./internal/train ./internal/serve ./internal/obs ./internal/memplan .
+	$(GO) test -race ./internal/parallel ./internal/core ./internal/tensor ./internal/lstm ./internal/model ./internal/check ./internal/skip ./internal/train ./internal/serve ./internal/obs ./internal/memplan ./internal/dist .
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
@@ -39,6 +40,7 @@ fuzz:
 	$(GO) test -run='^$$' -fuzz=FuzzGradCheck -fuzztime=$(FUZZTIME) -fuzzminimizetime=1x ./internal/check
 	$(GO) test -run='^$$' -fuzz=FuzzEquivalence -fuzztime=$(FUZZTIME) -fuzzminimizetime=1x ./internal/check
 	$(GO) test -run='^$$' -fuzz=FuzzCheckpointed -fuzztime=$(FUZZTIME) -fuzzminimizetime=1x ./internal/check
+	$(GO) test -run='^$$' -fuzz=FuzzFrameDecode -fuzztime=$(FUZZTIME) -fuzzminimizetime=1x ./internal/dist
 
 # cover enforces statement-coverage floors on the numerically critical
 # packages. Floors sit a few points below current coverage: they catch a
@@ -58,7 +60,8 @@ cover:
 	check ./internal/skip 90; \
 	check ./internal/serve 65; \
 	check ./internal/obs 85; \
-	check ./internal/memplan 90
+	check ./internal/memplan 90; \
+	check ./internal/dist 85
 
 # serve-smoke is the end-to-end serving check: checkpoint -> etaserve
 # on an ephemeral port -> loadgen burst -> graceful drain, all through
@@ -78,6 +81,12 @@ obs-smoke:
 # peak-stored-bytes report.
 longseq-smoke:
 	$(GO) test -run TestLongSeqSmoke -v ./cmd/etatrain
+
+# dist-smoke is the end-to-end distributed-training check: a gradient
+# coordinator plus two compressed workers over loopback, asserted to
+# form a session, converge, and report their bytes-on-wire accounting.
+dist-smoke:
+	$(GO) test -run TestDistSmoke -v ./cmd/etatrain
 
 vet:
 	$(GO) vet ./...

@@ -61,6 +61,16 @@ func run(ctx context.Context, args []string, w io.Writer) error {
 		cpuProf   = fs.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf   = fs.String("memprofile", "", "write a heap profile to this file on exit")
 		metrics   = fs.String("metrics-addr", "", `serve GET /metrics (Prometheus text) on this address while training (e.g. "127.0.0.1:9090")`)
+
+		coordAddr     = fs.String("coordinator", "", `run as a gradient-merge coordinator on this address (e.g. ":7600"): no training here, just deterministic merge + broadcast for -dist-workers worker processes with matching geometry flags`)
+		workerAddr    = fs.String("worker", "", "join a multi-process run as a worker of the coordinator at this address")
+		distWorkers   = fs.Int("dist-workers", 2, "(coordinator) worker processes to admit before training starts")
+		distQuorum    = fs.Int("dist-quorum", 0, "(coordinator) admit a step once this many contributions arrived and stragglers exceeded -dist-deadline (0 = wait for all: the deterministic mode)")
+		distDeadline  = fs.Duration("dist-deadline", 0, "(coordinator) straggler wait after the quorum is met (0 = 50ms)")
+		distKeep      = fs.Float64("dist-keep", 0, "compress gradient sync payloads, keeping this top fraction per tensor with error feedback (0 = dense; try 0.05)")
+		distThreshold = fs.Float64("dist-threshold", 0, "compress gradient sync payloads with an MS1-style near-zero cutoff instead of top-k (0 = off; overrides -dist-keep)")
+		distWarmup    = fs.Int("dist-warmup", 0, "ship this many initial optimizer steps dense before compression kicks in (same value on coordinator and workers)")
+		dataSeed      = fs.Uint64("data-seed", 0, "override the training data shard seed (0 = -seed, or derived from -seed and the worker id in distributed runs)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -91,7 +101,11 @@ func run(ctx context.Context, args []string, w io.Writer) error {
 		return err
 	}
 	topts := etalstm.TrainerOptions{Workers: *workers, MemoryBudget: budget}
+	compression := distCompression(*distKeep, *distThreshold, *distWarmup)
 	if *corpusPth != "" {
+		if *coordAddr != "" || *workerAddr != "" {
+			return fmt.Errorf("distributed training requires a -bench geometry; -corpus is not supported")
+		}
 		return trainCorpus(ctx, w, *corpusPth, mode, topts, *hidden, *seqCap, *batchCap, *epochs, *batches, *seed)
 	}
 	bench, err := etalstm.BenchmarkByName(*benchName)
@@ -100,6 +114,15 @@ func run(ctx context.Context, args []string, w io.Writer) error {
 	}
 	full := bench
 	bench = bench.Scaled(*hiddenDiv, *seqCap, *batchCap)
+
+	if *coordAddr != "" {
+		return runCoordinator(ctx, w, *coordAddr, bench.Cfg, etalstm.CoordinatorOptions{
+			ExpectWorkers: *distWorkers,
+			Quorum:        *distQuorum,
+			Deadline:      *distDeadline,
+			Compression:   compression,
+		})
+	}
 	fmt.Fprintf(w, "benchmark %s (%v): paper geometry H=%d LN=%d LL=%d; training at H=%d LL=%d B=%d\n",
 		full.Name, full.Cfg.Loss, full.Cfg.Hidden, full.Cfg.Layers, full.Cfg.SeqLen,
 		bench.Cfg.Hidden, bench.Cfg.SeqLen, bench.Cfg.Batch)
@@ -120,6 +143,23 @@ func run(ctx context.Context, args []string, w io.Writer) error {
 			return err
 		}
 	}
+	var wk *etalstm.WorkerSync
+	provSeed := *seed
+	if *workerAddr != "" {
+		wk, err = etalstm.DialSync(*workerAddr, bench.Cfg, etalstm.WorkerSyncOptions{Compression: compression})
+		if err != nil {
+			return err
+		}
+		defer wk.Close()
+		topts.Sync = wk
+		fmt.Fprintf(w, "distributed: worker %d of %d via %s\n", wk.ID(), wk.Total(), *workerAddr)
+		// Distinct shards by default: each worker trains different data
+		// but applies the identical merged step.
+		provSeed = *seed + 1000003*uint64(wk.ID())
+	}
+	if *dataSeed != 0 {
+		provSeed = *dataSeed
+	}
 	tr := etalstm.NewTrainer(net, mode, topts)
 	if tr.Workers() > 1 {
 		fmt.Fprintf(w, "data-parallel: %d replica workers\n", tr.Workers())
@@ -127,7 +167,7 @@ func run(ctx context.Context, args []string, w io.Writer) error {
 	if err := printPlan(w, bench.Cfg, mode, budget); err != nil {
 		return err
 	}
-	prov := bench.Provider(*batches, *seed)
+	prov := bench.Provider(*batches, provSeed)
 
 	var peakStored int64
 	for e := 0; e < *epochs; e++ {
@@ -152,6 +192,10 @@ func run(ctx context.Context, args []string, w io.Writer) error {
 		fmt.Fprintln(w, line)
 	}
 	printPeak(w, tr, budget, peakStored)
+	if wk != nil && wk.WireBytes() > 0 {
+		fmt.Fprintf(w, "gradient sync: %.1f KiB on wire, %.1f KiB dense equivalent (%.1fx)\n",
+			float64(wk.WireBytes())/1024, float64(wk.DenseBytes())/1024, wk.Ratio())
+	}
 
 	loss, acc, err := etalstm.Evaluate(net, bench.Provider(2, *seed+100))
 	if err != nil {
@@ -172,6 +216,41 @@ func run(ctx context.Context, args []string, w io.Writer) error {
 		float64(fp.Total())/1e9, float64(base.Total())/1e9,
 		100*(1-float64(fp.Total())/float64(base.Total())))
 	return nil
+}
+
+// distCompression maps the -dist-keep / -dist-threshold / -dist-warmup
+// flags onto sync compression options (nil = dense payloads).
+func distCompression(keep, threshold float64, warmup int) *etalstm.CompressOptions {
+	if keep <= 0 && threshold <= 0 {
+		return nil
+	}
+	return &etalstm.CompressOptions{KeepFrac: keep, Threshold: float32(threshold), WarmupSteps: warmup}
+}
+
+// runCoordinator serves one multi-process merge session and reports its
+// outcome. ctx cancellation (Ctrl-C) closes the session.
+func runCoordinator(ctx context.Context, w io.Writer, addr string, cfg etalstm.Config, opts etalstm.CoordinatorOptions) error {
+	c, err := etalstm.StartCoordinator(addr, cfg, opts)
+	if err != nil {
+		return err
+	}
+	quorum := opts.Quorum
+	if quorum <= 0 || quorum > opts.ExpectWorkers {
+		quorum = opts.ExpectWorkers
+	}
+	fmt.Fprintf(w, "coordinator on %s: waiting for %d workers (quorum %d)\n", c.Addr(), opts.ExpectWorkers, quorum)
+	done := make(chan error, 1)
+	go func() { done <- c.Wait() }()
+	select {
+	case err := <-done:
+		fmt.Fprintf(w, "coordinator served %d merged steps (%d stale, %d late contributions folded)\n",
+			c.Steps(), c.StaleSteps(), c.LateFolds())
+		return err
+	case <-ctx.Done():
+		c.Close()
+		<-done
+		return ctx.Err()
+	}
 }
 
 // serveMetrics exposes the process-wide telemetry registry over HTTP

@@ -7,6 +7,7 @@ import (
 	"net/http"
 	"path/filepath"
 	"regexp"
+	"strconv"
 	"strings"
 	"sync"
 	"testing"
@@ -176,5 +177,94 @@ func TestRunCanceledContext(t *testing.T) {
 	}
 	if !strings.Contains(out.String(), "interrupted") {
 		t.Fatalf("canceled run did not report interruption:\n%s", out.String())
+	}
+}
+
+// TestDistSmoke drives the full multi-process topology in one process:
+// a coordinator on an ephemeral loopback port plus two workers, each a
+// complete run() invocation exactly as the CLI would launch them, with
+// compressed gradient sync. It asserts the session forms, trains, and
+// converges (final epoch loss below the first), and that the wire
+// accounting is reported. `make dist-smoke` runs exactly this test.
+func TestDistSmoke(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+
+	var coordOut syncBuffer
+	coordDone := make(chan error, 1)
+	go func() {
+		coordDone <- run(ctx, tinyArgs(
+			"-coordinator", "127.0.0.1:0", "-dist-workers", "2",
+			"-dist-keep", "0.2", "-dist-warmup", "2",
+		), &coordOut)
+	}()
+
+	// The coordinator prints its resolved address once listening.
+	addrRe := regexp.MustCompile(`coordinator on ([^\s]+): waiting`)
+	var addr string
+	for deadline := time.Now().Add(30 * time.Second); time.Now().Before(deadline); time.Sleep(10 * time.Millisecond) {
+		if m := addrRe.FindStringSubmatch(coordOut.String()); m != nil {
+			addr = m[1]
+			break
+		}
+		select {
+		case err := <-coordDone:
+			t.Fatalf("coordinator exited before listening: %v\n%s", err, coordOut.String())
+		default:
+		}
+	}
+	if addr == "" {
+		t.Fatalf("coordinator never printed its address:\n%s", coordOut.String())
+	}
+
+	workerArgs := tinyArgs(
+		"-worker", addr, "-mode", "baseline", "-epochs", "6",
+		"-dist-keep", "0.2", "-dist-warmup", "2",
+	)
+	outs := make([]syncBuffer, 2)
+	errs := make([]error, 2)
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = run(ctx, workerArgs, &outs[i])
+		}(i)
+	}
+	wg.Wait()
+	for i := range errs {
+		if errs[i] != nil {
+			t.Fatalf("worker %d: %v\n%s", i, errs[i], outs[i].String())
+		}
+	}
+	if err := <-coordDone; err != nil {
+		t.Fatalf("coordinator: %v\n%s", err, coordOut.String())
+	}
+
+	lossRe := regexp.MustCompile(`epoch\s+(\d+)\s+loss\s+([0-9.]+)`)
+	for i := range outs {
+		out := outs[i].String()
+		if !strings.Contains(out, "distributed: worker") {
+			t.Fatalf("worker %d never joined the session:\n%s", i, out)
+		}
+		losses := lossRe.FindAllStringSubmatch(out, -1)
+		if len(losses) != 6 {
+			t.Fatalf("worker %d: %d epoch lines, want 6:\n%s", i, len(losses), out)
+		}
+		first, err1 := strconv.ParseFloat(losses[0][2], 64)
+		last, err2 := strconv.ParseFloat(losses[len(losses)-1][2], 64)
+		if err1 != nil || err2 != nil {
+			t.Fatalf("worker %d: unparsable losses %v %v", i, err1, err2)
+		}
+		// Convergence: the distributed run must actually learn.
+		if !(last < first) {
+			t.Errorf("worker %d did not converge: first epoch loss %g, last %g\n%s", i, first, last, out)
+		}
+		if !strings.Contains(out, "gradient sync:") {
+			t.Errorf("worker %d: wire accounting line missing:\n%s", i, out)
+		}
+	}
+	if !strings.Contains(coordOut.String(), "merged steps") {
+		t.Errorf("coordinator summary missing:\n%s", coordOut.String())
 	}
 }

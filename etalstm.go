@@ -30,6 +30,7 @@ import (
 
 	"etalstm/internal/core"
 	"etalstm/internal/corpus"
+	"etalstm/internal/dist"
 	"etalstm/internal/memplan"
 	"etalstm/internal/model"
 	"etalstm/internal/persist"
@@ -143,6 +144,62 @@ type Reducer = train.Reducer
 // global L2 norm (Clip <= 0 disables), apply Opt.
 type ClipStep = train.ClipStep
 
+// GradientSync is the transport seam of a training step: the stage
+// that merges one step's gradient contributions, possibly across
+// processes. Supply one through TrainerOptions.Sync; nil keeps the
+// built-in deterministic in-process all-reduce. NewCompressedSync and
+// DialSync build the provided implementations.
+type GradientSync = train.GradientSync
+
+// CompressOptions tunes gradient compression on syncs that support it:
+// top-k fraction or MS1-style near-zero threshold.
+type CompressOptions = dist.CompressOptions
+
+// CompressedSync sparsifies each replica's gradient contribution with
+// per-replica error feedback before merging — MS1's (value, index)
+// compression applied to all-reduce traffic. Its byte accounting (and
+// the etalstm_dist_* instruments) reports the wire cost the payloads
+// would have on the TCP transport.
+type CompressedSync = dist.Compressed
+
+// Coordinator is the merge hub of multi-process data-parallel
+// training: it collects worker gradient frames, merges them
+// deterministically, and broadcasts the result. It never trains.
+type Coordinator = dist.Coordinator
+
+// CoordinatorOptions configures a Coordinator: worker count, quorum +
+// deadline for bounded-staleness admission, downlink compression.
+type CoordinatorOptions = dist.CoordinatorOptions
+
+// WorkerSync is the worker-process side of the TCP gradient transport;
+// it implements GradientSync.
+type WorkerSync = dist.Worker
+
+// WorkerSyncOptions configures a WorkerSync (uplink compression, dial
+// timeout).
+type WorkerSyncOptions = dist.WorkerOptions
+
+// NewCompressedSync builds an in-process compressed gradient sync.
+func NewCompressedSync(opts CompressOptions) *CompressedSync {
+	return &dist.Compressed{Opts: opts}
+}
+
+// StartCoordinator starts a gradient-merge coordinator for a
+// multi-process run of cfg-shaped models. It returns once the listener
+// is bound; the session serves in the background until every worker
+// disconnects (Coordinator.Wait returns nil) or Close is called.
+func StartCoordinator(addr string, cfg Config, opts CoordinatorOptions) (*Coordinator, error) {
+	return dist.StartCoordinator(addr, cfg, opts)
+}
+
+// DialSync connects a worker process to a coordinator and blocks until
+// the full worker set has joined. Plug the returned sync into
+// TrainerOptions.Sync; its ID/Total report this process's position for
+// sharding the data provider.
+func DialSync(addr string, cfg Config, opts WorkerSyncOptions) (*WorkerSync, error) {
+	return dist.Dial(addr, cfg, opts)
+}
+
 // TrainerOptions tunes a Trainer; zero values select the paper's
 // operating points.
 type TrainerOptions struct {
@@ -192,6 +249,13 @@ type TrainerOptions struct {
 	// test per phase boundary, so the FW/BP hot path stays
 	// allocation-free either way.
 	RecordPhases bool
+	// Sync routes each optimizer step's gradient merge through a
+	// transport (NewCompressedSync for in-process compression, DialSync
+	// to join a multi-process run). nil keeps the built-in paths bitwise
+	// intact. The trainer owns the reducer averaging: it divides by the
+	// contribution count the sync reports, so a distributed sync makes
+	// this trainer one member of a larger data-parallel group.
+	Sync GradientSync
 }
 
 // Trainer trains a Network under the selected optimization mode.
@@ -246,6 +310,7 @@ func NewTrainer(net *Network, mode Mode, opts TrainerOptions) *Trainer {
 	inner := core.New(net, opt, clip, cfg)
 	inner.Workers = workers
 	inner.Reducer = opts.Reducer
+	inner.Sync = opts.Sync
 	inner.Observer = opts.Observer
 	inner.RecordPhases = opts.RecordPhases
 	return &Trainer{inner: inner, mode: mode}

@@ -1,0 +1,224 @@
+package etalstm
+
+import (
+	"context"
+	"sync"
+	"testing"
+
+	"etalstm/internal/check"
+	"etalstm/internal/obs"
+)
+
+// stridedShard is worker `offset`'s view of a shared epoch: batch i of
+// the shard is global batch i*stride+offset, so step s across `stride`
+// single-replica workers covers exactly the batch group an in-process
+// engine with Workers == stride would hand its replicas at group s.
+type stridedShard struct {
+	inner          Provider
+	stride, offset int
+}
+
+func (p stridedShard) NumBatches() int { return p.inner.NumBatches() / p.stride }
+func (p stridedShard) Batch(i int) Batch {
+	return p.inner.Batch(i*p.stride + p.offset)
+}
+
+// runTCPWorkers trains one single-replica trainer per TCP worker
+// against a shared coordinator, each on its stride of the union
+// provider, all from the same seed. It returns per-worker parameter
+// checksums, per-worker epoch stats (indexed by worker id), and the
+// workers themselves (for wire accounting).
+func runTCPWorkers(t *testing.T, coordAddr string, small Benchmark, union Provider, workers, epochs int, comp *CompressOptions, metrics []*obs.Dist) ([]uint64, [][]EpochStats, []*WorkerSync) {
+	t.Helper()
+	sums := make([]uint64, workers)
+	stats := make([][]EpochStats, workers)
+	syncs := make([]*WorkerSync, workers)
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			opts := WorkerSyncOptions{Compression: comp}
+			if metrics != nil {
+				opts.Metrics = metrics[i]
+			}
+			wk, err := DialSync(coordAddr, small.Cfg, opts)
+			if err != nil {
+				t.Errorf("worker %d dial: %v", i, err)
+				return
+			}
+			defer wk.Close()
+			net, err := NewNetwork(small.Cfg, 42)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			tr := NewTrainer(net, Baseline, TrainerOptions{Workers: 1, Sync: wk})
+			shard := stridedShard{inner: union, stride: workers, offset: wk.ID()}
+			st, err := tr.Run(context.Background(), shard, epochs)
+			if err != nil {
+				t.Errorf("worker %d run: %v", wk.ID(), err)
+				return
+			}
+			sums[wk.ID()] = paramChecksum(net)
+			stats[wk.ID()] = st
+			syncs[wk.ID()] = wk
+		}(i)
+	}
+	wg.Wait()
+	if t.Failed() {
+		t.FailNow()
+	}
+	return sums, stats, syncs
+}
+
+// TestDistributedDenseBitwise is the seam-transparency acceptance test:
+// four worker processes (here goroutines, but full TCP loopback — every
+// gradient crosses a socket) training dense through a coordinator must
+// land on exactly the weights the in-process Workers=4 engine produces
+// from the same batches, bit for bit.
+func TestDistributedDenseBitwise(t *testing.T) {
+	bench, err := BenchmarkByName("IMDB")
+	if err != nil {
+		t.Fatal(err)
+	}
+	small := bench.Scaled(64, 12, 8)
+	const workers = 4
+	const epochs = 3
+	union := small.Provider(2*workers, 1)
+
+	// Reference: the classic in-process engine over the union provider.
+	refNet, err := NewNetwork(small.Cfg, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refTr := NewTrainer(refNet, Baseline, TrainerOptions{Workers: workers})
+	refStats, err := refTr.Run(context.Background(), union, epochs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refSum := paramChecksum(refNet)
+
+	coord, err := StartCoordinator("127.0.0.1:0", small.Cfg, CoordinatorOptions{ExpectWorkers: workers})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Close()
+
+	sums, stats, _ := runTCPWorkers(t, coord.Addr().String(), small, union, workers, epochs, nil, nil)
+	if err := coord.Wait(); err != nil {
+		t.Fatalf("coordinator: %v", err)
+	}
+	for id, sum := range sums {
+		if sum != refSum {
+			t.Errorf("worker %d final weights %#x differ from in-process engine %#x", id, sum, refSum)
+		}
+	}
+	// Per-shard mean losses must average to the engine's epoch mean
+	// (equal shard sizes), confirming the runs saw the same batches.
+	for e := 0; e < epochs; e++ {
+		var mean float64
+		for id := 0; id < workers; id++ {
+			mean += stats[id][e].MeanLoss
+		}
+		mean /= workers
+		if diff := mean - refStats[e].MeanLoss; diff > 1e-9 || diff < -1e-9 {
+			t.Errorf("epoch %d: worker mean loss %g vs engine %g", e, mean, refStats[e].MeanLoss)
+		}
+	}
+	if got := coord.Steps(); got != int64(epochs*union.NumBatches()/workers) {
+		t.Errorf("coordinator served %d merge steps, want %d", got, epochs*union.NumBatches()/workers)
+	}
+}
+
+// TestDistributedCompressedAcceptance is the headline acceptance run:
+// four TCP workers training with top-k compression (keep 5%) on both
+// uplink and downlink must cut bytes-on-wire at least 5× against the
+// dense equivalent — per the transport's own wire gauge — while the
+// final loss stays inside the bounded-divergence band of the dense run.
+func TestDistributedCompressedAcceptance(t *testing.T) {
+	bench, err := BenchmarkByName("IMDB")
+	if err != nil {
+		t.Fatal(err)
+	}
+	small := bench.Scaled(16, 8, 4)
+	const workers = 4
+	const epochs = 10
+	union := small.Provider(4*workers, 1)
+
+	// Dense reference trajectory (in-process engine, same batches).
+	refNet, err := NewNetwork(small.Cfg, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refTr := NewTrainer(refNet, Baseline, TrainerOptions{Workers: workers})
+	refStats, err := refTr.Run(context.Background(), union, epochs)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	comp := &CompressOptions{KeepFrac: 0.05, WarmupSteps: 4}
+	coord, err := StartCoordinator("127.0.0.1:0", small.Cfg, CoordinatorOptions{
+		ExpectWorkers: workers,
+		Compression:   comp,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Close()
+
+	metrics := make([]*obs.Dist, workers)
+	for i := range metrics {
+		metrics[i] = obs.NewDist(obs.NewRegistry())
+	}
+	sums, stats, syncs := runTCPWorkers(t, coord.Addr().String(), small, union, workers, epochs, comp, metrics)
+	if err := coord.Wait(); err != nil {
+		t.Fatalf("coordinator: %v", err)
+	}
+
+	// Compressed workers still move in lockstep: identical broadcasts,
+	// identical optimizer state, identical weights.
+	for id := 1; id < workers; id++ {
+		if sums[id] != sums[0] {
+			t.Errorf("worker %d weights %#x forked from worker 0 %#x", id, sums[id], sums[0])
+		}
+	}
+
+	// ≥5× payload reduction, read from the bytes-on-wire gauge each
+	// worker's metrics bundle maintains (and cross-checked against the
+	// worker's own accounting).
+	for id, wk := range syncs {
+		wire := float64(metrics[id].WireBytes.Value())
+		dense := float64(metrics[id].DenseBytes.Value())
+		if wire <= 0 || dense <= 0 {
+			t.Fatalf("worker %d: wire gauge never moved (wire %g dense %g)", id, wire, dense)
+		}
+		if ratio := dense / wire; ratio < 5 {
+			t.Errorf("worker %d: compression ratio %.2fx from wire gauge, acceptance bar is 5x", id, ratio)
+		}
+		if r := wk.Ratio(); r < 5 {
+			t.Errorf("worker %d: Ratio() = %.2fx, acceptance bar is 5x", id, r)
+		}
+	}
+
+	// Final loss within the bounded-divergence band of the dense run.
+	// Shards are equal-sized, so averaging per-worker means recovers the
+	// full-epoch mean loss.
+	denseTrace := make([]float64, epochs)
+	compTrace := make([]float64, epochs)
+	for e := 0; e < epochs; e++ {
+		denseTrace[e] = refStats[e].MeanLoss
+		for id := 0; id < workers; id++ {
+			compTrace[e] += stats[id][e].MeanLoss
+		}
+		compTrace[e] /= workers
+	}
+	// Band 0.25 against a 0.05 convergence floor: both runs start at
+	// ~0.71 loss, so the compressed tail must land within 0.0125 of the
+	// dense tail — ~2% of the loss the dense run worked off.
+	if err := check.CheckLossBand(denseTrace, compTrace, 0.25, 0.05); err != nil {
+		t.Errorf("compressed run left the divergence band: %v", err)
+	}
+	t.Logf("dense trace %v", denseTrace)
+	t.Logf("comp  trace %v (ratio %.1fx)", compTrace, syncs[0].Ratio())
+}

@@ -48,6 +48,11 @@ type PathSpec struct {
 	// BackwardCheckpointed) with these checkpoint columns instead of the
 	// full-storage pair. nil or a single [0] runs full storage.
 	Boundaries []int
+	// Sync, when non-nil, merges each group's gradients through this
+	// transport instead of the direct tree all-reduce, and the reducer
+	// averages by the contribution count the sync reports — the seam the
+	// sync-equivalence contracts exercise. nil keeps the classic path.
+	Sync train.GradientSync
 }
 
 // PathResult captures what one path produced: per-batch losses, the
@@ -135,9 +140,19 @@ func RunPath(s *Scenario, p PathSpec, groupSize int) (*PathResult, error) {
 			}
 			res.Losses = append(res.Losses, losses[i])
 		}
-		merged := parallel.TreeReduce(grads)
+		var merged *model.Gradients
+		contribs := len(group)
+		if p.Sync != nil {
+			m, n, err := p.Sync.Reduce(grads)
+			if err != nil {
+				return nil, fmt.Errorf("check: path %s sync: %w", p.Name, err)
+			}
+			merged, contribs = m, n
+		} else {
+			merged = parallel.TreeReduce(grads)
+		}
 		res.Grads = merged.Clone()
-		red.Apply(net, merged, len(group))
+		red.Apply(net, merged, contribs)
 	}
 	return res, nil
 }

@@ -1,0 +1,136 @@
+package check
+
+import (
+	"fmt"
+
+	"etalstm/internal/dist"
+	"etalstm/internal/model"
+	"etalstm/internal/train"
+)
+
+// The gradient-sync contracts: what any train.GradientSync owes the
+// trainer, checkable against the classic direct-reduce path.
+//
+//   - A lossless sync (Inproc, or the TCP transport with dense frames
+//     and a full quorum) must be invisible: losses, gradients and
+//     weights bitwise identical to the direct path (CheckSyncBitwise).
+//   - A compressed sync is an approximation, so it owes bounded,
+//     monotone divergence instead: keeping everything diverges not at
+//     all, and keeping less never helps (CheckCompressMonotone) —
+//     the same shape of contract MS1's pruning ladder satisfies.
+//   - Over a whole run, error feedback must keep the approximation's
+//     trajectory near the dense one: the final losses agree within a
+//     relative band (CheckLossBand).
+
+// CheckSyncBitwise asserts the sync mk builds is lossless: the scenario
+// run through it matches the direct tree-reduce path bitwise — losses,
+// final-step gradients and post-training weights. mk is called once per
+// path so stateful syncs start fresh; the returned sync is closed when
+// its path finishes.
+func CheckSyncBitwise(s *Scenario, workers int, mk func() (train.GradientSync, error)) error {
+	if workers < 2 {
+		workers = 2
+	}
+	base, err := RunPath(s, PathSpec{Name: "sync-base", Store: model.StoreRaw}, workers)
+	if err != nil {
+		return err
+	}
+	sync, err := mk()
+	if err != nil {
+		return err
+	}
+	defer sync.Close()
+	got, err := RunPath(s, PathSpec{Name: "sync-seam", Store: model.StoreRaw, Sync: sync}, workers)
+	if err != nil {
+		return err
+	}
+	return comparePaths(base, got, "sync-seam", Bitwise)
+}
+
+// CheckCompressMonotone runs one optimizer step through compressed
+// syncs across a keep-fraction ladder (descending coverage) and asserts
+// the bounded-divergence contract: KeepFrac 1 diverges not at all from
+// the dense reduce, and divergence is monotone non-increasing in the
+// kept fraction, within slack. Fresh syncs per rung keep error feedback
+// out of the comparison (it is a cross-step mechanism; a single step
+// sees only the raw sparsification error).
+func CheckCompressMonotone(s *Scenario, keeps []float64, slack float64) ([]float64, error) {
+	one := *s
+	one.NumBatches = 1
+	s = &one
+	base, err := RunPath(s, PathSpec{Name: "compress-base", Store: model.StoreRaw}, 1)
+	if err != nil {
+		return nil, err
+	}
+	dists := make([]float64, len(keeps))
+	for i, keep := range keeps {
+		sync := &dist.Compressed{Opts: dist.CompressOptions{KeepFrac: keep}}
+		got, err := RunPath(s, PathSpec{Name: fmt.Sprintf("compress-%g", keep), Store: model.StoreRaw, Sync: sync}, 1)
+		if err != nil {
+			return nil, err
+		}
+		dists[i] = GradDistance(base.Grads, got.Grads)
+	}
+	for i, keep := range keeps {
+		if keep >= 1 && dists[i] != 0 {
+			return dists, fmt.Errorf("check: compression at keep %g diverged (distance %g)", keep, dists[i])
+		}
+		if i > 0 && keeps[i] <= keeps[i-1] && dists[i]+slack < dists[i-1] {
+			return dists, fmt.Errorf("check: divergence not monotone: keep %g → %g but distance %g → %g",
+				keeps[i-1], keep, dists[i-1], dists[i])
+		}
+	}
+	return dists, nil
+}
+
+// CheckLossBand asserts an approximate run's final loss lands within a
+// relative band of the dense run's: |approx − dense| <= relBand ×
+// max(|dense|, floor). It is the whole-run bounded-divergence contract
+// compressed training owes — error feedback makes per-step drift
+// transient, so trajectories stay close even though no step matches
+// exactly.
+//
+// Each side's "final loss" is the mean of its trailing three epochs: a
+// converged sparsified run oscillates around zero with per-epoch jitter
+// the size of the sparsification error, and a single endpoint sample
+// would make the contract a coin flip. floor is the convergence floor —
+// the loss magnitude at which the task counts as solved — so once the
+// dense run is below it, the band is measured against the floor instead
+// of a vanishing dense loss.
+func CheckLossBand(dense, approx []float64, relBand, floor float64) error {
+	if len(dense) == 0 || len(approx) == 0 {
+		return fmt.Errorf("check: loss band needs non-empty traces (dense %d, approx %d)", len(dense), len(approx))
+	}
+	d := tailMean(dense)
+	a := tailMean(approx)
+	scale := d
+	if scale < 0 {
+		scale = -scale
+	}
+	if scale < floor {
+		scale = floor
+	}
+	if scale < 1e-8 {
+		scale = 1e-8
+	}
+	if diff := a - d; diff > relBand*scale || diff < -relBand*scale {
+		return fmt.Errorf("check: final loss %g diverges from dense %g by %g (band %g rel = %g)",
+			a, d, a-d, relBand, relBand*scale)
+	}
+	return nil
+}
+
+// tailMean averages the last three entries of trace (fewer if the trace
+// is shorter).
+func tailMean(trace []float64) float64 {
+	n := len(trace)
+	w := 3
+	if n < w {
+		w = n
+	}
+	var sum float64
+	for _, v := range trace[n-w:] {
+		sum += v
+	}
+	return sum / float64(w)
+}

@@ -1,0 +1,80 @@
+package check
+
+import (
+	"strings"
+	"testing"
+
+	"etalstm/internal/dist"
+	"etalstm/internal/train"
+)
+
+// TestSyncBitwiseInproc: the extracted in-process sync is the seam's
+// identity element — routing the merge through it must be invisible.
+func TestSyncBitwiseInproc(t *testing.T) {
+	for _, seed := range []uint64{3, 21, 77} {
+		s := RandomScenario(seed)
+		if err := CheckSyncBitwise(s, 3, func() (train.GradientSync, error) {
+			return dist.Inproc{}, nil
+		}); err != nil {
+			t.Errorf("seed %d: %v", seed, err)
+		}
+	}
+}
+
+// TestSyncBitwiseTCPLoopback: dense TCP transport through a real
+// coordinator is lossless — the full frame/codec/merge round trip
+// reproduces the direct tree-reduce path bitwise. The worker holds the
+// whole replica group of a single process, so the coordinator sees one
+// worker whose contribution count is the group size.
+func TestSyncBitwiseTCPLoopback(t *testing.T) {
+	s := RandomScenario(9)
+	c, err := dist.StartCoordinator("127.0.0.1:0", s.Cfg, dist.CoordinatorOptions{ExpectWorkers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := CheckSyncBitwise(s, 3, func() (train.GradientSync, error) {
+		w, err := dist.Dial(c.Addr().String(), s.Cfg, dist.WorkerOptions{})
+		return w, err
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCompressMonotoneLadder: the keep-fraction ladder satisfies the
+// bounded-divergence contract — keep-all is exact, keeping less never
+// brings the merged gradients closer to the dense reduce.
+func TestCompressMonotoneLadder(t *testing.T) {
+	for _, seed := range []uint64{4, 18} {
+		s := RandomScenario(seed)
+		dists, err := CheckCompressMonotone(s, []float64{1, 0.5, 0.1, 0.02}, 1e-7)
+		if err != nil {
+			t.Errorf("seed %d: %v (distances %v)", seed, err, dists)
+		}
+	}
+}
+
+func TestLossBand(t *testing.T) {
+	dense := []float64{0.9, 0.5, 0.2, 0.1}
+	near := []float64{0.9, 0.6, 0.25, 0.12}
+	if err := CheckLossBand(dense, near, 0.3, 0); err != nil {
+		t.Errorf("near trace rejected: %v", err)
+	}
+	far := []float64{0.9, 0.8, 0.7, 0.6}
+	if err := CheckLossBand(dense, far, 0.3, 0); err == nil {
+		t.Error("diverged trace accepted")
+	}
+	// The convergence floor absorbs jitter around a solved task: the
+	// approx tail is 100x the dense tail, but both are under the floor.
+	solved := []float64{0.9, 1e-5, 1e-5, 1e-5}
+	jitter := []float64{0.9, 2e-3, 1e-4, 1e-3}
+	if err := CheckLossBand(solved, jitter, 0.25, 0.05); err != nil {
+		t.Errorf("converged jitter rejected: %v", err)
+	}
+	if err := CheckLossBand(solved, jitter, 0.25, 0); err == nil {
+		t.Error("without a floor the same jitter must fail the relative band")
+	}
+	if err := CheckLossBand(nil, near, 0.3, 0); err == nil || !strings.Contains(err.Error(), "non-empty") {
+		t.Errorf("empty dense trace: %v", err)
+	}
+}

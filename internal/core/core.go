@@ -129,6 +129,15 @@ type Trainer struct {
 	// step). nil selects train.ClipStep{Opt, Clip} wired to the gradient
 	// instruments.
 	Reducer train.Reducer
+	// Sync is the gradient transport each optimizer step's contributions
+	// merge through. nil keeps the built-in paths bitwise intact: the
+	// serial loop applies each batch's gradients directly and the
+	// parallel engine uses its default in-process tree all-reduce. A
+	// non-nil sync (dist.Compressed, dist.Worker) routes both the serial
+	// and parallel step through GradientSync.Reduce, and the reducer
+	// averages by the contribution count the sync reports — which is how
+	// one process's trainer joins a multi-process data-parallel run.
+	Sync train.GradientSync
 
 	// Observer, when non-nil, receives each epoch's Stats right after
 	// the epoch completes — the introspection hook behind
@@ -393,6 +402,7 @@ func (tr *Trainer) RunEpoch(ctx context.Context, p train.Provider, epoch int) (S
 			}
 		}
 		tr.engine.Rec = tr.rec
+		tr.engine.Sync = tr.Sync
 		tr.engine.OnStep = func(d time.Duration) { ins.StepLatency.Observe(d.Seconds()) }
 		tr.engine.OnWait = func(_ int, d time.Duration) { ins.AllReduceWait.Observe(d.Seconds()) }
 		epochRes, err = tr.engine.RunEpoch(ctx, p, fn)
@@ -519,8 +529,22 @@ func (tr *Trainer) runSerial(ctx context.Context, p train.Provider, fn parallel.
 		if err != nil {
 			return res, err
 		}
+		// With no sync configured the batch's gradients apply directly —
+		// the seed trainer's exact float operation order. A sync routes
+		// the step through the transport seam (a distributed worker's
+		// serial loop is one replica of a multi-process group).
+		applied, contribs := r.Grads, 1
+		if tr.Sync != nil {
+			sp := tr.rec.Begin(obs.PhaseAllReduce)
+			merged, n, serr := tr.Sync.Reduce([]*model.Gradients{r.Grads})
+			sp.End()
+			if serr != nil {
+				return res, serr
+			}
+			applied, contribs = merged, n
+		}
 		sp := tr.rec.Begin(obs.PhaseOptimizer)
-		red.Apply(tr.Net, r.Grads, 1)
+		red.Apply(tr.Net, applied, contribs)
 		sp.End()
 		ins.StepLatency.Observe(time.Since(t0).Seconds())
 		res.Batches++

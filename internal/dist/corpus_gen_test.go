@@ -1,0 +1,32 @@
+package dist
+
+import (
+	"os"
+	"strconv"
+	"testing"
+)
+
+// TestWriteFuzzCorpusSeeds regenerates the committed FuzzFrameDecode
+// corpus when -write-corpus is in the environment; normally it only
+// verifies every committed seed parses as the fuzzer will feed it.
+func TestWriteFuzzCorpusSeeds(t *testing.T) {
+	if os.Getenv("WRITE_FUZZ_CORPUS") == "" {
+		t.Skip("set WRITE_FUZZ_CORPUS=1 to regenerate the committed seeds")
+	}
+	emit := func(name string, b []byte) {
+		body := "go test fuzz v1\n[]byte(" + strconv.Quote(string(b)) + ")\n"
+		if err := os.WriteFile("testdata/fuzz/FuzzFrameDecode/"+name, []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	emit("seed-hello", AppendFrame(nil, Frame{Type: FrameHello, Body: []byte{1, 2, 3, 4, 5, 6, 7, 8}}))
+	emit("seed-grads-dense", AppendFrame(nil, Frame{Type: FrameGrads, Step: 3, Body: []byte{0, 0, 0, 1, encDense}}))
+	emit("seed-merged-sparse", AppendFrame(nil, Frame{Type: FrameMerged, Step: 9, Body: []byte{0, 0, 0, 2, encSparse}}))
+	emit("seed-bye", AppendFrame(nil, Frame{Type: FrameBye}))
+	emit("seed-hostile-length", []byte{0xff, 0xff, 0xff, 0xff, 1, 1})
+	emit("seed-bad-version", []byte{0, 0, 0, 6, 2, 1, 0, 0, 0, 0})
+	emit("seed-bad-type", []byte{0, 0, 0, 6, 1, 99, 0, 0, 0, 0})
+	emit("seed-two-frames", append(
+		AppendFrame(nil, Frame{Type: FrameWelcome, Body: make([]byte, 8)}),
+		AppendFrame(nil, Frame{Type: FrameError, Body: []byte("x")})...))
+}

@@ -1,0 +1,133 @@
+package dist
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// The TCP transport speaks length-prefixed frames:
+//
+//	[4B big-endian length N][1B version][1B type][4B step][N-6 byte body]
+//
+// The length counts everything after itself (version through body), so
+// N >= 6 always; a reader can frame the stream with one 4-byte read.
+// Step is the coordinator's monotone optimizer-step counter for
+// gradient frames and 0 for control frames.
+const (
+	// FrameVersion is the protocol version; a mismatch fails the
+	// handshake rather than guessing at payload layouts.
+	FrameVersion = 1
+	// frameHeader is the byte count the length prefix covers before the
+	// body (version + type + step).
+	frameHeader = 6
+	// MaxFrameBody caps decoded body sizes so a corrupt or hostile
+	// length prefix cannot ask the reader to allocate gigabytes.
+	MaxFrameBody = 1 << 28
+)
+
+// FrameType discriminates the transport's messages.
+type FrameType byte
+
+// The frame types, in handshake-then-steady-state order.
+const (
+	// FrameHello is worker → coordinator: body is the 8-byte geometry
+	// checksum of the worker's model config.
+	FrameHello FrameType = 1 + iota
+	// FrameWelcome is coordinator → worker once every expected worker
+	// has joined: body is [4B worker id][4B total workers].
+	FrameWelcome
+	// FrameGrads is worker → coordinator: body is [4B contribution
+	// count] followed by a gradient payload (see codec.go).
+	FrameGrads
+	// FrameMerged is coordinator → worker: same body layout as
+	// FrameGrads, holding the step's merged gradients and the total
+	// contribution count to average by.
+	FrameMerged
+	// FrameBye is worker → coordinator: clean disconnect, empty body.
+	FrameBye
+	// FrameError carries a fatal diagnostic as a UTF-8 body in either
+	// direction before the sender closes the connection.
+	FrameError
+)
+
+func (t FrameType) valid() bool { return t >= FrameHello && t <= FrameError }
+
+// Frame is one decoded transport message. Body aliases the decode
+// buffer: it is only valid until that buffer's next use.
+type Frame struct {
+	Type FrameType
+	Step uint32
+	Body []byte
+}
+
+// AppendFrame appends f's length-prefixed encoding to dst and returns
+// the extended slice (append-style, alloc-free once dst has capacity).
+func AppendFrame(dst []byte, f Frame) []byte {
+	n := frameHeader + len(f.Body)
+	dst = binary.BigEndian.AppendUint32(dst, uint32(n))
+	dst = append(dst, FrameVersion, byte(f.Type))
+	dst = binary.BigEndian.AppendUint32(dst, f.Step)
+	return append(dst, f.Body...)
+}
+
+// DecodeFrame parses one length-prefixed frame from the front of b,
+// returning the frame (Body aliases b) and the bytes consumed. It
+// rejects short inputs, oversized or undersized lengths, version
+// mismatches and unknown types — the validation surface FuzzFrameDecode
+// hammers.
+func DecodeFrame(b []byte) (Frame, int, error) {
+	if len(b) < 4 {
+		return Frame{}, 0, fmt.Errorf("dist: frame truncated before length prefix (%d bytes)", len(b))
+	}
+	n := binary.BigEndian.Uint32(b)
+	if n < frameHeader || n > frameHeader+MaxFrameBody {
+		return Frame{}, 0, fmt.Errorf("dist: frame length %d outside [%d, %d]", n, frameHeader, frameHeader+MaxFrameBody)
+	}
+	total := 4 + int(n)
+	if len(b) < total {
+		return Frame{}, 0, fmt.Errorf("dist: frame truncated: length prefix says %d, have %d", total, len(b))
+	}
+	if b[4] != FrameVersion {
+		return Frame{}, 0, fmt.Errorf("dist: frame version %d, want %d", b[4], FrameVersion)
+	}
+	typ := FrameType(b[5])
+	if !typ.valid() {
+		return Frame{}, 0, fmt.Errorf("dist: unknown frame type %d", typ)
+	}
+	return Frame{Type: typ, Step: binary.BigEndian.Uint32(b[6:]), Body: b[10:total]}, total, nil
+}
+
+// ReadFrame reads one frame from r into scratch (grown as needed) and
+// returns the frame plus the possibly-grown scratch for reuse — the
+// streaming counterpart of DecodeFrame with identical validation.
+func ReadFrame(r io.Reader, scratch []byte) (Frame, []byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return Frame{}, scratch, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n < frameHeader || n > frameHeader+MaxFrameBody {
+		return Frame{}, scratch, fmt.Errorf("dist: frame length %d outside [%d, %d]", n, frameHeader, frameHeader+MaxFrameBody)
+	}
+	need := 4 + int(n)
+	if cap(scratch) < need {
+		scratch = make([]byte, need)
+	}
+	scratch = scratch[:need]
+	copy(scratch, hdr[:])
+	if _, err := io.ReadFull(r, scratch[4:]); err != nil {
+		return Frame{}, scratch, fmt.Errorf("dist: frame body: %w", err)
+	}
+	f, _, err := DecodeFrame(scratch)
+	return f, scratch, err
+}
+
+// writeFrame encodes f into buf and writes it to w in one call,
+// returning the grown buffer. Single-writer connections reuse buf so
+// the steady-state send path does not allocate.
+func writeFrame(w io.Writer, buf []byte, f Frame) ([]byte, error) {
+	buf = AppendFrame(buf[:0], f)
+	_, err := w.Write(buf)
+	return buf, err
+}

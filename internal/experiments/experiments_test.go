@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"fmt"
 	"strconv"
 	"strings"
 	"testing"
@@ -245,8 +246,8 @@ func TestTable3Report(t *testing.T) {
 func TestRegistryComplete(t *testing.T) {
 	ids := IDs()
 	want := []string{"fig11", "fig15a", "fig15b", "fig16", "fig17", "fig18",
-		"fig3a", "fig3b", "fig3c", "fig4", "fig5", "fig6", "fig8", "scalability",
-		"table2", "table3"}
+		"fig3a", "fig3b", "fig3c", "fig4", "fig5", "fig6", "fig8", "gradsync",
+		"scalability", "table2", "table3"}
 	if len(ids) != len(want) {
 		t.Fatalf("registry: %v", ids)
 	}
@@ -264,5 +265,28 @@ func TestReportString(t *testing.T) {
 	s := rep.String()
 	if !strings.Contains(s, "== x: t ==") || !strings.Contains(s, "note: hello 7") {
 		t.Fatalf("render: %s", s)
+	}
+}
+
+func TestGradSyncReport(t *testing.T) {
+	rep := run(t, GradSync)
+	if rep.Rows[0][0] != "dense" {
+		t.Fatalf("first row must be the dense baseline: %v", rep.Rows[0])
+	}
+	// Every compressed rung must report a real payload reduction, and
+	// tighter keeps must never ship more bytes.
+	prev := 0.0
+	for _, row := range rep.Rows[1:] {
+		var ratio float64
+		if _, err := fmt.Sscanf(row[4], "%fx", &ratio); err != nil {
+			t.Fatalf("ratio cell %q: %v", row[4], err)
+		}
+		if ratio <= 1 {
+			t.Fatalf("rung %v reports no reduction", row)
+		}
+		if ratio < prev {
+			t.Fatalf("ratio not monotone in keep: %v", rep.Rows)
+		}
+		prev = ratio
 	}
 }

@@ -118,6 +118,7 @@ func Registry() map[string]Runner {
 		"table2":      Table2,
 		"table3":      Table3,
 		"scalability": Scalability,
+		"gradsync":    GradSync,
 	}
 }
 

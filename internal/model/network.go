@@ -374,6 +374,33 @@ func (n *Network) NewGradients() *Gradients {
 	return g
 }
 
+// NewGradientsFor allocates zeroed gradients shaped for cfg without
+// building a network — the decode template the distributed gradient
+// transports use (a coordinator merges gradients it never trains with).
+func NewGradientsFor(cfg Config) (*Gradients, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	g := &Gradients{
+		Proj:  tensor.New(cfg.Hidden, cfg.OutSize),
+		ProjB: make([]float32, cfg.OutSize),
+	}
+	for l := 0; l < cfg.Layers; l++ {
+		in := cfg.Hidden
+		if l == 0 {
+			in = cfg.InputSize
+		}
+		lg := &lstm.Grads{Input: in, Hidden: cfg.Hidden}
+		for i := lstm.Gate(0); i < lstm.NumGates; i++ {
+			lg.W[i] = tensor.New(in, cfg.Hidden)
+			lg.U[i] = tensor.New(cfg.Hidden, cfg.Hidden)
+			lg.B[i] = make([]float32, cfg.Hidden)
+		}
+		g.Layer = append(g.Layer, lg)
+	}
+	return g, nil
+}
+
 // Add accumulates o into g (shapes must match). The skip/execute
 // counters sum as well, so a merged gradient set reports the combined
 // BP-cell accounting of its contributors. This is the element step of

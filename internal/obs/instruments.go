@@ -22,6 +22,14 @@ const (
 	MetricCkptStoredBytes  = "etalstm_ckpt_stored_bytes"
 	MetricPeakStoredBytes  = "etalstm_bptt_peak_stored_bytes"
 	MetricRecomputeRatio   = "etalstm_recompute_ratio"
+
+	// Gradient-sync (internal/dist) instrument names.
+	MetricDistWireBytes    = "etalstm_dist_wire_bytes_total"
+	MetricDistDenseBytes   = "etalstm_dist_dense_bytes_total"
+	MetricDistCompression  = "etalstm_dist_compression_ratio"
+	MetricDistSteps        = "etalstm_dist_steps_total"
+	MetricDistStaleSteps   = "etalstm_dist_stale_steps_total"
+	MetricDistLateContribs = "etalstm_dist_late_contribs_total"
 )
 
 // Train bundles the training-side instruments. One bundle is created
@@ -77,6 +85,42 @@ type Train struct {
 	CkptBytes      *Gauge
 	PeakStored     *Gauge
 	RecomputeRatio *Gauge
+}
+
+// Dist bundles the gradient-sync instruments: what the all-reduce
+// transport seam (internal/dist) put on the wire and how staleness
+// admission behaved. One bundle is created per sync against a registry
+// (normally Default).
+type Dist struct {
+	// WireBytes counts gradient payload bytes actually shipped (both
+	// directions for the TCP transport; the bytes the encoding would
+	// ship for the in-process compressed mode). DenseBytes counts what
+	// the same payloads would cost uncompressed, so WireBytes/DenseBytes
+	// is the cumulative on-wire ratio.
+	WireBytes  *Counter
+	DenseBytes *Counter
+	// Compression is the latest step's dense/wire payload ratio (≥ 1;
+	// higher is better, 1 means no saving).
+	Compression *Gauge
+	// Steps counts merged optimizer steps the sync served; StaleSteps
+	// counts the subset admitted without every replica (bounded
+	// staleness); LateContribs counts late gradient sets folded into a
+	// following step.
+	Steps        *Counter
+	StaleSteps   *Counter
+	LateContribs *Counter
+}
+
+// NewDist registers (or re-binds) the gradient-sync instruments on r.
+func NewDist(r *Registry) *Dist {
+	return &Dist{
+		WireBytes:    r.Counter(MetricDistWireBytes, "gradient payload bytes put on the wire by the sync transport"),
+		DenseBytes:   r.Counter(MetricDistDenseBytes, "bytes the same gradient payloads would cost dense"),
+		Compression:  r.Gauge(MetricDistCompression, "latest step's dense/wire gradient payload ratio"),
+		Steps:        r.Counter(MetricDistSteps, "optimizer steps merged through the gradient sync"),
+		StaleSteps:   r.Counter(MetricDistStaleSteps, "steps admitted without every replica (bounded staleness)"),
+		LateContribs: r.Counter(MetricDistLateContribs, "late gradient contributions folded into a following step"),
+	}
 }
 
 // NewTrain registers (or re-binds) the training instruments on r.

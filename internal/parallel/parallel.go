@@ -7,9 +7,13 @@
 // group, worker i runs the caller-supplied BatchFn on batch g*W+i using
 // its own deep-copied model.Network replica (so no weight memory is
 // shared during concurrent passes), then the W gradient sets are merged
-// pairwise in fixed stride order (TreeReduce) and handed to a
+// through a train.GradientSync transport — by default dist.Inproc, the
+// deterministic pairwise tree all-reduce (TreeReduce) — and handed to a
 // train.Reducer for averaging/clipping/the optimizer step. Replicas are
-// re-synchronized from the master network before the next group.
+// re-synchronized from the master network before the next group. A
+// distributed sync (dist.Worker) extends the same group step across
+// processes: the merged set then carries remote contributions too, and
+// the reducer averages by the sync's reported contribution count.
 //
 // Determinism. The batch→worker assignment, the tree reduction order,
 // and the order in which per-batch statistics (losses, prune counters,
@@ -32,6 +36,7 @@ import (
 	"sync"
 	"time"
 
+	"etalstm/internal/dist"
 	"etalstm/internal/model"
 	"etalstm/internal/obs"
 	"etalstm/internal/reorder"
@@ -99,8 +104,18 @@ type Engine struct {
 	OnStep func(d time.Duration)
 	// OnWait, when non-nil, observes the per-replica straggler wait:
 	// how long each finished worker sat idle before the group's last
-	// worker finished and the all-reduce could begin.
+	// worker finished and the all-reduce could begin. Every worker that
+	// ran a batch in the group reports exactly once — including the
+	// group's last finisher, which reports a zero duration — so each
+	// group contributes a complete sample set.
 	OnWait func(replica int, d time.Duration)
+	// Sync is the gradient transport the engine merges each group
+	// through (nil = dist.Inproc, the deterministic in-process tree
+	// all-reduce). Distributed trainers plug a dist.Worker or
+	// dist.Compressed in here; the reducer then averages by the
+	// contribution count the sync reports, which may exceed the local
+	// replica count when remote processes contribute.
+	Sync train.GradientSync
 }
 
 // New builds an engine with `workers` replicas of net (clamped to >= 1).
@@ -219,11 +234,18 @@ func (e *Engine) RunEpoch(ctx context.Context, p train.Provider, fn BatchFn) (Ep
 		if len(grads) == 0 {
 			continue
 		}
+		sync := e.Sync
+		if sync == nil {
+			sync = dist.Inproc{}
+		}
 		sp := e.Rec.Begin(obs.PhaseAllReduce)
-		merged := TreeReduce(grads)
+		merged, contribs, err := sync.Reduce(grads)
 		sp.End()
+		if err != nil {
+			return res, err
+		}
 		sp = e.Rec.Begin(obs.PhaseOptimizer)
-		e.reducer.Apply(e.master, merged, len(grads))
+		e.reducer.Apply(e.master, merged, contribs)
 		sp.End()
 		if e.OnStep != nil {
 			e.OnStep(time.Since(stepStart))
@@ -232,23 +254,11 @@ func (e *Engine) RunEpoch(ctx context.Context, p train.Provider, fn BatchFn) (Ep
 	return res, nil
 }
 
-// TreeReduce merges the gradient sets pairwise with stride doubling
-// (g[i] += g[i+s] for i ≡ 0 mod 2s, s = 1, 2, 4, …) and returns
-// grads[0], which afterwards holds the element-wise sum of all inputs.
-// The reduction order depends only on len(grads), giving bit-for-bit
-// reproducible float accumulation for any fixed replica count; a
-// single-element slice is returned untouched (the Workers == 1
-// identity). The inputs are mutated.
+// TreeReduce forwards to dist.TreeReduce, where the deterministic tree
+// all-reduce now lives behind the train.GradientSync seam; kept here so
+// existing callers of the engine package keep working.
 func TreeReduce(grads []*model.Gradients) *model.Gradients {
-	if len(grads) == 0 {
-		return nil
-	}
-	for s := 1; s < len(grads); s *= 2 {
-		for i := 0; i+s < len(grads); i += 2 * s {
-			grads[i].Add(grads[i+s])
-		}
-	}
-	return grads[0]
+	return dist.TreeReduce(grads)
 }
 
 // addObserved element-wise adds src into dst (allocating dst on first

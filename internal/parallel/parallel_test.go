@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"math"
 	"testing"
+	"time"
 
 	"etalstm/internal/model"
 	"etalstm/internal/rng"
@@ -299,5 +300,89 @@ func TestReplicaWorkspaceIsolation(t *testing.T) {
 	}
 	if st := net.Workspace().Stats(); st.Gets != 0 {
 		t.Errorf("master workspace must stay idle during a parallel epoch: %+v", st)
+	}
+}
+
+// TestOnWaitCompleteSampleSet pins the OnWait contract the straggler
+// telemetry depends on: every worker that ran a batch in a group
+// reports exactly once, the group's last finisher reports a zero
+// duration, and earlier finishers report how long they idled. An
+// incomplete sample set (e.g. dropping the last finisher) would bias
+// every percentile the wait histogram feeds.
+func TestOnWaitCompleteSampleSet(t *testing.T) {
+	net, prov := testNetwork(t, 21)
+	const workers = 4
+	eng := New(net, workers, train.ClipStep{Opt: &train.SGD{LR: 0.01}, Clip: 5})
+
+	type sample struct {
+		replica int
+		d       time.Duration
+	}
+	var samples []sample
+	eng.OnWait = func(replica int, d time.Duration) {
+		samples = append(samples, sample{replica, d})
+	}
+	// Give replicas strongly distinct finish times so "last finisher"
+	// is unambiguous: replica slot s sleeps s×5ms after its batch.
+	fn := func(n *model.Network, b train.Batch, index int) (BatchResult, error) {
+		r, err := baselineFn(n, b, index)
+		time.Sleep(time.Duration(index%workers) * 5 * time.Millisecond)
+		return r, err
+	}
+	if _, err := eng.RunEpoch(context.Background(), prov, fn); err != nil {
+		t.Fatal(err)
+	}
+
+	n := prov.NumBatches()
+	if len(samples) != n {
+		t.Fatalf("%d OnWait samples for %d batches — sample set incomplete", len(samples), n)
+	}
+	groups := (n + workers - 1) / workers
+	perGroup := make([][]sample, groups)
+	for g, i := 0, 0; g < groups; g++ {
+		size := workers
+		if rem := n - g*workers; rem < size {
+			size = rem
+		}
+		perGroup[g] = samples[i : i+size]
+		i += size
+	}
+	for g, grp := range perGroup {
+		seen := map[int]int{}
+		zeros := 0
+		for _, s := range grp {
+			seen[s.replica]++
+			if s.d == 0 {
+				zeros++
+			}
+			if s.d < 0 {
+				t.Fatalf("group %d replica %d: negative wait %v", g, s.replica, s.d)
+			}
+		}
+		for r, c := range seen {
+			if c != 1 {
+				t.Errorf("group %d: replica %d reported %d times", g, r, c)
+			}
+		}
+		if len(seen) != len(grp) {
+			t.Errorf("group %d: %d distinct replicas for %d samples", g, len(seen), len(grp))
+		}
+		// The last finisher waited for nobody: at least one exact zero.
+		if zeros < 1 {
+			t.Errorf("group %d: no zero-duration sample — last finisher missing from the set", g)
+		}
+		// With 5ms-stepped finish times, the slot-0 replica (first to
+		// finish) must have recorded a real wait in full groups.
+		if len(grp) == workers {
+			var w0 time.Duration
+			for _, s := range grp {
+				if s.replica == 0 {
+					w0 = s.d
+				}
+			}
+			if w0 <= 0 {
+				t.Errorf("group %d: first finisher reports no wait (%v)", g, w0)
+			}
+		}
 	}
 }

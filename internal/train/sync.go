@@ -1,0 +1,36 @@
+package train
+
+import "etalstm/internal/model"
+
+// GradientSync is the transport seam of the all-reduce path: it merges
+// the gradient contributions of one optimizer step — the local replicas'
+// sets plus whatever the transport adds (remote workers' contributions,
+// late gradients folded from earlier steps) — into the single gradient
+// set the Reducer applies.
+//
+// The contract mirrors the tree all-reduce it replaces:
+//
+//   - local is this process's per-replica gradient sets in slot order;
+//     implementations may mutate them (the in-process reduction
+//     accumulates in place).
+//   - The returned gradient set is the step's merged sum and the int is
+//     the number of replica contributions it represents — the divisor
+//     the Reducer averages by. Over a distributed transport this counts
+//     every process's contributions, not just the local ones.
+//   - The returned set may alias local[0] (in-process) or an internal
+//     receive buffer reused between steps (wire transports); it is only
+//     valid until the next Reduce call and the Reducer may mutate it.
+//
+// Implementations live in internal/dist: Inproc is the deterministic
+// tree all-reduce the engine always used (bitwise identical, proven by
+// the golden reproducibility tests), Compressed sparsifies each
+// contribution with error feedback before merging, and Worker ships
+// contributions to a TCP coordinator that merges and broadcasts.
+type GradientSync interface {
+	// Reduce merges one step's contributions; see the type comment for
+	// the aliasing and mutation rules.
+	Reduce(local []*model.Gradients) (*model.Gradients, int, error)
+	// Close releases transport resources (network connections, buffers).
+	// The in-process implementations are no-ops.
+	Close() error
+}
