@@ -40,6 +40,8 @@ fuzz:
 	$(GO) test -run='^$$' -fuzz=FuzzGradCheck -fuzztime=$(FUZZTIME) -fuzzminimizetime=1x ./internal/check
 	$(GO) test -run='^$$' -fuzz=FuzzEquivalence -fuzztime=$(FUZZTIME) -fuzzminimizetime=1x ./internal/check
 	$(GO) test -run='^$$' -fuzz=FuzzCheckpointed -fuzztime=$(FUZZTIME) -fuzzminimizetime=1x ./internal/check
+	$(GO) test -run='^$$' -fuzz=FuzzSparseBackward -fuzztime=$(FUZZTIME) -fuzzminimizetime=1x ./internal/check
+	$(GO) test -run='^$$' -fuzz=FuzzSparseDecode -fuzztime=$(FUZZTIME) -fuzzminimizetime=1x ./internal/compress
 	$(GO) test -run='^$$' -fuzz=FuzzFrameDecode -fuzztime=$(FUZZTIME) -fuzzminimizetime=1x ./internal/dist
 
 # cover enforces statement-coverage floors on the numerically critical
@@ -61,7 +63,8 @@ cover:
 	check ./internal/serve 65; \
 	check ./internal/obs 85; \
 	check ./internal/memplan 90; \
-	check ./internal/dist 85
+	check ./internal/dist 85; \
+	check ./internal/compress 85
 
 # serve-smoke is the end-to-end serving check: checkpoint -> etaserve
 # on an ephemeral port -> loadgen burst -> graceful drain, all through

@@ -46,6 +46,8 @@ func run(args []string, stdout io.Writer) error {
 		cpuProf = fs.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf = fs.String("memprofile", "", "write a heap profile to this file on exit")
 		phases  = fs.Bool("phases", false, "print a per-phase wall-time breakdown of a short training run and exit")
+		sparse  = fs.Bool("sparse", false, "with -phases: run the pair-driven sparse backward kernels")
+		topK    = fs.Int("topk", 0, "with -sparse: per-row top-k cap on the weight-gradient MatMuls (0 = off)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -67,7 +69,7 @@ func run(args []string, stdout io.Writer) error {
 		return nil
 	}
 	if *phases {
-		return runPhases(stdout, *seed, *full)
+		return runPhases(stdout, *seed, *full, *sparse, *topK)
 	}
 
 	w := stdout
@@ -106,8 +108,10 @@ func run(args []string, stdout io.Writer) error {
 // BP-EW-P1, BP-EW-P2, BP-MatMul, all-reduce, optimizer). Two replica
 // workers are used so the coordinator phases show up alongside the
 // kernel phases, and a third-of-peak memory budget so checkpointed
-// BPTT's recompute-FW phase appears in the table.
-func runPhases(w io.Writer, seed uint64, full bool) error {
+// BPTT's recompute-FW phase appears in the table. With sparse set the
+// backward pass runs the pair-driven kernels, so the BP-EW-P2 and
+// BP-MatMul rows shrink in proportion to the printed prune ratio.
+func runPhases(w io.Writer, seed uint64, full, sparse bool, topK int) error {
 	bench, err := etalstm.BenchmarkByName("IMDB")
 	if err != nil {
 		return err
@@ -127,15 +131,26 @@ func runPhases(w io.Writer, seed uint64, full bool) error {
 	}
 	tr := etalstm.NewTrainer(net, etalstm.Combined, etalstm.TrainerOptions{
 		Workers: 2, RecordPhases: true, MemoryBudget: budget,
+		SparseBackward: sparse, BackwardTopK: topK,
 	})
 	prov := bench.Provider(batches, seed)
+	var prune float64
 	for e := 0; e < epochs; e++ {
-		if _, err := tr.RunEpoch(context.Background(), prov, e); err != nil {
+		st, err := tr.RunEpoch(context.Background(), prov, e)
+		if err != nil {
 			return err
 		}
+		prune = st.PruneStats.Frac()
 	}
-	fmt.Fprintf(w, "phase breakdown: %s, combined mode, %d epochs x %d batches, H=%d LL=%d B=%d, 2 workers, budget %d B\n",
-		bench.Name, epochs, batches, bench.Cfg.Hidden, bench.Cfg.SeqLen, bench.Cfg.Batch, budget)
+	bp := "dense BP"
+	if sparse {
+		bp = "sparse BP"
+		if topK > 0 {
+			bp = fmt.Sprintf("sparse BP (top-%d)", topK)
+		}
+	}
+	fmt.Fprintf(w, "phase breakdown: %s, combined mode, %s, %d epochs x %d batches, H=%d LL=%d B=%d, 2 workers, budget %d B, prune ratio %.2f\n",
+		bench.Name, bp, epochs, batches, bench.Cfg.Hidden, bench.Cfg.SeqLen, bench.Cfg.Batch, budget, prune)
 	fmt.Fprint(w, obs.BreakdownTable(tr.Phases()))
 	return nil
 }

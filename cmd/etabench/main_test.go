@@ -71,6 +71,24 @@ func TestRunPhases(t *testing.T) {
 	}
 }
 
+// TestRunPhasesSparse drives the sparse-backward variant of -phases:
+// same table shape, and the header records the BP flavour plus the
+// measured prune ratio the span reductions are judged against.
+func TestRunPhasesSparse(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-phases", "-sparse", "-topk", "4"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{
+		"sparse BP (top-4)", "prune ratio", "BP-EW-P2", "BP-MatMul", "total",
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("sparse phase table missing %q:\n%s", want, s)
+		}
+	}
+}
+
 func TestRunErrors(t *testing.T) {
 	cases := [][]string{
 		{"-no-such-flag"},

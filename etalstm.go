@@ -223,6 +223,21 @@ type TrainerOptions struct {
 	Reducer Reducer
 	// PruneThreshold is MS1's near-zero cutoff (0 = 0.1).
 	PruneThreshold float32
+	// SparseBackward routes BP through the pair-driven sparse kernels,
+	// which touch only the P1 pairs surviving MS1's pruning — BP-EW-P2
+	// and BP-MatMul time shrinks with the measured prune ratio. Only
+	// meaningful in MS1/Combined modes; at a zero effective threshold
+	// the result is bitwise identical to the dense path.
+	SparseBackward bool
+	// BackwardTopK, with SparseBackward, caps each batch row of the
+	// weight-gradient MatMuls to its BackwardTopK largest-|δgate|
+	// columns (Zhu et al., arXiv:1806.00512). 0 disables; ≥ hidden size
+	// is the identity.
+	BackwardTopK int
+	// StoreF16 rounds the stored P1 intermediates to float16 precision
+	// (compute stays float32), halving what the compressed activation
+	// store holds. Only meaningful in MS1/Combined modes.
+	StoreF16 bool
 	// SkipThreshold is MS2's significance cutoff (0 = 0.08).
 	SkipThreshold float64
 	// MaxSkipFrac caps MS2's skipped share per layer (0 = 0.5).
@@ -302,6 +317,9 @@ func NewTrainer(net *Network, mode Mode, opts TrainerOptions) *Trainer {
 		EnableMS1:      mode == MS1 || mode == Combined,
 		EnableMS2:      mode == MS2 || mode == Combined,
 		PruneThreshold: opts.PruneThreshold,
+		SparseBackward: opts.SparseBackward,
+		BackwardTopK:   opts.BackwardTopK,
+		StoreF16:       opts.StoreF16,
 		SkipThreshold:  opts.SkipThreshold,
 		MaxSkipFrac:    opts.MaxSkipFrac,
 		WarmupEpochs:   opts.WarmupEpochs,

@@ -156,7 +156,7 @@ func TestCheckpointRoundtrip(t *testing.T) {
 
 func TestExperimentIDsStable(t *testing.T) {
 	ids := ExperimentIDs()
-	if len(ids) != 17 {
+	if len(ids) != 18 {
 		t.Fatalf("experiment ids: %v", ids)
 	}
 }

@@ -7,24 +7,32 @@ import (
 	"etalstm/internal/memplan"
 	"etalstm/internal/model"
 	"etalstm/internal/reorder"
+	"etalstm/internal/tensor"
 	"etalstm/internal/train"
 )
 
 // ckptBatchGrads is batchGrads for the checkpointed FW/BP pair. MS1's
-// pruning moves into the OnP1 hook: the hook sees each P1 set exactly
-// once — from the last stored segment before BP and from each replayed
-// segment during BP — so BP consumes the same pruned products the
-// full-storage path does.
-func ckptBatchGrads(net *model.Network, b train.Batch, policy model.StoragePolicy, pruneThreshold float32, boundaries []int) (*model.Gradients, float64, error) {
-	res, _, err := net.ForwardCheckpointed(b.Inputs, b.Targets, policy, nil, boundaries)
+// pruning (and the F16 storage rounding) moves into the OnP1 hook: the
+// hook sees each P1 set exactly once — from the last stored segment
+// before BP and from each replayed segment during BP — so BP consumes
+// the same transformed products the full-storage path does.
+func ckptBatchGrads(net *model.Network, b train.Batch, policy model.StoragePolicy, p PathSpec) (*model.Gradients, float64, error) {
+	res, _, err := net.ForwardCheckpointed(b.Inputs, b.Targets, policy, nil, p.Boundaries)
 	if err != nil {
 		return nil, 0, err
 	}
-	opts := model.BackwardOpts{}
-	if pruneThreshold > 0 {
-		pcfg := reorder.Config{Threshold: pruneThreshold}
+	opts := model.BackwardOpts{SparseBP: p.SparseBP, TopK: p.TopK}
+	if p.PruneThreshold > 0 || p.F16 {
+		pcfg := reorder.Config{Threshold: p.PruneThreshold}
 		opts.OnP1 = func(l, t int, p1 *lstm.P1) {
-			reorder.PruneInPlace(p1, pcfg)
+			if p.PruneThreshold > 0 {
+				reorder.PruneInPlace(p1, pcfg)
+			}
+			if p.F16 {
+				for _, m := range p1.Matrices() {
+					tensor.QuantizeF16(m)
+				}
+			}
 		}
 	}
 	grads := net.NewGradients()

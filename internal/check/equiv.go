@@ -40,6 +40,21 @@ type PathSpec struct {
 	// between FW and BP (requires Store == StoreP1). 0 disables pruning,
 	// making the P1 path an exact reordering of the baseline.
 	PruneThreshold float32
+	// SparseBP routes BP-cells through the pair-driven sparse kernels
+	// (requires Store == StoreP1). Against the dense path consuming the
+	// same (possibly pruned, possibly f16-stored) P1 sets it is a pure
+	// skip of exact-zero terms, so the contract is bitwise at every
+	// threshold — not just 0.
+	SparseBP bool
+	// TopK, with SparseBP, caps each batch row of the weight-gradient
+	// MatMuls to its TopK largest-|δgate| columns. 0 disables; ≥ hidden
+	// is the identity (bitwise).
+	TopK int
+	// F16 stores the P1 intermediates rounded through binary16 between
+	// FW and BP (after pruning, compute stays float32) — the storage
+	// precision axis. Losses stay exact (FW is untouched); gradients
+	// move within a ULP-derived band.
+	F16 bool
 	// Plan, when non-nil, supplies MS2's skip grid and post-BP
 	// convergence-aware scaling. The plan's base store must match Store.
 	Plan *skip.Plan
@@ -176,9 +191,9 @@ func pathBatchGrads(net *model.Network, b train.Batch, policy model.StoragePolic
 		err   error
 	)
 	if len(p.Boundaries) > 1 {
-		grads, loss, err = ckptBatchGrads(net, b, policy, p.PruneThreshold, p.Boundaries)
+		grads, loss, err = ckptBatchGrads(net, b, policy, p)
 	} else {
-		grads, loss, err = batchGrads(net, b, policy, p.PruneThreshold)
+		grads, loss, err = batchGrads(net, b, policy, p)
 	}
 	if err != nil {
 		return nil, 0, err

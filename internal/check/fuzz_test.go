@@ -80,6 +80,71 @@ func FuzzCheckpointed(f *testing.F) {
 	})
 }
 
+// FuzzSparseBackward feeds decoded (scenario, threshold, top-k, f16)
+// tuples through the sparse-backward contracts. Every byte maps onto a
+// bounded field — geometry and concurrency via DecodeScenario, the
+// pruning threshold via the PruneStep ladder, the per-row top-k cap and
+// the f16 storage axis from the trailing bytes — so the fuzzer explores
+// the sparse configuration space, not crash space. The oracle is the
+// dense path consuming the same transformed P1 sets: bitwise whenever
+// top-k is off or the identity, bounded-monotone otherwise.
+func FuzzSparseBackward(f *testing.F) {
+	f.Add([]byte("sparse-backward-seed"))
+	f.Add([]byte{1, 6, 1, 3, 1, 1, 1, 1, 0, 5, 0, 0})
+	f.Add([]byte{2, 5, 2, 4, 2, 2, 0, 2, 2, 7, 3, 1})
+	f.Add([]byte{1, 4, 1, 4, 1, 2, 2, 0x81, 1, 9, 0, 1})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, flags, ok := DecodeScenario(data)
+		if !ok {
+			return
+		}
+		th := PruneThresholds[flags.PruneStep]
+		topK, f16 := 0, false
+		if len(data) > 10 {
+			topK = int(data[10]) % (s.Cfg.Hidden + 2)
+		}
+		if len(data) > 11 {
+			f16 = data[11]&1 == 1
+		}
+		group := flags.Workers
+		dense, err := RunPath(s, PathSpec{
+			Name: "fuzz/dense", Store: model.StoreP1, PruneThreshold: th, F16: f16,
+		}, group)
+		if err != nil {
+			t.Fatal(err)
+		}
+		spec := PathSpec{
+			Name: "fuzz/sparse", Store: model.StoreP1, PruneThreshold: th, F16: f16,
+			SparseBP: true, TopK: topK, Workers: flags.Workers, NoArena: flags.NoArena,
+		}
+		sparse, err := RunPath(s, spec, group)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if topK == 0 || topK >= s.Cfg.Hidden {
+			// Math unchanged: the full contract, bitwise.
+			if err := comparePaths(dense, sparse, spec.Name, Bitwise); err != nil {
+				t.Fatalf("scenario %+v th %g topk %d f16 %v: %v", s, th, topK, f16, err)
+			}
+		} else {
+			// A biting top-k changes only the weight gradients: losses
+			// stay exact up to the first optimizer step (after it the
+			// trajectories legitimately drift), and the divergence obeys
+			// the monotone ladder.
+			n := group
+			if n > len(dense.Losses) {
+				n = len(dense.Losses)
+			}
+			if err := CompareLosses(dense.Losses[:n], sparse.Losses[:n]); err != nil {
+				t.Fatalf("scenario %+v th %g topk %d f16 %v: %v", s, th, topK, f16, err)
+			}
+			if _, err := CheckTopKMonotone(s, []int{topK, s.Cfg.Hidden}, 1e-9); err != nil {
+				t.Fatalf("scenario %+v topk %d: %v", s, topK, err)
+			}
+		}
+	})
+}
+
 // FuzzGradCheck feeds decoded scenarios through the full trust chain:
 // reference analytic gradients vs finite differences, then the float32
 // raw and P1 paths vs the reference. FD probes are capped low — each

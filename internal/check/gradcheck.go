@@ -7,6 +7,7 @@ import (
 	"etalstm/internal/model"
 	"etalstm/internal/reorder"
 	"etalstm/internal/rng"
+	"etalstm/internal/tensor"
 	"etalstm/internal/train"
 )
 
@@ -198,28 +199,38 @@ func storeName(s model.CellStore) string {
 }
 
 // batchGrads runs one FW+BP pass on net and returns the gradients and
-// loss — the shared unit of work for the equivalence engine.
-// pruneThreshold > 0 applies MS1's near-zero pruning to the stored P1
-// sets between FW and BP (the approximation the compressed store
-// introduces).
-func batchGrads(net *model.Network, b train.Batch, policy model.StoragePolicy, pruneThreshold float32) (*model.Gradients, float64, error) {
+// loss — the shared unit of work for the equivalence engine. Between FW
+// and BP the stored P1 sets go through the spec's storage
+// transformations: PruneThreshold > 0 applies MS1's near-zero pruning
+// (the approximation the compressed store introduces) and F16 rounds
+// the survivors through binary16. BP itself runs dense or sparse per
+// p.SparseBP/p.TopK.
+func batchGrads(net *model.Network, b train.Batch, policy model.StoragePolicy, p PathSpec) (*model.Gradients, float64, error) {
 	res, err := net.Forward(b.Inputs, b.Targets, policy)
 	if err != nil {
 		return nil, 0, err
 	}
 	loss := res.Loss
-	if pruneThreshold > 0 {
-		pcfg := reorder.Config{Threshold: pruneThreshold}
+	if p.PruneThreshold > 0 || p.F16 {
+		pcfg := reorder.Config{Threshold: p.PruneThreshold}
 		for l := range res.P1 {
 			for t := range res.P1[l] {
 				if p1 := res.P1[l][t]; p1 != nil {
-					reorder.PruneInPlace(p1, pcfg)
+					if p.PruneThreshold > 0 {
+						reorder.PruneInPlace(p1, pcfg)
+					}
+					if p.F16 {
+						for _, m := range p1.Matrices() {
+							tensor.QuantizeF16(m)
+						}
+					}
 				}
 			}
 		}
 	}
 	grads := net.NewGradients()
-	if err := net.Backward(res, policy, grads, model.BackwardOpts{}); err != nil {
+	opts := model.BackwardOpts{SparseBP: p.SparseBP, TopK: p.TopK}
+	if err := net.Backward(res, policy, grads, opts); err != nil {
 		return nil, 0, err
 	}
 	return grads, loss, nil

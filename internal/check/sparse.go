@@ -1,0 +1,210 @@
+package check
+
+import (
+	"fmt"
+
+	"etalstm/internal/model"
+)
+
+// F16GradBand bounds the relative L2 gradient distance the binary16
+// storage rounding may introduce. Each stored P1 operand moves by at
+// most 2⁻¹¹ relatively (half-precision rounding), and the BPTT
+// recurrence compounds that across cells; a real formula error lands
+// orders of magnitude above this band.
+const F16GradBand = 0.05
+
+// EquivalenceSparse asserts the sparse-backward contract matrix on one
+// scenario:
+//
+//   - sparse BP at threshold 0 — and with a top-k at or above the row
+//     length — reproduces the dense P1 path bitwise, serial and
+//     parallel, arena on and off;
+//   - at every pruning threshold, sparse BP reproduces the dense path
+//     consuming the same pruned P1 sets bitwise (skipping exact-zero
+//     operands is a no-op term by term, so the contract does not loosen
+//     with the threshold);
+//   - the checkpointed FW/BP pair under sparse BP reproduces the
+//     full-storage sparse path bitwise;
+//   - binary16 storage leaves the loss trace exact (FW is untouched),
+//     moves gradients only within F16GradBand, and is itself a storage
+//     transformation the sparse/dense and serial/parallel contracts
+//     hold bitwise across.
+//
+// workers sets the concurrency of the parallel variants.
+func EquivalenceSparse(s *Scenario, workers int) error {
+	if workers < 2 {
+		workers = 2
+	}
+	group := workers
+	hidden := s.Cfg.Hidden
+
+	base, err := RunPath(s, PathSpec{Name: "p1/dense", Store: model.StoreP1}, group)
+	if err != nil {
+		return err
+	}
+	// Axis 1: math-unchanged sparse variants, all bitwise against dense.
+	exact := []PathSpec{
+		{Name: "sparse@0/serial", Store: model.StoreP1, SparseBP: true},
+		{Name: "sparse@0/parallel", Store: model.StoreP1, SparseBP: true, Workers: workers},
+		{Name: "sparse@0/noarena", Store: model.StoreP1, SparseBP: true, NoArena: true},
+		{Name: "sparse@0/topk=rowlen", Store: model.StoreP1, SparseBP: true, TopK: hidden},
+		{Name: "sparse@0/topk>rowlen", Store: model.StoreP1, SparseBP: true, TopK: hidden + 7},
+	}
+	for _, spec := range exact {
+		got, err := RunPath(s, spec, group)
+		if err != nil {
+			return err
+		}
+		if err := comparePaths(base, got, spec.Name, Bitwise); err != nil {
+			return err
+		}
+	}
+
+	// Axis 2: pruned operands. The oracle is the dense path consuming
+	// the *same* pruned P1 sets — sparse-vs-dense stays bitwise at every
+	// threshold because the pairs enumerate exactly the nonzero terms.
+	for _, th := range []float32{0.05, 0.1, 0.3} {
+		dense, err := RunPath(s, PathSpec{
+			Name: fmt.Sprintf("dense@%g", th), Store: model.StoreP1, PruneThreshold: th,
+		}, group)
+		if err != nil {
+			return err
+		}
+		specs := []PathSpec{
+			{Name: fmt.Sprintf("sparse@%g/serial", th), Store: model.StoreP1, SparseBP: true, PruneThreshold: th},
+			{Name: fmt.Sprintf("sparse@%g/parallel", th), Store: model.StoreP1, SparseBP: true, PruneThreshold: th, Workers: workers, NoArena: true},
+		}
+		for _, spec := range specs {
+			got, err := RunPath(s, spec, group)
+			if err != nil {
+				return err
+			}
+			if err := comparePaths(dense, got, spec.Name, Bitwise); err != nil {
+				return err
+			}
+		}
+	}
+
+	// Axis 3: checkpointed BPTT. Pruning and sparse BP both commute with
+	// segment recompute (the OnP1 hook transforms each replayed P1 set
+	// exactly as the full-storage path did), so the pair stays bitwise.
+	if T := s.Cfg.SeqLen; T >= 2 {
+		full, err := RunPath(s, PathSpec{
+			Name: "sparse-full", Store: model.StoreP1, SparseBP: true, PruneThreshold: 0.1,
+		}, group)
+		if err != nil {
+			return err
+		}
+		ckpt, err := RunPath(s, PathSpec{
+			Name: "sparse-ckpt", Store: model.StoreP1, SparseBP: true, PruneThreshold: 0.1,
+			Boundaries: []int{0, T / 2},
+		}, group)
+		if err != nil {
+			return err
+		}
+		if err := comparePaths(full, ckpt, "sparse-ckpt", Bitwise); err != nil {
+			return err
+		}
+	}
+
+	// Axis 4: binary16 storage. Sparse-vs-dense and serial-vs-parallel
+	// stay bitwise on the f16-rounded operands; against full-precision
+	// storage the loss trace is exact and the gradients banded.
+	f16, err := RunPath(s, PathSpec{Name: "f16/dense", Store: model.StoreP1, F16: true}, group)
+	if err != nil {
+		return err
+	}
+	f16exact := []PathSpec{
+		{Name: "f16/sparse", Store: model.StoreP1, F16: true, SparseBP: true},
+		{Name: "f16/sparse/parallel", Store: model.StoreP1, F16: true, SparseBP: true, Workers: workers},
+		{Name: "f16/dense/noarena", Store: model.StoreP1, F16: true, NoArena: true},
+	}
+	for _, spec := range f16exact {
+		got, err := RunPath(s, spec, group)
+		if err != nil {
+			return err
+		}
+		if err := comparePaths(f16, got, spec.Name, Bitwise); err != nil {
+			return err
+		}
+	}
+	prunedF16, err := RunPath(s, PathSpec{
+		Name: "f16/pruned/dense", Store: model.StoreP1, F16: true, PruneThreshold: 0.1,
+	}, group)
+	if err != nil {
+		return err
+	}
+	prunedF16Sparse, err := RunPath(s, PathSpec{
+		Name: "f16/pruned/sparse", Store: model.StoreP1, F16: true, PruneThreshold: 0.1, SparseBP: true,
+	}, group)
+	if err != nil {
+		return err
+	}
+	if err := comparePaths(prunedF16, prunedF16Sparse, "f16/pruned/sparse", Bitwise); err != nil {
+		return err
+	}
+	return CheckF16Band(s, F16GradBand)
+}
+
+// CheckF16Band asserts the binary16 storage contract on one optimizer
+// step: the loss is exact (quantization happens after FW) and the
+// gradient's relative L2 distance from the full-precision path stays
+// within band. One step only — from the second step on the weight
+// trajectories legitimately drift and the distance is no longer a pure
+// storage-rounding measurement.
+func CheckF16Band(s *Scenario, band float64) error {
+	one := *s
+	one.NumBatches = 1
+	base, err := RunPath(&one, PathSpec{Name: "f16band-base", Store: model.StoreP1}, 1)
+	if err != nil {
+		return err
+	}
+	got, err := RunPath(&one, PathSpec{Name: "f16band-f16", Store: model.StoreP1, F16: true}, 1)
+	if err != nil {
+		return err
+	}
+	if err := CompareLosses(base.Losses, got.Losses); err != nil {
+		return fmt.Errorf("f16 storage must not move the loss: %w", err)
+	}
+	if d := GradDistance(base.Grads, got.Grads); d > band {
+		return fmt.Errorf("check: f16 storage moved gradients by %g (band %g)", d, band)
+	}
+	return nil
+}
+
+// CheckTopKMonotone runs the sparse path across a ladder of per-row
+// top-k caps and asserts the structured-sparsity contract: divergence
+// from the uncapped sparse path is monotone non-increasing in k (a
+// larger k keeps a superset of each row's terms... of the k largest
+// magnitudes, so the dropped mass can only shrink), and k at or above
+// the row length diverges not at all. slack absorbs float measurement
+// noise. ks must be ascending. One optimizer step, for the same reason
+// as CheckPruneMonotone.
+func CheckTopKMonotone(s *Scenario, ks []int, slack float64) ([]float64, error) {
+	one := *s
+	one.NumBatches = 1
+	base, err := RunPath(&one, PathSpec{Name: "topk-base", Store: model.StoreP1, SparseBP: true}, 1)
+	if err != nil {
+		return nil, err
+	}
+	dists := make([]float64, len(ks))
+	for i, k := range ks {
+		got, err := RunPath(&one, PathSpec{
+			Name: fmt.Sprintf("topk-%d", k), Store: model.StoreP1, SparseBP: true, TopK: k,
+		}, 1)
+		if err != nil {
+			return nil, err
+		}
+		dists[i] = GradDistance(base.Grads, got.Grads)
+	}
+	for i, k := range ks {
+		if k >= one.Cfg.Hidden && dists[i] != 0 {
+			return dists, fmt.Errorf("check: top-k at k=%d ≥ hidden=%d diverged (distance %g)", k, one.Cfg.Hidden, dists[i])
+		}
+		if i > 0 && ks[i] >= ks[i-1] && dists[i] > dists[i-1]+slack {
+			return dists, fmt.Errorf("check: top-k divergence not monotone: k %d → %d but distance %g → %g",
+				ks[i-1], k, dists[i-1], dists[i])
+		}
+	}
+	return dists, nil
+}

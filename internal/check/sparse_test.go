@@ -1,0 +1,92 @@
+package check
+
+import (
+	"fmt"
+	"testing"
+
+	"etalstm/internal/model"
+)
+
+// TestEquivalenceSparseRandomized runs the sparse-backward contract
+// matrix — sparse/dense × {0, pruned thresholds, top-k} × {f32, f16
+// storage} × serial/parallel × full/checkpointed — over randomized
+// scenarios.
+func TestEquivalenceSparseRandomized(t *testing.T) {
+	for _, seed := range []uint64{3, 8, 21} {
+		seed := seed
+		s := RandomScenario(seed)
+		t.Run(fmt.Sprintf("seed%d/%+v", seed, s.Cfg), func(t *testing.T) {
+			t.Parallel()
+			if err := EquivalenceSparse(s, 2); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestTopKMonotoneDivergence is the bounded-divergence contract for the
+// structured top-k sparsifier: k ≥ hidden must not diverge at all, and
+// the gradient distance from the uncapped sparse path must shrink
+// monotonically as k grows.
+func TestTopKMonotoneDivergence(t *testing.T) {
+	for _, seed := range []uint64{7, 19} {
+		s := RandomScenario(seed)
+		ks := []int{1, 2, s.Cfg.Hidden, s.Cfg.Hidden + 3}
+		dists, err := CheckTopKMonotone(s, ks, 1e-9)
+		if err != nil {
+			t.Fatalf("seed %d: %v (distances %v)", seed, err, dists)
+		}
+		t.Logf("seed %d hidden %d: ks %v → distances %v", seed, s.Cfg.Hidden, ks, dists)
+	}
+}
+
+// TestF16BandHoldsAndBites pins both directions of the f16 storage
+// contract: the banded check passes at the documented band, and the
+// underlying distance is genuinely nonzero (half-precision rounding of
+// random products must move the gradients), so the band is a live
+// assertion rather than a comparison of identical values.
+func TestF16BandHoldsAndBites(t *testing.T) {
+	s := RandomScenario(11)
+	if err := CheckF16Band(s, F16GradBand); err != nil {
+		t.Fatal(err)
+	}
+	one := *s
+	one.NumBatches = 1
+	base, err := RunPath(&one, PathSpec{Name: "f32", Store: model.StoreP1}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f16, err := RunPath(&one, PathSpec{Name: "f16", Store: model.StoreP1, F16: true}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := GradDistance(base.Grads, f16.Grads)
+	if d == 0 {
+		t.Fatal("f16 storage left gradients bitwise identical; the band check is vacuous")
+	}
+	if d > F16GradBand {
+		t.Fatalf("f16 distance %g exceeds the band %g", d, F16GradBand)
+	}
+	t.Logf("f16 gradient distance %g (band %g)", d, F16GradBand)
+}
+
+// TestSparseLossBandVsDense asserts the training-level contract the
+// etabench acceptance uses: a pruned sparse-backward run converges to a
+// final loss inside CheckLossBand of the unpruned dense run.
+func TestSparseLossBandVsDense(t *testing.T) {
+	s := RandomScenario(29)
+	s.NumBatches = 6
+	dense, err := RunPath(s, PathSpec{Name: "dense", Store: model.StoreP1}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sparse, err := RunPath(s, PathSpec{
+		Name: "sparse@0.1", Store: model.StoreP1, SparseBP: true, PruneThreshold: 0.1,
+	}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := CheckLossBand(dense.Losses, sparse.Losses, 0.3, 0.05); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -36,7 +36,7 @@ func BenchmarkDecodeSparse65(b *testing.B) {
 	b.SetBytes(m.Bytes())
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		s.Decode(dst)
+		s.MustDecode(dst)
 	}
 }
 

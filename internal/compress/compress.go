@@ -44,9 +44,40 @@ func Encode(m *tensor.Matrix, threshold float32) *Sparse {
 	return s
 }
 
+// Validate checks the structural invariants a record must hold before
+// it can be decoded: matching Values/Indices lengths and strictly
+// increasing indices inside the declared Rows×Cols range. Records built
+// by Encode hold these by construction; records reassembled from
+// external bytes (a wire payload, a fuzzer) may not.
+func (s *Sparse) Validate() error {
+	if s.Rows < 0 || s.Cols < 0 {
+		return fmt.Errorf("compress: negative shape %dx%d", s.Rows, s.Cols)
+	}
+	if len(s.Values) != len(s.Indices) {
+		return fmt.Errorf("compress: %d values vs %d indices", len(s.Values), len(s.Indices))
+	}
+	n := s.Rows * s.Cols
+	prev := int32(-1)
+	for _, idx := range s.Indices {
+		if idx <= prev || int64(idx) >= int64(n) {
+			return fmt.Errorf("compress: index %d out of order or range (%d elements)", idx, n)
+		}
+		prev = idx
+	}
+	return nil
+}
+
 // Decode reconstructs the dense matrix (pruned entries become zero).
-// If dst is non-nil it is zeroed and filled in place.
-func (s *Sparse) Decode(dst *tensor.Matrix) *tensor.Matrix {
+// If dst is non-nil it is zeroed and filled in place; a shape mismatch
+// between dst and the record is a programming error and panics, like
+// the rest of the tensor package. A corrupt record — indices out of
+// range or out of order, mismatched value/index counts — is rejected
+// with an error rather than panicking, so hostile payloads cannot take
+// the process down.
+func (s *Sparse) Decode(dst *tensor.Matrix) (*tensor.Matrix, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
 	if dst == nil {
 		dst = tensor.New(s.Rows, s.Cols)
 	} else {
@@ -59,7 +90,17 @@ func (s *Sparse) Decode(dst *tensor.Matrix) *tensor.Matrix {
 	for i, idx := range s.Indices {
 		dst.Data[idx] = s.Values[i]
 	}
-	return dst
+	return dst, nil
+}
+
+// MustDecode is Decode for records that are valid by construction
+// (built by Encode in this process). It panics on a corrupt record.
+func (s *Sparse) MustDecode(dst *tensor.Matrix) *tensor.Matrix {
+	m, err := s.Decode(dst)
+	if err != nil {
+		panic(err)
+	}
+	return m
 }
 
 // NNZ returns the number of retained (nonzero) entries.
@@ -119,8 +160,40 @@ func EncodeBitmask(m *tensor.Matrix, threshold float32) *Bitmask {
 	return b
 }
 
-// Decode reconstructs the dense matrix.
-func (b *Bitmask) Decode(dst *tensor.Matrix) *tensor.Matrix {
+// Validate checks the structural invariants a bitmask record must hold
+// before decoding: a mask sized for the declared shape, no presence
+// bits beyond it, and exactly one packed value per set bit.
+func (b *Bitmask) Validate() error {
+	if b.Rows < 0 || b.Cols < 0 {
+		return fmt.Errorf("compress: negative shape %dx%d", b.Rows, b.Cols)
+	}
+	n := b.Rows * b.Cols
+	if len(b.Mask) != (n+63)/64 {
+		return fmt.Errorf("compress: mask %d words for %d elements", len(b.Mask), n)
+	}
+	set := 0
+	for i, w := range b.Mask {
+		if i == len(b.Mask)-1 && n%64 != 0 && w>>(uint(n)%64) != 0 {
+			return fmt.Errorf("compress: mask bits set beyond %d elements", n)
+		}
+		for ; w != 0; w &= w - 1 {
+			set++
+		}
+	}
+	if set != len(b.Values) {
+		return fmt.Errorf("compress: %d mask bits vs %d values", set, len(b.Values))
+	}
+	return nil
+}
+
+// Decode reconstructs the dense matrix. Like Sparse.Decode it panics on
+// a dst shape mismatch (programming error) but rejects corrupt records
+// — wrong mask length, stray bits, value-count mismatch — with an
+// error.
+func (b *Bitmask) Decode(dst *tensor.Matrix) (*tensor.Matrix, error) {
+	if err := b.Validate(); err != nil {
+		return nil, err
+	}
 	if dst == nil {
 		dst = tensor.New(b.Rows, b.Cols)
 	} else {
@@ -137,7 +210,17 @@ func (b *Bitmask) Decode(dst *tensor.Matrix) *tensor.Matrix {
 			vi++
 		}
 	}
-	return dst
+	return dst, nil
+}
+
+// MustDecode is Decode for records that are valid by construction; it
+// panics on a corrupt record.
+func (b *Bitmask) MustDecode(dst *tensor.Matrix) *tensor.Matrix {
+	m, err := b.Decode(dst)
+	if err != nil {
+		panic(err)
+	}
+	return m
 }
 
 // Bytes returns the encoded size: mask words + packed values.
@@ -149,7 +232,7 @@ func (b *Bitmask) Bytes() int64 {
 // pruning introduced relative to the original matrix — the quantity
 // bounded by the threshold (maxErr < threshold by construction).
 func PruneError(orig *tensor.Matrix, s *Sparse) (maxErr float64, rmse float64) {
-	dec := s.Decode(nil)
+	dec := s.MustDecode(nil)
 	var sq float64
 	for i, v := range orig.Data {
 		d := math.Abs(float64(v) - float64(dec.Data[i]))

@@ -15,7 +15,7 @@ func TestEncodeDecodeRoundtrip(t *testing.T) {
 	if s.NNZ() != 3 {
 		t.Fatalf("NNZ: %d", s.NNZ())
 	}
-	d := s.Decode(nil)
+	d := s.MustDecode(nil)
 	want := []float32{0.5, 0, -0.3, 0, 0, -0.8}
 	for i, v := range want {
 		if d.Data[i] != v {
@@ -37,7 +37,7 @@ func TestDecodeIntoDst(t *testing.T) {
 	s := Encode(m, 0.5)
 	dst := tensor.New(1, 4)
 	dst.Fill(9)
-	s.Decode(dst)
+	s.MustDecode(dst)
 	if dst.Data[1] != 0 || dst.Data[0] != 1 {
 		t.Fatalf("Decode into dst: %v", dst.Data)
 	}
@@ -118,8 +118,8 @@ func TestBitmaskRoundtrip(t *testing.T) {
 	m.RandInit(r, 1)
 	b := EncodeBitmask(m, 0.1)
 	s := Encode(m, 0.1)
-	db := b.Decode(nil)
-	ds := s.Decode(nil)
+	db := b.MustDecode(nil)
+	ds := s.MustDecode(nil)
 	if !db.Equal(ds, 0) {
 		t.Fatal("bitmask and sparse decodes disagree")
 	}
@@ -174,7 +174,7 @@ func TestPropertyRoundtripExactness(t *testing.T) {
 		m := tensor.New(7, 11)
 		m.RandInit(r, 1)
 		s := Encode(m, 0.1)
-		d := s.Decode(nil)
+		d := s.MustDecode(nil)
 		for i, v := range m.Data {
 			av := v
 			if av < 0 {

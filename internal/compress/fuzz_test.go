@@ -33,9 +33,9 @@ func FuzzEncodeDecode(f *testing.F) {
 		m := tensor.NewFromData(1, n, data)
 
 		s := Encode(m, threshold)
-		d := s.Decode(nil)
+		d := s.MustDecode(nil)
 		b := EncodeBitmask(m, threshold)
-		db := b.Decode(nil)
+		db := b.MustDecode(nil)
 		if !d.Equal(db, 0) {
 			t.Fatal("sparse and bitmask decodes disagree")
 		}

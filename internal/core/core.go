@@ -42,6 +42,25 @@ type Config struct {
 	// PruneThreshold is MS1's near-zero cutoff (0 = 0.1, the paper's
 	// operating point).
 	PruneThreshold float32
+	// SparseBackward routes the backward pass through the pair-driven
+	// sparse kernels: BP-EW-P2 touches only the P1 pairs that survived
+	// MS1's pruning and BP-MatMul gathers over each gate's surviving
+	// columns, so BP compute shrinks with the measured prune ratio.
+	// Requires EnableMS1 (no-op otherwise); at PruneThreshold → 0 the
+	// sparse path is bitwise identical to the dense one.
+	SparseBackward bool
+	// BackwardTopK, when positive (with SparseBackward), additionally
+	// caps each batch row of the weight-gradient MatMuls to its
+	// BackwardTopK largest-|δgate| columns (structurally sparsified
+	// backward propagation, Zhu et al. arXiv:1806.00512). Propagated
+	// gradients keep the full pattern; ≥ hidden size is the identity.
+	BackwardTopK int
+	// StoreF16 stores MS1's pruned P1 intermediates rounded to binary16
+	// precision (compute stays float32): each surviving value makes a
+	// float32→float16→float32 round trip right after pruning, halving
+	// what the compressed pair store would hold. Requires EnableMS1.
+	StoreF16 bool
+
 	// SkipThreshold is MS2's relative significance cutoff used to set
 	// the absolute bar at calibration (0 = skip.DefaultThreshold).
 	SkipThreshold float64
@@ -269,9 +288,24 @@ func (tr *Trainer) batchFn(epoch int, plan *skip.Plan, policy model.StoragePolic
 	return func(net *model.Network, batch train.Batch, b int) (parallel.BatchResult, error) {
 		var out parallel.BatchResult
 		pcfg := reorder.Config{Threshold: tr.Cfg.PruneThreshold}
+		// pruneP1 applies MS1's near-zero pruning (and, under StoreF16,
+		// the binary16 storage rounding of the survivors) to one P1 set —
+		// the single transformation both storage paths run, so the
+		// full-storage and checkpointed trainers see identical products.
+		pruneP1 := func(p1 *lstm.P1) {
+			out.Prune = out.Prune.Add(reorder.PruneInPlace(p1, pcfg))
+			if tr.Cfg.StoreF16 {
+				for _, m := range p1.Matrices() {
+					tensor.QuantizeF16(m)
+				}
+			}
+		}
 
 		grads := net.NewGradients()
-		opts := model.BackwardOpts{}
+		opts := model.BackwardOpts{
+			SparseBP: tr.Cfg.SparseBackward && tr.Cfg.EnableMS1,
+			TopK:     tr.Cfg.BackwardTopK,
+		}
 		if calibrating {
 			cfg := net.Cfg
 			out.Observed = make([][]float64, cfg.Layers)
@@ -286,7 +320,7 @@ func (tr *Trainer) batchFn(epoch int, plan *skip.Plan, policy model.StoragePolic
 		if checkpointed {
 			if tr.Cfg.EnableMS1 {
 				opts.OnP1 = func(l, t int, p1 *lstm.P1) {
-					out.Prune = out.Prune.Add(reorder.PruneInPlace(p1, pcfg))
+					pruneP1(p1)
 				}
 			}
 			res, _, err := net.ForwardCheckpointed(batch.Inputs, batch.Targets, policy, nil, boundaries)
@@ -320,7 +354,7 @@ func (tr *Trainer) batchFn(epoch int, plan *skip.Plan, policy model.StoragePolic
 				for l := range res.P1 {
 					for t := range res.P1[l] {
 						if p1 := res.P1[l][t]; p1 != nil {
-							out.Prune = out.Prune.Add(reorder.PruneInPlace(p1, pcfg))
+							pruneP1(p1)
 						}
 					}
 				}
@@ -465,6 +499,9 @@ func (tr *Trainer) RunEpoch(ctx context.Context, p train.Provider, epoch int) (S
 	ins.EpochSeconds.Set(st.Wall.Seconds())
 	ins.MS1PruneRatio.Set(st.PruneStats.Frac())
 	ins.MS1StoredPairs.Add(st.PruneStats.Kept())
+	if tr.Cfg.SparseBackward && tr.Cfg.EnableMS1 {
+		ins.SparseBPDensity.Set(1 - st.PruneStats.Frac())
+	}
 	ins.MS2SkipRatio.Set(st.MeasuredSkipFrac())
 	if !placement.FullStorage() {
 		ins.CkptColumns.Set(float64(len(placement.Boundaries)))

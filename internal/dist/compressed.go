@@ -92,7 +92,7 @@ func (c *Compressed) Reduce(local []*model.Gradients) (*model.Gradients, int, er
 			}
 			// The replica's dense gradients become exactly what a wire
 			// transport would deliver: the kept pairs, zeros elsewhere.
-			s.Decode(m)
+			s.MustDecode(m)
 			stepWire += sparseWireBytes(s.NNZ())
 			stepDense += 4 + 4*int64(len(m.Data))
 		}

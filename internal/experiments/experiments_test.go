@@ -247,7 +247,7 @@ func TestRegistryComplete(t *testing.T) {
 	ids := IDs()
 	want := []string{"fig11", "fig15a", "fig15b", "fig16", "fig17", "fig18",
 		"fig3a", "fig3b", "fig3c", "fig4", "fig5", "fig6", "fig8", "gradsync",
-		"scalability", "table2", "table3"}
+		"scalability", "sparsebp", "table2", "table3"}
 	if len(ids) != len(want) {
 		t.Fatalf("registry: %v", ids)
 	}
@@ -265,6 +265,37 @@ func TestReportString(t *testing.T) {
 	s := rep.String()
 	if !strings.Contains(s, "== x: t ==") || !strings.Contains(s, "note: hello 7") {
 		t.Fatalf("render: %s", s)
+	}
+}
+
+// TestSparseBPReport pins the sparse-backward experiment's structural
+// invariants: one row per threshold rung, the measured prune ratio
+// monotone non-decreasing in the threshold, every speedup cell
+// parseable, and the unpruned-vs-dense loss delta column present. The
+// loss-bitwise contract between sparse and dense is enforced inside the
+// runner itself (it errors on any divergence).
+func TestSparseBPReport(t *testing.T) {
+	rep := run(t, SparseBP)
+	if len(rep.Rows) != 4 {
+		t.Fatalf("want 4 threshold rungs, got %v", rep.Rows)
+	}
+	prev := -1.0
+	for _, row := range rep.Rows {
+		var prune float64
+		if _, err := fmt.Sscanf(row[1], "%f", &prune); err != nil {
+			t.Fatalf("prune cell %q: %v", row[1], err)
+		}
+		if prune < prev {
+			t.Fatalf("prune ratio not monotone in threshold: %v", rep.Rows)
+		}
+		prev = prune
+		var speedup float64
+		if _, err := fmt.Sscanf(row[4], "%fx", &speedup); err != nil {
+			t.Fatalf("speedup cell %q: %v", row[4], err)
+		}
+		if speedup <= 0 {
+			t.Fatalf("non-positive speedup: %v", row)
+		}
 	}
 }
 

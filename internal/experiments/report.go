@@ -119,6 +119,7 @@ func Registry() map[string]Runner {
 		"table3":      Table3,
 		"scalability": Scalability,
 		"gradsync":    GradSync,
+		"sparsebp":    SparseBP,
 	}
 }
 

@@ -1,0 +1,95 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"etalstm/internal/core"
+	"etalstm/internal/model"
+	"etalstm/internal/obs"
+	"etalstm/internal/rng"
+	"etalstm/internal/train"
+	"etalstm/internal/workload"
+)
+
+// SparseBP measures what the pair-driven sparse backward kernels buy at
+// each MS1 pruning threshold: the wall time of the BP-EW-P2 + BP-MatMul
+// phases dense versus sparse on identical pruned operands, the measured
+// prune ratio those kernels skip, and the final loss against the
+// unpruned dense run — the software counterpart of the paper's Omni-PE
+// gather exploiting the (value, index) pair store.
+func SparseBP(opts Options) (*Report, error) {
+	bench, epochs, batches := sparseBPScale(opts)
+	rep := &Report{
+		ID: "sparsebp", Title: "Sparse backward kernels: BP phase time vs prune ratio",
+		Header: []string{"threshold", "prune", "dense BP (ms)", "sparse BP (ms)", "speedup", "final loss", "Δ vs dense"},
+	}
+
+	run := func(sparse bool, th float32) (loss, prune float64, bp time.Duration, err error) {
+		net, err := model.NewNetwork(bench.Cfg, rng.New(opts.Seed))
+		if err != nil {
+			return 0, 0, 0, err
+		}
+		tr := core.New(net, &train.Adam{LR: 0.01}, 5, core.Config{
+			EnableMS1: true, PruneThreshold: th, SparseBackward: sparse,
+		})
+		tr.Workers = 1 // serial: one workspace, clean phase timings
+		tr.RecordPhases = true
+		prov := bench.Provider(batches, opts.Seed)
+		for e := 0; e < epochs; e++ {
+			st, rerr := tr.RunEpoch(context.Background(), prov, e)
+			if rerr != nil {
+				return 0, 0, 0, rerr
+			}
+			loss, prune = st.MeanLoss, st.PruneStats.Frac()
+		}
+		for _, ps := range tr.Phases() {
+			if ps.Phase == obs.PhaseBPEWP2.String() || ps.Phase == obs.PhaseBPMatMul.String() {
+				bp += ps.Total
+			}
+		}
+		return loss, prune, bp, nil
+	}
+
+	baseLoss, _, _, err := run(false, 0.001) // effectively unpruned dense reference
+	if err != nil {
+		return nil, err
+	}
+	for _, th := range []float32{0.001, 0.05, 0.1, 0.3} {
+		denseLoss, prune, denseBP, err := run(false, th)
+		if err != nil {
+			return nil, err
+		}
+		sparseLoss, _, sparseBP, err := run(true, th)
+		if err != nil {
+			return nil, err
+		}
+		if sparseLoss != denseLoss {
+			// The sparse kernels skip only exact-zero operands, so the
+			// trajectories — and losses — must agree bitwise.
+			return nil, fmt.Errorf("sparsebp: loss diverged at threshold %g: dense %v, sparse %v", th, denseLoss, sparseLoss)
+		}
+		speedup := "-"
+		if sparseBP > 0 {
+			speedup = fmt.Sprintf("%.2fx", float64(denseBP)/float64(sparseBP))
+		}
+		rep.Add(fmt.Sprintf("%.3f", th), fmt.Sprintf("%.2f", prune),
+			fmt.Sprintf("%.1f", float64(denseBP)/1e6),
+			fmt.Sprintf("%.1f", float64(sparseBP)/1e6),
+			speedup,
+			fmt.Sprintf("%.4f", sparseLoss),
+			fmt.Sprintf("%+.4f", sparseLoss-baseLoss))
+	}
+	rep.Note("sparse and dense BP consume the same pruned P1 pairs, so each row's loss is bitwise identical — the speedup is free")
+	rep.Note("BP-EW-P2/BP-MatMul time falls roughly in proportion to the prune ratio; reproduce interactively with etabench -phases -sparse")
+	return rep, nil
+}
+
+func sparseBPScale(opts Options) (workload.Benchmark, int, int) {
+	b, _ := workload.ByName("IMDB")
+	if opts.Quick {
+		return b.Scaled(32, 12, 8), 3, 4
+	}
+	return b.Scaled(8, 24, 16), 5, 8
+}

@@ -99,12 +99,12 @@ func TestForwardDMACompression(t *testing.T) {
 		t.Fatal("DMA must move exactly the compressed bytes")
 	}
 	// The compressed planes decode to the pruned P1.
-	dec := res.Compressed[0].Decode(nil)
+	dec := res.Compressed[0].MustDecode(nil)
 	pruned := res.P1.Pf.Clone()
 	rec := reorder.Encode(&lstm.P1{
 		Pf: pruned, Pi: pruned, Pc: pruned, Po: pruned, Ps: pruned, Pfs: pruned,
 	}, reorder.Config{})
-	want := rec.Planes[0].Decode(nil)
+	want := rec.Planes[0].MustDecode(nil)
 	if !dec.Equal(want, 0) {
 		t.Fatal("compressed plane must equal the pruned P1 plane")
 	}
@@ -143,9 +143,9 @@ func TestBackwardMatchesSoftware(t *testing.T) {
 
 	// Software reference on the identical pruned P1 planes.
 	p1 := &lstm.P1{
-		Pf: fw.Compressed[0].Decode(nil), Pi: fw.Compressed[1].Decode(nil),
-		Pc: fw.Compressed[2].Decode(nil), Po: fw.Compressed[3].Decode(nil),
-		Ps: fw.Compressed[4].Decode(nil), Pfs: fw.Compressed[5].Decode(nil),
+		Pf: fw.Compressed[0].MustDecode(nil), Pi: fw.Compressed[1].MustDecode(nil),
+		Pc: fw.Compressed[2].MustDecode(nil), Po: fw.Compressed[3].MustDecode(nil),
+		Ps: fw.Compressed[4].MustDecode(nil), Pfs: fw.Compressed[5].MustDecode(nil),
 	}
 	gSW := lstm.NewGrads(p)
 	outSW := lstm.BackwardFromP1(nil, p, gSW, x, h0, p1, lstm.BPInput{DY: dy, DS: ds})

@@ -120,9 +120,9 @@ func TestBackwardLayerMatchesSoftware(t *testing.T) {
 	dxWant := make([]*tensor.Matrix, steps)
 	for t0 := steps - 1; t0 >= 0; t0-- {
 		p1 := &lstm.P1{
-			Pf: fw.Store[t0][0].Decode(nil), Pi: fw.Store[t0][1].Decode(nil),
-			Pc: fw.Store[t0][2].Decode(nil), Po: fw.Store[t0][3].Decode(nil),
-			Ps: fw.Store[t0][4].Decode(nil), Pfs: fw.Store[t0][5].Decode(nil),
+			Pf: fw.Store[t0][0].MustDecode(nil), Pi: fw.Store[t0][1].MustDecode(nil),
+			Pc: fw.Store[t0][2].MustDecode(nil), Po: fw.Store[t0][3].MustDecode(nil),
+			Ps: fw.Store[t0][4].MustDecode(nil), Pfs: fw.Store[t0][5].MustDecode(nil),
 		}
 		hPrev := h0
 		if t0 > 0 {
@@ -182,9 +182,9 @@ func TestLayerStoreCompresses(t *testing.T) {
 	}
 	// Consistency with the reorder package's accounting.
 	rec := reorder.Encode(&lstm.P1{
-		Pf: fw.Store[0][0].Decode(nil), Pi: fw.Store[0][1].Decode(nil),
-		Pc: fw.Store[0][2].Decode(nil), Po: fw.Store[0][3].Decode(nil),
-		Ps: fw.Store[0][4].Decode(nil), Pfs: fw.Store[0][5].Decode(nil),
+		Pf: fw.Store[0][0].MustDecode(nil), Pi: fw.Store[0][1].MustDecode(nil),
+		Pc: fw.Store[0][2].MustDecode(nil), Po: fw.Store[0][3].MustDecode(nil),
+		Ps: fw.Store[0][4].MustDecode(nil), Pfs: fw.Store[0][5].MustDecode(nil),
 	}, reorder.Config{})
 	var cellBytes int64
 	for _, s := range fw.Store[0] {

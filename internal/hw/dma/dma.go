@@ -126,7 +126,7 @@ func (d *DMA) ReadDense(at, bytes int64, cat Category) int64 {
 // and decodes it for the channels.
 func (d *DMA) ReadSparse(at int64, s *compress.Sparse, cat Category) (*tensor.Matrix, int64) {
 	done := d.book(at, s.Bytes(), cat)
-	return s.Decode(nil), done
+	return s.MustDecode(nil), done
 }
 
 // GatherDense models the decoder module's index-driven load (Fig. 14:

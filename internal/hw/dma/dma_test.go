@@ -67,7 +67,7 @@ func TestReadSparseRoundtrip(t *testing.T) {
 		t.Fatal("read must take time")
 	}
 	// Decoded equals the pruned original.
-	want := s.Decode(nil)
+	want := s.MustDecode(nil)
 	if !dec.Equal(want, 0) {
 		t.Fatal("ReadSparse decode mismatch")
 	}

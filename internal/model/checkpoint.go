@@ -564,7 +564,7 @@ func (n *Network) BackwardCheckpointed(res *CheckpointedResult, policy StoragePo
 						hPrev = zeroH
 					}
 					res.tracker.sub(seg.P1[l][j].Bytes())
-					out = lstm.BackwardFromP1(ws, n.Layer[l], target, x, hPrev, seg.P1[l][j], in)
+					out = opts.backwardFromP1(ws, n.Layer[l], target, x, hPrev, seg.P1[l][j], in)
 					ws.Put(zeroH)
 					seg.P1[l][j].Release(ws)
 					seg.P1[l][j] = nil

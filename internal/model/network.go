@@ -468,6 +468,31 @@ type BackwardOpts struct {
 	// between FW and BP. Backward (full storage) never calls it: there
 	// the caller prunes ForwardResult.P1 directly.
 	OnP1 func(layer, t int, p1 *lstm.P1)
+
+	// SparseBP routes every P1-based BP cell through the pair-driven
+	// sparse kernels (lstm.BackwardFromP1Sparse): BP-EW-P2 touches only
+	// the pairs that survived pruning and BP-MatMul gathers over each
+	// gate's surviving columns. On an unpruned P1 set this changes
+	// nothing (bitwise); on a pruned set it converts MS1's storage
+	// saving into compute saving. Cells stored as raw caches are
+	// unaffected.
+	SparseBP bool
+
+	// TopK, when positive and SparseBP is set, additionally caps each
+	// batch row of the weight-gradient MatMuls to its TopK
+	// largest-|δgate| columns (structurally sparsified backward
+	// propagation, Zhu et al. arXiv:1806.00512). Propagated gradients
+	// always use the full pattern. TopK ≥ hidden is the identity.
+	TopK int
+}
+
+// backwardFromP1 dispatches one P1-based BP cell to the dense or sparse
+// kernel per opts.
+func (opts BackwardOpts) backwardFromP1(ws *tensor.Workspace, p *lstm.Params, grads *lstm.Grads, x, hPrev *tensor.Matrix, p1 *lstm.P1, in lstm.BPInput) lstm.BPOutput {
+	if opts.SparseBP {
+		return lstm.BackwardFromP1Sparse(ws, p, grads, x, hPrev, p1, in, opts.TopK)
+	}
+	return lstm.BackwardFromP1(ws, p, grads, x, hPrev, p1, in)
 }
 
 // Backward runs BP through time over a ForwardResult. The same policy
@@ -557,7 +582,7 @@ func (n *Network) Backward(res *ForwardResult, policy StoragePolicy, grads *Grad
 					zeroH = ws.Get(cfg.Batch, cfg.Hidden)
 					hPrev = zeroH
 				}
-				out = lstm.BackwardFromP1(ws, n.Layer[l], target, x, hPrev, res.P1[l][t], in)
+				out = opts.backwardFromP1(ws, n.Layer[l], target, x, hPrev, res.P1[l][t], in)
 				ws.Put(zeroH)
 				res.P1[l][t].Release(ws)
 				res.P1[l][t] = nil

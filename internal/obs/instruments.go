@@ -12,6 +12,7 @@ const (
 	MetricStepLatency      = "etalstm_step_latency_seconds"
 	MetricMS1PruneRatio    = "etalstm_ms1_prune_ratio"
 	MetricMS1StoredPairs   = "etalstm_ms1_stored_pairs_total"
+	MetricSparseBPDensity  = "etalstm_sparse_bp_density"
 	MetricMS2SkipRatio     = "etalstm_ms2_skip_ratio"
 	MetricMS2PredLossError = "etalstm_ms2_pred_loss_error"
 	MetricArenaHitsTotal   = "etalstm_arena_hits_total"
@@ -58,6 +59,12 @@ type Train struct {
 	// (kept = seen − pruned).
 	MS1PruneRatio  *Gauge
 	MS1StoredPairs *Counter
+
+	// SparseBPDensity is the fraction of P1 operands the sparse backward
+	// kernels actually touched in the latest epoch (1 − prune ratio;
+	// stays 0 unless the trainer runs with SparseBackward). BP-EW-P2 and
+	// BP-MatMul span time should track this gauge.
+	SparseBPDensity *Gauge
 
 	// MS2: the measured skipped-BP-cell ratio of the latest epoch and
 	// the absolute error of the Eq. 5 loss extrapolation against the
@@ -135,6 +142,7 @@ func NewTrain(r *Registry) *Train {
 			0, 2.5, 50, 4096),
 		MS1PruneRatio:    r.Gauge(MetricMS1PruneRatio, "MS1 near-zero P1 prune ratio of the latest epoch"),
 		MS1StoredPairs:   r.Counter(MetricMS1StoredPairs, "cumulative value+index pairs kept by the compressed P1 store"),
+		SparseBPDensity:  r.Gauge(MetricSparseBPDensity, "fraction of P1 operands touched by the sparse backward kernels"),
 		MS2SkipRatio:     r.Gauge(MetricMS2SkipRatio, "MS2 skipped BP-cell ratio of the latest epoch"),
 		MS2PredLossError: r.Gauge(MetricMS2PredLossError, "absolute error of the Eq. 5 loss extrapolation"),
 		ArenaHits:        r.Counter(MetricArenaHitsTotal, "workspace arena free-list hits"),

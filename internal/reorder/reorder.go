@@ -134,12 +134,12 @@ func Encode(p1 *lstm.P1, cfg Config) *CellRecord {
 // zero, which BackwardFromP1 interprets as skippable work).
 func Decode(rec *CellRecord) *lstm.P1 {
 	p1 := &lstm.P1{
-		Pf:  rec.Planes[0].Decode(nil),
-		Pi:  rec.Planes[1].Decode(nil),
-		Pc:  rec.Planes[2].Decode(nil),
-		Po:  rec.Planes[3].Decode(nil),
-		Ps:  rec.Planes[4].Decode(nil),
-		Pfs: rec.Planes[5].Decode(nil),
+		Pf:  rec.Planes[0].MustDecode(nil),
+		Pi:  rec.Planes[1].MustDecode(nil),
+		Pc:  rec.Planes[2].MustDecode(nil),
+		Po:  rec.Planes[3].MustDecode(nil),
+		Ps:  rec.Planes[4].MustDecode(nil),
+		Pfs: rec.Planes[5].MustDecode(nil),
 	}
 	return p1
 }

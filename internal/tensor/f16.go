@@ -1,0 +1,95 @@
+package tensor
+
+import "math"
+
+// IEEE 754 binary16 storage conversions. The η-LSTM design keeps all
+// *compute* in float32 and narrows only *stored* intermediates — the
+// BP-EW-P1 products are all bounded in [-1, 1], so a half-precision
+// container loses mantissa bits but can never overflow. ToF16/FromF16
+// are the codec; QuantizeF16 applies the round trip in place, which is
+// exactly what a run that stored its intermediates in half precision
+// would read back at BP time.
+
+// ToF16 converts a float32 to IEEE 754 binary16 bits with
+// round-to-nearest-even. Overflow saturates to ±Inf, NaN stays NaN
+// (payload truncated, quietness forced), and values below half's
+// subnormal range flush to signed zero.
+func ToF16(x float32) uint16 {
+	b := math.Float32bits(x)
+	sign := uint16((b >> 16) & 0x8000)
+	b &= 0x7fffffff
+	if b >= 0x7f800000 { // Inf or NaN
+		if b > 0x7f800000 {
+			n := uint16((b >> 13) & 0x3ff)
+			if n == 0 {
+				n = 1 // keep NaN-ness when the payload bits truncate away
+			}
+			return sign | 0x7c00 | n
+		}
+		return sign | 0x7c00
+	}
+	e := int32(b>>23) - 127 + 15
+	m := b & 0x7fffff
+	switch {
+	case e >= 31: // above half's finite range: round to Inf
+		return sign | 0x7c00
+	case e <= 0: // half subnormal (or underflow to zero)
+		if e < -10 {
+			return sign
+		}
+		m |= 0x800000 // make the implicit leading 1 explicit
+		return sign | uint16(rneShift(m, uint32(14-e)))
+	default:
+		// A mantissa that rounds up past 10 bits carries into the
+		// exponent field, and e==30 carrying to 31 yields Inf — both are
+		// plain binary carries, so no special casing.
+		return sign | uint16(uint32(e)<<10+rneShift(m, 13))
+	}
+}
+
+// rneShift shifts v right by s bits, rounding the dropped bits to
+// nearest, ties to even.
+func rneShift(v, s uint32) uint32 {
+	q := v >> s
+	rem := v & (1<<s - 1)
+	half := uint32(1) << (s - 1)
+	if rem > half || (rem == half && q&1 == 1) {
+		q++
+	}
+	return q
+}
+
+// FromF16 converts IEEE 754 binary16 bits to float32. The conversion is
+// exact: every half value is representable in single precision.
+func FromF16(h uint16) float32 {
+	sign := uint32(h&0x8000) << 16
+	e := uint32(h >> 10 & 0x1f)
+	m := uint32(h & 0x3ff)
+	switch {
+	case e == 0x1f: // Inf or NaN
+		return math.Float32frombits(sign | 0x7f800000 | m<<13)
+	case e == 0:
+		if m == 0 {
+			return math.Float32frombits(sign)
+		}
+		// Subnormal half: normalize into a single-precision normal.
+		e = 1
+		for m&0x400 == 0 {
+			m <<= 1
+			e--
+		}
+		return math.Float32frombits(sign | (e+112)<<23 | (m&0x3ff)<<13)
+	default:
+		return math.Float32frombits(sign | (e+112)<<23 | m<<13)
+	}
+}
+
+// QuantizeF16 rounds every element of m through binary16 storage in
+// place: what a float16-stored intermediate yields when read back for
+// float32 compute. Zeros pass through bitwise (including -0), so
+// quantizing after near-zero pruning never disturbs the pruned pattern.
+func QuantizeF16(m *Matrix) {
+	for i, v := range m.Data {
+		m.Data[i] = FromF16(ToF16(v))
+	}
+}
