@@ -3,7 +3,7 @@ GO ?= go
 # Budget per fuzz target for `make fuzz` (go test -fuzztime syntax).
 FUZZTIME ?= 30s
 
-.PHONY: build test race bench vet fmt check fuzz cover serve-smoke obs-smoke longseq-smoke dist-smoke all
+.PHONY: build test race bench vet fmt check fuzz cover serve-smoke obs-smoke longseq-smoke dist-smoke fleet-smoke all
 
 all: build test
 
@@ -23,10 +23,12 @@ test:
 # subsystem (micro-batcher, session table, graceful drain), the
 # telemetry layer (concurrent registry, per-replica span recorders),
 # the checkpoint planner whose placements the replicas recompute
-# under concurrently, and the distributed gradient transport (reader
-# goroutines handing decode buffers to the coordinator's merge loop).
+# under concurrently, the distributed gradient transport (reader
+# goroutines handing decode buffers to the coordinator's merge loop),
+# and the fleet router (concurrent forwarding, prober-driven
+# membership churn, hot-swap rolls under load).
 race:
-	$(GO) test -race ./internal/parallel ./internal/core ./internal/tensor ./internal/lstm ./internal/model ./internal/check ./internal/skip ./internal/train ./internal/serve ./internal/obs ./internal/memplan ./internal/dist .
+	$(GO) test -race ./internal/parallel ./internal/core ./internal/tensor ./internal/lstm ./internal/model ./internal/check ./internal/skip ./internal/train ./internal/serve ./internal/obs ./internal/memplan ./internal/dist ./internal/fleet .
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
@@ -64,7 +66,8 @@ cover:
 	check ./internal/obs 85; \
 	check ./internal/memplan 90; \
 	check ./internal/dist 85; \
-	check ./internal/compress 85
+	check ./internal/compress 85; \
+	check ./internal/fleet 85
 
 # serve-smoke is the end-to-end serving check: checkpoint -> etaserve
 # on an ephemeral port -> loadgen burst -> graceful drain, all through
@@ -90,6 +93,15 @@ longseq-smoke:
 # form a session, converge, and report their bytes-on-wire accounting.
 dist-smoke:
 	$(GO) test -run TestDistSmoke -v ./cmd/etatrain
+
+# fleet-smoke is the end-to-end horizontal-serving check: three
+# replicas behind etarouter (real binary paths via cmd/etarouter's run
+# seam), a Zipf-skewed load burst, one replica killed mid-run with
+# zero surfaced errors after ejection settles, and a checkpoint
+# hot-swap rolled across the survivors under load with zero dropped
+# requests.
+fleet-smoke:
+	$(GO) test -run TestFleetSmoke -v ./cmd/etarouter
 
 vet:
 	$(GO) vet ./...

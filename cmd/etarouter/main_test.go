@@ -1,0 +1,247 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"etalstm"
+	"etalstm/internal/fleet"
+	"etalstm/internal/serve"
+)
+
+// syncBuffer lets the test poll run's output while run is still
+// writing from its own goroutine.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+func testConfig() etalstm.Config {
+	return etalstm.Config{InputSize: 3, Hidden: 4, Layers: 2, SeqLen: 6,
+		Batch: 2, OutSize: 3, Loss: etalstm.SingleLoss}
+}
+
+func saveCheckpoint(t *testing.T, dir string, seed uint64) string {
+	t.Helper()
+	net, err := etalstm.NewNetwork(testConfig(), seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "net-"+t.Name()+"-"+time.Now().Format("150405.000")+".ckpt")
+	if err := etalstm.SaveNetwork(path, net); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// replica stands up one in-process etaserve replica with the admin
+// endpoint mounted (the fleet swap path needs it).
+func replica(t *testing.T, ckpt string) (*serve.Server, *httptest.Server) {
+	t.Helper()
+	net, err := etalstm.LoadNetwork(ckpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := etalstm.NewServer(net, etalstm.ServeOptions{
+		MaxBatch: 4, Window: time.Millisecond, EnableAdmin: true,
+	})
+	hs := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		hs.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		s.Close(ctx)
+	})
+	return s, hs
+}
+
+// waitForAddr polls run's output for the "listening on" line.
+func waitForAddr(t *testing.T, out *syncBuffer, runErr <-chan error) string {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		s := out.String()
+		if i := strings.Index(s, "listening on "); i >= 0 {
+			rest := s[i+len("listening on "):]
+			if nl := strings.IndexByte(rest, '\n'); nl >= 0 {
+				return strings.TrimSpace(rest[:nl])
+			}
+		}
+		select {
+		case err := <-runErr:
+			t.Fatalf("router exited before listening: %v\noutput:\n%s", err, out.String())
+		case <-time.After(10 * time.Millisecond):
+		}
+	}
+	t.Fatalf("router never reported its address; output:\n%s", out.String())
+	return ""
+}
+
+func fleetStatus(t *testing.T, routerURL string) fleet.FleetStatus {
+	t.Helper()
+	resp, err := http.Get(routerURL + "/fleet")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st fleet.FleetStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+// TestFleetSmoke is the end-to-end fleet check behind `make
+// fleet-smoke`: three replicas behind the real etarouter binary path,
+// a Zipf-skewed load burst, one replica killed mid-run (its ejection
+// must settle with zero surfaced errors), and a checkpoint hot-swap
+// rolled across the survivors under load with zero dropped requests.
+func TestFleetSmoke(t *testing.T) {
+	dir := t.TempDir()
+	ckpt1 := saveCheckpoint(t, dir, 7)
+
+	sA, hsA := replica(t, ckpt1)
+	_, hsB := replica(t, ckpt1)
+	_, hsC := replica(t, ckpt1)
+
+	out := &syncBuffer{}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	runErr := make(chan error, 1)
+	go func() {
+		runErr <- run(ctx, []string{
+			"-replicas", hsA.URL + "," + hsB.URL + "," + hsC.URL,
+			"-addr", "127.0.0.1:0",
+			"-probe-interval", "25ms",
+			"-eject-after", "2",
+		}, out)
+	}()
+	routerURL := waitForAddr(t, out, runErr)
+
+	// Phase 1: skewed load over the full fleet through the loadgen seam.
+	lgOut := &syncBuffer{}
+	if err := run(ctx, []string{"-loadgen", "-target", routerURL,
+		"-conc", "8", "-n", "120", "-seq", "2",
+		"-sessions", "64", "-zipf", "1.1", "-session-frac", "0.5"}, lgOut); err != nil {
+		t.Fatalf("phase-1 loadgen: %v", err)
+	}
+	if s := lgOut.String(); !strings.Contains(s, "errors=0") {
+		t.Fatalf("phase-1 burst saw errors: %s", s)
+	}
+	if st := fleetStatus(t, routerURL); st.RingMembers != 3 {
+		t.Fatalf("ring members = %d before kill, want 3", st.RingMembers)
+	}
+
+	// Kill replica A outright — no graceful anything.
+	hsA.Close()
+	{
+		cctx, ccancel := context.WithTimeout(context.Background(), 5*time.Second)
+		sA.Close(cctx)
+		ccancel()
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if st := fleetStatus(t, routerURL); st.RingMembers == 2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("ejection never settled: %+v", fleetStatus(t, routerURL))
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	// Phase 2: after ejection settles, a fresh burst must surface zero
+	// errors — the dead replica's key range belongs to survivors now.
+	before := fleetStatus(t, routerURL)
+	lgOut2 := &syncBuffer{}
+	if err := run(ctx, []string{"-loadgen", "-target", routerURL,
+		"-conc", "8", "-n", "120", "-seq", "2",
+		"-sessions", "64", "-zipf", "1.1", "-session-frac", "0.5"}, lgOut2); err != nil {
+		t.Fatalf("phase-2 loadgen: %v", err)
+	}
+	if s := lgOut2.String(); !strings.Contains(s, "errors=0") {
+		t.Fatalf("phase-2 burst saw errors after ejection settled: %s", s)
+	}
+	after := fleetStatus(t, routerURL)
+	if after.Errors != before.Errors {
+		t.Fatalf("router surfaced %d errors during phase 2", after.Errors-before.Errors)
+	}
+
+	// Phase 3: hot-swap a new checkpoint across the survivors while a
+	// background client keeps hitting the fleet — zero dropped requests.
+	ckpt2 := saveCheckpoint(t, dir, 99)
+	var dropped, served int32
+	var wg sync.WaitGroup
+	stopCh := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		client := &http.Client{}
+		for i := 0; ; i++ {
+			select {
+			case <-stopCh:
+				return
+			default:
+			}
+			body := `{"inputs":[[0.1,0.2,0.3]],"session":"swapload"}`
+			resp, err := client.Post(routerURL+"/v1/infer", "application/json", strings.NewReader(body))
+			if err != nil {
+				dropped++
+				continue
+			}
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				dropped++
+			} else {
+				served++
+			}
+		}
+	}()
+	swapOut := &syncBuffer{}
+	if err := run(ctx, []string{"-swap", ckpt2, "-target", routerURL}, swapOut); err != nil {
+		t.Fatalf("swap: %v\noutput:\n%s", err, swapOut.String())
+	}
+	close(stopCh)
+	wg.Wait()
+	if dropped != 0 {
+		t.Fatalf("%d requests dropped during the swap (%d served)", dropped, served)
+	}
+	if served == 0 {
+		t.Fatal("no traffic flowed during the swap")
+	}
+	if s := swapOut.String(); !strings.Contains(s, "generation 2") {
+		t.Fatalf("swap output missing generation line:\n%s", s)
+	}
+	if st := fleetStatus(t, routerURL); st.SwapGeneration != 1 {
+		t.Fatalf("fleet swap generation = %d, want 1", st.SwapGeneration)
+	}
+
+	// Drain the router and check its exit report.
+	cancel()
+	if err := <-runErr; err != nil {
+		t.Fatalf("router exit: %v", err)
+	}
+	if s := out.String(); !strings.Contains(s, "drained:") {
+		t.Fatalf("router exit report missing:\n%s", s)
+	}
+}

@@ -54,6 +54,7 @@ func run(ctx context.Context, args []string, w io.Writer) error {
 		ttl      = fs.Duration("session-ttl", 0, "idle session eviction age (0 = 5m)")
 		timeout  = fs.Duration("timeout", 0, "per-request deadline (0 = 5s)")
 		pprofOn  = fs.Bool("pprof", false, "mount /debug/pprof/ profiling handlers (exposes internals; keep off on open ports)")
+		adminOn  = fs.Bool("admin", false, "mount POST /v1/admin/reload for checkpoint hot-swap (lets callers name server-side paths; trusted ports only)")
 
 		loadgen  = fs.Bool("loadgen", false, "generate load against -target instead of serving")
 		target   = fs.String("target", "http://127.0.0.1:8080", "loadgen: server base URL")
@@ -61,6 +62,8 @@ func run(ctx context.Context, args []string, w io.Writer) error {
 		n        = fs.Int("n", 0, "loadgen: total requests (0 = 512)")
 		seq      = fs.Int("seq", 0, "loadgen: timesteps per request (0 = 8)")
 		sessions = fs.Int("sessions", 0, "loadgen: spread requests over this many session ids")
+		zipf     = fs.Float64("zipf", 0, "loadgen: Zipf skew exponent over session ranks (0 = uniform round-robin)")
+		sessFrac = fs.Float64("session-frac", 0, "loadgen: fraction of requests carrying a session id (0 = 1.0)")
 		seed     = fs.Uint64("seed", 1, "loadgen: input seed")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -70,7 +73,8 @@ func run(ctx context.Context, args []string, w io.Writer) error {
 	if *loadgen {
 		rep, err := serve.RunLoad(ctx, serve.LoadOptions{
 			Target: *target, Concurrency: *conc, Requests: *n,
-			SeqLen: *seq, Sessions: *sessions, Seed: *seed,
+			SeqLen: *seq, Sessions: *sessions, ZipfS: *zipf,
+			SessionFrac: *sessFrac, Seed: *seed,
 		})
 		if err != nil {
 			return err
@@ -90,6 +94,7 @@ func run(ctx context.Context, args []string, w io.Writer) error {
 	s := etalstm.NewServer(net_, etalstm.ServeOptions{
 		MaxBatch: *maxBatch, Window: *window, QueueCap: *queue, Workers: *workers,
 		SessionTTL: *ttl, RequestTimeout: *timeout, EnablePprof: *pprofOn,
+		EnableAdmin: *adminOn,
 	})
 	if *pprofOn {
 		fmt.Fprintln(w, "pprof enabled under /debug/pprof/")

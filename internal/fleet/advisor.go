@@ -1,0 +1,35 @@
+package fleet
+
+// advisor is the advice-only autoscale signal: it never changes the
+// fleet, it sets a gauge an operator (or an external controller) can
+// act on. Advice needs `need` consecutive probe rounds on the same
+// side of a threshold before it fires — the same hysteresis idea as
+// membership, so one bursty scrape cannot flap the signal.
+type advisor struct {
+	up, down             float64 // mean queue-depth thresholds
+	need                 int     // consecutive rounds before advising
+	upStreak, downStreak int
+}
+
+// tick folds one probe round's mean queue depth over the routable
+// replicas into the advice: +1 add a replica, -1 remove one, 0 hold.
+// Scaling below one replica is never advised.
+func (a *advisor) tick(meanDepth float64, replicas int) int {
+	if meanDepth > a.up {
+		a.upStreak++
+	} else {
+		a.upStreak = 0
+	}
+	if meanDepth < a.down && replicas > 1 {
+		a.downStreak++
+	} else {
+		a.downStreak = 0
+	}
+	switch {
+	case a.upStreak >= a.need:
+		return 1
+	case a.downStreak >= a.need:
+		return -1
+	}
+	return 0
+}

@@ -1,0 +1,135 @@
+package fleet
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"etalstm/internal/obs"
+	"etalstm/internal/stats"
+)
+
+// memberState is the hysteresis state machine of one replica:
+//
+//	Healthy --1 readyz failure--> Degraded (still routed)
+//	Degraded --EjectAfter consecutive failures--> Ejected
+//	    (removed from ring, sessions drained to successors)
+//	Ejected --RecoverAfter consecutive successes--> Healthy
+//	    (re-added to ring; ~1/N of keys remap back)
+//	Degraded --1 success--> Healthy
+//
+// The two thresholds are deliberately asymmetric knobs: ejection needs
+// enough consecutive failures that one slow probe cannot evict a
+// replica carrying sessions, and recovery needs enough consecutive
+// successes that a flapping replica cannot churn the ring.
+type memberState int
+
+const (
+	stateHealthy memberState = iota
+	stateDegraded
+	stateEjected
+)
+
+func (s memberState) String() string {
+	switch s {
+	case stateHealthy:
+		return "healthy"
+	case stateDegraded:
+		return "degraded"
+	case stateEjected:
+		return "ejected"
+	}
+	return "unknown"
+}
+
+// latWindow bounds the per-replica forwarding-latency sample the
+// p50/p99 gauges are computed over.
+const latWindow = 512
+
+// latRing is a bounded ring of recent latencies (ms).
+type latRing struct {
+	mu   sync.Mutex
+	buf  []float64
+	next int
+	full bool
+}
+
+func (l *latRing) observe(ms float64) {
+	l.mu.Lock()
+	if l.buf == nil {
+		l.buf = make([]float64, latWindow)
+	}
+	l.buf[l.next] = ms
+	l.next = (l.next + 1) % len(l.buf)
+	if l.next == 0 {
+		l.full = true
+	}
+	l.mu.Unlock()
+}
+
+// quantiles returns (p50, p99) over the retained window, zeros when
+// empty.
+func (l *latRing) quantiles() (float64, float64) {
+	l.mu.Lock()
+	n := l.next
+	if l.full {
+		n = len(l.buf)
+	}
+	sample := append([]float64(nil), l.buf[:n]...)
+	l.mu.Unlock()
+	if len(sample) == 0 {
+		return 0, 0
+	}
+	qs := stats.Quantiles(sample, 0.5, 0.99)
+	return qs[0], qs[1]
+}
+
+// member is one replica as the router sees it. The mutable fields
+// (state, streak counters) are guarded by the router's mutex; the
+// instruments and inflight are concurrency-safe on their own.
+type member struct {
+	url string
+
+	state memberState
+	// fails / oks count consecutive probe outcomes; each probe outcome
+	// resets the opposite counter, which is what makes the thresholds
+	// "consecutive" rather than cumulative.
+	fails, oks int
+	// inflight counts requests currently forwarded to this replica —
+	// the power-of-two-choices signal for stateless routing. Atomic so
+	// the forwarding hot path never takes the router mutex.
+	inflight atomic.Int64
+
+	reqs  *obs.Counter // forwarded requests
+	errs  *obs.Counter // forwarding failures (transport error or 5xx)
+	lats  *latRing
+	depth *obs.Gauge // queue depth scraped from the replica's /metrics
+}
+
+func newMember(url string, reg *obs.Registry) *member {
+	m := &member{
+		url:   url,
+		reqs:  reg.CounterL(metricReplicaReqs, "requests forwarded per replica", "replica", url),
+		errs:  reg.CounterL(metricReplicaErrs, "forwarding failures per replica", "replica", url),
+		lats:  &latRing{},
+		depth: reg.GaugeL(metricReplicaQueueDepth, "queue depth scraped from the replica", "replica", url),
+	}
+	reg.GaugeFuncL(metricReplicaP50, "forwarding latency p50 per replica (ms)", "replica", url,
+		func() float64 { p50, _ := m.lats.quantiles(); return p50 })
+	reg.GaugeFuncL(metricReplicaP99, "forwarding latency p99 per replica (ms)", "replica", url,
+		func() float64 { _, p99 := m.lats.quantiles(); return p99 })
+	return m
+}
+
+// MemberStatus is one replica's row in the /fleet report.
+type MemberStatus struct {
+	URL        string  `json:"url"`
+	State      string  `json:"state"`
+	Fails      int     `json:"consecutive_fails"`
+	Oks        int     `json:"consecutive_oks"`
+	Inflight   int     `json:"inflight"`
+	Requests   int64   `json:"requests"`
+	Errors     int64   `json:"errors"`
+	P50Ms      float64 `json:"p50_ms"`
+	P99Ms      float64 `json:"p99_ms"`
+	QueueDepth float64 `json:"queue_depth"`
+}

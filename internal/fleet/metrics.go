@@ -1,0 +1,24 @@
+package fleet
+
+// Router metric names. Each Router owns a private obs.Registry for the
+// same reason serve.Server does: the counters describe one router's
+// lifetime. Per-replica series carry a replica="<url>" label.
+const (
+	metricReplicaReqs       = "etalstm_router_replica_requests_total"
+	metricReplicaErrs       = "etalstm_router_replica_errors_total"
+	metricReplicaP50        = "etalstm_router_replica_p50_ms"
+	metricReplicaP99        = "etalstm_router_replica_p99_ms"
+	metricReplicaQueueDepth = "etalstm_router_replica_queue_depth"
+
+	metricRequests      = "etalstm_router_requests_total"
+	metricErrors        = "etalstm_router_errors_total"
+	metricRetries       = "etalstm_router_retries_total"
+	metricReplicas      = "etalstm_router_replicas"
+	metricEjections     = "etalstm_router_ejections_total"
+	metricRejoins       = "etalstm_router_rejoins_total"
+	metricSessionsMoved = "etalstm_router_sessions_moved_total"
+	metricSessionsLost  = "etalstm_router_sessions_lost_total"
+	metricLastRemap     = "etalstm_router_last_remap_fraction"
+	metricSwapGen       = "etalstm_router_swap_generation"
+	metricScaleAdvice   = "etalstm_router_scale_advice"
+)

@@ -1,0 +1,170 @@
+package fleet
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/url"
+	"sort"
+)
+
+// ProbeOnce runs one health-probe round over every member and applies
+// the hysteresis state machine: a failed /readyz degrades a Healthy
+// replica immediately (it stays routed), EjectAfter consecutive
+// failures eject it from the ring and drain its sessions to ring
+// successors, RecoverAfter consecutive successes re-admit it. The
+// background prober calls this every ProbeInterval; tests with
+// ProbeInterval < 0 call it directly for deterministic ticks.
+func (rt *Router) ProbeOnce(ctx context.Context) {
+	rt.mu.Lock()
+	ms := make([]*member, 0, len(rt.members))
+	for _, m := range rt.members {
+		ms = append(ms, m)
+	}
+	rt.mu.Unlock()
+	sort.Slice(ms, func(i, j int) bool { return ms[i].url < ms[j].url })
+
+	var depths []float64
+	var toDrain []*member
+	for _, m := range ms {
+		ok, depth := rt.probe(ctx, m)
+		rt.mu.Lock()
+		if ok {
+			m.fails = 0
+			m.oks++
+			m.depth.Set(depth)
+			switch m.state {
+			case stateDegraded:
+				m.state = stateHealthy
+				rt.opts.Logf("fleet: replica %s healthy again", m.url)
+			case stateEjected:
+				if m.oks >= rt.opts.RecoverAfter {
+					m.state = stateHealthy
+					before := rt.ring.Clone()
+					rt.ring.Add(m.url)
+					rt.lastRemap.Set(RemapFraction(before, rt.ring, 0))
+					rt.rejoins.Inc()
+					rt.opts.Logf("fleet: replica %s re-admitted after %d consecutive successes", m.url, m.oks)
+				}
+			}
+			if m.state != stateEjected {
+				depths = append(depths, depth)
+			}
+		} else {
+			m.oks = 0
+			m.fails++
+			switch m.state {
+			case stateHealthy:
+				m.state = stateDegraded
+				rt.opts.Logf("fleet: replica %s degraded (probe failure %d/%d)", m.url, m.fails, rt.opts.EjectAfter)
+			case stateDegraded:
+				if m.fails >= rt.opts.EjectAfter {
+					m.state = stateEjected
+					before := rt.ring.Clone()
+					rt.ring.Remove(m.url)
+					rt.lastRemap.Set(RemapFraction(before, rt.ring, 0))
+					rt.ejections.Inc()
+					toDrain = append(toDrain, m)
+					rt.opts.Logf("fleet: replica %s ejected after %d consecutive failures", m.url, m.fails)
+				}
+			}
+		}
+		rt.mu.Unlock()
+	}
+
+	// Drain outside the lock: drains are HTTP calls against a replica
+	// that is likely slow or half-dead.
+	for _, m := range toDrain {
+		rt.drain(ctx, m)
+	}
+
+	mean := 0.0
+	for _, d := range depths {
+		mean += d
+	}
+	if len(depths) > 0 {
+		mean /= float64(len(depths))
+	}
+	rt.advice.Set(float64(rt.adv.tick(mean, len(depths))))
+}
+
+// probe checks one replica's /readyz within ProbeTimeout and, on
+// success, scrapes its /metrics for the batch queue depth gauge.
+func (rt *Router) probe(ctx context.Context, m *member) (bool, float64) {
+	pctx, cancel := context.WithTimeout(ctx, rt.opts.ProbeTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(pctx, http.MethodGet, m.url+"/readyz", nil)
+	if err != nil {
+		return false, 0
+	}
+	resp, err := rt.client.Do(req)
+	if err != nil {
+		return false, 0
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return false, 0
+	}
+
+	mreq, err := http.NewRequestWithContext(pctx, http.MethodGet, m.url+"/metrics", nil)
+	if err != nil {
+		return true, 0
+	}
+	mresp, err := rt.client.Do(mreq)
+	if err != nil {
+		return true, 0
+	}
+	text, _ := io.ReadAll(io.LimitReader(mresp.Body, 1<<20))
+	mresp.Body.Close()
+	depth, _ := parseGauge(string(text), "etalstm_serve_queue_depth")
+	return true, depth
+}
+
+// drain moves an ejected replica's sessions to their new ring owners:
+// list its sessions, export each with eviction (the replica tombstones
+// the id, so late requests get 410 Gone instead of a forked session),
+// and import the state into the session key's new owner. A replica
+// that died outright cannot be listed — its sessions are counted lost,
+// and clients restart those conversations.
+func (rt *Router) drain(ctx context.Context, m *member) {
+	status, body, _, err := rt.forwardTimeout(ctx, m, http.MethodGet, "/v1/sessions", nil)
+	if err != nil || status != http.StatusOK {
+		rt.opts.Logf("fleet: cannot list sessions on ejected %s (sessions lost): %v", m.url, err)
+		return
+	}
+	var lst struct {
+		Sessions []string `json:"sessions"`
+	}
+	if err := json.Unmarshal(body, &lst); err != nil {
+		rt.opts.Logf("fleet: bad session list from %s: %v", m.url, err)
+		return
+	}
+	for _, id := range lst.Sessions {
+		if rt.drainOne(ctx, m, id) {
+			rt.sessionsMoved.Inc()
+		} else {
+			rt.sessLost.Inc()
+		}
+	}
+	if n := len(lst.Sessions); n > 0 {
+		rt.opts.Logf("fleet: drained %d sessions off %s", n, m.url)
+	}
+}
+
+func (rt *Router) drainOne(ctx context.Context, m *member, id string) bool {
+	path := "/v1/session/" + url.PathEscape(id) + "/state"
+	status, state, _, err := rt.forwardTimeout(ctx, m, http.MethodGet, path+"?evict=1", nil)
+	if err != nil || status != http.StatusOK {
+		return false
+	}
+	rt.mu.Lock()
+	dest := rt.members[rt.ring.Lookup("s:"+id)]
+	rt.mu.Unlock()
+	if dest == nil || dest == m {
+		return false
+	}
+	status, _, _, err = rt.forwardTimeout(ctx, dest, http.MethodPut, path, state)
+	return err == nil && status == http.StatusOK
+}

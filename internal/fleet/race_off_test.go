@@ -1,0 +1,8 @@
+//go:build !race
+
+package fleet
+
+// raceEnabled mirrors the serve package's pattern: the scaling
+// benchmark measures wall-clock throughput, which the race detector's
+// instrumentation distorts past usefulness, so it skips under -race.
+const raceEnabled = false

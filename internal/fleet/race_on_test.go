@@ -1,0 +1,7 @@
+//go:build race
+
+package fleet
+
+// raceEnabled reports that this binary was built with -race; timing-
+// sensitive scaling assertions skip themselves.
+const raceEnabled = true

@@ -1,0 +1,117 @@
+package fleet
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"etalstm/internal/persist"
+)
+
+// ReplicaSwap is one replica's row in a SwapReport.
+type ReplicaSwap struct {
+	URL        string `json:"url"`
+	Generation int64  `json:"generation"`
+	Digest     string `json:"digest"`
+	Err        string `json:"error,omitempty"`
+}
+
+// SwapReport describes a fleet checkpoint roll.
+type SwapReport struct {
+	Digest string        `json:"digest"`
+	Rolled []ReplicaSwap `json:"rolled"`
+}
+
+// Swap rolls the checkpoint at path across the fleet one replica at a
+// time: tell the replica to reload (the replica loads onto a standby
+// batcher, probes it, flips generations atomically and drains the old
+// one — in-flight requests ride the flip, none drop), verify the
+// loaded content digest matches the fleet-wide expectation, and
+// health-verify before touching the next replica. Any failure aborts
+// the roll with the already-swapped replicas recorded, so a bad
+// checkpoint stops after damaging the smallest possible slice of the
+// fleet. The path is resolved by each replica — the fleet shares a
+// filesystem (or each replica has the file staged at the same path).
+func (rt *Router) Swap(ctx context.Context, path string) (SwapReport, error) {
+	rt.swapMu.Lock()
+	defer rt.swapMu.Unlock()
+
+	var rep SwapReport
+	// When the router itself can read the checkpoint it pins the
+	// expected digest before touching any replica; otherwise the first
+	// replica's loaded digest anchors the fleet-wide agreement check.
+	if d, err := persist.DigestFile(path); err == nil {
+		rep.Digest = d
+	}
+	targets := rt.routable()
+	if len(targets) == 0 {
+		return rep, errors.New("fleet: no routable replicas to swap")
+	}
+	body, err := json.Marshal(map[string]string{"path": path})
+	if err != nil {
+		return rep, err
+	}
+	for _, m := range targets {
+		rs := ReplicaSwap{URL: m.url}
+		status, respBody, _, err := rt.forwardTimeout(ctx, m, http.MethodPost, "/v1/admin/reload", body)
+		if err != nil {
+			rs.Err = err.Error()
+			rep.Rolled = append(rep.Rolled, rs)
+			return rep, fmt.Errorf("fleet: swap aborted at %s: %w", m.url, err)
+		}
+		if status != http.StatusOK {
+			rs.Err = fmt.Sprintf("HTTP %d: %s", status, respBody)
+			rep.Rolled = append(rep.Rolled, rs)
+			return rep, fmt.Errorf("fleet: swap aborted at %s: HTTP %d", m.url, status)
+		}
+		var ans struct {
+			Generation int64  `json:"generation"`
+			Digest     string `json:"digest"`
+		}
+		if err := json.Unmarshal(respBody, &ans); err != nil {
+			rs.Err = err.Error()
+			rep.Rolled = append(rep.Rolled, rs)
+			return rep, fmt.Errorf("fleet: swap aborted, bad reload answer from %s: %w", m.url, err)
+		}
+		rs.Generation, rs.Digest = ans.Generation, ans.Digest
+		if rep.Digest == "" {
+			rep.Digest = ans.Digest
+		}
+		if ans.Digest != rep.Digest {
+			rs.Err = "digest mismatch"
+			rep.Rolled = append(rep.Rolled, rs)
+			return rep, fmt.Errorf("fleet: swap aborted, %s loaded digest %.12s but fleet expects %.12s",
+				m.url, ans.Digest, rep.Digest)
+		}
+		if err := rt.awaitReady(ctx, m); err != nil {
+			rs.Err = err.Error()
+			rep.Rolled = append(rep.Rolled, rs)
+			return rep, fmt.Errorf("fleet: swap aborted: %w", err)
+		}
+		rep.Rolled = append(rep.Rolled, rs)
+		rt.opts.Logf("fleet: swapped %s to generation %d (digest %.12s)", m.url, ans.Generation, ans.Digest)
+	}
+	rt.swapGen.Add(1)
+	rt.opts.Logf("fleet: checkpoint swap complete, %d replicas on %.12s (fleet generation %d)",
+		len(rep.Rolled), rep.Digest, rt.swapGen.Load())
+	return rep, nil
+}
+
+// awaitReady polls a replica's /readyz until it answers OK — the
+// health-verify step between replicas in a roll.
+func (rt *Router) awaitReady(ctx context.Context, m *member) error {
+	for i := 0; i < 50; i++ {
+		if ok, _ := rt.probe(ctx, m); ok {
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(20 * time.Millisecond):
+		}
+	}
+	return fmt.Errorf("replica %s not ready after reload", m.url)
+}

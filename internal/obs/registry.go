@@ -23,6 +23,7 @@ import (
 	"io"
 	"math"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 
@@ -140,13 +141,14 @@ const (
 	kindGauge
 	kindGaugeFunc
 	kindHistogram
+	kindInfo
 )
 
 func (k kind) String() string {
 	switch k {
 	case kindCounter:
 		return "counter"
-	case kindGaugeFunc, kindGauge:
+	case kindGaugeFunc, kindGauge, kindInfo:
 		return "gauge"
 	case kindHistogram:
 		return "histogram"
@@ -155,14 +157,46 @@ func (k kind) String() string {
 }
 
 type entry struct {
-	name string
-	help string
-	kind kind
+	name   string
+	labels string // rendered `key="value"` label pair, "" for unlabeled
+	help   string
+	kind   kind
 
 	counter *Counter
 	gauge   *Gauge
 	fn      func() float64
 	hist    *Histogram
+}
+
+// series renders the full sample name including the label pair —
+// `name` or `name{key="value"}` — used by both export formats.
+func (e *entry) series() string {
+	if e.labels == "" {
+		return e.name
+	}
+	return e.name + "{" + e.labels + "}"
+}
+
+// renderLabel formats one key="value" pair with the value escaped the
+// way the Prometheus text format requires (backslash, quote, newline).
+func renderLabel(key, val string) string {
+	var b strings.Builder
+	b.WriteString(key)
+	b.WriteString(`="`)
+	for _, r := range val {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	b.WriteByte('"')
+	return b.String()
 }
 
 // Registry is a concurrent collection of named instruments.
@@ -182,12 +216,22 @@ func NewRegistry() *Registry {
 // (their counters describe one Server's lifetime).
 var Default = NewRegistry()
 
-// lookup returns the existing entry for name after checking its kind,
+// key builds the registry map key for a (name, labels) pair. The 0xff
+// separator cannot appear in a metric name, so labeled and unlabeled
+// series under one family never collide.
+func key(name, labels string) string {
+	if labels == "" {
+		return name
+	}
+	return name + "\xff" + labels
+}
+
+// lookup returns the existing entry under key after checking its kind,
 // or nil when absent.
-func (r *Registry) lookup(name string, k kind) *entry {
-	if e, ok := r.entries[name]; ok {
+func (r *Registry) lookup(key string, k kind) *entry {
+	if e, ok := r.entries[key]; ok {
 		if e.kind != k {
-			panic(fmt.Sprintf("obs: %q re-registered as %v, was %v", name, k, e.kind))
+			panic(fmt.Sprintf("obs: %q re-registered as %v, was %v", e.name, k, e.kind))
 		}
 		return e
 	}
@@ -197,26 +241,48 @@ func (r *Registry) lookup(name string, k kind) *entry {
 // Counter returns the counter registered under name, creating it on
 // first use. help is kept from the first registration.
 func (r *Registry) Counter(name, help string) *Counter {
+	return r.counter(name, "", help)
+}
+
+// CounterL is Counter with one label pair: each distinct (name, key,
+// value) triple is its own series under the shared family name — how
+// the fleet router keeps per-replica request counts.
+func (r *Registry) CounterL(name, help, labelKey, labelVal string) *Counter {
+	return r.counter(name, renderLabel(labelKey, labelVal), help)
+}
+
+func (r *Registry) counter(name, labels, help string) *Counter {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	if e := r.lookup(name, kindCounter); e != nil {
+	k := key(name, labels)
+	if e := r.lookup(k, kindCounter); e != nil {
 		return e.counter
 	}
 	c := &Counter{}
-	r.entries[name] = &entry{name: name, help: help, kind: kindCounter, counter: c}
+	r.entries[k] = &entry{name: name, labels: labels, help: help, kind: kindCounter, counter: c}
 	return c
 }
 
 // Gauge returns the gauge registered under name, creating it on first
 // use.
 func (r *Registry) Gauge(name, help string) *Gauge {
+	return r.gauge(name, "", help)
+}
+
+// GaugeL is Gauge with one label pair (see CounterL).
+func (r *Registry) GaugeL(name, help, labelKey, labelVal string) *Gauge {
+	return r.gauge(name, renderLabel(labelKey, labelVal), help)
+}
+
+func (r *Registry) gauge(name, labels, help string) *Gauge {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	if e := r.lookup(name, kindGauge); e != nil {
+	k := key(name, labels)
+	if e := r.lookup(k, kindGauge); e != nil {
 		return e.gauge
 	}
 	g := &Gauge{}
-	r.entries[name] = &entry{name: name, help: help, kind: kindGauge, gauge: g}
+	r.entries[k] = &entry{name: name, labels: labels, help: help, kind: kindGauge, gauge: g}
 	return g
 }
 
@@ -224,13 +290,39 @@ func (r *Registry) Gauge(name, help string) *Gauge {
 // (queue depths, session counts, arena residency). Re-registering a
 // name replaces the function — the newest owner wins.
 func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
+	r.gaugeFunc(name, "", help, fn)
+}
+
+// GaugeFuncL is GaugeFunc with one label pair (see CounterL).
+func (r *Registry) GaugeFuncL(name, help, labelKey, labelVal string, fn func() float64) {
+	r.gaugeFunc(name, renderLabel(labelKey, labelVal), help, fn)
+}
+
+func (r *Registry) gaugeFunc(name, labels, help string, fn func() float64) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	if e := r.lookup(name, kindGaugeFunc); e != nil {
+	k := key(name, labels)
+	if e := r.lookup(k, kindGaugeFunc); e != nil {
 		e.fn = fn
 		return
 	}
-	r.entries[name] = &entry{name: name, help: help, kind: kindGaugeFunc, fn: fn}
+	r.entries[k] = &entry{name: name, labels: labels, help: help, kind: kindGaugeFunc, fn: fn}
+}
+
+// SetInfo registers (or relabels) an info-style gauge: a series that is
+// constantly 1 and carries its payload in the label value — e.g.
+// etalstm_checkpoint_digest{digest="ab12…"} 1. The entry is keyed by
+// name alone, so calling SetInfo again replaces the label in place (a
+// checkpoint hot-swap updates the digest rather than accumulating one
+// stale series per generation).
+func (r *Registry) SetInfo(name, help, labelKey, labelVal string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if e := r.lookup(name, kindInfo); e != nil {
+		e.labels = renderLabel(labelKey, labelVal)
+		return
+	}
+	r.entries[name] = &entry{name: name, labels: renderLabel(labelKey, labelVal), help: help, kind: kindInfo}
 }
 
 // Histogram returns the histogram registered under name, creating it
@@ -256,30 +348,42 @@ func (r *Registry) sorted() []*entry {
 		es = append(es, e)
 	}
 	r.mu.RUnlock()
-	sort.Slice(es, func(i, j int) bool { return es[i].name < es[j].name })
+	sort.Slice(es, func(i, j int) bool {
+		if es[i].name != es[j].name {
+			return es[i].name < es[j].name
+		}
+		return es[i].labels < es[j].labels
+	})
 	return es
 }
 
 // WritePrometheus writes every instrument in the Prometheus text
-// exposition format (version 0.0.4), sorted by name.
+// exposition format (version 0.0.4), sorted by name. Labeled series
+// under one family share a single HELP/TYPE header.
 func (r *Registry) WritePrometheus(w io.Writer) error {
+	prev := ""
 	for _, e := range r.sorted() {
-		if e.help != "" {
-			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", e.name, e.help); err != nil {
+		if e.name != prev {
+			prev = e.name
+			if e.help != "" {
+				if _, err := fmt.Fprintf(w, "# HELP %s %s\n", e.name, e.help); err != nil {
+					return err
+				}
+			}
+			if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", e.name, e.kind); err != nil {
 				return err
 			}
-		}
-		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", e.name, e.kind); err != nil {
-			return err
 		}
 		var err error
 		switch e.kind {
 		case kindCounter:
-			_, err = fmt.Fprintf(w, "%s %d\n", e.name, e.counter.Value())
+			_, err = fmt.Fprintf(w, "%s %d\n", e.series(), e.counter.Value())
 		case kindGauge:
-			_, err = fmt.Fprintf(w, "%s %s\n", e.name, formatFloat(e.gauge.Value()))
+			_, err = fmt.Fprintf(w, "%s %s\n", e.series(), formatFloat(e.gauge.Value()))
 		case kindGaugeFunc:
-			_, err = fmt.Fprintf(w, "%s %s\n", e.name, formatFloat(e.fn()))
+			_, err = fmt.Fprintf(w, "%s %s\n", e.series(), formatFloat(e.fn()))
+		case kindInfo:
+			_, err = fmt.Fprintf(w, "%s 1\n", e.series())
 		case kindHistogram:
 			err = writePromHistogram(w, e.name, e.hist.Snapshot())
 		}
@@ -331,11 +435,13 @@ func (r *Registry) Snapshot() map[string]float64 {
 	for _, e := range r.sorted() {
 		switch e.kind {
 		case kindCounter:
-			out[e.name] = float64(e.counter.Value())
+			out[e.series()] = float64(e.counter.Value())
 		case kindGauge:
-			out[e.name] = e.gauge.Value()
+			out[e.series()] = e.gauge.Value()
 		case kindGaugeFunc:
-			out[e.name] = e.fn()
+			out[e.series()] = e.fn()
+		case kindInfo:
+			out[e.series()] = 1
 		case kindHistogram:
 			s := e.hist.Snapshot()
 			out[e.name+"_count"] = float64(s.Count)

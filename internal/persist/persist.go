@@ -4,19 +4,29 @@
 // restartable state, and the footprint experiments need identical
 // weights across baseline and optimized flows.
 //
-// Format (version 1):
+// Format (version 2):
 //
-//	magic "ηLSTMv1\n" (9 bytes UTF-8) |
+//	magic "ηLSTMv2\n" (9 bytes UTF-8) |
+//	SHA-256 content digest (32 bytes) of everything after this field |
 //	config (7 × int64: input, hidden, layers, seqLen, batch, out, loss) |
 //	per layer: 4 gates × (W floats, U floats, B floats) |
 //	projection floats | projection bias floats |
 //	trailing CRC-32 (IEEE) of everything before it.
+//
+// The digest is the checkpoint's content identity: two files carrying
+// the same config and weights share it bit for bit, which is what the
+// fleet's checkpoint hot-swap uses to verify every replica converged on
+// the same weights. Version 1 files (no digest field) still load; their
+// digest is computed from the payload on the fly, so the identity is
+// stable across the version bump.
 package persist
 
 import (
 	"bufio"
 	"bytes"
+	"crypto/sha256"
 	"encoding/binary"
+	"encoding/hex"
 	"fmt"
 	"hash/crc32"
 	"io"
@@ -35,18 +45,16 @@ var (
 	// format version, parsed separately so a version mismatch reports
 	// got/want instead of a generic bad-magic error.
 	magicPrefix = []byte("\xce\xb7LSTM") // "ηLSTM"
-	version     = "v1"
+	version     = "v2"
 	magic       = []byte(string(magicPrefix) + version + "\n")
+	magicV1     = []byte(string(magicPrefix) + "v1\n")
 )
 
-// Save writes net to w.
-func Save(w io.Writer, net *model.Network) error {
-	crc := crc32.NewIEEE()
-	bw := bufio.NewWriter(io.MultiWriter(w, crc))
-
-	if _, err := bw.Write(magic); err != nil {
-		return err
-	}
+// payload serializes net's version-independent content — config then
+// weights, the bytes both the digest and the parsers operate on.
+func payload(net *model.Network) ([]byte, error) {
+	var buf bytes.Buffer
+	bw := bufio.NewWriter(&buf)
 	cfg := net.Cfg
 	header := []int64{
 		int64(cfg.InputSize), int64(cfg.Hidden), int64(cfg.Layers),
@@ -54,66 +62,117 @@ func Save(w io.Writer, net *model.Network) error {
 	}
 	for _, v := range header {
 		if err := binary.Write(bw, binary.LittleEndian, v); err != nil {
-			return err
+			return nil, err
 		}
 	}
 	for _, p := range net.Layer {
 		for g := lstm.Gate(0); g < lstm.NumGates; g++ {
 			if err := writeFloats(bw, p.W[g].Data); err != nil {
-				return err
+				return nil, err
 			}
 			if err := writeFloats(bw, p.U[g].Data); err != nil {
-				return err
+				return nil, err
 			}
 			if err := writeFloats(bw, p.B[g]); err != nil {
-				return err
+				return nil, err
 			}
 		}
 	}
 	if err := writeFloats(bw, net.Proj.Data); err != nil {
-		return err
+		return nil, err
 	}
 	if err := writeFloats(bw, net.ProjB); err != nil {
-		return err
+		return nil, err
 	}
 	if err := bw.Flush(); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// Digest returns the hex SHA-256 content digest of net — the value a
+// v2 checkpoint of net would carry in its header.
+func Digest(net *model.Network) (string, error) {
+	p, err := payload(net)
+	if err != nil {
+		return "", err
+	}
+	sum := sha256.Sum256(p)
+	return hex.EncodeToString(sum[:]), nil
+}
+
+// Save writes net to w in the current (v2) format.
+func Save(w io.Writer, net *model.Network) error {
+	p, err := payload(net)
+	if err != nil {
 		return err
 	}
-	// Trailing CRC of the payload, written directly (not hashed).
+	sum := sha256.Sum256(p)
+	crc := crc32.NewIEEE()
+	mw := io.MultiWriter(w, crc)
+	if _, err := mw.Write(magic); err != nil {
+		return err
+	}
+	if _, err := mw.Write(sum[:]); err != nil {
+		return err
+	}
+	if _, err := mw.Write(p); err != nil {
+		return err
+	}
+	// Trailing CRC of everything above, written directly (not hashed).
 	return binary.Write(w, binary.LittleEndian, crc.Sum32())
 }
 
-// Load reads a network from r, verifying the trailing checksum.
-func Load(r io.Reader) (*model.Network, error) {
-	raw, err := io.ReadAll(r)
-	if err != nil {
-		return nil, fmt.Errorf("persist: reading checkpoint: %w", err)
-	}
+// verifyRaw checks a checkpoint's framing (length, CRC, magic/version,
+// digest) and returns the version-independent payload plus its hex
+// digest: v2 verifies the stored digest against the payload, v1
+// computes it on the fly.
+func verifyRaw(raw []byte) (body []byte, digest string, err error) {
 	if len(raw) < len(magic)+4 {
-		return nil, fmt.Errorf("persist: checkpoint truncated (%d bytes)", len(raw))
+		return nil, "", fmt.Errorf("persist: checkpoint truncated (%d bytes)", len(raw))
 	}
-	payload, trailer := raw[:len(raw)-4], raw[len(raw)-4:]
-	if crc32.ChecksumIEEE(payload) != binary.LittleEndian.Uint32(trailer) {
-		return nil, fmt.Errorf("persist: checksum mismatch (corrupt checkpoint)")
+	pay, trailer := raw[:len(raw)-4], raw[len(raw)-4:]
+	if crc32.ChecksumIEEE(pay) != binary.LittleEndian.Uint32(trailer) {
+		return nil, "", fmt.Errorf("persist: checksum mismatch (corrupt checkpoint)")
 	}
-	if !bytes.HasPrefix(payload, magic) {
-		if bytes.HasPrefix(payload, magicPrefix) {
-			// An η-LSTM checkpoint, but not our version: extract the
-			// version token (up to the '\n' terminator) and say exactly
-			// what was found versus what this build reads.
-			rest := payload[len(magicPrefix):]
-			got := rest
-			if nl := bytes.IndexByte(rest, '\n'); nl >= 0 && nl <= 16 {
-				got = rest[:nl]
-			} else if len(got) > 16 {
-				got = got[:16]
-			}
-			return nil, fmt.Errorf("persist: checkpoint format version %q, this build reads %q", got, version)
+	switch {
+	case bytes.HasPrefix(pay, magic): // v2: stored digest, verified
+		rest := pay[len(magic):]
+		if len(rest) < sha256.Size {
+			return nil, "", fmt.Errorf("persist: checkpoint truncated inside the digest header")
 		}
-		return nil, fmt.Errorf("persist: bad magic (not an η-LSTM checkpoint)")
+		want, body := rest[:sha256.Size], rest[sha256.Size:]
+		got := sha256.Sum256(body)
+		if !bytes.Equal(want, got[:]) {
+			return nil, "", fmt.Errorf("persist: content digest mismatch (header %s, payload %s)",
+				hex.EncodeToString(want)[:12], hex.EncodeToString(got[:])[:12])
+		}
+		return body, hex.EncodeToString(want), nil
+	case bytes.HasPrefix(pay, magicV1): // legacy v1: no digest field
+		body := pay[len(magicV1):]
+		sum := sha256.Sum256(body)
+		return body, hex.EncodeToString(sum[:]), nil
+	case bytes.HasPrefix(pay, magicPrefix):
+		// An η-LSTM checkpoint, but not our version: extract the
+		// version token (up to the '\n' terminator) and say exactly
+		// what was found versus what this build reads.
+		rest := pay[len(magicPrefix):]
+		got := rest
+		if nl := bytes.IndexByte(rest, '\n'); nl >= 0 && nl <= 16 {
+			got = rest[:nl]
+		} else if len(got) > 16 {
+			got = got[:16]
+		}
+		return nil, "", fmt.Errorf("persist: checkpoint format version %q, this build reads %q (and legacy \"v1\")", got, version)
+	default:
+		return nil, "", fmt.Errorf("persist: bad magic (not an η-LSTM checkpoint)")
 	}
-	br := bytes.NewReader(payload[len(magic):])
+}
 
+// parsePayload decodes the config+weights section shared by every
+// format version.
+func parsePayload(body []byte) (*model.Network, error) {
+	br := bytes.NewReader(body)
 	header := make([]int64, 7)
 	for i := range header {
 		if err := binary.Read(br, binary.LittleEndian, &header[i]); err != nil {
@@ -156,6 +215,30 @@ func Load(r io.Reader) (*model.Network, error) {
 		return nil, fmt.Errorf("persist: %d trailing bytes after weights", br.Len())
 	}
 	return net, nil
+}
+
+// Load reads a network from r, verifying the trailing checksum (and,
+// for v2 checkpoints, the content digest).
+func Load(r io.Reader) (*model.Network, error) {
+	net, _, err := LoadDigest(r)
+	return net, err
+}
+
+// LoadDigest is Load plus the checkpoint's hex SHA-256 content digest.
+func LoadDigest(r io.Reader) (*model.Network, string, error) {
+	raw, err := io.ReadAll(r)
+	if err != nil {
+		return nil, "", fmt.Errorf("persist: reading checkpoint: %w", err)
+	}
+	body, digest, err := verifyRaw(raw)
+	if err != nil {
+		return nil, "", err
+	}
+	net, err := parsePayload(body)
+	if err != nil {
+		return nil, "", err
+	}
+	return net, digest, nil
 }
 
 // CheckConfig compares a loaded checkpoint's geometry against what the
@@ -234,4 +317,27 @@ func LoadFile(path string) (*model.Network, error) {
 	}
 	defer f.Close()
 	return Load(f)
+}
+
+// LoadFileDigest reads a network and its content digest from path.
+func LoadFileDigest(path string) (*model.Network, string, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, "", err
+	}
+	defer f.Close()
+	return LoadDigest(f)
+}
+
+// DigestFile returns the content digest of the checkpoint at path after
+// verifying its framing, without constructing the network — how the
+// router learns what digest a checkpoint should land as before rolling
+// it across the fleet.
+func DigestFile(path string) (string, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return "", err
+	}
+	_, digest, err := verifyRaw(raw)
+	return digest, err
 }

@@ -2,6 +2,7 @@ package persist
 
 import (
 	"bytes"
+	"crypto/sha256"
 	"hash/crc32"
 	"os"
 	"path/filepath"
@@ -112,7 +113,7 @@ func TestVersionMismatchReported(t *testing.T) {
 		t.Fatal(err)
 	}
 	raw := buf.Bytes()
-	// Rewrite the version token ("v1" -> "v9") and re-seal the CRC so
+	// Rewrite the version token ("v2" -> "v9") and re-seal the CRC so
 	// only the version check can fire.
 	payload := append([]byte{}, raw[:len(raw)-4]...)
 	payload[len(magicPrefix)+1] = '9'
@@ -124,8 +125,8 @@ func TestVersionMismatchReported(t *testing.T) {
 		t.Fatal("expected version error")
 	}
 	msg := err.Error()
-	if !strings.Contains(msg, `"v9"`) || !strings.Contains(msg, `"v1"`) {
-		t.Fatalf("version error %q does not name got (v9) and want (v1)", msg)
+	if !strings.Contains(msg, `"v9"`) || !strings.Contains(msg, `"v2"`) {
+		t.Fatalf("version error %q does not name got (v9) and want (v2)", msg)
 	}
 }
 
@@ -197,6 +198,7 @@ func TestTrailingGarbageDetected(t *testing.T) {
 	raw := buf.Bytes()
 	payload := append([]byte{}, raw[:len(raw)-4]...)
 	payload = append(payload, 0xde, 0xad)
+	resealDigest(payload)
 	var out bytes.Buffer
 	out.Write(payload)
 	crcOf(&out, payload)
@@ -204,6 +206,13 @@ func TestTrailingGarbageDetected(t *testing.T) {
 	if err == nil || !strings.Contains(err.Error(), "trailing") {
 		t.Fatalf("expected trailing-bytes error, got %v", err)
 	}
+}
+
+// resealDigest recomputes a v2 checkpoint's stored digest over its
+// (possibly mutated) body so that only checks past the digest can fire.
+func resealDigest(payload []byte) {
+	sum := sha256.Sum256(payload[len(magic)+sha256.Size:])
+	copy(payload[len(magic):], sum[:])
 }
 
 func TestSaveLoadFile(t *testing.T) {
@@ -229,5 +238,118 @@ func TestSaveLoadFile(t *testing.T) {
 func TestLoadFileMissing(t *testing.T) {
 	if _, err := LoadFile(filepath.Join(t.TempDir(), "missing")); err == nil {
 		t.Fatal("expected error")
+	}
+}
+
+// TestDigestRoundtrip pins the content-identity contract: Digest(net),
+// the digest stored by Save, and the digests reported by every Load
+// variant all agree, and saving twice yields the same digest.
+func TestDigestRoundtrip(t *testing.T) {
+	net := testNet(t)
+	want, err := Digest(net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(want) != 64 {
+		t.Fatalf("digest %q is not hex SHA-256", want)
+	}
+
+	var buf bytes.Buffer
+	if err := Save(&buf, net); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	got, digest, err := LoadDigest(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if digest != want {
+		t.Fatalf("LoadDigest = %s, Digest = %s", digest, want)
+	}
+	if d2, err := Digest(got); err != nil || d2 != want {
+		t.Fatalf("digest not stable across roundtrip: %s vs %s (%v)", d2, want, err)
+	}
+
+	var buf2 bytes.Buffer
+	if err := Save(&buf2, net); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(raw, buf2.Bytes()) {
+		t.Fatal("Save is not deterministic")
+	}
+
+	dir := t.TempDir()
+	path := filepath.Join(dir, "ckpt.etalstm")
+	if err := SaveFile(path, net); err != nil {
+		t.Fatal(err)
+	}
+	if d, err := DigestFile(path); err != nil || d != want {
+		t.Fatalf("DigestFile = %s (%v), want %s", d, err, want)
+	}
+	if _, d, err := LoadFileDigest(path); err != nil || d != want {
+		t.Fatalf("LoadFileDigest = %s (%v), want %s", d, err, want)
+	}
+}
+
+// TestV1BackCompat: a legacy v1 checkpoint (no digest field) still
+// loads, and its computed digest equals the v2 digest of the same
+// weights — the identity is stable across the version bump.
+func TestV1BackCompat(t *testing.T) {
+	net := testNet(t)
+	body, err := payload(net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v1 := append(append([]byte{}, magicV1...), body...)
+	var out bytes.Buffer
+	out.Write(v1)
+	crcOf(&out, v1)
+
+	got, digest, err := LoadDigest(&out)
+	if err != nil {
+		t.Fatalf("v1 checkpoint failed to load: %v", err)
+	}
+	if got.Cfg != net.Cfg {
+		t.Fatal("v1 roundtrip config mismatch")
+	}
+	want, err := Digest(net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if digest != want {
+		t.Fatalf("v1 digest %s != v2 digest %s for identical weights", digest, want)
+	}
+}
+
+// TestCorruptedDigestDetected is the negative test for the digest
+// field: a flipped digest byte (CRC re-sealed so only the digest check
+// can fire) must fail loudly, as must a mutated payload whose CRC was
+// re-sealed but whose stored digest was not.
+func TestCorruptedDigestDetected(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Save(&buf, testNet(t)); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+
+	// Flip a byte inside the stored digest.
+	p1 := append([]byte{}, raw[:len(raw)-4]...)
+	p1[len(magic)+3] ^= 0x5a
+	var out1 bytes.Buffer
+	out1.Write(p1)
+	crcOf(&out1, p1)
+	if _, err := Load(&out1); err == nil || !strings.Contains(err.Error(), "digest mismatch") {
+		t.Fatalf("expected digest-mismatch error for corrupted header, got %v", err)
+	}
+
+	// Flip a weight byte and re-seal only the CRC: the digest is now the
+	// last line of defense.
+	p2 := append([]byte{}, raw[:len(raw)-4]...)
+	p2[len(p2)-5] ^= 0x5a
+	var out2 bytes.Buffer
+	out2.Write(p2)
+	crcOf(&out2, p2)
+	if _, err := Load(&out2); err == nil || !strings.Contains(err.Error(), "digest mismatch") {
+		t.Fatalf("expected digest-mismatch error for mutated payload, got %v", err)
 	}
 }

@@ -8,6 +8,9 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"time"
+
+	"etalstm/internal/model"
+	"etalstm/internal/persist"
 )
 
 // maxBodyBytes bounds /v1/infer request bodies; a MaxSeqLen×InputSize
@@ -44,9 +47,16 @@ func (s *Server) routes() *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/infer", s.handleInfer)
 	mux.HandleFunc("GET /v1/model", s.handleModel)
+	mux.HandleFunc("GET /v1/sessions", s.handleSessionList)
+	mux.HandleFunc("GET /v1/session/{id}/state", s.handleSessionExport)
+	mux.HandleFunc("PUT /v1/session/{id}/state", s.handleSessionImport)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /readyz", s.handleReadyz)
 	mux.HandleFunc("GET /statz", s.handleStatz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	if s.opts.EnableAdmin {
+		mux.HandleFunc("POST /v1/admin/reload", s.handleAdminReload)
+	}
 	if s.opts.EnablePprof {
 		mux.HandleFunc("GET /debug/pprof/", pprof.Index)
 		mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
@@ -95,14 +105,18 @@ func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
 }
 
 // writeInferError maps the serving failure modes onto status codes:
-// shed load is retryable (429 + Retry-After), drain is 503, validation
-// is 400, a blown deadline is 504, everything else (sweep panic) 500.
+// shed load is retryable (429 + Retry-After), drain and not-ready are
+// 503, a moved session is 410 Gone (the router's re-route signal),
+// validation is 400, a blown deadline is 504, everything else (sweep
+// panic) 500.
 func writeInferError(w http.ResponseWriter, err error) {
 	switch {
 	case errors.Is(err, ErrQueueFull):
 		w.Header().Set("Retry-After", "1")
 		httpError(w, http.StatusTooManyRequests, err.Error())
-	case errors.Is(err, ErrClosed):
+	case errors.Is(err, ErrSessionMoved):
+		httpError(w, http.StatusGone, err.Error())
+	case errors.Is(err, ErrClosed), errors.Is(err, ErrNotReady):
 		httpError(w, http.StatusServiceUnavailable, err.Error())
 	case errors.Is(err, ErrBadRequest):
 		httpError(w, http.StatusBadRequest, err.Error())
@@ -118,7 +132,12 @@ func writeInferError(w http.ResponseWriter, err error) {
 }
 
 func (s *Server) handleModel(w http.ResponseWriter, r *http.Request) {
-	cfg := s.net.Cfg
+	g := s.gen.Load()
+	if g == nil {
+		httpError(w, http.StatusServiceUnavailable, ErrNotReady.Error())
+		return
+	}
+	cfg := g.net.Cfg
 	writeJSON(w, http.StatusOK, modelResponse{
 		InputSize:  cfg.InputSize,
 		HiddenSize: cfg.Hidden,
@@ -130,14 +149,154 @@ func (s *Server) handleModel(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-// handleHealthz answers 200 while serving and 503 once draining, so a
-// load balancer stops routing here before in-flight work finishes.
+// handleHealthz is liveness: 200 as long as the process answers HTTP
+// at all, draining included. Restart decisions key off this; routing
+// decisions key off /readyz.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	if s.draining.Load() {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// handleReadyz is readiness: 503 while draining or before the first
+// checkpoint load, so a router stops sending traffic here without
+// concluding the process is dead.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	switch {
+	case s.draining.Load():
 		httpError(w, http.StatusServiceUnavailable, "draining")
+	case s.gen.Load() == nil:
+		httpError(w, http.StatusServiceUnavailable, "no checkpoint loaded")
+	default:
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
+	}
+}
+
+// sessionStateBody is the wire form of a migrated session's recurrent
+// state: h and s vectors per layer. Null h/s is a legal zero state (a
+// session created but never swept).
+type sessionStateBody struct {
+	Session string      `json:"session,omitempty"`
+	H       [][]float32 `json:"h"`
+	S       [][]float32 `json:"s"`
+}
+
+func (s *Server) handleSessionList(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string][]string{"sessions": s.sessions.list()})
+}
+
+// handleSessionExport returns a session's state; with ?evict=1 it also
+// atomically removes and tombstones the session, which is how the
+// router drains sessions off a replica without ever forking them.
+func (s *Server) handleSessionExport(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	evict := r.URL.Query().Get("evict") == "1"
+	ctx, cancel := context.WithTimeout(r.Context(), s.opts.RequestTimeout)
+	defer cancel()
+	st, err := s.sessions.export(ctx, id, evict)
+	if err != nil {
+		writeSessionError(w, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	body := sessionStateBody{Session: id}
+	if st != nil {
+		body.H, body.S = st.H, st.S
+	}
+	writeJSON(w, http.StatusOK, body)
+}
+
+// handleSessionImport installs exported state under the id if absent
+// (409 if live here). Shape is validated against the served geometry
+// so a corrupt import cannot poison a future sweep.
+func (s *Server) handleSessionImport(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	r.Body = http.MaxBytesReader(w, r.Body, maxBodyBytes)
+	var body sessionStateBody
+	if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Sprintf("malformed state body: %v", err))
+		return
+	}
+	var st *model.VecState
+	if body.H != nil || body.S != nil {
+		cfg := s.Config()
+		if err := checkStateShape(body, cfg); err != nil {
+			httpError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		st = &model.VecState{H: body.H, S: body.S}
+	}
+	if err := s.sessions.importState(id, st); err != nil {
+		writeSessionError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"session": id, "status": "imported"})
+}
+
+// checkStateShape verifies imported h/s vectors match the served
+// geometry: one row per layer, Hidden floats wide.
+func checkStateShape(body sessionStateBody, cfg model.Config) error {
+	if cfg.Layers == 0 {
+		return errors.New("no checkpoint loaded; cannot validate state shape")
+	}
+	for name, rows := range map[string][][]float32{"h": body.H, "s": body.S} {
+		if len(rows) != cfg.Layers {
+			return fmt.Errorf("state %s has %d layers, served model has %d", name, len(rows), cfg.Layers)
+		}
+		for l, row := range rows {
+			if len(row) != cfg.Hidden {
+				return fmt.Errorf("state %s layer %d is %d wide, served model hidden size is %d",
+					name, l, len(row), cfg.Hidden)
+			}
+		}
+	}
+	return nil
+}
+
+func writeSessionError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, ErrSessionMoved):
+		httpError(w, http.StatusGone, err.Error())
+	case errors.Is(err, ErrSessionUnknown):
+		httpError(w, http.StatusNotFound, err.Error())
+	case errors.Is(err, ErrSessionExists):
+		httpError(w, http.StatusConflict, err.Error())
+	case errors.Is(err, context.DeadlineExceeded):
+		httpError(w, http.StatusGatewayTimeout, err.Error())
+	default:
+		httpError(w, http.StatusInternalServerError, err.Error())
+	}
+}
+
+// reloadRequest is the JSON body of POST /v1/admin/reload.
+type reloadRequest struct {
+	Path string `json:"path"`
+}
+
+// handleAdminReload loads the named checkpoint file and hot-swaps it
+// in, answering with the new generation and digest once the swap (and
+// the old generation's drain) completed.
+func (s *Server) handleAdminReload(w http.ResponseWriter, r *http.Request) {
+	var req reloadRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil || req.Path == "" {
+		httpError(w, http.StatusBadRequest, "body must be {\"path\": \"/path/to/checkpoint\"}")
+		return
+	}
+	net, digest, err := persist.LoadFileDigest(req.Path)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Sprintf("loading checkpoint: %v", err))
+		return
+	}
+	if err := s.Reload(net, digest); err != nil {
+		switch {
+		case errors.Is(err, ErrClosed):
+			httpError(w, http.StatusServiceUnavailable, err.Error())
+		case errors.Is(err, ErrBadRequest):
+			httpError(w, http.StatusBadRequest, err.Error())
+		default:
+			httpError(w, http.StatusInternalServerError, err.Error())
+		}
+		return
+	}
+	gen, d := s.Generation()
+	writeJSON(w, http.StatusOK, map[string]any{"generation": gen, "digest": d})
 }
 
 func (s *Server) handleStatz(w http.ResponseWriter, r *http.Request) {

@@ -197,8 +197,9 @@ func TestHTTPPoisonedRequestIsolation(t *testing.T) {
 	cfg := s.Config()
 	r := rng.New(3)
 
-	goodProj := s.net.Proj
-	s.net.Proj = tensor.New(cfg.Hidden+1, cfg.OutSize)
+	net := s.gen.Load().net
+	goodProj := net.Proj
+	net.Proj = tensor.New(cfg.Hidden+1, cfg.OutSize)
 	resp, body := postJSON(t, hs.URL+"/v1/infer", inferRequest{Inputs: seqJSON(r, 4, cfg.InputSize)})
 	if resp.StatusCode != http.StatusInternalServerError {
 		t.Fatalf("poisoned infer: HTTP %d (%v), want 500", resp.StatusCode, body)
@@ -207,7 +208,7 @@ func TestHTTPPoisonedRequestIsolation(t *testing.T) {
 		t.Fatalf("poisoned infer error %q does not mention the panic", msg)
 	}
 
-	s.net.Proj = goodProj
+	net.Proj = goodProj
 	resp, body = postJSON(t, hs.URL+"/v1/infer", inferRequest{Inputs: seqJSON(r, 4, cfg.InputSize)})
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("post-poison infer: HTTP %d (%v), want 200", resp.StatusCode, body)
@@ -218,11 +219,22 @@ func TestHTTPPoisonedRequestIsolation(t *testing.T) {
 	}
 }
 
-// TestHTTPDrainingHealth checks /healthz flips to 503 once the server
-// drains and new inferences are refused while admitted ones finish.
+// TestHTTPDrainingHealth checks the liveness/readiness split on drain:
+// /readyz flips to 503 (the router's stop-routing signal), /healthz
+// stays 200 (the process is alive, just finishing), and new inferences
+// are refused while admitted ones finish.
 func TestHTTPDrainingHealth(t *testing.T) {
 	s, hs := testServer(t, Options{MaxBatch: 4, Window: time.Millisecond})
 	cfg := s.Config()
+
+	rr, err := http.Get(hs.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rr.Body.Close()
+	if rr.StatusCode != http.StatusOK {
+		t.Fatalf("readyz before drain: HTTP %d, want 200", rr.StatusCode)
+	}
 
 	if err := s.Close(context.Background()); err != nil {
 		t.Fatalf("close: %v", err)
@@ -232,8 +244,16 @@ func TestHTTPDrainingHealth(t *testing.T) {
 		t.Fatal(err)
 	}
 	hr.Body.Close()
-	if hr.StatusCode != http.StatusServiceUnavailable {
-		t.Fatalf("healthz while draining: HTTP %d, want 503", hr.StatusCode)
+	if hr.StatusCode != http.StatusOK {
+		t.Fatalf("healthz while draining: HTTP %d, want 200 (liveness)", hr.StatusCode)
+	}
+	rr, err = http.Get(hs.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rr.Body.Close()
+	if rr.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("readyz while draining: HTTP %d, want 503", rr.StatusCode)
 	}
 	resp, _ := postJSON(t, hs.URL+"/v1/infer",
 		inferRequest{Inputs: seqJSON(rng.New(4), 2, cfg.InputSize)})

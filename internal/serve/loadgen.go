@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"sort"
 	"sync"
 	"time"
 
@@ -28,6 +29,15 @@ type LoadOptions struct {
 	// Sessions, when > 0, spreads requests over this many session ids so
 	// a slice of the traffic exercises the stateful path.
 	Sessions int
+	// ZipfS, when > 0, draws session ids from a Zipf(ZipfS) distribution
+	// over the Sessions ranks instead of round-robin — the skew knob of
+	// the fleet benchmark (session "load-0" is the hottest).
+	ZipfS float64
+	// SessionFrac is the fraction of requests that carry a session id
+	// when Sessions > 0 (0 = 1.0, every request; clamped to [0, 1]).
+	// The remainder are stateless, which a fleet router spreads by body
+	// digest instead of session affinity.
+	SessionFrac float64
 	// Seed makes the generated inputs reproducible (0 = 1).
 	Seed uint64
 }
@@ -42,10 +52,26 @@ func (o LoadOptions) withDefaults() LoadOptions {
 	if o.SeqLen <= 0 {
 		o.SeqLen = 8
 	}
+	if o.SessionFrac <= 0 {
+		o.SessionFrac = 1
+	}
+	if o.SessionFrac > 1 {
+		o.SessionFrac = 1
+	}
 	if o.Seed == 0 {
 		o.Seed = 1
 	}
 	return o
+}
+
+// SessionLoad is the per-session latency summary of a burst — the
+// fleet benchmark's check that skewed hot sessions still meet tail
+// latency, not just the aggregate.
+type SessionLoad struct {
+	Session string  `json:"session"`
+	N       int     `json:"n"`
+	P50Ms   float64 `json:"p50_ms"`
+	P99Ms   float64 `json:"p99_ms"`
 }
 
 // LoadReport summarizes one generated burst.
@@ -58,11 +84,21 @@ type LoadReport struct {
 	RPS      float64 // OK completions per wall-clock second
 	P50Ms    float64
 	P99Ms    float64
+	// PerSession summarizes each session id that completed at least one
+	// request, sorted by id; empty for stateless-only bursts.
+	PerSession []SessionLoad
+	// MaxSessionP99Ms is the worst per-session p99 — the number the
+	// fleet smoke pins so one hot session cannot hide in the aggregate.
+	MaxSessionP99Ms float64
 }
 
 func (r LoadReport) String() string {
-	return fmt.Sprintf("sent=%d ok=%d rejected=%d errors=%d wall=%v rps=%.1f p50=%.2fms p99=%.2fms",
+	s := fmt.Sprintf("sent=%d ok=%d rejected=%d errors=%d wall=%v rps=%.1f p50=%.2fms p99=%.2fms",
 		r.Sent, r.OK, r.Rejected, r.Errors, r.Wall.Round(time.Millisecond), r.RPS, r.P50Ms, r.P99Ms)
+	if len(r.PerSession) > 0 {
+		s += fmt.Sprintf(" sessions=%d max_session_p99=%.2fms", len(r.PerSession), r.MaxSessionP99Ms)
+	}
+	return s
 }
 
 // RunLoad fires a closed-loop burst at the target: it probes /v1/model
@@ -76,10 +112,15 @@ func RunLoad(ctx context.Context, opts LoadOptions) (LoadReport, error) {
 		return LoadReport{}, err
 	}
 	client := &http.Client{}
+	var zipf *stats.Zipf
+	if opts.Sessions > 0 && opts.ZipfS > 0 {
+		zipf = stats.NewZipf(opts.Sessions, opts.ZipfS)
+	}
 	var (
-		mu   sync.Mutex
-		rep  LoadReport
-		lats []float64
+		mu      sync.Mutex
+		rep     LoadReport
+		lats    []float64
+		perSess = make(map[string][]float64)
 	)
 	start := time.Now()
 	var wg sync.WaitGroup
@@ -100,8 +141,12 @@ func RunLoad(ctx context.Context, opts LoadOptions) (LoadReport, error) {
 					return
 				}
 				req := inferRequest{Inputs: randomSeq(r, opts.SeqLen, geo.InputSize)}
-				if opts.Sessions > 0 {
-					req.Session = fmt.Sprintf("load-%d", (id+i)%opts.Sessions)
+				if opts.Sessions > 0 && r.Float64() < opts.SessionFrac {
+					rank := (id + i) % opts.Sessions
+					if zipf != nil {
+						rank = zipf.Rank(r.Float64())
+					}
+					req.Session = fmt.Sprintf("load-%d", rank)
 				}
 				t0 := time.Now()
 				status, err := postInfer(ctx, client, opts.Target, req)
@@ -115,7 +160,11 @@ func RunLoad(ctx context.Context, opts LoadOptions) (LoadReport, error) {
 					rep.Rejected++
 				case status == http.StatusOK:
 					rep.OK++
-					lats = append(lats, float64(d)/float64(time.Millisecond))
+					ms := float64(d) / float64(time.Millisecond)
+					lats = append(lats, ms)
+					if req.Session != "" {
+						perSess[req.Session] = append(perSess[req.Session], ms)
+					}
 				default:
 					rep.Errors++
 				}
@@ -130,6 +179,16 @@ func RunLoad(ctx context.Context, opts LoadOptions) (LoadReport, error) {
 	}
 	qs := stats.Quantiles(lats, 0.5, 0.99)
 	rep.P50Ms, rep.P99Ms = qs[0], qs[1]
+	for id, ls := range perSess {
+		q := stats.Quantiles(ls, 0.5, 0.99)
+		rep.PerSession = append(rep.PerSession, SessionLoad{Session: id, N: len(ls), P50Ms: q[0], P99Ms: q[1]})
+		if q[1] > rep.MaxSessionP99Ms {
+			rep.MaxSessionP99Ms = q[1]
+		}
+	}
+	sort.Slice(rep.PerSession, func(i, j int) bool {
+		return rep.PerSession[i].Session < rep.PerSession[j].Session
+	})
 	return rep, nil
 }
 

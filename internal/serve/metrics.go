@@ -26,6 +26,10 @@ const (
 	metricQueueDepth = "etalstm_serve_queue_depth"
 	metricSessions   = "etalstm_serve_sessions"
 	metricUptime     = "etalstm_serve_uptime_seconds"
+	metricSwapGen    = "etalstm_serve_swap_generation"
+	// metricCheckpointDigest is an info-style gauge: constant value 1,
+	// the digest carried in a label, re-labeled in place on hot-swap.
+	metricCheckpointDigest = "etalstm_checkpoint_digest"
 )
 
 // metrics aggregates the serving instruments exported by /statz (JSON)
@@ -94,25 +98,34 @@ type Stats struct {
 
 	LatencyP50Ms float64 `json:"latency_p50_ms"`
 	LatencyP99Ms float64 `json:"latency_p99_ms"`
+
+	// SwapGeneration counts checkpoint loads (1 = first, +1 per
+	// hot-swap, 0 = standby with nothing loaded); CheckpointDigest is
+	// the served checkpoint's content identity — together they are how
+	// the fleet router verifies a rolling swap landed everywhere.
+	SwapGeneration   int64  `json:"swap_generation"`
+	CheckpointDigest string `json:"checkpoint_digest"`
 }
 
-func (m *metrics) snapshot(queueDepth, sessions int) Stats {
+func (m *metrics) snapshot(queueDepth, sessions int, swapGen int64, digest string) Stats {
 	bs := m.batchSize.Snapshot()
 	lat := m.latency.Snapshot()
 	s := Stats{
-		UptimeSeconds: time.Since(m.start).Seconds(),
-		Submitted:     m.submitted.Value(),
-		Completed:     m.completed.Value(),
-		Failed:        m.failed.Value(),
-		Rejected:      m.rejected.Value(),
-		Canceled:      m.canceled.Value(),
-		QueueDepth:    queueDepth,
-		Sessions:      sessions,
-		Batches:       bs.Count,
-		MeanBatch:     bs.Mean(),
-		BatchHist:     bs.Bins,
-		LatencyP50Ms:  lat.P50,
-		LatencyP99Ms:  lat.P99,
+		UptimeSeconds:    time.Since(m.start).Seconds(),
+		Submitted:        m.submitted.Value(),
+		Completed:        m.completed.Value(),
+		Failed:           m.failed.Value(),
+		Rejected:         m.rejected.Value(),
+		Canceled:         m.canceled.Value(),
+		QueueDepth:       queueDepth,
+		Sessions:         sessions,
+		Batches:          bs.Count,
+		MeanBatch:        bs.Mean(),
+		BatchHist:        bs.Bins,
+		LatencyP50Ms:     lat.P50,
+		LatencyP99Ms:     lat.P99,
+		SwapGeneration:   swapGen,
+		CheckpointDigest: digest,
 	}
 	return s
 }

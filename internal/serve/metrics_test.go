@@ -56,6 +56,7 @@ func TestStatzGoldenShape(t *testing.T) {
 		"submitted", "completed", "failed", "rejected", "canceled",
 		"queue_depth", "sessions", "batches", "mean_batch", "batch_hist",
 		"latency_p50_ms", "latency_p99_ms",
+		"swap_generation", "checkpoint_digest",
 	}
 	if len(keys) != len(want) {
 		t.Fatalf("statz keys = %v, want %v", keys, want)
@@ -79,6 +80,9 @@ func TestStatzGoldenShape(t *testing.T) {
 	}
 	if st.LatencyP50Ms <= 0 || st.LatencyP99Ms < st.LatencyP50Ms {
 		t.Fatalf("statz latency quantiles wrong: %+v", st)
+	}
+	if st.SwapGeneration != 1 || len(st.CheckpointDigest) != 64 {
+		t.Fatalf("statz checkpoint identity wrong: gen=%d digest=%q", st.SwapGeneration, st.CheckpointDigest)
 	}
 }
 

@@ -31,10 +31,15 @@ import (
 	"time"
 
 	"etalstm/internal/model"
+	"etalstm/internal/persist"
 )
 
 // ErrBadRequest wraps request-validation failures (HTTP 400).
 var ErrBadRequest = errors.New("serve: bad request")
+
+// ErrNotReady is returned while no checkpoint is loaded (a standby
+// server before its first Reload) — HTTP 503 on /readyz and /v1/infer.
+var ErrNotReady = errors.New("serve: no checkpoint loaded")
 
 // Options tunes a Server; zero values select production-sensible
 // defaults.
@@ -66,6 +71,11 @@ type Options struct {
 	// expose internals (heap contents, goroutine stacks) that do not
 	// belong on an open inference port.
 	EnablePprof bool
+	// EnableAdmin mounts POST /v1/admin/reload, which loads a checkpoint
+	// file named by the caller and hot-swaps it in. Off by default for
+	// the same reason as pprof: it lets the caller make the server read
+	// arbitrary paths, which belongs on a trusted port only.
+	EnableAdmin bool
 }
 
 func (o Options) withDefaults() Options {
@@ -121,14 +131,32 @@ type Result struct {
 	Class int
 }
 
-// Server owns the batcher, the worker pool and the session table for
-// one loaded checkpoint.
+// generation is one served checkpoint: the network, the batcher (and
+// worker pool) sweeping it, and the checkpoint's identity. Hot-swap
+// builds a fresh generation next to the live one and flips an atomic
+// pointer, so a swap never pauses traffic: requests racing the flip
+// land on whichever generation they loaded, and the old batcher's
+// graceful drain finishes everything it admitted.
+type generation struct {
+	net    *model.Network
+	b      *batcher
+	digest string // hex SHA-256 checkpoint content digest
+	seq    int64  // 1 for the first load, +1 per swap
+}
+
+// Server owns the session table, the metrics registry and the current
+// checkpoint generation (batcher + worker pool). Sessions and metrics
+// survive hot-swaps; the generation is what a swap replaces.
 type Server struct {
-	net      *model.Network
 	opts     Options
 	m        *metrics
-	b        *batcher
 	sessions *sessionTable
+
+	// gen is the serving generation; nil on a standby server that has
+	// not loaded its first checkpoint yet.
+	gen atomic.Pointer[generation]
+	// swapMu serializes Reload against itself and against Close.
+	swapMu sync.Mutex
 
 	mux      *http.ServeMux
 	draining atomic.Bool
@@ -139,30 +167,139 @@ type Server struct {
 	janitorDone chan struct{}
 }
 
-// New builds a server around net. The network's weights are treated as
-// read-only from here on; training it concurrently is not supported.
-func New(net *model.Network, opts Options) *Server {
+// NewStandby builds a server with no checkpoint loaded: /healthz is
+// live, /readyz answers 503, and inference fails with ErrNotReady
+// until the first Reload. This is the fleet's warm-spare shape — the
+// process (port, mux, sessions) exists before the weights do.
+func NewStandby(opts Options) *Server {
 	opts = opts.withDefaults()
 	s := &Server{
-		net:         net,
 		opts:        opts,
 		m:           newMetrics(opts.MaxBatch),
 		sessions:    newSessionTable(opts.SessionTTL),
 		stopJanitor: make(chan struct{}),
 		janitorDone: make(chan struct{}),
 	}
-	s.b = newBatcher(net, opts, s.m)
 	// Derived gauges close over the live server; they are evaluated at
 	// export time, so /metrics and /statz always agree.
 	s.m.reg.GaugeFunc(metricQueueDepth, "requests waiting in the admission queue",
-		func() float64 { return float64(s.b.depth()) })
+		func() float64 {
+			if g := s.gen.Load(); g != nil {
+				return float64(g.b.depth())
+			}
+			return 0
+		})
 	s.m.reg.GaugeFunc(metricSessions, "live streaming sessions",
 		func() float64 { return float64(s.sessions.count()) })
 	s.m.reg.GaugeFunc(metricUptime, "seconds since the server started",
 		func() float64 { return time.Since(s.m.start).Seconds() })
+	s.m.reg.GaugeFunc(metricSwapGen, "checkpoint generation (1 = first load, +1 per swap)",
+		func() float64 {
+			if g := s.gen.Load(); g != nil {
+				return float64(g.seq)
+			}
+			return 0
+		})
 	s.mux = s.routes()
 	go s.janitor()
 	return s
+}
+
+// New builds a server around net. The network's weights are treated as
+// read-only from here on; training it concurrently is not supported.
+func New(net *model.Network, opts Options) *Server {
+	s := NewStandby(opts)
+	digest, _ := persist.Digest(net)
+	s.install(&generation{net: net, b: newBatcher(net, s.opts, s.m), digest: digest, seq: 1})
+	return s
+}
+
+// install publishes a generation and its identity metrics.
+func (s *Server) install(g *generation) {
+	s.gen.Store(g)
+	s.m.reg.SetInfo(metricCheckpointDigest, "content digest of the served checkpoint",
+		"digest", g.digest)
+}
+
+// checkServingCompat rejects a swap that would invalidate live session
+// state or change what clients see: the serving geometry (input/output
+// widths, hidden size, layer count, loss) must match. SeqLen and Batch
+// are training-shape fields inference never reads, so they may differ.
+func checkServingCompat(got, want model.Config) error {
+	got.SeqLen, got.Batch = want.SeqLen, want.Batch
+	if err := persist.CheckConfig(got, want); err != nil {
+		return fmt.Errorf("%w: incompatible checkpoint: %v", ErrBadRequest, err)
+	}
+	return nil
+}
+
+// Reload hot-swaps the served checkpoint: build a standby generation
+// (own batcher + worker pool) around net, verify it by running a probe
+// inference through it, atomically flip the serving pointer, then
+// gracefully drain the old generation. In-flight requests are never
+// dropped — requests admitted to the old batcher complete on the old
+// weights, and a submission racing the flip retries on the new
+// generation (see Infer). digest may be empty; it is recomputed.
+func (s *Server) Reload(net *model.Network, digest string) error {
+	s.swapMu.Lock()
+	defer s.swapMu.Unlock()
+	if s.draining.Load() {
+		return ErrClosed
+	}
+	old := s.gen.Load()
+	if old != nil {
+		if err := checkServingCompat(net.Cfg, old.net.Cfg); err != nil {
+			return err
+		}
+	}
+	if digest == "" {
+		d, err := persist.Digest(net)
+		if err != nil {
+			return fmt.Errorf("serve: digesting checkpoint: %w", err)
+		}
+		digest = d
+	}
+	nb := newBatcher(net, s.opts, s.m)
+	// Health-verify the standby before any traffic can reach it: one
+	// zero-input probe must survive a full sweep.
+	probeCtx, cancel := context.WithTimeout(context.Background(), s.opts.RequestTimeout)
+	probe := model.InferSeq{Inputs: [][]float32{make([]float32, net.Cfg.InputSize)}}
+	_, err := nb.submit(probeCtx, probe)
+	cancel()
+	if err != nil {
+		dctx, dcancel := context.WithTimeout(context.Background(), s.opts.DrainTimeout)
+		nb.drain(dctx)
+		dcancel()
+		return fmt.Errorf("serve: standby checkpoint failed probe: %w", err)
+	}
+	seq := int64(1)
+	if old != nil {
+		seq = old.seq + 1
+	}
+	s.install(&generation{net: net, b: nb, digest: digest, seq: seq})
+	if old != nil {
+		dctx, dcancel := context.WithTimeout(context.Background(), s.opts.DrainTimeout)
+		defer dcancel()
+		if err := old.b.drain(dctx); err != nil {
+			return fmt.Errorf("serve: old generation: %w", err)
+		}
+	}
+	return nil
+}
+
+// Generation returns the current checkpoint generation number and
+// content digest (0, "" on a standby).
+func (s *Server) Generation() (int64, string) {
+	if g := s.gen.Load(); g != nil {
+		return g.seq, g.digest
+	}
+	return 0, ""
+}
+
+// Ready reports whether the server can answer inference: a checkpoint
+// is loaded and drain has not begun.
+func (s *Server) Ready() bool {
+	return s.gen.Load() != nil && !s.draining.Load()
 }
 
 // janitor sweeps idle sessions every quarter TTL until Close.
@@ -184,22 +321,34 @@ func (s *Server) janitor() {
 	}
 }
 
-// Config returns the served model's geometry.
-func (s *Server) Config() model.Config { return s.net.Cfg }
+// Config returns the served model's geometry (zero value on a standby
+// with no checkpoint loaded).
+func (s *Server) Config() model.Config {
+	if g := s.gen.Load(); g != nil {
+		return g.net.Cfg
+	}
+	return model.Config{}
+}
 
 // Stats returns a snapshot of the serving metrics.
 func (s *Server) Stats() Stats {
-	return s.m.snapshot(s.b.depth(), s.sessions.count())
+	depth := 0
+	var seq int64
+	digest := ""
+	if g := s.gen.Load(); g != nil {
+		depth, seq, digest = g.b.depth(), g.seq, g.digest
+	}
+	return s.m.snapshot(depth, s.sessions.count(), seq, digest)
 }
 
 // validate maps malformed inputs to ErrBadRequest before they can
 // reach (and fail) a whole micro-batch.
-func (s *Server) validate(inputs [][]float32) error {
+func (s *Server) validate(net *model.Network, inputs [][]float32) error {
 	if len(inputs) > s.opts.MaxSeqLen {
 		return fmt.Errorf("%w: sequence of %d steps exceeds the %d-step limit",
 			ErrBadRequest, len(inputs), s.opts.MaxSeqLen)
 	}
-	if err := s.net.CheckInferSeq(model.InferSeq{Inputs: inputs}); err != nil {
+	if err := net.CheckInferSeq(model.InferSeq{Inputs: inputs}); err != nil {
 		return fmt.Errorf("%w: %v", ErrBadRequest, err)
 	}
 	return nil
@@ -208,8 +357,17 @@ func (s *Server) validate(inputs [][]float32) error {
 // Infer submits one request through the micro-batcher and blocks until
 // its sweep completes, ctx is done, or the request is shed. It is the
 // in-process entry point the HTTP handler also uses.
+//
+// Hot-swap transparency: a submission that lands in the gap between a
+// generation flip and the old batcher's close gets ErrClosed from the
+// old batcher; when a newer generation exists the request simply
+// resubmits there, so a swap drops zero requests.
 func (s *Server) Infer(ctx context.Context, req Request) (Result, error) {
-	if err := s.validate(req.Inputs); err != nil {
+	g := s.gen.Load()
+	if g == nil {
+		return Result{}, ErrNotReady
+	}
+	if err := s.validate(g.net, req.Inputs); err != nil {
 		return Result{}, err
 	}
 	seq := model.InferSeq{Inputs: req.Inputs}
@@ -222,7 +380,18 @@ func (s *Server) Infer(ctx context.Context, req Request) (Result, error) {
 		}
 		seq.State = sess.state
 	}
-	out, err := s.b.submit(ctx, seq)
+	var out model.InferOut
+	var err error
+	for {
+		out, err = g.b.submit(ctx, seq)
+		if errors.Is(err, ErrClosed) && !s.draining.Load() {
+			if ng := s.gen.Load(); ng != nil && ng != g {
+				g = ng
+				continue
+			}
+		}
+		break
+	}
 	if sess != nil {
 		if err == nil {
 			sess.state = out.State
@@ -232,12 +401,13 @@ func (s *Server) Infer(ctx context.Context, req Request) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
-	return s.result(out), nil
+	return resultOf(g.net.Cfg.Loss, out), nil
 }
 
-func (s *Server) result(out model.InferOut) Result {
+// resultOf shapes a sweep output into the client-facing Result.
+func resultOf(loss model.LossKind, out model.InferOut) Result {
 	r := Result{Output: out.Output, Class: -1}
-	if s.net.Cfg.Loss != model.RegressionLoss {
+	if loss != model.RegressionLoss {
 		best := 0
 		for j, v := range out.Output {
 			if v > out.Output[best] {
@@ -282,7 +452,13 @@ func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
 func (s *Server) Close(ctx context.Context) error {
 	s.closeOnce.Do(func() {
 		s.draining.Store(true)
-		s.closeErr = s.b.drain(ctx)
+		// swapMu keeps a concurrent Reload from installing a fresh
+		// generation after this drain; Reload re-checks draining under it.
+		s.swapMu.Lock()
+		if g := s.gen.Load(); g != nil {
+			s.closeErr = g.b.drain(ctx)
+		}
+		s.swapMu.Unlock()
 		close(s.stopJanitor)
 		<-s.janitorDone
 	})
@@ -303,9 +479,8 @@ func Infer(net *model.Network, seqs [][][]float32) ([]Result, error) {
 		return nil, fmt.Errorf("%w: %v", ErrBadRequest, err)
 	}
 	res := make([]Result, len(outs))
-	srv := Server{net: net}
 	for i, out := range outs {
-		res[i] = srv.result(out)
+		res[i] = resultOf(net.Cfg.Loss, out)
 	}
 	return res, nil
 }

@@ -2,10 +2,26 @@ package serve
 
 import (
 	"context"
+	"errors"
+	"sort"
 	"sync"
 	"time"
 
 	"etalstm/internal/model"
+)
+
+// Session-migration failure modes (the fleet moves sessions between
+// replicas; these tell the router apart from plain not-found).
+var (
+	// ErrSessionMoved marks a session exported to another replica: this
+	// replica holds a tombstone, not state. HTTP 410 Gone — the router
+	// treats it as "re-resolve the owner", never as a fresh session.
+	ErrSessionMoved = errors.New("serve: session moved to another replica")
+	// ErrSessionExists rejects an import over live state (HTTP 409).
+	ErrSessionExists = errors.New("serve: session already exists")
+	// ErrSessionUnknown rejects an export of a session this replica has
+	// never seen (HTTP 404).
+	ErrSessionUnknown = errors.New("serve: unknown session")
 )
 
 // session is one streaming conversation: the carried h/s state plus a
@@ -18,6 +34,13 @@ type session struct {
 	// last is the most recent acquire/release instant, guarded by the
 	// table mutex (not the gate) so the evictor can read it cheaply.
 	last time.Time
+	// dead is set (under the table mutex) when the session is exported
+	// away mid-drain. A request that was already blocked on the gate
+	// when the export won it re-checks dead after acquiring and bails
+	// with ErrSessionMoved — the state it would have read is on another
+	// replica now, and silently resurrecting it here would fork the
+	// conversation.
+	dead bool
 }
 
 // sessionTable maps session ids to recurrent state with TTL eviction.
@@ -34,10 +57,17 @@ type sessionTable struct {
 
 	mu sync.Mutex
 	m  map[string]*session
+	// tomb marks sessions exported to another replica (id → export
+	// time). Tombstones make a late request on a moved session fail
+	// with ErrSessionMoved instead of silently starting a fork at zero
+	// state; they expire after the session TTL, by which point the
+	// router has long since learned the new owner.
+	tomb map[string]time.Time
 }
 
 func newSessionTable(ttl time.Duration) *sessionTable {
-	return &sessionTable{ttl: ttl, now: time.Now, m: make(map[string]*session)}
+	return &sessionTable{ttl: ttl, now: time.Now,
+		m: make(map[string]*session), tomb: make(map[string]time.Time)}
 }
 
 // acquire returns the named session with its gate held, creating it on
@@ -45,6 +75,10 @@ func newSessionTable(ttl time.Duration) *sessionTable {
 // ctx.
 func (t *sessionTable) acquire(ctx context.Context, id string) (*session, error) {
 	t.mu.Lock()
+	if _, moved := t.tomb[id]; moved {
+		t.mu.Unlock()
+		return nil, ErrSessionMoved
+	}
 	s := t.m[id]
 	if s == nil {
 		s = &session{gate: make(chan struct{}, 1)}
@@ -54,6 +88,16 @@ func (t *sessionTable) acquire(ctx context.Context, id string) (*session, error)
 	t.mu.Unlock()
 	select {
 	case s.gate <- struct{}{}:
+		// Re-check under the mutex: an export may have won the gate
+		// first, moved the state away and marked the session dead while
+		// this request was blocked.
+		t.mu.Lock()
+		dead := s.dead
+		t.mu.Unlock()
+		if dead {
+			<-s.gate
+			return nil, ErrSessionMoved
+		}
 		return s, nil
 	case <-ctx.Done():
 		return nil, ctx.Err()
@@ -69,8 +113,9 @@ func (t *sessionTable) release(s *session) {
 }
 
 // evict removes every idle session untouched for longer than the TTL
-// and reports how many were removed. Busy sessions (gate held) are
-// skipped and re-examined on the next sweep.
+// (and every expired tombstone) and reports how many sessions were
+// removed. Busy sessions (gate held) are skipped and re-examined on
+// the next sweep.
 func (t *sessionTable) evict() int {
 	t.mu.Lock()
 	defer t.mu.Unlock()
@@ -88,6 +133,11 @@ func (t *sessionTable) evict() int {
 		default: // in flight; not idle after all
 		}
 	}
+	for id, when := range t.tomb {
+		if !when.After(cut) {
+			delete(t.tomb, id)
+		}
+	}
 	return n
 }
 
@@ -96,4 +146,65 @@ func (t *sessionTable) count() int {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	return len(t.m)
+}
+
+// list returns the live session ids, sorted for stable output.
+func (t *sessionTable) list() []string {
+	t.mu.Lock()
+	ids := make([]string, 0, len(t.m))
+	for id := range t.m {
+		ids = append(ids, id)
+	}
+	t.mu.Unlock()
+	sort.Strings(ids)
+	return ids
+}
+
+// export returns the session's recurrent state, waiting (under ctx)
+// for any in-flight request to release the gate. With evict set the
+// session is atomically removed and tombstoned: requests already
+// blocked on the gate observe dead and fail with ErrSessionMoved, and
+// later requests hit the tombstone — the session cannot be resurrected
+// on this replica with stale state.
+func (t *sessionTable) export(ctx context.Context, id string, evict bool) (*model.VecState, error) {
+	t.mu.Lock()
+	if _, moved := t.tomb[id]; moved {
+		t.mu.Unlock()
+		return nil, ErrSessionMoved
+	}
+	s := t.m[id]
+	t.mu.Unlock()
+	if s == nil {
+		return nil, ErrSessionUnknown
+	}
+	select {
+	case s.gate <- struct{}{}:
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+	st := s.state
+	if evict {
+		t.mu.Lock()
+		s.dead = true
+		delete(t.m, id)
+		t.tomb[id] = t.now()
+		t.mu.Unlock()
+	}
+	<-s.gate
+	return st, nil
+}
+
+// importState installs state under id if (and only if) the id is
+// absent. An import clears this replica's tombstone for the id: a
+// session that moved away may legitimately move back.
+func (t *sessionTable) importState(id string, st *model.VecState) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if _, live := t.m[id]; live {
+		return ErrSessionExists
+	}
+	delete(t.tomb, id)
+	s := &session{gate: make(chan struct{}, 1), state: st, last: t.now()}
+	t.m[id] = s
+	return nil
 }

@@ -1,0 +1,189 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"sync"
+	"testing"
+	"time"
+
+	"etalstm/internal/rng"
+)
+
+func getJSON(t *testing.T, url string) (*http.Response, map[string]any) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var m map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+		t.Fatalf("bad JSON response: %v", err)
+	}
+	return resp, m
+}
+
+func putJSON(t *testing.T, url string, body []byte) *http.Response {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodPut, url, bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	return resp
+}
+
+// TestSessionMigration is the fleet drain path end to end over HTTP:
+// run half a conversation on replica A, export+evict the session, PUT
+// it into replica B, and finish there — the final output must equal an
+// unmigrated conversation bit for bit, and A must answer 410 Gone for
+// the moved session afterwards.
+func TestSessionMigration(t *testing.T) {
+	a, hsA := testServer(t, Options{MaxBatch: 4, Window: time.Millisecond})
+	_, hsB := testServer(t, Options{MaxBatch: 4, Window: time.Millisecond})
+	cfg := a.Config()
+
+	r := rng.New(21)
+	half1 := seqJSON(r, 3, cfg.InputSize)
+	half2 := seqJSON(r, 3, cfg.InputSize)
+
+	// Reference: both halves on one server, no migration.
+	for _, xs := range [][][]float32{half1} {
+		if resp, _ := postJSON(t, hsA.URL+"/v1/infer", inferRequest{Inputs: xs, Session: "ref"}); resp.StatusCode != 200 {
+			t.Fatalf("ref first half: HTTP %d", resp.StatusCode)
+		}
+	}
+	_, wantBody := postJSON(t, hsA.URL+"/v1/infer", inferRequest{Inputs: half2, Session: "ref"})
+
+	// Migrated: first half on A…
+	if resp, _ := postJSON(t, hsA.URL+"/v1/infer", inferRequest{Inputs: half1, Session: "mig"}); resp.StatusCode != 200 {
+		t.Fatalf("mig first half: HTTP %d", resp.StatusCode)
+	}
+	if _, body := getJSON(t, hsA.URL+"/v1/sessions"); body["sessions"] == nil {
+		t.Fatal("session list empty with live sessions")
+	}
+	// …export with evict…
+	resp, state := getJSON(t, hsA.URL+"/v1/session/mig/state?evict=1")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("export: HTTP %d", resp.StatusCode)
+	}
+	raw, err := json.Marshal(state)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// …import into B and finish there.
+	if resp := putJSON(t, hsB.URL+"/v1/session/mig/state", raw); resp.StatusCode != http.StatusOK {
+		t.Fatalf("import: HTTP %d", resp.StatusCode)
+	}
+	resp2, gotBody := postJSON(t, hsB.URL+"/v1/infer", inferRequest{Inputs: half2, Session: "mig"})
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("mig second half on B: HTTP %d", resp2.StatusCode)
+	}
+	got := gotBody["output"].([]any)
+	want := wantBody["output"].([]any)
+	for j := range want {
+		if got[j].(float64) != want[j].(float64) {
+			t.Fatalf("output[%d]: migrated %v != unmigrated %v", j, got[j], want[j])
+		}
+	}
+
+	// A holds a tombstone now: late requests must get 410 Gone, not a
+	// silently-forked fresh session.
+	lateResp, _ := postJSON(t, hsA.URL+"/v1/infer", inferRequest{Inputs: half2, Session: "mig"})
+	if lateResp.StatusCode != http.StatusGone {
+		t.Fatalf("late request on moved session: HTTP %d, want 410", lateResp.StatusCode)
+	}
+	expResp, _ := getJSON(t, hsA.URL+"/v1/session/mig/state")
+	if expResp.StatusCode != http.StatusGone {
+		t.Fatalf("re-export of moved session: HTTP %d, want 410", expResp.StatusCode)
+	}
+}
+
+// TestSessionStateEndpointErrors pins the non-happy paths: unknown
+// export 404, duplicate import 409, mis-shaped import 400.
+func TestSessionStateEndpointErrors(t *testing.T) {
+	s, hs := testServer(t, Options{MaxBatch: 4, Window: time.Millisecond})
+	cfg := s.Config()
+
+	if resp, _ := getJSON(t, hs.URL+"/v1/session/nope/state"); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown export: HTTP %d, want 404", resp.StatusCode)
+	}
+
+	if resp, _ := postJSON(t, hs.URL+"/v1/infer",
+		inferRequest{Inputs: seqJSON(rng.New(5), 2, cfg.InputSize), Session: "dup"}); resp.StatusCode != 200 {
+		t.Fatalf("seed session: HTTP %d", resp.StatusCode)
+	}
+	_, state := getJSON(t, hs.URL+"/v1/session/dup/state")
+	raw, _ := json.Marshal(state)
+	if resp := putJSON(t, hs.URL+"/v1/session/dup/state", raw); resp.StatusCode != http.StatusConflict {
+		t.Fatalf("import over live session: HTTP %d, want 409", resp.StatusCode)
+	}
+
+	bad, _ := json.Marshal(sessionStateBody{
+		H: [][]float32{{1, 2}}, S: [][]float32{{1, 2}},
+	})
+	if resp := putJSON(t, hs.URL+"/v1/session/bad/state", bad); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("mis-shaped import: HTTP %d, want 400", resp.StatusCode)
+	}
+}
+
+// TestSessionNoResurrectionMidDrain is the drain race (ISSUE satellite):
+// a request already blocked on the session's gate when the export wins
+// it must NOT resurrect the session with the pre-export state — it
+// observes the dead mark and fails with ErrSessionMoved. Whichever
+// order the gate race resolves in, the state is never forked. Run
+// under -race this also proves the dance is data-race clean.
+func TestSessionNoResurrectionMidDrain(t *testing.T) {
+	for i := 0; i < 50; i++ {
+		tbl := newSessionTable(time.Minute)
+		// Seed the session and hold its gate, as an in-flight request.
+		holder, err := tbl.acquire(context.Background(), "s")
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		var wg sync.WaitGroup
+		exported := make(chan error, 1)
+		lateErr := make(chan error, 1)
+		wg.Add(2)
+		go func() { // the drain
+			defer wg.Done()
+			_, err := tbl.export(context.Background(), "s", true)
+			exported <- err
+		}()
+		go func() { // a late request racing the drain
+			defer wg.Done()
+			sess, err := tbl.acquire(context.Background(), "s")
+			if err == nil {
+				tbl.release(sess)
+			}
+			lateErr <- err
+		}()
+		tbl.release(holder) // both racers unblock
+		wg.Wait()
+
+		if err := <-exported; err != nil && err != ErrSessionMoved {
+			// The late request may have re-created and then the export
+			// sees it; only moved/nil are legal.
+			t.Fatalf("iter %d: export: %v", i, err)
+		}
+		if err := <-lateErr; err != nil && err != ErrSessionMoved {
+			t.Fatalf("iter %d: late acquire: %v", i, err)
+		}
+		// After the dust settles the session must be gone for good.
+		if _, err := tbl.acquire(context.Background(), "s"); err != ErrSessionMoved {
+			t.Fatalf("iter %d: post-drain acquire = %v, want ErrSessionMoved", i, err)
+		}
+		if tbl.count() != 0 {
+			t.Fatalf("iter %d: %d sessions survived the drain", i, tbl.count())
+		}
+	}
+}

@@ -230,6 +230,64 @@ func Quantiles(vs []float64, qs ...float64) []float64 {
 	return out
 }
 
+// Zipf is a deterministic sampler over ranks {0..n-1} with
+// P(k) ∝ (k+1)^(−s): rank 0 is the hottest. It is built once (O(n))
+// and sampled by inverse-CDF lookup from caller-supplied uniforms, so
+// the draw sequence is exactly as reproducible as the RNG feeding it —
+// the session-skew knob of the fleet load generator.
+type Zipf struct {
+	cum []float64 // normalized cumulative weights, cum[n-1] == 1
+}
+
+// NewZipf builds a Zipf(s) sampler over n ranks. n must be positive;
+// s ≤ 0 degrades gracefully to a uniform (or inverted) weighting since
+// the weights stay positive either way.
+func NewZipf(n int, s float64) *Zipf {
+	if n <= 0 {
+		panic(fmt.Sprintf("stats: Zipf over %d ranks", n))
+	}
+	cum := make([]float64, n)
+	total := 0.0
+	for k := 0; k < n; k++ {
+		total += math.Pow(float64(k+1), -s)
+		cum[k] = total
+	}
+	for k := range cum {
+		cum[k] /= total
+	}
+	return &Zipf{cum: cum}
+}
+
+// N returns the number of ranks.
+func (z *Zipf) N() int { return len(z.cum) }
+
+// P returns the probability of rank k.
+func (z *Zipf) P(k int) float64 {
+	if k < 0 || k >= len(z.cum) {
+		return 0
+	}
+	if k == 0 {
+		return z.cum[0]
+	}
+	return z.cum[k] - z.cum[k-1]
+}
+
+// Rank maps a uniform draw u ∈ [0, 1) to a rank by inverse CDF:
+// the smallest k with cum[k] > u. Out-of-range u clamps to the edges.
+func (z *Zipf) Rank(u float64) int {
+	if u <= 0 || math.IsNaN(u) {
+		return 0
+	}
+	if u >= 1 {
+		return len(z.cum) - 1
+	}
+	k := sort.Search(len(z.cum), func(i int) bool { return z.cum[i] > u })
+	if k >= len(z.cum) {
+		k = len(z.cum) - 1
+	}
+	return k
+}
+
 // Mean returns the arithmetic mean (0 for an empty slice).
 func Mean(vs []float64) float64 {
 	if len(vs) == 0 {
