@@ -3,7 +3,7 @@ GO ?= go
 # Budget per fuzz target for `make fuzz` (go test -fuzztime syntax).
 FUZZTIME ?= 30s
 
-.PHONY: build test race bench vet fmt check fuzz cover serve-smoke obs-smoke longseq-smoke dist-smoke fleet-smoke all
+.PHONY: build test race bench vet fmt check fuzz cover serve-smoke obs-smoke longseq-smoke dist-smoke fleet-smoke trace-smoke all
 
 all: build test
 
@@ -25,10 +25,11 @@ test:
 # the checkpoint planner whose placements the replicas recompute
 # under concurrently, the distributed gradient transport (reader
 # goroutines handing decode buffers to the coordinator's merge loop),
-# and the fleet router (concurrent forwarding, prober-driven
-# membership churn, hot-swap rolls under load).
+# the fleet router (concurrent forwarding, prober-driven membership
+# churn, hot-swap rolls under load), and the request tracer (spans
+# finishing on worker goroutines while HTTP handlers read the ring).
 race:
-	$(GO) test -race ./internal/parallel ./internal/core ./internal/tensor ./internal/lstm ./internal/model ./internal/check ./internal/skip ./internal/train ./internal/serve ./internal/obs ./internal/memplan ./internal/dist ./internal/fleet .
+	$(GO) test -race ./internal/parallel ./internal/core ./internal/tensor ./internal/lstm ./internal/model ./internal/check ./internal/skip ./internal/train ./internal/serve ./internal/obs ./internal/memplan ./internal/dist ./internal/fleet ./internal/rtrace .
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
@@ -67,7 +68,8 @@ cover:
 	check ./internal/memplan 90; \
 	check ./internal/dist 85; \
 	check ./internal/compress 85; \
-	check ./internal/fleet 85
+	check ./internal/fleet 85; \
+	check ./internal/rtrace 85
 
 # serve-smoke is the end-to-end serving check: checkpoint -> etaserve
 # on an ephemeral port -> loadgen burst -> graceful drain, all through
@@ -102,6 +104,14 @@ dist-smoke:
 # requests.
 fleet-smoke:
 	$(GO) test -run TestFleetSmoke -v ./cmd/etarouter
+
+# trace-smoke is the end-to-end tracing check: two traced replicas
+# behind etarouter (real binary paths), a loadgen burst minting
+# traceparents, one minted id resolved at the router into a
+# cross-process span tree (router → replica → sweep → phase), and a
+# SIGQUIT dump of the router's flight recorder asserted.
+trace-smoke:
+	$(GO) test -run TestTraceSmoke -v ./cmd/etarouter
 
 vet:
 	$(GO) vet ./...

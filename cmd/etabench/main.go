@@ -52,6 +52,7 @@ func run(args []string, stdout io.Writer) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	obs.RegisterBuildInfo(obs.Default)
 
 	if *kernelW > 0 {
 		etalstm.SetWorkers(*kernelW)

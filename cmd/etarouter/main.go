@@ -36,6 +36,8 @@ import (
 	"time"
 
 	"etalstm/internal/fleet"
+	"etalstm/internal/obs"
+	"etalstm/internal/rtrace"
 	"etalstm/internal/serve"
 )
 
@@ -61,18 +63,20 @@ func run(ctx context.Context, args []string, w io.Writer) error {
 		eject    = fs.Int("eject-after", 0, "consecutive probe failures before ejection (0 = 3)")
 		recover_ = fs.Int("recover-after", 0, "consecutive probe successes before re-admission (0 = 2)")
 		timeout  = fs.Duration("timeout", 0, "per-forwarded-request deadline (0 = 10s)")
+		traceOn  = fs.Bool("trace", true, "record routing traces in the flight recorder at GET /debug/traces (/debug/traces/{id} merges replica spans); SIGQUIT dumps it to stderr")
 
 		swap   = fs.String("swap", "", "roll this checkpoint across the fleet and exit")
 		target = fs.String("target", "", "running router base URL (for -swap and -loadgen)")
 
-		loadgen  = fs.Bool("loadgen", false, "generate load against -target instead of routing")
-		conc     = fs.Int("conc", 0, "loadgen: concurrent clients (0 = 32)")
-		n        = fs.Int("n", 0, "loadgen: total requests (0 = 512)")
-		seq      = fs.Int("seq", 0, "loadgen: timesteps per request (0 = 8)")
-		sessions = fs.Int("sessions", 0, "loadgen: spread requests over this many session ids")
-		zipf     = fs.Float64("zipf", 0, "loadgen: Zipf skew exponent over session ranks (0 = uniform round-robin)")
-		sessFrac = fs.Float64("session-frac", 0, "loadgen: fraction of requests carrying a session id (0 = 1.0)")
-		seed     = fs.Uint64("seed", 1, "loadgen: input seed")
+		loadgen    = fs.Bool("loadgen", false, "generate load against -target instead of routing")
+		conc       = fs.Int("conc", 0, "loadgen: concurrent clients (0 = 32)")
+		n          = fs.Int("n", 0, "loadgen: total requests (0 = 512)")
+		seq        = fs.Int("seq", 0, "loadgen: timesteps per request (0 = 8)")
+		sessions   = fs.Int("sessions", 0, "loadgen: spread requests over this many session ids")
+		zipf       = fs.Float64("zipf", 0, "loadgen: Zipf skew exponent over session ranks (0 = uniform round-robin)")
+		sessFrac   = fs.Float64("session-frac", 0, "loadgen: fraction of requests carrying a session id (0 = 1.0)")
+		seed       = fs.Uint64("seed", 1, "loadgen: input seed")
+		traceEvery = fs.Int("trace-every", 0, "loadgen: mint a sampled traceparent on every Nth request; the report lists sample trace ids resolvable at the target's /debug/traces (0 = off)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -85,6 +89,7 @@ func run(ctx context.Context, args []string, w io.Writer) error {
 		rep, err := serve.RunLoad(ctx, serve.LoadOptions{
 			Target: *target, Concurrency: *conc, Requests: *n, SeqLen: *seq,
 			Sessions: *sessions, ZipfS: *zipf, SessionFrac: *sessFrac, Seed: *seed,
+			TraceEvery: *traceEvery,
 		})
 		if err != nil {
 			return err
@@ -100,7 +105,7 @@ func run(ctx context.Context, args []string, w io.Writer) error {
 	if *replicas == "" {
 		return fmt.Errorf("-replicas is required (or use -swap / -loadgen)")
 	}
-	rt, err := fleet.New(fleet.Options{
+	fopts := fleet.Options{
 		Replicas:       splitReplicas(*replicas),
 		VNodes:         *vnodes,
 		ProbeInterval:  *probeInt,
@@ -108,7 +113,13 @@ func run(ctx context.Context, args []string, w io.Writer) error {
 		EjectAfter:     *eject,
 		RecoverAfter:   *recover_,
 		RequestTimeout: *timeout,
-	})
+		Log:            obs.NewLogger(os.Stderr),
+	}
+	if *traceOn {
+		fopts.Tracer = rtrace.New(rtrace.Options{Process: "etarouter"})
+		defer fopts.Tracer.DumpOnSignal(os.Stderr)()
+	}
+	rt, err := fleet.New(fopts)
 	if err != nil {
 		return err
 	}

@@ -1,0 +1,160 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"etalstm"
+	"etalstm/internal/rtrace"
+)
+
+// tracedReplica is replica() with a flight recorder attached, so the
+// router's /debug/traces/{id} fan-out has replica spans to merge.
+func tracedReplica(t *testing.T, ckpt, process string) *httptest.Server {
+	t.Helper()
+	net, err := etalstm.LoadNetwork(ckpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := etalstm.NewServer(net, etalstm.ServeOptions{
+		MaxBatch: 4, Window: time.Millisecond,
+		Tracer: rtrace.New(rtrace.Options{Process: process}),
+	})
+	hs := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		hs.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		s.Close(ctx)
+	})
+	return hs
+}
+
+// TestTraceSmoke is the end-to-end tracing check behind `make
+// trace-smoke`: two traced replicas behind the real etarouter binary
+// path, a loadgen burst minting traceparents, one of the minted ids
+// resolved at the router into a cross-process span tree (router.request
+// → serve.request → serve.sweep → FW phase), and a SIGQUIT dumping the
+// router's flight recorder to stderr.
+func TestTraceSmoke(t *testing.T) {
+	dir := t.TempDir()
+	ckpt := saveCheckpoint(t, dir, 7)
+	hsA := tracedReplica(t, ckpt, "replica-a")
+	hsB := tracedReplica(t, ckpt, "replica-b")
+
+	// The router's -trace path wires its SIGQUIT dump to os.Stderr at
+	// startup; swap in a pipe first so the dump is assertable.
+	origStderr := os.Stderr
+	pr, pw, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stderr = pw
+	defer func() { os.Stderr = origStderr }()
+	stderrOut := &syncBuffer{}
+	go func() {
+		buf := make([]byte, 4096)
+		for {
+			n, err := pr.Read(buf)
+			if n > 0 {
+				stderrOut.Write(buf[:n])
+			}
+			if err != nil {
+				return
+			}
+		}
+	}()
+
+	out := &syncBuffer{}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	runErr := make(chan error, 1)
+	go func() {
+		runErr <- run(ctx, []string{
+			"-replicas", hsA.URL + "," + hsB.URL,
+			"-addr", "127.0.0.1:0",
+			"-probe-interval", "25ms",
+		}, out)
+	}()
+	routerURL := waitForAddr(t, out, runErr)
+
+	// A burst that mints a sampled traceparent on every 3rd request and
+	// reports the sample ids.
+	lgOut := &syncBuffer{}
+	if err := run(ctx, []string{"-loadgen", "-target", routerURL,
+		"-conc", "4", "-n", "48", "-seq", "2", "-trace-every", "3"}, lgOut); err != nil {
+		t.Fatalf("loadgen: %v", err)
+	}
+	lg := lgOut.String()
+	if !strings.Contains(lg, "errors=0") {
+		t.Fatalf("traced burst saw errors: %s", lg)
+	}
+	i := strings.Index(lg, "traces=")
+	if i < 0 {
+		t.Fatalf("loadgen report lists no sample traces: %s", lg)
+	}
+	ids := strings.Fields(lg[i+len("traces="):])[0]
+	tid := strings.Split(ids, ",")[0]
+
+	// That id must resolve at the router into one cross-process tree.
+	resp, err := http.Get(routerURL + "/debug/traces/" + tid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /debug/traces/%s: HTTP %d", tid, resp.StatusCode)
+	}
+	var tres rtrace.TraceResponse
+	if err := json.NewDecoder(resp.Body).Decode(&tres); err != nil {
+		t.Fatal(err)
+	}
+	var chain func(nodes []*rtrace.Node, names []string) bool
+	chain = func(nodes []*rtrace.Node, names []string) bool {
+		if len(names) == 0 {
+			return true
+		}
+		for _, n := range nodes {
+			if n.Name == names[0] && chain(n.Children, names[1:]) {
+				return true
+			}
+			if chain(n.Children, names) {
+				return true
+			}
+		}
+		return false
+	}
+	if !chain(tres.Tree, []string{"router.request", "serve.request", "serve.sweep", "FW"}) {
+		enc, _ := json.MarshalIndent(tres.Tree, "", "  ")
+		t.Fatalf("trace %s lacks router.request → serve.request → serve.sweep → FW:\n%s", tid, enc)
+	}
+
+	// SIGQUIT dumps the router's flight recorder instead of killing the
+	// process (rtrace's handler overrides the runtime default).
+	if err := syscall.Kill(syscall.Getpid(), syscall.SIGQUIT); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for !strings.Contains(stderrOut.String(), "rtrace flight recorder") {
+		if time.Now().After(deadline) {
+			t.Fatalf("no flight-recorder dump after SIGQUIT; stderr:\n%s", stderrOut.String())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if !strings.Contains(stderrOut.String(), "router.request") {
+		t.Fatalf("SIGQUIT dump has no router.request spans:\n%s", stderrOut.String())
+	}
+
+	cancel()
+	if err := <-runErr; err != nil {
+		t.Fatalf("router exit: %v", err)
+	}
+	pw.Close()
+}

@@ -26,6 +26,8 @@ import (
 	"syscall"
 
 	"etalstm"
+	"etalstm/internal/obs"
+	"etalstm/internal/rtrace"
 	"etalstm/internal/serve"
 )
 
@@ -55,16 +57,18 @@ func run(ctx context.Context, args []string, w io.Writer) error {
 		timeout  = fs.Duration("timeout", 0, "per-request deadline (0 = 5s)")
 		pprofOn  = fs.Bool("pprof", false, "mount /debug/pprof/ profiling handlers (exposes internals; keep off on open ports)")
 		adminOn  = fs.Bool("admin", false, "mount POST /v1/admin/reload for checkpoint hot-swap (lets callers name server-side paths; trusted ports only)")
+		traceOn  = fs.Bool("trace", true, "record request traces in the flight recorder at GET /debug/traces; SIGQUIT dumps it to stderr")
 
-		loadgen  = fs.Bool("loadgen", false, "generate load against -target instead of serving")
-		target   = fs.String("target", "http://127.0.0.1:8080", "loadgen: server base URL")
-		conc     = fs.Int("conc", 0, "loadgen: concurrent clients (0 = 32)")
-		n        = fs.Int("n", 0, "loadgen: total requests (0 = 512)")
-		seq      = fs.Int("seq", 0, "loadgen: timesteps per request (0 = 8)")
-		sessions = fs.Int("sessions", 0, "loadgen: spread requests over this many session ids")
-		zipf     = fs.Float64("zipf", 0, "loadgen: Zipf skew exponent over session ranks (0 = uniform round-robin)")
-		sessFrac = fs.Float64("session-frac", 0, "loadgen: fraction of requests carrying a session id (0 = 1.0)")
-		seed     = fs.Uint64("seed", 1, "loadgen: input seed")
+		loadgen    = fs.Bool("loadgen", false, "generate load against -target instead of serving")
+		target     = fs.String("target", "http://127.0.0.1:8080", "loadgen: server base URL")
+		conc       = fs.Int("conc", 0, "loadgen: concurrent clients (0 = 32)")
+		n          = fs.Int("n", 0, "loadgen: total requests (0 = 512)")
+		seq        = fs.Int("seq", 0, "loadgen: timesteps per request (0 = 8)")
+		sessions   = fs.Int("sessions", 0, "loadgen: spread requests over this many session ids")
+		zipf       = fs.Float64("zipf", 0, "loadgen: Zipf skew exponent over session ranks (0 = uniform round-robin)")
+		sessFrac   = fs.Float64("session-frac", 0, "loadgen: fraction of requests carrying a session id (0 = 1.0)")
+		seed       = fs.Uint64("seed", 1, "loadgen: input seed")
+		traceEvery = fs.Int("trace-every", 0, "loadgen: mint a sampled traceparent on every Nth request; the report lists sample trace ids resolvable at the target's /debug/traces (0 = off)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -74,7 +78,7 @@ func run(ctx context.Context, args []string, w io.Writer) error {
 		rep, err := serve.RunLoad(ctx, serve.LoadOptions{
 			Target: *target, Concurrency: *conc, Requests: *n,
 			SeqLen: *seq, Sessions: *sessions, ZipfS: *zipf,
-			SessionFrac: *sessFrac, Seed: *seed,
+			SessionFrac: *sessFrac, Seed: *seed, TraceEvery: *traceEvery,
 		})
 		if err != nil {
 			return err
@@ -91,11 +95,16 @@ func run(ctx context.Context, args []string, w io.Writer) error {
 		return err
 	}
 	cfg := net_.Cfg
-	s := etalstm.NewServer(net_, etalstm.ServeOptions{
+	sopts := etalstm.ServeOptions{
 		MaxBatch: *maxBatch, Window: *window, QueueCap: *queue, Workers: *workers,
 		SessionTTL: *ttl, RequestTimeout: *timeout, EnablePprof: *pprofOn,
-		EnableAdmin: *adminOn,
-	})
+		EnableAdmin: *adminOn, Log: obs.NewLogger(os.Stderr),
+	}
+	if *traceOn {
+		sopts.Tracer = rtrace.New(rtrace.Options{Process: "etaserve"})
+		defer sopts.Tracer.DumpOnSignal(os.Stderr)()
+	}
+	s := etalstm.NewServer(net_, sopts)
 	if *pprofOn {
 		fmt.Fprintln(w, "pprof enabled under /debug/pprof/")
 	}

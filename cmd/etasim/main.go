@@ -15,6 +15,7 @@ import (
 	"os"
 
 	"etalstm"
+	"etalstm/internal/obs"
 )
 
 func main() {
@@ -39,6 +40,7 @@ func run(args []string, w io.Writer) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	obs.RegisterBuildInfo(obs.Default)
 
 	var cfg etalstm.Config
 	label := "custom"

@@ -25,6 +25,8 @@ import (
 	"strings"
 
 	"etalstm"
+	"etalstm/internal/obs"
+	"etalstm/internal/rtrace"
 )
 
 func main() {
@@ -61,6 +63,7 @@ func run(ctx context.Context, args []string, w io.Writer) error {
 		cpuProf   = fs.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf   = fs.String("memprofile", "", "write a heap profile to this file on exit")
 		metrics   = fs.String("metrics-addr", "", `serve GET /metrics (Prometheus text) on this address while training (e.g. "127.0.0.1:9090")`)
+		traceOn   = fs.Bool("trace", false, "record step traces in an in-process flight recorder: SIGQUIT dumps it, -metrics-addr exposes it at /debug/traces")
 
 		coordAddr     = fs.String("coordinator", "", `run as a gradient-merge coordinator on this address (e.g. ":7600"): no training here, just deterministic merge + broadcast for -dist-workers worker processes with matching geometry flags`)
 		workerAddr    = fs.String("worker", "", "join a multi-process run as a worker of the coordinator at this address")
@@ -75,12 +78,24 @@ func run(ctx context.Context, args []string, w io.Writer) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	obs.RegisterBuildInfo(obs.Default)
 
 	if *kernelW > 0 {
 		etalstm.SetWorkers(*kernelW)
 	}
+	var tracer *rtrace.Tracer
+	if *traceOn {
+		proc := "etatrain"
+		if *coordAddr != "" {
+			proc = "etatrain-coordinator"
+		} else if *workerAddr != "" {
+			proc = "etatrain-worker"
+		}
+		tracer = rtrace.Enable(rtrace.Options{Process: proc})
+		defer tracer.DumpOnSignal(os.Stderr)()
+	}
 	if *metrics != "" {
-		stopMetrics, err := serveMetrics(*metrics, w)
+		stopMetrics, err := serveMetrics(*metrics, tracer, w)
 		if err != nil {
 			return err
 		}
@@ -256,13 +271,17 @@ func runCoordinator(ctx context.Context, w io.Writer, addr string, cfg etalstm.C
 // serveMetrics exposes the process-wide telemetry registry over HTTP
 // for the duration of the run. The bound address is printed (addr may
 // end in :0), so scrapers — and the obs smoke test — can find the port.
-func serveMetrics(addr string, w io.Writer) (func(), error) {
+func serveMetrics(addr string, tracer *rtrace.Tracer, w io.Writer) (func(), error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
 	mux := http.NewServeMux()
 	mux.Handle("GET /metrics", etalstm.MetricsHandler())
+	if tracer != nil {
+		mux.Handle("GET /debug/traces", tracer.Handler())
+		mux.Handle("GET /debug/traces/{id}", tracer.Handler())
+	}
 	hs := &http.Server{Handler: mux}
 	go hs.Serve(ln)
 	fmt.Fprintf(w, "metrics: http://%s/metrics\n", ln.Addr())

@@ -19,6 +19,7 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"strconv"
 	"time"
 
 	"etalstm/internal/lstm"
@@ -27,6 +28,7 @@ import (
 	"etalstm/internal/obs"
 	"etalstm/internal/parallel"
 	"etalstm/internal/reorder"
+	"etalstm/internal/rtrace"
 	"etalstm/internal/skip"
 	"etalstm/internal/tensor"
 	"etalstm/internal/train"
@@ -401,7 +403,10 @@ func (tr *Trainer) RunEpoch(ctx context.Context, p train.Provider, epoch int) (S
 	cfg := tr.Net.Cfg
 	start := time.Now()
 	ins := tr.instruments()
-	if tr.RecordPhases && tr.rec == nil {
+	// Phase recording feeds two consumers: the explicit RecordPhases
+	// breakdown and — when a process-default tracer is installed — the
+	// per-step trace's phase child spans (rtrace.FoldPhases).
+	if (tr.RecordPhases || rtrace.Default() != nil) && tr.rec == nil {
 		tr.rec = &obs.Recorder{}
 	}
 	plan := tr.planFor(epoch)
@@ -448,7 +453,7 @@ func (tr *Trainer) RunEpoch(ctx context.Context, p train.Provider, epoch int) (S
 		}
 	} else {
 		tr.Net.Workspace().SetRecorder(tr.rec)
-		epochRes, err = tr.runSerial(ctx, p, fn)
+		epochRes, err = tr.runSerial(ctx, p, fn, epoch)
 	}
 	st.PruneStats = epochRes.Prune
 	st.SkippedCells = epochRes.SkippedCells
@@ -553,17 +558,33 @@ func (tr *Trainer) observeArenas(ins *obs.Train) {
 // runs on the master network and applies through the reducer with a
 // replica count of one, preserving the seed trainer's exact float
 // operation order.
-func (tr *Trainer) runSerial(ctx context.Context, p train.Provider, fn parallel.BatchFn) (parallel.EpochResult, error) {
+func (tr *Trainer) runSerial(ctx context.Context, p train.Provider, fn parallel.BatchFn, epoch int) (parallel.EpochResult, error) {
 	var res parallel.EpochResult
 	red := tr.reducer()
 	ins := tr.instruments()
+	rtr := rtrace.Default()
 	for b := 0; b < p.NumBatches(); b++ {
 		if err := ctx.Err(); err != nil {
 			return res, err
 		}
 		t0 := time.Now()
+		// The step span: one per optimizer step, with the recorder's
+		// phase wall time folded in as children after the step. Disabled
+		// tracing keeps this a nil span — pointer tests only.
+		var step *rtrace.Span
+		var before obs.PhaseSnapshot
+		if rtr != nil {
+			step = rtr.StartSpan("train.step")
+			step.Attr("epoch", strconv.Itoa(epoch))
+			step.Attr("batch", strconv.Itoa(b))
+			before = tr.rec.Snapshot()
+			if s, ok := tr.Sync.(interface{ SetStepSpan(*rtrace.Span) }); ok {
+				s.SetStepSpan(step)
+			}
+		}
 		r, err := fn(tr.Net, p.Batch(b), b)
 		if err != nil {
+			step.FinishErr(err)
 			return res, err
 		}
 		// With no sync configured the batch's gradients apply directly —
@@ -576,6 +597,7 @@ func (tr *Trainer) runSerial(ctx context.Context, p train.Provider, fn parallel.
 			merged, n, serr := tr.Sync.Reduce([]*model.Gradients{r.Grads})
 			sp.End()
 			if serr != nil {
+				step.FinishErr(serr)
 				return res, serr
 			}
 			applied, contribs = merged, n
@@ -583,6 +605,10 @@ func (tr *Trainer) runSerial(ctx context.Context, p train.Provider, fn parallel.
 		sp := tr.rec.Begin(obs.PhaseOptimizer)
 		red.Apply(tr.Net, applied, contribs)
 		sp.End()
+		if step != nil {
+			rtrace.FoldPhases(step, t0, tr.rec.Snapshot().Delta(before))
+			step.Finish()
+		}
 		ins.StepLatency.Observe(time.Since(t0).Seconds())
 		res.Batches++
 		res.TotalLoss += r.Loss

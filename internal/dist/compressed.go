@@ -4,6 +4,7 @@ import (
 	"etalstm/internal/compress"
 	"etalstm/internal/model"
 	"etalstm/internal/obs"
+	"etalstm/internal/rtrace"
 	"etalstm/internal/train"
 )
 
@@ -112,6 +113,14 @@ func (c *Compressed) Reduce(local []*model.Gradients) (*model.Gradients, int, er
 		inner = Inproc{}
 	}
 	return inner.Reduce(local)
+}
+
+// SetStepSpan forwards the trainer's step span to the inner sync when
+// it supports the tracing seam (a wrapped TCP Worker does).
+func (c *Compressed) SetStepSpan(sp *rtrace.Span) {
+	if s, ok := c.Inner.(StepSpanSetter); ok {
+		s.SetStepSpan(sp)
+	}
 }
 
 // Close implements train.GradientSync.

@@ -4,26 +4,49 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
+
+	"etalstm/internal/rtrace"
 )
 
 // The TCP transport speaks length-prefixed frames:
 //
-//	[4B big-endian length N][1B version][1B type][4B step][N-6 byte body]
+//	v1: [4B big-endian length N][1B version][1B type][4B step][N-6 byte body]
+//	v2: [4B length N][1B version][1B type][4B step]
+//	    [16B trace id][8B span id][1B flags][N-31 byte body]
 //
 // The length counts everything after itself (version through body), so
 // N >= 6 always; a reader can frame the stream with one 4-byte read.
 // Step is the coordinator's monotone optimizer-step counter for
 // gradient frames and 0 for control frames.
+//
+// v2 extends every frame with a 25-byte trace context so one optimizer
+// step resolves to a single cross-process trace: FrameGrads carries the
+// worker's upload-span identity, FrameMerged the coordinator's step
+// span, and workers re-parent their spans onto the coordinator's trace
+// (rtrace.Span.Adopt). A zero trace id means "no trace"; the flags bit
+// FlagSampled forwards the head-sampling decision so every process in
+// the step keeps or drops the trace together. Decoders accept both
+// versions — a v1 frame simply has a zero trace context — while
+// encoders emit v2 unless the frame pins Ver.
 const (
-	// FrameVersion is the protocol version; a mismatch fails the
-	// handshake rather than guessing at payload layouts.
-	FrameVersion = 1
-	// frameHeader is the byte count the length prefix covers before the
-	// body (version + type + step).
+	// FrameVersion is the protocol version new frames are encoded with;
+	// decoders also accept v1 so mixed-version fleets can drain.
+	FrameVersion = 2
+	// frameHeader is the v1 byte count the length prefix covers before
+	// the body (version + type + step).
 	frameHeader = 6
+	// traceCtxLen is the v2 trace-context extension: trace id, span id
+	// and a flags byte.
+	traceCtxLen = 16 + 8 + 1
+	// frameHeaderV2 is the v2 pre-body byte count.
+	frameHeaderV2 = frameHeader + traceCtxLen
 	// MaxFrameBody caps decoded body sizes so a corrupt or hostile
 	// length prefix cannot ask the reader to allocate gigabytes.
 	MaxFrameBody = 1 << 28
+
+	// FlagSampled marks the frame's trace as head-sampled: the
+	// receiving process's flight recorder should keep it too.
+	FlagSampled byte = 1 << 0
 )
 
 // FrameType discriminates the transport's messages.
@@ -56,18 +79,46 @@ func (t FrameType) valid() bool { return t >= FrameHello && t <= FrameError }
 // Frame is one decoded transport message. Body aliases the decode
 // buffer: it is only valid until that buffer's next use.
 type Frame struct {
+	// Ver pins the encoding version (0 = FrameVersion). Decoders set it
+	// to the version they saw, so decode → encode reproduces the exact
+	// wire bytes for either version.
+	Ver  byte
 	Type FrameType
 	Step uint32
-	Body []byte
+	// TraceID/SpanID/Flags are the v2 trace context (zero on v1 frames
+	// and on untraced v2 frames).
+	TraceID rtrace.TraceID
+	SpanID  rtrace.SpanID
+	Flags   byte
+	Body    []byte
 }
+
+// Traced reports whether the frame carries a trace context.
+func (f Frame) Traced() bool { return !f.TraceID.IsZero() }
+
+// Sampled reports the frame's head-sampling decision.
+func (f Frame) Sampled() bool { return f.Flags&FlagSampled != 0 }
 
 // AppendFrame appends f's length-prefixed encoding to dst and returns
 // the extended slice (append-style, alloc-free once dst has capacity).
 func AppendFrame(dst []byte, f Frame) []byte {
-	n := frameHeader + len(f.Body)
+	ver := f.Ver
+	if ver == 0 {
+		ver = FrameVersion
+	}
+	hdr := frameHeader
+	if ver >= 2 {
+		hdr = frameHeaderV2
+	}
+	n := hdr + len(f.Body)
 	dst = binary.BigEndian.AppendUint32(dst, uint32(n))
-	dst = append(dst, FrameVersion, byte(f.Type))
+	dst = append(dst, ver, byte(f.Type))
 	dst = binary.BigEndian.AppendUint32(dst, f.Step)
+	if ver >= 2 {
+		dst = append(dst, f.TraceID[:]...)
+		dst = append(dst, f.SpanID[:]...)
+		dst = append(dst, f.Flags)
+	}
 	return append(dst, f.Body...)
 }
 
@@ -75,27 +126,50 @@ func AppendFrame(dst []byte, f Frame) []byte {
 // returning the frame (Body aliases b) and the bytes consumed. It
 // rejects short inputs, oversized or undersized lengths, version
 // mismatches and unknown types — the validation surface FuzzFrameDecode
-// hammers.
+// hammers. Both v1 and v2 frames decode; v1 yields a zero trace
+// context.
 func DecodeFrame(b []byte) (Frame, int, error) {
 	if len(b) < 4 {
 		return Frame{}, 0, fmt.Errorf("dist: frame truncated before length prefix (%d bytes)", len(b))
 	}
 	n := binary.BigEndian.Uint32(b)
-	if n < frameHeader || n > frameHeader+MaxFrameBody {
-		return Frame{}, 0, fmt.Errorf("dist: frame length %d outside [%d, %d]", n, frameHeader, frameHeader+MaxFrameBody)
+	if n < frameHeader || n > frameHeaderV2+MaxFrameBody {
+		return Frame{}, 0, fmt.Errorf("dist: frame length %d outside [%d, %d]", n, frameHeader, frameHeaderV2+MaxFrameBody)
 	}
 	total := 4 + int(n)
 	if len(b) < total {
 		return Frame{}, 0, fmt.Errorf("dist: frame truncated: length prefix says %d, have %d", total, len(b))
 	}
-	if b[4] != FrameVersion {
-		return Frame{}, 0, fmt.Errorf("dist: frame version %d, want %d", b[4], FrameVersion)
+	ver := b[4]
+	var hdr int
+	switch ver {
+	case 1:
+		hdr = frameHeader
+	case 2:
+		if n < frameHeaderV2 {
+			return Frame{}, 0, fmt.Errorf("dist: v2 frame length %d shorter than header %d", n, frameHeaderV2)
+		}
+		hdr = frameHeaderV2
+	default:
+		return Frame{}, 0, fmt.Errorf("dist: frame version %d, want 1 or %d", ver, FrameVersion)
+	}
+	if int(n)-hdr > MaxFrameBody {
+		return Frame{}, 0, fmt.Errorf("dist: frame body %d exceeds cap %d", int(n)-hdr, MaxFrameBody)
 	}
 	typ := FrameType(b[5])
 	if !typ.valid() {
 		return Frame{}, 0, fmt.Errorf("dist: unknown frame type %d", typ)
 	}
-	return Frame{Type: typ, Step: binary.BigEndian.Uint32(b[6:]), Body: b[10:total]}, total, nil
+	f := Frame{Ver: ver, Type: typ, Step: binary.BigEndian.Uint32(b[6:])}
+	off := 4 + frameHeader
+	if ver >= 2 {
+		copy(f.TraceID[:], b[off:off+16])
+		copy(f.SpanID[:], b[off+16:off+24])
+		f.Flags = b[off+24]
+		off += traceCtxLen
+	}
+	f.Body = b[off:total]
+	return f, total, nil
 }
 
 // ReadFrame reads one frame from r into scratch (grown as needed) and
@@ -107,8 +181,8 @@ func ReadFrame(r io.Reader, scratch []byte) (Frame, []byte, error) {
 		return Frame{}, scratch, err
 	}
 	n := binary.BigEndian.Uint32(hdr[:])
-	if n < frameHeader || n > frameHeader+MaxFrameBody {
-		return Frame{}, scratch, fmt.Errorf("dist: frame length %d outside [%d, %d]", n, frameHeader, frameHeader+MaxFrameBody)
+	if n < frameHeader || n > frameHeaderV2+MaxFrameBody {
+		return Frame{}, scratch, fmt.Errorf("dist: frame length %d outside [%d, %d]", n, frameHeader, frameHeaderV2+MaxFrameBody)
 	}
 	need := 4 + int(n)
 	if cap(scratch) < need {

@@ -6,11 +6,13 @@ import (
 	"fmt"
 	"net"
 	"sort"
+	"strconv"
 	"time"
 
 	"etalstm/internal/compress"
 	"etalstm/internal/model"
 	"etalstm/internal/obs"
+	"etalstm/internal/rtrace"
 	"etalstm/internal/train"
 )
 
@@ -56,6 +58,10 @@ type CoordinatorOptions struct {
 	// Metrics overrides the obs bundle (nil = lazily bound to
 	// obs.Default).
 	Metrics *obs.Dist
+	// Tracer overrides the flight recorder the coordinator's per-step
+	// "dist.step" spans land in (nil = rtrace.Default(), which may
+	// itself be nil = tracing disabled).
+	Tracer *rtrace.Tracer
 }
 
 func (o CoordinatorOptions) deadline() time.Duration {
@@ -91,6 +97,10 @@ type coordEvent struct {
 	wire     int64 // received gradient payload bytes
 	gone     bool
 	err      error
+	// tid/sid are the worker upload span's trace context (zero when the
+	// worker traced nothing or spoke frame v1).
+	tid rtrace.TraceID
+	sid rtrace.SpanID
 }
 
 // Coordinator merges and broadcasts gradient steps for a set of TCP
@@ -273,7 +283,8 @@ func (c *Coordinator) reader(w *coordWorker, events chan<- coordEvent) {
 				events <- coordEvent{id: w.id, gone: true, err: fmt.Errorf("dist: worker %d: %w", w.id, err)}
 				return
 			}
-			events <- coordEvent{id: w.id, step: f.Step, contribs: contribs, wire: int64(len(f.Body))}
+			events <- coordEvent{id: w.id, step: f.Step, contribs: contribs, wire: int64(len(f.Body)),
+				tid: f.TraceID, sid: f.SpanID}
 			select {
 			case <-w.ack:
 			case <-c.quit:
@@ -299,6 +310,10 @@ func (c *Coordinator) mergeLoop(workers []*coordWorker) error {
 		go c.reader(w, events)
 	}
 	ins := lazyDist(&c.opts.Metrics)
+	tracer := c.opts.Tracer
+	if tracer == nil {
+		tracer = rtrace.Default()
+	}
 	byID := make(map[int]*coordWorker, len(workers))
 	live := make(map[int]bool, len(workers))
 	for _, w := range workers {
@@ -323,10 +338,16 @@ func (c *Coordinator) mergeLoop(workers []*coordWorker) error {
 
 	var step uint32
 	for len(live) > 0 {
+		// The step span: the coordinator owns the step's trace, and its
+		// context rides the merged broadcast so every worker's upload
+		// span re-parents onto it (one cross-process step trace).
+		sp := tracer.StartSpan("dist.step")
+		sp.Attr("step", strconv.Itoa(int(step)))
 		contrib := map[int]int{} // worker id -> contribution count, this step
 		var stepWire, stepDense int64
 		var timer *time.Timer
 		var deadlineC <-chan time.Time
+		var quorumAt time.Time
 		stopTimer := func() {
 			if timer != nil {
 				timer.Stop()
@@ -355,6 +376,7 @@ func (c *Coordinator) mergeLoop(workers []*coordWorker) error {
 			if deadlineC == nil && quorum < c.opts.ExpectWorkers && len(contrib) >= quorum {
 				timer = time.NewTimer(c.opts.deadline())
 				deadlineC = timer.C
+				quorumAt = time.Now()
 			}
 			select {
 			case ev := <-events:
@@ -362,6 +384,7 @@ func (c *Coordinator) mergeLoop(workers []*coordWorker) error {
 				switch {
 				case ev.gone:
 					delete(live, ev.id)
+					sp.Event("worker-gone", "worker", strconv.Itoa(ev.id))
 					if ev.err != nil && c.err == nil {
 						// Remember the first worker-side fault for Wait,
 						// but keep draining the rest of the session.
@@ -371,6 +394,7 @@ func (c *Coordinator) mergeLoop(workers []*coordWorker) error {
 					contrib[ev.id] = ev.contribs
 					stepWire += ev.wire
 					stepDense += denseTmpl
+					sp.Event("upload", "worker", strconv.Itoa(ev.id), "span", ev.sid.String())
 				case ev.step < step:
 					// A straggler's contribution for an already-admitted
 					// step: fold it into this one so no mass is lost.
@@ -380,25 +404,36 @@ func (c *Coordinator) mergeLoop(workers []*coordWorker) error {
 					ins.LateContribs.Inc()
 					stepWire += ev.wire
 					stepDense += denseTmpl
+					sp.Event("late-fold", "worker", strconv.Itoa(ev.id), "from_step", strconv.Itoa(int(ev.step)))
 					w.ack <- struct{}{}
 				default:
-					return fmt.Errorf("dist: worker %d sent step %d while coordinator at %d", ev.id, ev.step, step)
+					err := fmt.Errorf("dist: worker %d sent step %d while coordinator at %d", ev.id, ev.step, step)
+					sp.FinishErr(err)
+					return err
 				}
 			case <-deadlineC:
 				deadlineC, timer = nil, nil
+				sp.Event("quorum-admit",
+					"contributed", strconv.Itoa(len(contrib)),
+					"live", strconv.Itoa(len(live)),
+					"straggler_wait_ms", strconv.FormatInt(time.Since(quorumAt).Milliseconds(), 10))
 				break collect
 			case <-c.quit:
 				stopTimer()
-				return fmt.Errorf("dist: coordinator closed at step %d", step)
+				err := fmt.Errorf("dist: coordinator closed at step %d", step)
+				sp.FinishErr(err)
+				return err
 			}
 		}
 		stopTimer()
 		if len(live) == 0 && len(contrib) == 0 {
+			sp.Finish()
 			break
 		}
 
 		// Merge in ascending worker-id order — the same deterministic
 		// tree the in-process path uses.
+		msp := sp.Child("dist.merge")
 		ids := make([]int, 0, len(contrib))
 		for id := range contrib {
 			ids = append(ids, id)
@@ -427,6 +462,7 @@ func (c *Coordinator) mergeLoop(workers []*coordWorker) error {
 		if stale {
 			c.staleSteps++
 			ins.StaleSteps.Inc()
+			sp.Attr("stale", "true")
 		}
 
 		// Encode once, broadcast the identical payload to every live
@@ -446,9 +482,14 @@ func (c *Coordinator) mergeLoop(workers []*coordWorker) error {
 			body = appendDense(body, tensorsOf(merged))
 			payloadWire = denseTmpl
 		}
+		var flags byte
+		if sp.Sampled() {
+			flags |= FlagSampled
+		}
 		for _, w := range live2slice(byID, live) {
 			var werr error
-			if sendBuf, werr = writeFrame(w.bw, sendBuf, Frame{Type: FrameMerged, Step: step, Body: body}); werr == nil {
+			if sendBuf, werr = writeFrame(w.bw, sendBuf, Frame{Type: FrameMerged, Step: step, Body: body,
+				TraceID: sp.TraceID(), SpanID: sp.SpanID(), Flags: flags}); werr == nil {
 				werr = w.bw.Flush()
 			}
 			if werr != nil {
@@ -459,10 +500,13 @@ func (c *Coordinator) mergeLoop(workers []*coordWorker) error {
 			stepWire += payloadWire
 			stepDense += denseTmpl
 		}
+		msp.Attr("contribs", strconv.Itoa(total))
+		msp.Finish()
 		// Release the contributors' buffers for the next decode.
 		for _, id := range ids {
 			byID[id].ack <- struct{}{}
 		}
+		sp.Finish()
 
 		c.steps++
 		ins.Steps.Inc()
@@ -510,6 +554,9 @@ type WorkerOptions struct {
 	// Metrics overrides the obs bundle (nil = lazily bound to
 	// obs.Default).
 	Metrics *obs.Dist
+	// Tracer overrides the flight recorder the worker's "dist.upload"
+	// spans land in (nil = rtrace.Default()).
+	Tracer *rtrace.Tracer
 }
 
 // Worker is the worker-process side of the TCP transport; it implements
@@ -533,6 +580,23 @@ type Worker struct {
 
 	wire, dense int64
 	closed      bool
+
+	// stepSpan, when set, parents the next Reduce's upload span — the
+	// trainer's per-step span (core/parallel install it via the
+	// StepSpanSetter seam so the upload nests under the training step).
+	stepSpan *rtrace.Span
+}
+
+// SetStepSpan parents the next Reduce's "dist.upload" span under sp —
+// the seam trainers use to nest the network exchange inside their
+// per-step trace. Passing nil reverts to root upload spans.
+func (w *Worker) SetStepSpan(sp *rtrace.Span) { w.stepSpan = sp }
+
+// StepSpanSetter is the optional interface a train.GradientSync
+// implements when it can nest its per-step wire exchange under the
+// trainer's step span.
+type StepSpanSetter interface {
+	SetStepSpan(sp *rtrace.Span)
 }
 
 var _ train.GradientSync = (*Worker)(nil)
@@ -625,6 +689,23 @@ func (w *Worker) Reduce(local []*model.Gradients) (*model.Gradients, int, error)
 	if len(local) == 0 {
 		return nil, 0, fmt.Errorf("dist: Reduce requires at least one local contribution")
 	}
+	// The upload span: nested under the trainer's step span when one was
+	// installed, a root otherwise. Its identity rides the FrameGrads
+	// trace context; the merged broadcast then re-parents it onto the
+	// coordinator's step trace (Adopt), so the whole local step — FW/BP
+	// phases included — lands in one cross-process trace.
+	tracer := w.opts.Tracer
+	if tracer == nil {
+		tracer = rtrace.Default()
+	}
+	var sp *rtrace.Span
+	if w.stepSpan != nil {
+		sp = w.stepSpan.Child("dist.upload")
+	} else {
+		sp = tracer.StartSpan("dist.upload")
+	}
+	sp.Attr("worker", strconv.Itoa(w.id))
+	sp.Attr("step", strconv.Itoa(int(w.step)))
 	sum := TreeReduce(local)
 	w.body = w.body[:0]
 	w.body = binary.BigEndian.AppendUint32(w.body, uint32(len(local)))
@@ -642,31 +723,54 @@ func (w *Worker) Reduce(local []*model.Gradients) (*model.Gradients, int, error)
 		w.body = appendDense(w.body, tensors)
 		upWire = dense
 	}
+	var flags byte
+	if sp.Sampled() {
+		flags |= FlagSampled
+	}
 	var err error
-	if w.sendBuf, err = writeFrame(w.conn, w.sendBuf, Frame{Type: FrameGrads, Step: w.step, Body: w.body}); err != nil {
-		return nil, 0, fmt.Errorf("dist: sending step %d: %w", w.step, err)
+	if w.sendBuf, err = writeFrame(w.conn, w.sendBuf, Frame{Type: FrameGrads, Step: w.step, Body: w.body,
+		TraceID: sp.TraceID(), SpanID: sp.SpanID(), Flags: flags}); err != nil {
+		err = fmt.Errorf("dist: sending step %d: %w", w.step, err)
+		sp.FinishErr(err)
+		return nil, 0, err
 	}
 
 	f, readBuf, err := ReadFrame(w.br, w.readBuf)
 	w.readBuf = readBuf
 	if err != nil {
-		return nil, 0, fmt.Errorf("dist: awaiting merged step %d: %w", w.step, err)
+		err = fmt.Errorf("dist: awaiting merged step %d: %w", w.step, err)
+		sp.FinishErr(err)
+		return nil, 0, err
 	}
 	switch f.Type {
 	case FrameMerged:
 	case FrameError:
-		return nil, 0, fmt.Errorf("dist: coordinator error: %s", f.Body)
+		err = fmt.Errorf("dist: coordinator error: %s", f.Body)
+		sp.FinishErr(err)
+		return nil, 0, err
 	default:
-		return nil, 0, fmt.Errorf("dist: unexpected frame type %d at step %d", f.Type, w.step)
+		err = fmt.Errorf("dist: unexpected frame type %d at step %d", f.Type, w.step)
+		sp.FinishErr(err)
+		return nil, 0, err
 	}
 	if f.Step != w.step {
-		return nil, 0, fmt.Errorf("dist: merged frame for step %d, expected %d", f.Step, w.step)
+		err = fmt.Errorf("dist: merged frame for step %d, expected %d", f.Step, w.step)
+		sp.FinishErr(err)
+		return nil, 0, err
 	}
 	if len(f.Body) < 4 {
-		return nil, 0, fmt.Errorf("dist: short merged frame")
+		err = fmt.Errorf("dist: short merged frame")
+		sp.FinishErr(err)
+		return nil, 0, err
+	}
+	// Re-parent onto the coordinator's step trace: the broadcast is the
+	// first moment this worker learns which trace the step belongs to.
+	if f.Traced() {
+		sp.Adopt(f.TraceID, f.SpanID, f.Sampled())
 	}
 	total := int(binary.BigEndian.Uint32(f.Body))
 	if err := decodeGradients(f.Body[4:], w.recv); err != nil {
+		sp.FinishErr(err)
 		return nil, 0, err
 	}
 	downWire := int64(len(f.Body) - 4)
@@ -679,6 +783,8 @@ func (w *Worker) Reduce(local []*model.Gradients) (*model.Gradients, int, error)
 	if upWire+downWire > 0 {
 		ins.Compression.Set(float64(2*dense) / float64(upWire+downWire))
 	}
+	sp.Attr("contribs", strconv.Itoa(total))
+	sp.Finish()
 	w.step++
 	return w.recv, total, nil
 }

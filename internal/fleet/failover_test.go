@@ -1,0 +1,169 @@
+package fleet
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"etalstm/internal/rtrace"
+	"etalstm/internal/serve"
+)
+
+// TestRouterReplicaHeader: every proxied infer response names the
+// replica that served it, so clients and tests can attribute answers
+// without scraping /fleet.
+func TestRouterReplicaHeader(t *testing.T) {
+	fakes := []*fakeReplica{newFakeReplica(t, 0, 0), newFakeReplica(t, 0, 0)}
+	rt := testRouter(t, Options{}, fakes...)
+	hs := httptest.NewServer(rt.Handler())
+	defer hs.Close()
+
+	resp, err := hs.Client().Post(hs.URL+"/v1/infer", "application/json",
+		strings.NewReader(`{"inputs":[[0.1,0.2,0.3,0.4]]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("infer via router: HTTP %d", resp.StatusCode)
+	}
+	got := resp.Header.Get("X-Eta-Replica")
+	if got != fakes[0].hs.URL && got != fakes[1].hs.URL {
+		t.Fatalf("X-Eta-Replica = %q, want one of the replica URLs", got)
+	}
+}
+
+// TestRouterAllShed429: when every candidate sheds a stateless request,
+// the router must hand the client the replicas' 429 — Retry-After
+// intact — not convert it into a 502.
+func TestRouterAllShed429(t *testing.T) {
+	fakes := []*fakeReplica{newFakeReplica(t, 0, 0), newFakeReplica(t, 0, 0), newFakeReplica(t, 0, 0)}
+	for _, f := range fakes {
+		f.shed.Store(true)
+	}
+	rt := testRouter(t, Options{}, fakes...)
+	hs := httptest.NewServer(rt.Handler())
+	defer hs.Close()
+
+	resp, err := hs.Client().Post(hs.URL+"/v1/infer", "application/json",
+		strings.NewReader(`{"inputs":[[0.5,0.5,0.5,0.5]]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("all-shed stateless request: HTTP %d, want 429", resp.StatusCode)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra != "3" {
+		t.Fatalf("Retry-After = %q, want the replicas' hint %q", ra, "3")
+	}
+	if rt.retries.Value() == 0 {
+		t.Fatal("stateless shed must have tried the ring successors first")
+	}
+}
+
+// TestRouterSticky429NoFailover: a sticky session's state lives on its
+// ring owner — shedding there must surface to the client immediately,
+// never fork the session onto a successor.
+func TestRouterSticky429NoFailover(t *testing.T) {
+	fakes := []*fakeReplica{newFakeReplica(t, 0, 0), newFakeReplica(t, 0, 0), newFakeReplica(t, 0, 0)}
+	for _, f := range fakes {
+		f.shed.Store(true)
+	}
+	rt := testRouter(t, Options{}, fakes...)
+	hs := httptest.NewServer(rt.Handler())
+	defer hs.Close()
+
+	resp, err := hs.Client().Post(hs.URL+"/v1/infer", "application/json",
+		strings.NewReader(`{"inputs":[[0.1,0.2,0.3,0.4]],"session":"pinned"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("shed sticky request: HTTP %d, want 429", resp.StatusCode)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra != "3" {
+		t.Fatalf("Retry-After = %q, want %q", ra, "3")
+	}
+	if got := rt.retries.Value(); got != 0 {
+		t.Fatalf("%d failovers on a sticky shed; the session owner's 429 must be final", got)
+	}
+}
+
+// TestRouterTraceFanout is the cross-process acceptance check: a traced
+// request through the router leaves spans in two flight recorders
+// (router + replica), and GET /debug/traces/{id} on the router merges
+// them into one tree — router.request at the root with the replica's
+// serve.request chain beneath it.
+func TestRouterTraceFanout(t *testing.T) {
+	routerTr := rtrace.New(rtrace.Options{Process: "router"})
+	replicaTr := rtrace.New(rtrace.Options{Process: "replica"})
+	net := realNet(t, 11)
+	_, replica := realReplica(t, net, serve.Options{MaxBatch: 4, Window: time.Millisecond, Tracer: replicaTr})
+
+	rt := testRouter(t, Options{Tracer: routerTr, Replicas: []string{replica.URL}})
+	hs := httptest.NewServer(rt.Handler())
+	defer hs.Close()
+
+	tid, sid := rtrace.NewIDs()
+	req, err := http.NewRequest(http.MethodPost, hs.URL+"/v1/infer",
+		bytes.NewReader([]byte(`{"inputs":[[0.1,0.2,0.3,0.4],[0.4,0.3,0.2,0.1]]}`)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(rtrace.TraceparentHeader, rtrace.FormatTraceparent(tid, sid, true))
+	resp, err := hs.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("traced infer via router: HTTP %d", resp.StatusCode)
+	}
+
+	tr, err := hs.Client().Get(hs.URL + "/debug/traces/" + tid.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Body.Close()
+	if tr.StatusCode != http.StatusOK {
+		t.Fatalf("router GET /debug/traces/{id}: HTTP %d", tr.StatusCode)
+	}
+	var tres rtrace.TraceResponse
+	if err := json.NewDecoder(tr.Body).Decode(&tres); err != nil {
+		t.Fatal(err)
+	}
+
+	// The merged tree must chain router.request → serve.request →
+	// serve.sweep across the two processes.
+	var chain func(nodes []*rtrace.Node, names []string) bool
+	chain = func(nodes []*rtrace.Node, names []string) bool {
+		if len(names) == 0 {
+			return true
+		}
+		for _, n := range nodes {
+			if n.Name == names[0] && chain(n.Children, names[1:]) {
+				return true
+			}
+			if chain(n.Children, names) {
+				return true
+			}
+		}
+		return false
+	}
+	if !chain(tres.Tree, []string{"router.request", "serve.request", "serve.sweep"}) {
+		enc, _ := json.MarshalIndent(tres.Tree, "", "  ")
+		t.Fatalf("merged trace lacks router.request → serve.request → serve.sweep:\n%s", enc)
+	}
+}

@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"etalstm/internal/model"
+	"etalstm/internal/obs"
 	"etalstm/internal/persist"
 	"etalstm/internal/rng"
 	"etalstm/internal/serve"
@@ -86,7 +87,7 @@ func TestFleetDrainMigratesSessions(t *testing.T) {
 		Replicas:      []string{gateA.URL, hsB.URL},
 		ProbeInterval: -1,
 		EjectAfter:    2,
-		Logf:          t.Logf,
+		Log:           obs.NewLoggerFunc(t.Logf),
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -188,7 +189,7 @@ func TestFleetSwapZeroDrop(t *testing.T) {
 	rt, err := New(Options{
 		Replicas:      []string{hsA.URL, hsB.URL},
 		ProbeInterval: -1,
-		Logf:          t.Logf,
+		Log:           obs.NewLoggerFunc(t.Logf),
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -273,7 +274,7 @@ func TestFleetSwapZeroDrop(t *testing.T) {
 func TestFleetSwapBadPathAborts(t *testing.T) {
 	net1 := realNet(t, 51)
 	sA, hsA := realReplica(t, net1, serve.Options{MaxBatch: 4, EnableAdmin: true})
-	rt, err := New(Options{Replicas: []string{hsA.URL}, ProbeInterval: -1, Logf: t.Logf})
+	rt, err := New(Options{Replicas: []string{hsA.URL}, ProbeInterval: -1, Log: obs.NewLoggerFunc(t.Logf)})
 	if err != nil {
 		t.Fatal(err)
 	}

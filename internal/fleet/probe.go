@@ -37,7 +37,7 @@ func (rt *Router) ProbeOnce(ctx context.Context) {
 			switch m.state {
 			case stateDegraded:
 				m.state = stateHealthy
-				rt.opts.Logf("fleet: replica %s healthy again", m.url)
+				rt.opts.Log.Info("fleet: replica healthy again", "replica", m.url)
 			case stateEjected:
 				if m.oks >= rt.opts.RecoverAfter {
 					m.state = stateHealthy
@@ -45,7 +45,7 @@ func (rt *Router) ProbeOnce(ctx context.Context) {
 					rt.ring.Add(m.url)
 					rt.lastRemap.Set(RemapFraction(before, rt.ring, 0))
 					rt.rejoins.Inc()
-					rt.opts.Logf("fleet: replica %s re-admitted after %d consecutive successes", m.url, m.oks)
+					rt.opts.Log.Info("fleet: replica re-admitted", "replica", m.url, "consecutive_oks", m.oks)
 				}
 			}
 			if m.state != stateEjected {
@@ -57,7 +57,7 @@ func (rt *Router) ProbeOnce(ctx context.Context) {
 			switch m.state {
 			case stateHealthy:
 				m.state = stateDegraded
-				rt.opts.Logf("fleet: replica %s degraded (probe failure %d/%d)", m.url, m.fails, rt.opts.EjectAfter)
+				rt.opts.Log.Warn("fleet: replica degraded", "replica", m.url, "fails", m.fails, "eject_after", rt.opts.EjectAfter)
 			case stateDegraded:
 				if m.fails >= rt.opts.EjectAfter {
 					m.state = stateEjected
@@ -66,7 +66,7 @@ func (rt *Router) ProbeOnce(ctx context.Context) {
 					rt.lastRemap.Set(RemapFraction(before, rt.ring, 0))
 					rt.ejections.Inc()
 					toDrain = append(toDrain, m)
-					rt.opts.Logf("fleet: replica %s ejected after %d consecutive failures", m.url, m.fails)
+					rt.opts.Log.Warn("fleet: replica ejected", "replica", m.url, "fails", m.fails)
 				}
 			}
 		}
@@ -131,14 +131,14 @@ func (rt *Router) probe(ctx context.Context, m *member) (bool, float64) {
 func (rt *Router) drain(ctx context.Context, m *member) {
 	status, body, _, err := rt.forwardTimeout(ctx, m, http.MethodGet, "/v1/sessions", nil)
 	if err != nil || status != http.StatusOK {
-		rt.opts.Logf("fleet: cannot list sessions on ejected %s (sessions lost): %v", m.url, err)
+		rt.opts.Log.Error("fleet: cannot list sessions on ejected replica (sessions lost)", "replica", m.url, "err", err)
 		return
 	}
 	var lst struct {
 		Sessions []string `json:"sessions"`
 	}
 	if err := json.Unmarshal(body, &lst); err != nil {
-		rt.opts.Logf("fleet: bad session list from %s: %v", m.url, err)
+		rt.opts.Log.Error("fleet: bad session list", "replica", m.url, "err", err)
 		return
 	}
 	for _, id := range lst.Sessions {
@@ -149,7 +149,7 @@ func (rt *Router) drain(ctx context.Context, m *member) {
 		}
 	}
 	if n := len(lst.Sessions); n > 0 {
-		rt.opts.Logf("fleet: drained %d sessions off %s", n, m.url)
+		rt.opts.Log.Info("fleet: drained sessions off ejected replica", "sessions", n, "replica", m.url)
 	}
 }
 

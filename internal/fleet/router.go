@@ -9,8 +9,8 @@ import (
 	"errors"
 	"fmt"
 	"io"
-	"log"
 	"net/http"
+	"os"
 	"sort"
 	"strconv"
 	"strings"
@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"etalstm/internal/obs"
+	"etalstm/internal/rtrace"
 )
 
 // maxBodyBytes bounds proxied request bodies, matching serve's limit.
@@ -53,8 +54,16 @@ type Options struct {
 	ScaleUpDepth   float64
 	ScaleDownDepth float64
 	AdvisorTicks   int
-	// Logf receives membership and swap events (nil = log.Printf).
-	Logf func(format string, args ...any)
+	// Log receives membership and swap events as structured records
+	// (nil = text log on stderr, preserving the old log.Printf behavior;
+	// tests pass obs.NewLoggerFunc(t.Logf)).
+	Log *obs.Logger
+	// Tracer, when non-nil, traces routed requests (routing choice,
+	// failover hops, shed decisions) into its flight recorder, forwards
+	// trace context to replicas via the traceparent header, and mounts
+	// GET /debug/traces (+ /debug/traces/{id}, which fans out to the
+	// replicas and merges their spans into one cross-process tree).
+	Tracer *rtrace.Tracer
 }
 
 func (o Options) withDefaults() Options {
@@ -82,8 +91,8 @@ func (o Options) withDefaults() Options {
 	if o.AdvisorTicks <= 0 {
 		o.AdvisorTicks = 3
 	}
-	if o.Logf == nil {
-		o.Logf = log.Printf
+	if o.Log == nil {
+		o.Log = obs.NewLogger(os.Stderr)
 	}
 	return o
 }
@@ -151,6 +160,7 @@ func New(opts Options) (*Router, error) {
 		func() float64 { rt.mu.Lock(); defer rt.mu.Unlock(); return float64(rt.ring.Size()) })
 	rt.reg.GaugeFunc(metricSwapGen, "completed fleet checkpoint swaps",
 		func() float64 { return float64(rt.swapGen.Load()) })
+	obs.RegisterBuildInfo(rt.reg)
 
 	for _, url := range opts.Replicas {
 		url = strings.TrimRight(url, "/")
@@ -203,6 +213,10 @@ func (rt *Router) routes() *http.ServeMux {
 	mux.HandleFunc("GET /statz", rt.handleFleet)
 	mux.HandleFunc("GET /metrics", rt.handleMetrics)
 	mux.HandleFunc("POST /admin/swap", rt.handleSwap)
+	if rt.opts.Tracer != nil {
+		mux.Handle("GET /debug/traces", rt.opts.Tracer.Handler())
+		mux.HandleFunc("GET /debug/traces/{id}", rt.handleTraceByID)
+	}
 	return mux
 }
 
@@ -230,15 +244,23 @@ type sessionProbe struct {
 // two choices — digest affinity is a preference, balance is a
 // guarantee). Transport errors, 5xx and 503 fail over to ring
 // successors; 410 Gone means the session moved, and the successor
-// (where the drain put it) is exactly the next candidate.
+// (where the drain put it) is exactly the next candidate. A 429 shed
+// fails over too — but only for stateless requests: a sticky session's
+// state lives on its ring owner, so shedding there must surface to the
+// client (with the replica's Retry-After intact) rather than fork the
+// session on a successor.
 func (rt *Router) handleInfer(w http.ResponseWriter, r *http.Request) {
+	sp := rt.startSpan("router.request", r)
+	defer sp.Finish()
 	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBodyBytes))
 	if err != nil {
+		sp.Errorf("bad body")
 		httpError(w, http.StatusBadRequest, fmt.Sprintf("reading body: %v", err))
 		return
 	}
 	var probe sessionProbe
 	if err := json.Unmarshal(body, &probe); err != nil {
+		sp.Errorf("malformed JSON")
 		httpError(w, http.StatusBadRequest, fmt.Sprintf("malformed JSON body: %v", err))
 		return
 	}
@@ -251,43 +273,82 @@ func (rt *Router) handleInfer(w http.ResponseWriter, r *http.Request) {
 		sum := sha256.Sum256(body)
 		key = "d:" + hex.EncodeToString(sum[:8])
 	}
+	sp.Attr("key", key)
 	cands := rt.pick(key, sticky)
 	if len(cands) == 0 {
+		sp.Errorf("no routable replicas")
 		httpError(w, http.StatusServiceUnavailable, "fleet: no routable replicas")
 		return
 	}
+	sp.Event("route", "replica", cands[0].url, "candidates", strconv.Itoa(len(cands)))
 	ctx, cancel := context.WithTimeout(r.Context(), rt.opts.RequestTimeout)
 	defer cancel()
 	var lastStatus int
 	var lastBody []byte
+	var lastHdr http.Header
 	for i, m := range cands {
 		if i > 0 {
 			rt.retries.Inc()
+			sp.Event("failover", "to", m.url, "after_status", strconv.Itoa(lastStatus))
 		}
-		status, respBody, hdr, err := rt.forward(ctx, m, http.MethodPost, "/v1/infer", body)
+		status, respBody, hdr, err := rt.forward(ctx, m, http.MethodPost, "/v1/infer", body, sp.Traceparent())
 		if err != nil {
 			if ctx.Err() != nil {
+				sp.SetError(ctx.Err())
 				httpError(w, http.StatusGatewayTimeout, ctx.Err().Error())
 				return
 			}
+			sp.Event("transport-error", "replica", m.url)
 			continue // transport failure: next candidate
 		}
-		if status >= 500 || status == http.StatusGone {
-			// 5xx (including a draining replica's 503) and moved
-			// sessions fail over; remember the answer in case every
-			// candidate is down.
-			lastStatus, lastBody = status, respBody
+		if status >= 500 || status == http.StatusGone ||
+			(status == http.StatusTooManyRequests && !sticky) {
+			// 5xx (including a draining replica's 503), moved sessions and
+			// stateless sheds fail over; remember the answer — headers
+			// included, a 429's Retry-After must survive to the client —
+			// in case every candidate gives the same one.
+			if status == http.StatusTooManyRequests {
+				sp.Event("shed", "replica", m.url)
+			}
+			lastStatus, lastBody, lastHdr = status, respBody, hdr
 			continue
 		}
+		sp.Attr("replica", m.url)
+		w.Header().Set(replicaHeader, m.url)
 		copyResponse(w, status, hdr, respBody)
 		return
 	}
 	rt.errs.Inc()
+	sp.Errorf("all candidates failed (last status %d)", lastStatus)
 	if lastStatus != 0 {
-		copyResponse(w, lastStatus, http.Header{"Content-Type": []string{"application/json"}}, lastBody)
+		if lastHdr == nil {
+			lastHdr = http.Header{}
+		}
+		if lastHdr.Get("Content-Type") == "" {
+			lastHdr.Set("Content-Type", "application/json")
+		}
+		copyResponse(w, lastStatus, lastHdr, lastBody)
 		return
 	}
 	httpError(w, http.StatusBadGateway, "fleet: all candidate replicas unreachable")
+}
+
+// replicaHeader names the replica that served a proxied request, so a
+// client (or a test) can attribute a response without scraping /fleet.
+const replicaHeader = "X-Eta-Replica"
+
+// startSpan opens the router-side request span, continuing an inbound
+// traceparent (loadgen-originated traces) or rooting a fresh one. nil
+// when tracing is off.
+func (rt *Router) startSpan(name string, r *http.Request) *rtrace.Span {
+	t := rt.opts.Tracer
+	if t == nil {
+		return nil
+	}
+	if tid, psid, sampled, ok := rtrace.ParseTraceparent(r.Header.Get(rtrace.TraceparentHeader)); ok {
+		return t.StartRemote(name, tid, psid, sampled)
+	}
+	return t.StartSpan(name)
 }
 
 // pick returns the candidate replicas for key in try order: the ring
@@ -310,8 +371,9 @@ func (rt *Router) pick(key string, sticky bool) []*member {
 }
 
 // forward proxies one request to a replica, recording per-replica
-// counters, in-flight load and latency.
-func (rt *Router) forward(ctx context.Context, m *member, method, path string, body []byte) (int, []byte, http.Header, error) {
+// counters, in-flight load and latency. A non-empty traceparent is
+// propagated so the replica's request span joins the router's trace.
+func (rt *Router) forward(ctx context.Context, m *member, method, path string, body []byte, traceparent string) (int, []byte, http.Header, error) {
 	var rd io.Reader
 	if body != nil {
 		rd = bytes.NewReader(body)
@@ -322,6 +384,9 @@ func (rt *Router) forward(ctx context.Context, m *member, method, path string, b
 	}
 	if body != nil {
 		req.Header.Set("Content-Type", "application/json")
+	}
+	if traceparent != "" {
+		req.Header.Set(rtrace.TraceparentHeader, traceparent)
 	}
 	m.inflight.Add(1)
 	t0 := time.Now()
@@ -352,7 +417,7 @@ func (rt *Router) forward(ctx context.Context, m *member, method, path string, b
 func (rt *Router) forwardTimeout(ctx context.Context, m *member, method, path string, body []byte) (int, []byte, http.Header, error) {
 	ctx, cancel := context.WithTimeout(ctx, rt.opts.RequestTimeout)
 	defer cancel()
-	return rt.forward(ctx, m, method, path, body)
+	return rt.forward(ctx, m, method, path, body, "")
 }
 
 // handleModel forwards the geometry probe to the first routable
@@ -361,7 +426,7 @@ func (rt *Router) handleModel(w http.ResponseWriter, r *http.Request) {
 	ctx, cancel := context.WithTimeout(r.Context(), rt.opts.RequestTimeout)
 	defer cancel()
 	for _, m := range rt.routable() {
-		status, body, hdr, err := rt.forward(ctx, m, http.MethodGet, "/v1/model", nil)
+		status, body, hdr, err := rt.forward(ctx, m, http.MethodGet, "/v1/model", nil, "")
 		if err != nil || status >= 500 {
 			continue
 		}
@@ -462,6 +527,40 @@ func (rt *Router) handleSwap(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, rep)
+}
+
+// handleTraceByID resolves one trace id across the whole fleet: the
+// router's local spans plus every routable replica's /debug/traces/{id}
+// answer, merged and assembled into one tree — so a single id fetched
+// from the router yields router request span → replica request span →
+// sweep span → phase children, spanning processes.
+func (rt *Router) handleTraceByID(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	tid, ok := rtrace.ParseTraceID(id)
+	if !ok {
+		httpError(w, http.StatusBadRequest, "malformed trace id")
+		return
+	}
+	spans := rt.opts.Tracer.WireTrace(tid)
+	ctx, cancel := context.WithTimeout(r.Context(), rt.opts.RequestTimeout)
+	defer cancel()
+	for _, m := range rt.routable() {
+		status, body, _, err := rt.forward(ctx, m, http.MethodGet, "/debug/traces/"+id, nil, "")
+		if err != nil || status != http.StatusOK {
+			continue // replica without tracing, or trace aged out there
+		}
+		var tr rtrace.TraceResponse
+		if json.Unmarshal(body, &tr) == nil {
+			spans = append(spans, tr.Spans...)
+		}
+	}
+	if len(spans) == 0 {
+		httpError(w, http.StatusNotFound, "trace not found")
+		return
+	}
+	writeJSON(w, http.StatusOK, rtrace.TraceResponse{
+		TraceID: id, Spans: spans, Tree: rtrace.Assemble(spans),
+	})
 }
 
 // routable snapshots the non-ejected members, sorted by URL for

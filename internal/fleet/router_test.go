@@ -13,6 +13,8 @@ import (
 	"sync/atomic"
 	"testing"
 	"time"
+
+	"etalstm/internal/obs"
 )
 
 // fakeReplica imitates an etaserve replica's HTTP surface closely
@@ -23,6 +25,7 @@ type fakeReplica struct {
 	hs *httptest.Server
 
 	failReady atomic.Bool
+	shed      atomic.Bool  // 429 every infer with a Retry-After hint
 	depth     atomic.Int64 // advertised queue depth
 
 	mu       sync.Mutex
@@ -48,6 +51,11 @@ func newFakeReplica(t testing.TB, capacity int, serviceTime time.Duration) *fake
 		fmt.Fprint(w, `{"input_size":4,"hidden_size":8,"layers":2,"out_size":3,"loss":"single","max_seq_len":8,"max_batch":32}`)
 	})
 	mux.HandleFunc("POST /v1/infer", func(w http.ResponseWriter, r *http.Request) {
+		if f.shed.Load() {
+			w.Header().Set("Retry-After", "3")
+			http.Error(w, "shedding", http.StatusTooManyRequests)
+			return
+		}
 		body, _ := io.ReadAll(r.Body)
 		var req struct {
 			Session string `json:"session"`
@@ -112,8 +120,8 @@ func testRouter(t testing.TB, opts Options, replicas ...*fakeReplica) *Router {
 		opts.Replicas = append(opts.Replicas, f.hs.URL)
 	}
 	opts.ProbeInterval = -1
-	if opts.Logf == nil {
-		opts.Logf = t.Logf
+	if opts.Log == nil {
+		opts.Log = obs.NewLoggerFunc(t.Logf)
 	}
 	rt, err := New(opts)
 	if err != nil {
@@ -410,7 +418,7 @@ func TestRouterBackgroundProber(t *testing.T) {
 	rt, err := New(Options{
 		Replicas:      []string{f.hs.URL},
 		ProbeInterval: 5 * time.Millisecond,
-		Logf:          t.Logf,
+		Log:           obs.NewLoggerFunc(t.Logf),
 	})
 	if err != nil {
 		t.Fatal(err)

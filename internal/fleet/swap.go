@@ -92,11 +92,12 @@ func (rt *Router) Swap(ctx context.Context, path string) (SwapReport, error) {
 			return rep, fmt.Errorf("fleet: swap aborted: %w", err)
 		}
 		rep.Rolled = append(rep.Rolled, rs)
-		rt.opts.Logf("fleet: swapped %s to generation %d (digest %.12s)", m.url, ans.Generation, ans.Digest)
+		rt.opts.Log.Info("fleet: replica swapped",
+			"replica", m.url, "generation", ans.Generation, "digest", ans.Digest)
 	}
 	rt.swapGen.Add(1)
-	rt.opts.Logf("fleet: checkpoint swap complete, %d replicas on %.12s (fleet generation %d)",
-		len(rep.Rolled), rep.Digest, rt.swapGen.Load())
+	rt.opts.Log.Info("fleet: checkpoint swap complete",
+		"replicas", len(rep.Rolled), "digest", rep.Digest, "fleet_generation", rt.swapGen.Load())
 	return rep, nil
 }
 

@@ -1,0 +1,32 @@
+package obs
+
+import "runtime/debug"
+
+// MetricBuildInfo identifies the running binary on /metrics: constant
+// 1, with the Go toolchain, module version and VCS revision as labels.
+const MetricBuildInfo = "etalstm_build_info"
+
+// RegisterBuildInfo registers the etalstm_build_info gauge on r from
+// runtime/debug.ReadBuildInfo. Every binary calls it on each registry
+// it exports (the process-default one and any per-server registries),
+// so a scrape always says what is running. Fields that the build did
+// not stamp (module version outside a release, revision without VCS)
+// export as "unknown".
+func RegisterBuildInfo(r *Registry) {
+	goVersion, version, revision := "unknown", "unknown", "unknown"
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		if bi.GoVersion != "" {
+			goVersion = bi.GoVersion
+		}
+		if bi.Main.Version != "" && bi.Main.Version != "(devel)" {
+			version = bi.Main.Version
+		}
+		for _, s := range bi.Settings {
+			if s.Key == "vcs.revision" && s.Value != "" {
+				revision = s.Value
+			}
+		}
+	}
+	r.SetInfoKV(MetricBuildInfo, "build identity of the running binary",
+		"goversion", goVersion, "version", version, "revision", revision)
+}

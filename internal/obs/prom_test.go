@@ -1,0 +1,278 @@
+package obs
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// promSample is one parsed text-format sample line.
+type promSample struct {
+	name     string
+	labels   map[string]string
+	value    float64
+	exemplar map[string]string // nil when the line carries none
+}
+
+// promDoc is the parsed exposition: TYPE declarations plus samples in
+// document order.
+type promDoc struct {
+	types   map[string]string
+	helps   map[string]string
+	samples []promSample
+}
+
+// parsePromText is a minimal Prometheus text-format (0.0.4) reader with
+// OpenMetrics exemplar suffixes — just enough syntax to round-trip what
+// WritePrometheus emits, kept independent of the writer so the two can
+// disagree.
+func parsePromText(t *testing.T, text string) promDoc {
+	t.Helper()
+	doc := promDoc{types: map[string]string{}, helps: map[string]string{}}
+	for ln, line := range strings.Split(text, "\n") {
+		if line == "" {
+			continue
+		}
+		if rest, ok := strings.CutPrefix(line, "# TYPE "); ok {
+			f := strings.SplitN(rest, " ", 2)
+			if len(f) != 2 {
+				t.Fatalf("line %d: malformed TYPE: %q", ln+1, line)
+			}
+			doc.types[f[0]] = f[1]
+			continue
+		}
+		if rest, ok := strings.CutPrefix(line, "# HELP "); ok {
+			f := strings.SplitN(rest, " ", 2)
+			if len(f) != 2 {
+				t.Fatalf("line %d: malformed HELP: %q", ln+1, line)
+			}
+			doc.helps[f[0]] = f[1]
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			t.Fatalf("line %d: unknown comment form: %q", ln+1, line)
+		}
+		s := promSample{labels: map[string]string{}}
+		rest := line
+		// Exemplar suffix: `<sample> # {<labelset>} <value>`.
+		if body, ex, ok := strings.Cut(line, " # "); ok {
+			rest = body
+			open := strings.IndexByte(ex, '{')
+			close := strings.LastIndexByte(ex, '}')
+			if open != 0 || close < 0 {
+				t.Fatalf("line %d: malformed exemplar: %q", ln+1, ex)
+			}
+			s.exemplar = parsePromLabels(t, ln+1, ex[open+1:close])
+			if _, err := strconv.ParseFloat(strings.TrimSpace(ex[close+1:]), 64); err != nil {
+				t.Fatalf("line %d: exemplar value: %v", ln+1, err)
+			}
+		}
+		if open := strings.IndexByte(rest, '{'); open >= 0 {
+			close := strings.LastIndexByte(rest, '}')
+			if close < open {
+				t.Fatalf("line %d: unbalanced braces: %q", ln+1, rest)
+			}
+			s.name = rest[:open]
+			s.labels = parsePromLabels(t, ln+1, rest[open+1:close])
+			rest = strings.TrimSpace(rest[close+1:])
+		} else {
+			f := strings.SplitN(rest, " ", 2)
+			if len(f) != 2 {
+				t.Fatalf("line %d: malformed sample: %q", ln+1, line)
+			}
+			s.name, rest = f[0], f[1]
+		}
+		v, err := strconv.ParseFloat(strings.TrimSpace(rest), 64)
+		if err != nil {
+			t.Fatalf("line %d: sample value: %v", ln+1, err)
+		}
+		s.value = v
+		doc.samples = append(doc.samples, s)
+	}
+	return doc
+}
+
+// parsePromLabels decodes `k="v",k2="v2"` with text-format escapes.
+func parsePromLabels(t *testing.T, ln int, s string) map[string]string {
+	t.Helper()
+	out := map[string]string{}
+	for len(s) > 0 {
+		eq := strings.Index(s, `="`)
+		if eq < 0 {
+			t.Fatalf("line %d: malformed labelset at %q", ln, s)
+		}
+		key := s[:eq]
+		rest := s[eq+2:]
+		var val strings.Builder
+		i := 0
+		for ; i < len(rest); i++ {
+			if rest[i] == '\\' && i+1 < len(rest) {
+				i++
+				switch rest[i] {
+				case 'n':
+					val.WriteByte('\n')
+				default:
+					val.WriteByte(rest[i])
+				}
+				continue
+			}
+			if rest[i] == '"' {
+				break
+			}
+			val.WriteByte(rest[i])
+		}
+		if i == len(rest) {
+			t.Fatalf("line %d: unterminated label value for %q", ln, key)
+		}
+		out[key] = val.String()
+		s = rest[i+1:]
+		s = strings.TrimPrefix(s, ",")
+	}
+	return out
+}
+
+// TestPrometheusExportRoundTrip pins the text exposition against an
+// independent reader: one instrument of every kind goes in, and the
+// parsed export must reproduce every series, label, histogram bucket
+// and the latency exemplar exactly.
+func TestPrometheusExportRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("etalstm_requests_total", "requests").Add(42)
+	r.CounterL("etalstm_errors_total", "errors", "code", "429").Add(3)
+	r.CounterL("etalstm_errors_total", "errors", "code", "500").Add(1)
+	r.Gauge("etalstm_queue_depth", "queue depth").Set(7.5)
+	r.GaugeFunc("etalstm_live", "liveness", func() float64 { return 1 })
+	r.SetInfoKV("etalstm_build_info", "build identity",
+		"goversion", "go1.22", "version", `v0.10.0 "tracing"`, "revision", "abc123")
+	h := r.Histogram("etalstm_latency_ms", "latency", 0, 100, 4, 16)
+	h.ObserveEx(10, "cafe0000000000000000000000000001") // bin 0
+	h.ObserveEx(60, "cafe0000000000000000000000000002") // bin 2, slowest → exemplar
+	h.ObserveEx(30, "cafe0000000000000000000000000003") // bin 1
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	doc := parsePromText(t, sb.String())
+
+	wantTypes := map[string]string{
+		"etalstm_requests_total": "counter",
+		"etalstm_errors_total":   "counter",
+		"etalstm_queue_depth":    "gauge",
+		"etalstm_live":           "gauge",
+		"etalstm_build_info":     "gauge",
+		"etalstm_latency_ms":     "histogram",
+	}
+	for name, kind := range wantTypes {
+		if doc.types[name] != kind {
+			t.Fatalf("TYPE %s = %q, want %q", name, doc.types[name], kind)
+		}
+		if doc.helps[name] == "" {
+			t.Fatalf("no HELP line for %s", name)
+		}
+	}
+
+	find := func(name string, labels map[string]string) *promSample {
+		for i := range doc.samples {
+			s := &doc.samples[i]
+			if s.name != name {
+				continue
+			}
+			match := len(s.labels) == len(labels)
+			for k, v := range labels {
+				if s.labels[k] != v {
+					match = false
+				}
+			}
+			if match {
+				return s
+			}
+		}
+		t.Fatalf("no sample %s%v in export:\n%s", name, labels, sb.String())
+		return nil
+	}
+	if s := find("etalstm_requests_total", nil); s.value != 42 {
+		t.Fatalf("requests_total = %v", s.value)
+	}
+	if s := find("etalstm_errors_total", map[string]string{"code": "429"}); s.value != 3 {
+		t.Fatalf("errors{429} = %v", s.value)
+	}
+	if s := find("etalstm_errors_total", map[string]string{"code": "500"}); s.value != 1 {
+		t.Fatalf("errors{500} = %v", s.value)
+	}
+	if s := find("etalstm_queue_depth", nil); s.value != 7.5 {
+		t.Fatalf("queue_depth = %v", s.value)
+	}
+	if s := find("etalstm_live", nil); s.value != 1 {
+		t.Fatalf("live = %v", s.value)
+	}
+	// The info gauge is constant 1 and its escaped label value survives.
+	info := find("etalstm_build_info", map[string]string{
+		"goversion": "go1.22", "version": `v0.10.0 "tracing"`, "revision": "abc123"})
+	if info.value != 1 {
+		t.Fatalf("build_info = %v, want constant 1", info.value)
+	}
+
+	// Histogram: buckets are cumulative and monotonic, +Inf carries the
+	// total and the slowest observation's trace id as its exemplar.
+	var buckets []promSample
+	for _, s := range doc.samples {
+		if s.name == "etalstm_latency_ms_bucket" {
+			buckets = append(buckets, s)
+		}
+	}
+	if len(buckets) != 5 { // 4 bins + +Inf, in document (le) order
+		t.Fatalf("%d bucket samples, want 5", len(buckets))
+	}
+	prev := float64(-1)
+	for _, b := range buckets {
+		if b.value < prev {
+			t.Fatalf("bucket counts not monotonic: %v then %v", prev, b.value)
+		}
+		prev = b.value
+	}
+	inf := buckets[len(buckets)-1]
+	if inf.labels["le"] != "+Inf" || inf.value != 3 {
+		t.Fatalf("+Inf bucket: %+v", inf)
+	}
+	if inf.exemplar["trace_id"] != "cafe0000000000000000000000000002" {
+		t.Fatalf("+Inf exemplar = %v, want the slowest observation's trace id", inf.exemplar)
+	}
+	if s := find("etalstm_latency_ms_sum", nil); s.value != 100 {
+		t.Fatalf("latency _sum = %v, want 100", s.value)
+	}
+	if s := find("etalstm_latency_ms_count", nil); s.value != 3 {
+		t.Fatalf("latency _count = %v, want 3", s.value)
+	}
+}
+
+// TestRegisterBuildInfo: the gauge lands in the export as a constant-1
+// info series whose goversion label is always stamped (the toolchain is
+// known even without VCS metadata).
+func TestRegisterBuildInfo(t *testing.T) {
+	r := NewRegistry()
+	RegisterBuildInfo(r)
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	doc := parsePromText(t, sb.String())
+	for _, s := range doc.samples {
+		if s.name != MetricBuildInfo {
+			continue
+		}
+		if s.value != 1 {
+			t.Fatalf("build_info = %v, want 1", s.value)
+		}
+		if !strings.HasPrefix(s.labels["goversion"], "go") {
+			t.Fatalf("build_info goversion = %q", s.labels["goversion"])
+		}
+		for _, k := range []string{"version", "revision"} {
+			if s.labels[k] == "" {
+				t.Fatalf("build_info lacks the %s label: %v", k, s.labels)
+			}
+		}
+		return
+	}
+	t.Fatalf("no %s sample in export:\n%s", MetricBuildInfo, sb.String())
+}

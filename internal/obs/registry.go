@@ -71,6 +71,15 @@ type Histogram struct {
 	ring []float64
 	idx  int
 	n    int
+
+	// Exemplar: the slowest (largest) recent observation that carried a
+	// trace id — the "why was this tail slow?" pointer the latency
+	// histograms attach so /statz and the Prometheus export can name a
+	// concrete trace to pull from /debug/traces/{id}.
+	exID  string
+	exVal float64
+	exAt  int64 // observation count when the exemplar was taken
+	total int64
 }
 
 func newHistogram(lo, hi float64, bins, window int) *Histogram {
@@ -82,7 +91,14 @@ func newHistogram(lo, hi float64, bins, window int) *Histogram {
 
 // Observe records one value. NaN observations are dropped so quantile
 // and mean exports stay NaN-free. Allocation-free.
-func (h *Histogram) Observe(v float64) {
+func (h *Histogram) Observe(v float64) { h.ObserveEx(v, "") }
+
+// ObserveEx is Observe with an exemplar: a trace id naming the request
+// behind the observation. The histogram keeps the largest recent
+// exemplar — replaced when a bigger value arrives or when the held one
+// ages out of the observation window — so the export always points at
+// a representative slow trace, not a stale one.
+func (h *Histogram) ObserveEx(v float64, traceID string) {
 	if math.IsNaN(v) {
 		return
 	}
@@ -93,6 +109,11 @@ func (h *Histogram) Observe(v float64) {
 	h.idx = (h.idx + 1) % len(h.ring)
 	if h.n < len(h.ring) {
 		h.n++
+	}
+	h.total++
+	if traceID != "" &&
+		(h.exID == "" || v >= h.exVal || h.total-h.exAt > int64(len(h.ring))) {
+		h.exID, h.exVal, h.exAt = traceID, v, h.total
 	}
 	h.mu.Unlock()
 }
@@ -106,17 +127,23 @@ type HistSnapshot struct {
 	// P50/P99 are nearest-rank quantiles over the recent-observation
 	// window (not the bins), so they are exact for the last window.
 	P50, P99 float64
+	// ExemplarTraceID/ExemplarValue name the slowest recent traced
+	// observation ("" when no observation carried a trace id).
+	ExemplarTraceID string
+	ExemplarValue   float64
 }
 
 // Snapshot returns a copy of the histogram's state.
 func (h *Histogram) Snapshot() HistSnapshot {
 	h.mu.Lock()
 	s := HistSnapshot{
-		Lo:    h.h.Lo,
-		Hi:    h.h.Hi,
-		Bins:  append([]int64(nil), h.h.Bins...),
-		Count: h.h.Total(),
-		Sum:   h.sum,
+		Lo:              h.h.Lo,
+		Hi:              h.h.Hi,
+		Bins:            append([]int64(nil), h.h.Bins...),
+		Count:           h.h.Total(),
+		Sum:             h.sum,
+		ExemplarTraceID: h.exID,
+		ExemplarValue:   h.exVal,
 	}
 	window := append([]float64(nil), h.ring[:h.n]...)
 	h.mu.Unlock()
@@ -316,13 +343,28 @@ func (r *Registry) gaugeFunc(name, labels, help string, fn func() float64) {
 // checkpoint hot-swap updates the digest rather than accumulating one
 // stale series per generation).
 func (r *Registry) SetInfo(name, help, labelKey, labelVal string) {
+	r.SetInfoKV(name, help, labelKey, labelVal)
+}
+
+// SetInfoKV is SetInfo with several label pairs (kv alternates key,
+// value) — build-info style gauges carry goversion/version/revision in
+// one series.
+func (r *Registry) SetInfoKV(name, help string, kv ...string) {
+	var b strings.Builder
+	for i := 0; i+1 < len(kv); i += 2 {
+		if b.Len() > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(renderLabel(kv[i], kv[i+1]))
+	}
+	labels := b.String()
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if e := r.lookup(name, kindInfo); e != nil {
-		e.labels = renderLabel(labelKey, labelVal)
+		e.labels = labels
 		return
 	}
-	r.entries[name] = &entry{name: name, labels: renderLabel(labelKey, labelVal), help: help, kind: kindInfo}
+	r.entries[name] = &entry{name: name, labels: labels, help: help, kind: kindInfo}
 }
 
 // Histogram returns the histogram registered under name, creating it
@@ -407,7 +449,16 @@ func writePromHistogram(w io.Writer, name string, s HistSnapshot) error {
 			return err
 		}
 	}
-	if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, s.Count); err != nil {
+	// The +Inf bucket carries the exemplar (OpenMetrics syntax: a "#"
+	// suffix with a labelset and the exemplar's value). Plain text-format
+	// scrapers ignore everything after the sample value's line position;
+	// OpenMetrics-aware ones surface the trace id next to the histogram.
+	ex := ""
+	if s.ExemplarTraceID != "" {
+		ex = fmt.Sprintf(" # {%s} %s",
+			renderLabel("trace_id", s.ExemplarTraceID), formatFloat(s.ExemplarValue))
+	}
+	if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d%s\n", name, s.Count, ex); err != nil {
 		return err
 	}
 	if _, err := fmt.Fprintf(w, "%s_sum %s\n", name, formatFloat(s.Sum)); err != nil {

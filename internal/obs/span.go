@@ -149,6 +149,35 @@ func (r *Recorder) Reset() {
 	*r = Recorder{}
 }
 
+// PhaseSnapshot is a point-in-time copy of a recorder's accumulators.
+// Two snapshots bracketing a sweep or an optimizer step Delta into the
+// per-phase wall time of exactly that unit of work — which is how the
+// tracing layer folds recorder phases into a span tree without adding
+// any bookkeeping to the hot path.
+type PhaseSnapshot struct {
+	Ns [NumPhases]int64
+	N  [NumPhases]int64
+}
+
+// Snapshot copies the accumulators (zero value on a nil recorder).
+func (r *Recorder) Snapshot() PhaseSnapshot {
+	if r == nil {
+		return PhaseSnapshot{}
+	}
+	return PhaseSnapshot{Ns: r.ns, N: r.n}
+}
+
+// Delta returns s - prev per phase: the work recorded between the two
+// snapshots.
+func (s PhaseSnapshot) Delta(prev PhaseSnapshot) PhaseSnapshot {
+	var d PhaseSnapshot
+	for p := Phase(0); p < NumPhases; p++ {
+		d.Ns[p] = s.Ns[p] - prev.Ns[p]
+		d.N[p] = s.N[p] - prev.N[p]
+	}
+	return d
+}
+
 // PhaseStat is one row of a span breakdown.
 type PhaseStat struct {
 	Phase string

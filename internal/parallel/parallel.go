@@ -33,6 +33,7 @@ package parallel
 import (
 	"context"
 	"fmt"
+	"strconv"
 	"sync"
 	"time"
 
@@ -40,6 +41,7 @@ import (
 	"etalstm/internal/model"
 	"etalstm/internal/obs"
 	"etalstm/internal/reorder"
+	"etalstm/internal/rtrace"
 	"etalstm/internal/train"
 )
 
@@ -152,6 +154,8 @@ func (e *Engine) RunEpoch(ctx context.Context, p train.Provider, fn BatchFn) (Ep
 	var res EpochResult
 	w := len(e.replicas)
 	n := p.NumBatches()
+	rtr := rtrace.Default()
+	repBefore := make([]obs.PhaseSnapshot, w)
 	for lo := 0; lo < n; lo += w {
 		if err := ctx.Err(); err != nil {
 			return res, err
@@ -161,10 +165,25 @@ func (e *Engine) RunEpoch(ctx context.Context, p train.Provider, fn BatchFn) (Ep
 			hi = n
 		}
 		stepStart := time.Now()
+		// The group's step span: one optimizer step. Straggler waits land
+		// as events, each replica's FW/BP phase wall time and the
+		// coordinator-side all-reduce/optimizer phases as child spans.
+		var sp *rtrace.Span
+		var recBefore obs.PhaseSnapshot
+		if rtr != nil {
+			sp = rtr.StartSpan("train.step")
+			sp.Attr("batches", fmt.Sprintf("%d-%d", lo, hi-1))
+			sp.Attr("workers", strconv.Itoa(hi-lo))
+			recBefore = e.Rec.Snapshot()
+			for i := 0; i < hi-lo; i++ {
+				repBefore[i] = e.replicas[i].Workspace().Recorder().Snapshot()
+			}
+		}
 		// Re-sync replica weights from the master. The clone geometry
 		// always matches, so the error path is unreachable in practice.
 		for i := 0; i < hi-lo; i++ {
 			if err := e.replicas[i].CopyWeightsFrom(e.master); err != nil {
+				sp.FinishErr(err)
 				return res, err
 			}
 		}
@@ -190,7 +209,7 @@ func (e *Engine) RunEpoch(ctx context.Context, p train.Provider, fn BatchFn) (Ep
 			}(slot, b, batch)
 		}
 		wg.Wait()
-		if e.OnWait != nil {
+		if e.OnWait != nil || sp != nil {
 			// The group's all-reduce begins when its last worker lands;
 			// every earlier finisher waited for the stragglers.
 			var last time.Time
@@ -200,9 +219,27 @@ func (e *Engine) RunEpoch(ctx context.Context, p train.Provider, fn BatchFn) (Ep
 				}
 			}
 			for slot, t := range finished {
-				if !t.IsZero() {
-					e.OnWait(slot, last.Sub(t))
+				if t.IsZero() {
+					continue
 				}
+				wait := last.Sub(t)
+				if e.OnWait != nil {
+					e.OnWait(slot, wait)
+				}
+				if sp != nil && wait > 0 {
+					sp.Event("straggler-wait",
+						"replica", strconv.Itoa(slot),
+						"wait_ms", strconv.FormatFloat(float64(wait)/1e6, 'f', 3, 64))
+				}
+			}
+		}
+		if sp != nil {
+			// Each replica's FW/BP phase wall time, measured by its
+			// workspace recorder during the concurrent passes.
+			for i := 0; i < hi-lo; i++ {
+				rec := e.replicas[i].Workspace().Recorder()
+				rtrace.FoldPhases(sp, stepStart, rec.Snapshot().Delta(repBefore[i]),
+					"replica", strconv.Itoa(i))
 			}
 		}
 
@@ -212,6 +249,7 @@ func (e *Engine) RunEpoch(ctx context.Context, p train.Provider, fn BatchFn) (Ep
 		grads := make([]*model.Gradients, 0, hi-lo)
 		for slot := range results {
 			if errs[slot] != nil {
+				sp.FinishErr(errs[slot])
 				return res, errs[slot]
 			}
 			r := results[slot]
@@ -232,21 +270,32 @@ func (e *Engine) RunEpoch(ctx context.Context, p train.Provider, fn BatchFn) (Ep
 			res.RecomputedCells += r.Recomputed
 		}
 		if len(grads) == 0 {
+			sp.Finish()
 			continue
 		}
 		sync := e.Sync
 		if sync == nil {
 			sync = dist.Inproc{}
 		}
-		sp := e.Rec.Begin(obs.PhaseAllReduce)
+		if s, ok := sync.(dist.StepSpanSetter); ok {
+			s.SetStepSpan(sp)
+		}
+		psp := e.Rec.Begin(obs.PhaseAllReduce)
 		merged, contribs, err := sync.Reduce(grads)
-		sp.End()
+		psp.End()
 		if err != nil {
+			sp.FinishErr(err)
 			return res, err
 		}
-		sp = e.Rec.Begin(obs.PhaseOptimizer)
+		psp = e.Rec.Begin(obs.PhaseOptimizer)
 		e.reducer.Apply(e.master, merged, contribs)
-		sp.End()
+		psp.End()
+		if sp != nil {
+			// Coordinator-side phases (all-reduce, optimizer) recorded on
+			// the engine's own recorder during this group.
+			rtrace.FoldPhases(sp, stepStart, e.Rec.Snapshot().Delta(recBefore))
+			sp.Finish()
+		}
 		if e.OnStep != nil {
 			e.OnStep(time.Since(stepStart))
 		}

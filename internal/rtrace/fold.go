@@ -1,0 +1,29 @@
+package rtrace
+
+import (
+	"time"
+
+	"etalstm/internal/obs"
+)
+
+// FoldPhases turns an obs.Recorder delta (the phase wall time two
+// snapshots bracket — one sweep, one optimizer step) into child spans
+// of sp, stacked back to back from start in execution-phase order. The
+// recorder measured real wall time; the stacking start offsets are an
+// approximation (phases interleave per timestep), but the durations —
+// the part the paper's breakdown argues from — are exact. kv attribute
+// pairs land on every synthesized span.
+func FoldPhases(sp *Span, start time.Time, d obs.PhaseSnapshot, kv ...string) {
+	if sp == nil {
+		return
+	}
+	at := start
+	for p := obs.Phase(0); p < obs.NumPhases; p++ {
+		if d.N[p] == 0 {
+			continue
+		}
+		dur := time.Duration(d.Ns[p])
+		sp.RecordChild(p.String(), at, dur, kv...)
+		at = at.Add(dur)
+	}
+}

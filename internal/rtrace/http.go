@@ -1,0 +1,150 @@
+package rtrace
+
+import (
+	"encoding/json"
+	"net/http"
+	"sort"
+	"strings"
+	"time"
+)
+
+// WireSpan is SpanData in the JSON shape /debug/traces/{id} serves —
+// flat, self-describing, and mergeable across processes (the router
+// fans a trace-id query out to its replicas and merges their WireSpan
+// lists before assembling one tree).
+type WireSpan struct {
+	TraceID    string            `json:"trace_id"`
+	SpanID     string            `json:"span_id"`
+	Parent     string            `json:"parent_id,omitempty"`
+	Process    string            `json:"process,omitempty"`
+	Name       string            `json:"name"`
+	Start      time.Time         `json:"start"`
+	DurationMs float64           `json:"duration_ms"`
+	Error      string            `json:"error,omitempty"`
+	Attrs      map[string]string `json:"attrs,omitempty"`
+	Events     []Event           `json:"events,omitempty"`
+}
+
+// Wire converts recorder storage to the wire shape.
+func (sd SpanData) Wire() WireSpan {
+	w := WireSpan{
+		TraceID: sd.TraceID.String(), SpanID: sd.SpanID.String(),
+		Process: sd.Process, Name: sd.Name, Start: sd.Start,
+		DurationMs: ms(sd.Duration), Error: sd.Error, Events: sd.Events,
+	}
+	if !sd.Parent.IsZero() {
+		w.Parent = sd.Parent.String()
+	}
+	if len(sd.Attrs) > 0 {
+		w.Attrs = make(map[string]string, len(sd.Attrs))
+		for _, a := range sd.Attrs {
+			w.Attrs[a.Key] = a.Value
+		}
+	}
+	return w
+}
+
+// Node is one span in an assembled trace tree.
+type Node struct {
+	WireSpan
+	Children []*Node `json:"children,omitempty"`
+}
+
+// Assemble builds trace trees from flat spans (possibly merged from
+// several processes). A span whose parent is absent becomes a root —
+// that is what a replica-local query of a router-originated trace
+// looks like. Roots and children are ordered by start time.
+func Assemble(spans []WireSpan) []*Node {
+	nodes := make(map[string]*Node, len(spans))
+	order := make([]*Node, 0, len(spans))
+	for _, ws := range spans {
+		n := &Node{WireSpan: ws}
+		// Duplicate span ids (a trace fetched from both the router's own
+		// ring and a replica's) keep the first copy.
+		if _, dup := nodes[ws.SpanID]; dup {
+			continue
+		}
+		nodes[ws.SpanID] = n
+		order = append(order, n)
+	}
+	var roots []*Node
+	for _, n := range order {
+		if p, ok := nodes[n.Parent]; ok && n.Parent != "" && p != n {
+			p.Children = append(p.Children, n)
+		} else {
+			roots = append(roots, n)
+		}
+	}
+	byStart := func(s []*Node) {
+		sort.SliceStable(s, func(i, j int) bool { return s[i].Start.Before(s[j].Start) })
+	}
+	byStart(roots)
+	for _, n := range order {
+		byStart(n.Children)
+	}
+	return roots
+}
+
+// TraceResponse is the /debug/traces/{id} body.
+type TraceResponse struct {
+	TraceID string     `json:"trace_id"`
+	Spans   []WireSpan `json:"spans"`
+	Tree    []*Node    `json:"tree"`
+}
+
+// ListResponse is the /debug/traces body.
+type ListResponse struct {
+	Process string    `json:"process,omitempty"`
+	Traces  []Summary `json:"traces"`
+}
+
+// WireTrace returns one trace's spans in wire shape, oldest first.
+func (t *Tracer) WireTrace(id TraceID) []WireSpan {
+	spans := t.Trace(id)
+	out := make([]WireSpan, 0, len(spans))
+	for _, sd := range spans {
+		out = append(out, sd.Wire())
+	}
+	return out
+}
+
+// Handler serves the flight recorder:
+//
+//	GET /debug/traces       → ListResponse (trace summaries, newest first)
+//	GET /debug/traces/{id}  → TraceResponse (flat spans + assembled tree)
+//
+// Mount it at both patterns on a ServeMux; it routes by path suffix so
+// it also works mounted bare.
+func (t *Tracer) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		id := r.PathValue("id")
+		if id == "" {
+			// Bare mount: take anything after the final "traces/".
+			if i := strings.LastIndex(r.URL.Path, "/traces/"); i >= 0 {
+				id = r.URL.Path[i+len("/traces/"):]
+			}
+		}
+		if id == "" {
+			writeJSON(w, ListResponse{Process: t.Process(), Traces: t.Summaries(256)})
+			return
+		}
+		tid, ok := ParseTraceID(id)
+		if !ok {
+			http.Error(w, `{"error":"malformed trace id"}`, http.StatusBadRequest)
+			return
+		}
+		spans := t.WireTrace(tid)
+		if len(spans) == 0 {
+			http.Error(w, `{"error":"trace not found"}`, http.StatusNotFound)
+			return
+		}
+		writeJSON(w, TraceResponse{TraceID: id, Spans: spans, Tree: Assemble(spans)})
+	})
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}

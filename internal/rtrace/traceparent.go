@@ -1,0 +1,73 @@
+package rtrace
+
+import "context"
+
+// W3C traceparent propagation: "00-<32 hex trace>-<16 hex span>-<2 hex
+// flags>", flags bit 0 = sampled. This is the only wire format the
+// serving plane needs — loadgen mints one, the router forwards its own
+// span as the parent, the replica adopts it.
+
+// TraceparentHeader is the canonical HTTP header name.
+const TraceparentHeader = "traceparent"
+
+// FormatTraceparent renders a W3C traceparent header value ("" for a
+// zero trace id).
+func FormatTraceparent(tid TraceID, sid SpanID, sampled bool) string {
+	if tid.IsZero() {
+		return ""
+	}
+	b := make([]byte, 0, 55)
+	b = append(b, '0', '0', '-')
+	b = appendHex(b, tid[:])
+	b = append(b, '-')
+	b = appendHex(b, sid[:])
+	b = append(b, '-', '0')
+	if sampled {
+		b = append(b, '1')
+	} else {
+		b = append(b, '0')
+	}
+	return string(b)
+}
+
+// ParseTraceparent parses a W3C traceparent header value. ok is false
+// for malformed input, unknown versions with short payloads, or the
+// all-zero trace id.
+func ParseTraceparent(s string) (tid TraceID, sid SpanID, sampled bool, ok bool) {
+	// version-format: 2 hex "-" 32 hex "-" 16 hex "-" 2 hex
+	if len(s) < 55 || s[2] != '-' || s[35] != '-' || s[52] != '-' {
+		return TraceID{}, SpanID{}, false, false
+	}
+	if s[0] == 'f' && s[1] == 'f' { // version 0xff is forbidden
+		return TraceID{}, SpanID{}, false, false
+	}
+	if !parseHex(tid[:], s[3:35]) || tid.IsZero() {
+		return TraceID{}, SpanID{}, false, false
+	}
+	if !parseHex(sid[:], s[36:52]) || sid.IsZero() {
+		return TraceID{}, SpanID{}, false, false
+	}
+	var flags [1]byte
+	if !parseHex(flags[:], s[53:55]) {
+		return TraceID{}, SpanID{}, false, false
+	}
+	return tid, sid, flags[0]&1 == 1, true
+}
+
+// ctxKey keys the span carried through request contexts.
+type ctxKey struct{}
+
+// ContextWithSpan returns ctx carrying s. A nil span is carried too —
+// FromContext then reports nil, keeping the disabled path uniform.
+func ContextWithSpan(ctx context.Context, s *Span) context.Context {
+	if s == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, ctxKey{}, s)
+}
+
+// FromContext returns the span carried by ctx, or nil.
+func FromContext(ctx context.Context) *Span {
+	s, _ := ctx.Value(ctxKey{}).(*Span)
+	return s
+}

@@ -1,0 +1,65 @@
+package rtrace
+
+import (
+	"context"
+	"strings"
+	"testing"
+)
+
+func TestTraceparentRoundTrip(t *testing.T) {
+	tid, sid := NewIDs()
+	for _, sampled := range []bool{true, false} {
+		h := FormatTraceparent(tid, sid, sampled)
+		if len(h) != 55 || !strings.HasPrefix(h, "00-") {
+			t.Fatalf("format: %q", h)
+		}
+		t2, s2, samp2, ok := ParseTraceparent(h)
+		if !ok || t2 != tid || s2 != sid || samp2 != sampled {
+			t.Fatalf("round trip %q: %v %v %v %v", h, t2, s2, samp2, ok)
+		}
+	}
+	if FormatTraceparent(TraceID{}, sid, true) != "" {
+		t.Fatal("zero trace id formatted")
+	}
+}
+
+func TestParseTraceparentRejects(t *testing.T) {
+	tid, sid := NewIDs()
+	good := FormatTraceparent(tid, sid, true)
+	bad := []string{
+		"",
+		"00-abc",
+		strings.Replace(good, "-", "_", 1),
+		"ff" + good[2:], // forbidden version
+		"00-" + strings.Repeat("0", 32) + good[35:],     // zero trace id
+		good[:36] + strings.Repeat("0", 16) + good[52:], // zero span id
+		good[:53] + "zz", // bad flags
+		"00-" + strings.Repeat("g", 32) + good[35:],     // bad trace hex
+		good[:36] + strings.Repeat("g", 16) + good[52:], // bad span hex
+	}
+	for _, s := range bad {
+		if _, _, _, ok := ParseTraceparent(s); ok {
+			t.Fatalf("accepted %q", s)
+		}
+	}
+	// Future version with long payload still parses (per W3C spec).
+	if _, _, _, ok := ParseTraceparent("01" + good[2:] + "-extra"); !ok {
+		t.Fatal("rejected future version")
+	}
+}
+
+func TestContextCarry(t *testing.T) {
+	ctx := context.Background()
+	if FromContext(ctx) != nil {
+		t.Fatal("empty context carried a span")
+	}
+	if got := ContextWithSpan(ctx, nil); got != ctx {
+		t.Fatal("nil span changed context")
+	}
+	tr := New(Options{})
+	sp := tr.StartSpan("x")
+	ctx2 := ContextWithSpan(ctx, sp)
+	if FromContext(ctx2) != sp {
+		t.Fatal("span lost in context")
+	}
+}

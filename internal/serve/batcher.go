@@ -4,10 +4,14 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"os"
+	"strconv"
 	"sync"
 	"time"
 
 	"etalstm/internal/model"
+	"etalstm/internal/obs"
+	"etalstm/internal/rtrace"
 	"etalstm/internal/tensor"
 )
 
@@ -111,7 +115,13 @@ func (b *batcher) submit(ctx context.Context, seq model.InferSeq) (model.InferOu
 	case o := <-p.done:
 		if o.err == nil {
 			b.m.completed.Add(1)
-			b.m.observeLatency(time.Since(p.enq))
+			// The request's trace id rides the latency observation as an
+			// exemplar, so the histogram's tail can name a concrete trace.
+			ex := ""
+			if sp := rtrace.FromContext(ctx); sp != nil {
+				ex = sp.TraceID().String()
+			}
+			b.m.observeLatency(time.Since(p.enq), ex)
 		} else {
 			b.m.failed.Add(1)
 		}
@@ -185,10 +195,15 @@ func (b *batcher) collect() {
 }
 
 // worker runs flushed groups through batched sweeps. Each worker owns
-// its workspace arena; the network weights are only read.
+// its workspace arena; the network weights are only read. With tracing
+// on, the worker also owns a phase recorder riding the workspace — its
+// snapshot deltas become each sweep span's FW phase children.
 func (b *batcher) worker() {
 	defer b.wg.Done()
 	ws := tensor.NewWorkspace()
+	if b.opts.Tracer != nil {
+		ws.SetRecorder(obs.NewRecorder())
+	}
 	for group := range b.work {
 		b.runGroup(ws, group)
 	}
@@ -207,7 +222,49 @@ func (b *batcher) runGroup(ws *tensor.Workspace, group []*pending) {
 		return
 	}
 	b.m.observeBatch(len(live))
+	// The sweep span is a child of the first traced request in the
+	// batch; every other traced member gets a "sweep" event naming the
+	// shared sweep span, so all riders resolve to the same sweep.
+	var sweep *rtrace.Span
+	if b.opts.Tracer != nil {
+		for _, p := range live {
+			sp := rtrace.FromContext(p.ctx)
+			if sp == nil {
+				continue
+			}
+			if sweep == nil {
+				sweep = sp.Child("serve.sweep")
+			} else {
+				sp.Event("sweep", "span_id", sweep.SpanID().String())
+			}
+		}
+		sweep.Attr("batch_size", strconv.Itoa(len(live)))
+	}
+	var before obs.PhaseSnapshot
+	rec := ws.Recorder()
+	if sweep != nil {
+		before = rec.Snapshot()
+	}
+	sweepStart := time.Now()
 	outs, err := b.infer(ws, live)
+	if sweep != nil {
+		rtrace.FoldPhases(sweep, sweepStart, rec.Snapshot().Delta(before))
+		sweep.SetError(err)
+		sweep.Finish()
+	}
+	if err != nil {
+		// A sweep only fails by panicking; dump the flight recorder so
+		// the traces leading up to the poisoned batch survive the report.
+		b.opts.Log.WithTrace(traceIDOf(sweep)).Error("serve: sweep failed",
+			"err", err, "batch", len(live))
+		if b.opts.Tracer != nil {
+			w := b.opts.TraceDumpWriter
+			if w == nil {
+				w = os.Stderr
+			}
+			b.opts.Tracer.DumpTo(w)
+		}
+	}
 	for i, p := range live {
 		if err != nil {
 			p.done <- outcome{err: err}
@@ -215,6 +272,14 @@ func (b *batcher) runGroup(ws *tensor.Workspace, group []*pending) {
 			p.done <- outcome{out: outs[i]}
 		}
 	}
+}
+
+// traceIDOf renders a span's trace id, "" on nil.
+func traceIDOf(sp *rtrace.Span) string {
+	if sp == nil {
+		return ""
+	}
+	return sp.TraceID().String()
 }
 
 // infer runs one batched sweep with panic isolation: a poisoned request

@@ -8,6 +8,7 @@ import (
 
 	"etalstm/internal/model"
 	"etalstm/internal/rng"
+	"etalstm/internal/rtrace"
 )
 
 // The acceptance geometry: a checkpoint small enough that per-request
@@ -29,8 +30,15 @@ var benchCfg = model.Config{
 // throughput drives n closed-loop requests from conc clients through a
 // batcher configured with maxBatch and returns requests/sec.
 func throughput(tb testing.TB, net *model.Network, maxBatch, conc, n int) float64 {
+	return throughputTraced(tb, net, maxBatch, conc, n, nil)
+}
+
+// throughputTraced is throughput with an optional flight recorder
+// attached, for measuring enabled-tracing overhead.
+func throughputTraced(tb testing.TB, net *model.Network, maxBatch, conc, n int, tracer *rtrace.Tracer) float64 {
 	tb.Helper()
-	opts := Options{MaxBatch: maxBatch, Window: 100 * time.Microsecond, QueueCap: 256}.withDefaults()
+	opts := Options{MaxBatch: maxBatch, Window: 100 * time.Microsecond, QueueCap: 256,
+		Tracer: tracer}.withDefaults()
 	bt := newBatcher(net, opts, newMetrics(opts.MaxBatch))
 	defer bt.drain(context.Background())
 
@@ -79,6 +87,18 @@ func BenchmarkServeThroughput(b *testing.B) {
 	b.Run("batch1", func(b *testing.B) {
 		n := conc * (1 + b.N/conc)
 		b.ReportMetric(throughput(b, net, 1, conc, n), "req/s")
+	})
+	// batched-traced reruns the batched configuration with a flight
+	// recorder attached (head sampling at the default rate) and reports
+	// overhead_pct against an untraced run of the same length — the
+	// acceptance bound is < 2% at converged -benchtime.
+	b.Run("batched-traced", func(b *testing.B) {
+		tracer := rtrace.New(rtrace.Options{Process: "bench"})
+		n := conc * (1 + b.N/conc)
+		traced := throughputTraced(b, net, 64, conc, n, tracer)
+		plain := throughput(b, net, 64, conc, n)
+		b.ReportMetric(traced, "req/s")
+		b.ReportMetric((plain-traced)/plain*100, "overhead_pct")
 	})
 }
 

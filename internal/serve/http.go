@@ -11,6 +11,7 @@ import (
 
 	"etalstm/internal/model"
 	"etalstm/internal/persist"
+	"etalstm/internal/rtrace"
 )
 
 // maxBodyBytes bounds /v1/infer request bodies; a MaxSeqLen×InputSize
@@ -57,6 +58,11 @@ func (s *Server) routes() *http.ServeMux {
 	if s.opts.EnableAdmin {
 		mux.HandleFunc("POST /v1/admin/reload", s.handleAdminReload)
 	}
+	if s.opts.Tracer != nil {
+		th := s.opts.Tracer.Handler()
+		mux.Handle("GET /debug/traces", th)
+		mux.Handle("GET /debug/traces/{id}", th)
+	}
 	if s.opts.EnablePprof {
 		mux.HandleFunc("GET /debug/pprof/", pprof.Index)
 		mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
@@ -84,16 +90,35 @@ func (s *Server) Handler() http.Handler {
 
 func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
+	// The request span continues the caller's trace when a traceparent
+	// header arrived (router or loadgen minted it) and roots a fresh
+	// trace otherwise. Finishing decides keep-or-drop for the whole
+	// local trace — sweep span included.
+	var sp *rtrace.Span
+	if t := s.opts.Tracer; t != nil {
+		if tid, psid, sampled, ok := rtrace.ParseTraceparent(r.Header.Get(rtrace.TraceparentHeader)); ok {
+			sp = t.StartRemote("serve.request", tid, psid, sampled)
+		} else {
+			sp = t.StartSpan("serve.request")
+		}
+		defer sp.Finish()
+	}
 	r.Body = http.MaxBytesReader(w, r.Body, maxBodyBytes)
 	var req inferRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		sp.Errorf("malformed body")
 		httpError(w, http.StatusBadRequest, fmt.Sprintf("malformed JSON body: %v", err))
 		return
 	}
+	if req.Session != "" {
+		sp.Attr("session", req.Session)
+	}
 	ctx, cancel := context.WithTimeout(r.Context(), s.opts.RequestTimeout)
 	defer cancel()
+	ctx = rtrace.ContextWithSpan(ctx, sp)
 	res, err := s.Infer(ctx, Request{Inputs: req.Inputs, Session: req.Session})
 	if err != nil {
+		sp.SetError(err)
 		writeInferError(w, err)
 		return
 	}

@@ -8,10 +8,12 @@ import (
 	"io"
 	"net/http"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 
 	"etalstm/internal/rng"
+	"etalstm/internal/rtrace"
 	"etalstm/internal/stats"
 )
 
@@ -40,6 +42,11 @@ type LoadOptions struct {
 	SessionFrac float64
 	// Seed makes the generated inputs reproducible (0 = 1).
 	Seed uint64
+	// TraceEvery, when > 0, mints a sampled W3C traceparent header on
+	// every Nth request, originating end-to-end traces at the client the
+	// way production edge clients would. The minted trace ids surface in
+	// LoadReport.SampleTraces for pulling from /debug/traces/{id}.
+	TraceEvery int
 }
 
 func (o LoadOptions) withDefaults() LoadOptions {
@@ -90,6 +97,9 @@ type LoadReport struct {
 	// MaxSessionP99Ms is the worst per-session p99 — the number the
 	// fleet smoke pins so one hot session cannot hide in the aggregate.
 	MaxSessionP99Ms float64
+	// SampleTraces holds up to eight trace ids this burst minted (only
+	// with TraceEvery > 0) — resolvable at the target's /debug/traces.
+	SampleTraces []string `json:",omitempty"`
 }
 
 func (r LoadReport) String() string {
@@ -97,6 +107,9 @@ func (r LoadReport) String() string {
 		r.Sent, r.OK, r.Rejected, r.Errors, r.Wall.Round(time.Millisecond), r.RPS, r.P50Ms, r.P99Ms)
 	if len(r.PerSession) > 0 {
 		s += fmt.Sprintf(" sessions=%d max_session_p99=%.2fms", len(r.PerSession), r.MaxSessionP99Ms)
+	}
+	if len(r.SampleTraces) > 0 {
+		s += " traces=" + strings.Join(r.SampleTraces, ",")
 	}
 	return s
 }
@@ -148,8 +161,18 @@ func RunLoad(ctx context.Context, opts LoadOptions) (LoadReport, error) {
 					}
 					req.Session = fmt.Sprintf("load-%d", rank)
 				}
+				tp := ""
+				if opts.TraceEvery > 0 && i%opts.TraceEvery == 0 {
+					tid, sid := rtrace.NewIDs()
+					tp = rtrace.FormatTraceparent(tid, sid, true)
+					mu.Lock()
+					if len(rep.SampleTraces) < 8 {
+						rep.SampleTraces = append(rep.SampleTraces, tid.String())
+					}
+					mu.Unlock()
+				}
 				t0 := time.Now()
-				status, err := postInfer(ctx, client, opts.Target, req)
+				status, err := postInfer(ctx, client, opts.Target, req, tp)
 				d := time.Since(t0)
 				mu.Lock()
 				rep.Sent++
@@ -224,7 +247,7 @@ func probeModel(ctx context.Context, target string) (modelResponse, error) {
 	return geo, nil
 }
 
-func postInfer(ctx context.Context, client *http.Client, target string, body inferRequest) (int, error) {
+func postInfer(ctx context.Context, client *http.Client, target string, body inferRequest, traceparent string) (int, error) {
 	buf, err := json.Marshal(body)
 	if err != nil {
 		return 0, err
@@ -234,6 +257,9 @@ func postInfer(ctx context.Context, client *http.Client, target string, body inf
 		return 0, err
 	}
 	req.Header.Set("Content-Type", "application/json")
+	if traceparent != "" {
+		req.Header.Set(rtrace.TraceparentHeader, traceparent)
+	}
 	resp, err := client.Do(req)
 	if err != nil {
 		return 0, err

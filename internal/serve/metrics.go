@@ -71,8 +71,10 @@ func (m *metrics) observeBatch(size int) {
 	m.batchSize.Observe(float64(size))
 }
 
-func (m *metrics) observeLatency(d time.Duration) {
-	m.latency.Observe(float64(d) / float64(time.Millisecond))
+// observeLatency records one request latency; traceID (possibly "")
+// rides along as the histogram's slow-sample exemplar.
+func (m *metrics) observeLatency(d time.Duration, traceID string) {
+	m.latency.ObserveEx(float64(d)/float64(time.Millisecond), traceID)
 }
 
 // Stats is one consistent snapshot of the serving metrics — the JSON
@@ -105,6 +107,12 @@ type Stats struct {
 	// the fleet router verifies a rolling swap landed everywhere.
 	SwapGeneration   int64  `json:"swap_generation"`
 	CheckpointDigest string `json:"checkpoint_digest"`
+
+	// SlowTraceID names the slowest recent traced request (the latency
+	// histogram's exemplar) — pull it from /debug/traces/{id}. Empty
+	// with tracing off.
+	SlowTraceID string  `json:"slow_trace_id"`
+	SlowTraceMs float64 `json:"slow_trace_ms"`
 }
 
 func (m *metrics) snapshot(queueDepth, sessions int, swapGen int64, digest string) Stats {
@@ -126,6 +134,8 @@ func (m *metrics) snapshot(queueDepth, sessions int, swapGen int64, digest strin
 		LatencyP99Ms:     lat.P99,
 		SwapGeneration:   swapGen,
 		CheckpointDigest: digest,
+		SlowTraceID:      lat.ExemplarTraceID,
+		SlowTraceMs:      lat.ExemplarValue,
 	}
 	return s
 }

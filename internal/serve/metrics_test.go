@@ -57,6 +57,7 @@ func TestStatzGoldenShape(t *testing.T) {
 		"queue_depth", "sessions", "batches", "mean_batch", "batch_hist",
 		"latency_p50_ms", "latency_p99_ms",
 		"swap_generation", "checkpoint_digest",
+		"slow_trace_id", "slow_trace_ms",
 	}
 	if len(keys) != len(want) {
 		t.Fatalf("statz keys = %v, want %v", keys, want)

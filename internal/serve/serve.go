@@ -23,6 +23,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"io"
 	"net"
 	"net/http"
 	"runtime"
@@ -31,7 +32,9 @@ import (
 	"time"
 
 	"etalstm/internal/model"
+	"etalstm/internal/obs"
 	"etalstm/internal/persist"
+	"etalstm/internal/rtrace"
 )
 
 // ErrBadRequest wraps request-validation failures (HTTP 400).
@@ -76,6 +79,18 @@ type Options struct {
 	// the same reason as pprof: it lets the caller make the server read
 	// arbitrary paths, which belongs on a trusted port only.
 	EnableAdmin bool
+	// Tracer, when non-nil, traces requests and sweeps into its flight
+	// recorder and mounts GET /debug/traces (+ /debug/traces/{id}) on
+	// the server's mux. nil (the default) disables tracing entirely —
+	// every trace point degrades to a pointer test.
+	Tracer *rtrace.Tracer
+	// Log receives the server's structured log records (sweep panics,
+	// drain progress), stamped with trace ids where one exists. nil (the
+	// default) is silent.
+	Log *obs.Logger
+	// TraceDumpWriter receives the flight-recorder dump written when a
+	// sweep panics (nil = os.Stderr). Only read when Tracer is set.
+	TraceDumpWriter io.Writer
 }
 
 func (o Options) withDefaults() Options {
@@ -180,6 +195,7 @@ func NewStandby(opts Options) *Server {
 		stopJanitor: make(chan struct{}),
 		janitorDone: make(chan struct{}),
 	}
+	obs.RegisterBuildInfo(s.m.reg)
 	// Derived gauges close over the live server; they are evaluated at
 	// export time, so /metrics and /statz always agree.
 	s.m.reg.GaugeFunc(metricQueueDepth, "requests waiting in the admission queue",
